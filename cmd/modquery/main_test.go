@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	moq "repro"
+)
+
+func newShell() *shell { return &shell{db: moq.NewDB(2, -1e18)} }
+
+func run(t *testing.T, sh *shell, lines ...string) {
+	t.Helper()
+	for _, l := range lines {
+		if err := sh.execute(l); err != nil {
+			t.Fatalf("execute(%q): %v", l, err)
+		}
+	}
+}
+
+func TestShellUpdateAndQueryFlow(t *testing.T) {
+	sh := newShell()
+	run(t, sh,
+		"new 1 0 1,0 -5,3",
+		"new 2 1 0,0 2,2",
+		"chdir 1 5 0,-1",
+		"show 1",
+		"objects",
+		"knn 1 1 10 0,0",
+		"within 4 1 10 0,0",
+		"entering 0 20 0,0 10,10",
+		"collide 50 1 10",
+		"help",
+	)
+	if sh.db.Len() != 2 || sh.db.Tau() != 5 {
+		t.Errorf("db state: len=%d tau=%g", sh.db.Len(), sh.db.Tau())
+	}
+}
+
+func TestShellSaveOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "snap.json")
+	sh := newShell()
+	run(t, sh, "new 1 0 1,0 -5,3", "save "+file)
+	run(t, sh, "new 2 5 0,0 9,9")
+	run(t, sh, "open "+file)
+	if sh.db.Len() != 1 || !sh.db.Contains(1) {
+		t.Errorf("after open: len=%d", sh.db.Len())
+	}
+	if _, err := os.Stat(file); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShellErrors(t *testing.T) {
+	sh := newShell()
+	bad := []string{
+		"bogus",
+		"new 1",                 // arity
+		"new x 0 1,0 0,0",       // bad oid
+		"new 1 zero 1,0 0,0",    // bad time
+		"new 1 0 1 0,0",         // bad vector dim
+		"terminate 1",           // arity
+		"chdir 1 5",             // arity
+		"show",                  // arity
+		"show 42",               // missing object
+		"knn one 0 10 0,0",      // bad k
+		"within r 0 10 0,0",     // bad radius
+		"entering 0 20 0,0",     // arity
+		"collide 5 10",          // arity
+		"save",                  // arity
+		"open /nonexistent/p.q", // missing file
+	}
+	for _, l := range bad {
+		if err := sh.execute(l); err == nil {
+			t.Errorf("execute(%q) should fail", l)
+		}
+	}
+}
+
+func TestShellShowsConstraintSyntax(t *testing.T) {
+	sh := newShell()
+	run(t, sh, "new 7 0 2,-1 -40,23")
+	tr, err := sh.db.Traj(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tr.String(), "x = (2, -1)t + (-40, 23)") {
+		t.Errorf("constraint form: %s", tr)
+	}
+}

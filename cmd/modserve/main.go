@@ -1,0 +1,97 @@
+// Command modserve runs the moving-object database as an HTTP/JSON
+// service (see internal/server for the endpoint reference): trackers POST
+// chronological updates, dashboards POST plane-sweep queries.
+//
+// Usage:
+//
+//	modserve [-addr :8723] [-dim 2] [-load snapshot.json] [-journal wal.jsonl] [-seed-demo]
+//
+// Example session:
+//
+//	curl -s localhost:8723/healthz
+//	curl -s -X POST localhost:8723/update \
+//	  -d '{"kind":"new","oid":1,"tau":0,"a":[1,0],"b":[0,0]}'
+//	curl -s -X POST localhost:8723/query/knn \
+//	  -d '{"k":2,"lo":0,"hi":60,"point":[0,0]}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/mod"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+var (
+	addrFlag    = flag.String("addr", ":8723", "listen address")
+	dimFlag     = flag.Int("dim", 2, "spatial dimension of a fresh database")
+	loadFlag    = flag.String("load", "", "snapshot file to restore at startup")
+	journalFlag = flag.String("journal", "", "append-only update journal; replayed at startup, extended while serving")
+	demoFlag    = flag.Bool("seed-demo", false, "seed 50 random movers for demos")
+)
+
+func main() {
+	logger := log.New(os.Stderr, "modserve: ", log.LstdFlags)
+	flag.Parse()
+	var db *mod.DB
+	switch {
+	case *loadFlag != "":
+		f, err := os.Open(*loadFlag)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		loaded, err := mod.LoadJSON(f)
+		f.Close()
+		if err != nil {
+			logger.Fatal(err)
+		}
+		db = loaded
+		logger.Printf("restored %d objects (dim %d, tau %g) from %s",
+			db.Len(), db.Dim(), db.Tau(), *loadFlag)
+	case *demoFlag:
+		seeded, err := workload.RandomMovers(workload.Config{Seed: 1, N: 50, Dim: *dimFlag})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		db = seeded
+		logger.Printf("seeded %d demo movers", db.Len())
+	default:
+		db = mod.NewDB(*dimFlag, 0)
+	}
+	if *journalFlag != "" {
+		// Replay any existing journal (tolerantly, so a snapshot that
+		// already includes a prefix of it is fine), then keep appending.
+		if f, err := os.Open(*journalFlag); err == nil {
+			applied, skipped, rerr := mod.ReplayTolerant(db, f)
+			f.Close()
+			if rerr != nil {
+				logger.Fatalf("journal replay: %v", rerr)
+			}
+			logger.Printf("journal replay: %d applied, %d already present", applied, skipped)
+		}
+		jf, err := os.OpenFile(*journalFlag, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		j := mod.NewJournal(db, jf)
+		defer func() {
+			if err := j.Flush(); err != nil {
+				logger.Printf("journal flush: %v", err)
+			}
+			jf.Close()
+		}()
+		db.OnUpdate(func(mod.Update) {
+			if err := j.Flush(); err != nil {
+				logger.Printf("journal flush: %v", err)
+			}
+		})
+	}
+	logger.Printf("listening on %s", *addrFlag)
+	if err := http.ListenAndServe(*addrFlag, server.New(db, logger)); err != nil {
+		logger.Fatal(err)
+	}
+}

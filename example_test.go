@@ -1,0 +1,113 @@
+package moq_test
+
+import (
+	"fmt"
+	"log"
+
+	moq "repro"
+)
+
+// ExampleRunPastKNN shows a past 1-NN query and its three answer modes.
+func ExampleRunPastKNN() {
+	db := moq.NewDB(2, -1)
+	if err := db.ApplyAll(
+		moq.New(1, 0, moq.V(0, 0), moq.V(3, 4)),     // parked 5 away
+		moq.New(2, 0.5, moq.V(-1, 0), moq.V(20, 0)), // driving in along x
+	); err != nil {
+		log.Fatal(err)
+	}
+	ans, _, err := moq.RunPastKNN(db, moq.PointSq(moq.V(0, 0)), 1, 1, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("snapshot at t=10:", ans.At(10))
+	fmt.Println("snapshot at t=20:", ans.At(20))
+	fmt.Println("ever nearest:    ", ans.Existential())
+	fmt.Println("always nearest:  ", ans.Universal(1, 30))
+	// Output:
+	// snapshot at t=10: [o1]
+	// snapshot at t=20: [o2]
+	// ever nearest:     [o1 o2]
+	// always nearest:   []
+}
+
+// ExampleRunPastWithin shows a threshold ("within range") query.
+func ExampleRunPastWithin() {
+	db := moq.NewDB(1, -1)
+	if err := db.Apply(moq.New(1, 0, moq.V(1), moq.V(-10))); err != nil {
+		log.Fatal(err)
+	}
+	// Object position: t-10; within distance 5 of the origin for
+	// t in [5, 15] (squared threshold 25).
+	ans, _, err := moq.RunPastWithin(db, moq.PointSq(moq.V(0)), 25, 0.5, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ans.Intervals(1))
+	// Output:
+	// [[5,15]]
+}
+
+// ExampleParseTrajectory round-trips the paper's Example 1 airplane.
+func ExampleParseTrajectory() {
+	plane, err := moq.ParseTrajectory(
+		`x = (2, -1, 0)t + (-40, 23, 30) & 0 <= t <= 21
+		 | x = (0, -1, -5)t + (2, 23, 135) & 21 <= t <= 22
+		 | x = (0.5, 0, -1)t + (-9, 1, 47) & 22 <= t`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("turns:", plane.Turns())
+	fmt.Println("at t=21:", plane.MustAt(21))
+	// Output:
+	// turns: [21 22]
+	// at t=21: (2, 2, 30)
+}
+
+// ExampleNewKNNSession maintains a continuing query through updates.
+func ExampleNewKNNSession() {
+	db := moq.NewDB(2, -1)
+	if err := db.Apply(moq.New(1, 0, moq.V(0, 0), moq.V(10, 0))); err != nil {
+		log.Fatal(err)
+	}
+	sess, knn, err := moq.NewKNNSession(db, moq.PointSq(moq.V(0, 0)), 1, 1, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.Apply(moq.New(2, 5, moq.V(0, 0), moq.V(1, 1))); err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.AdvanceTo(6); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("nearest at t=6:", knn.Current())
+	if err := sess.Apply(moq.Terminate(2, 8)); err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.AdvanceTo(9); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("nearest at t=9:", knn.Current())
+	// Output:
+	// nearest at t=6: [o2]
+	// nearest at t=9: [o1]
+}
+
+// ExampleRunPastFormula expresses 1-NN as the paper's Example 10 formula.
+func ExampleRunPastFormula() {
+	db := moq.NewDB(1, -1)
+	if err := db.ApplyAll(
+		moq.New(1, 0, moq.V(0), moq.V(1)),
+		moq.New(2, 1, moq.V(0), moq.V(5)),
+	); err != nil {
+		log.Fatal(err)
+	}
+	phi := moq.ForAll{Var: "z", Body: moq.Atom{L: moq.F{Var: "y"}, Op: moq.LE, R: moq.F{Var: "z"}}}
+	ans, _, err := moq.RunPastFormula(db, moq.PointSq(moq.V(0)), "y", phi, 2, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("1-NN via formula:", ans.At(5))
+	// Output:
+	// 1-NN via formula: [o1]
+}

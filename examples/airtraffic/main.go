@@ -1,0 +1,113 @@
+// Air traffic: the paper's running domain (Examples 1–3, 11). Builds a
+// 3-D fleet, reproduces the Example 1/2 trajectory algebra, runs the
+// distance queries of Example 11 with the sweep, and the Example 3
+// "entering a region" query with the constraint-language evaluator.
+//
+//	go run ./examples/airtraffic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	moq "repro"
+	"repro/internal/cql"
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// ---- Example 1/2: the paper's airplane, in constraint syntax. ----
+	plane, err := moq.ParseTrajectory(
+		`x = (2, -1, 0)t + (-40, 23, 30) & 0 <= t <= 21
+		 | x = (0, -1, -5)t + (2, 23, 135) & 21 <= t <= 22
+		 | x = (0.5, 0, -1)t + (-9, 1, 47) & 22 <= t`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Example 1 airplane:")
+	fmt.Printf("  turns at t=%v; position at t=21: %v, at t=22: %v\n",
+		plane.Turns(), plane.MustAt(21), plane.MustAt(22))
+	landed, err := plane.ChDir(47, moq.V(0, 0, 0)) // Example 2: chdir lands it
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  after chdir(o,47,(0,0,0)): parked at %v\n", landed.MustAt(60))
+	fmt.Printf("  constraint form:\n    %s\n\n", landed)
+
+	// ---- A fleet and the Example 11 query zoo. -----------------------
+	db, err := workload.AirTraffic(7, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// "Flight 623" is object 1; its trajectory is the query trajectory.
+	f623, err := db.Traj(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := moq.EuclideanSq(f623)
+
+	// "List the k nearest flights to Flight 623 at time tau."
+	ans, _, err := moq.RunPastKNN(db, d, 4, 0, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3 nearest flights to flight o1 at t=30: %v\n", ans.At(30)[:4])
+
+	// "List all flights that were within 150 km from Flight 623 from
+	// tau1 to tau2" — here radius 150, i.e. squared distance <= 22500.
+	within, _, err := moq.RunPastWithin(db, d, 150*150, 0, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flights within 150 of o1 at some point in [0,60]: %v\n",
+		within.Existential())
+	fmt.Printf("flights within 150 of o1 the whole time:           %v\n\n",
+		within.Universal(0, 60))
+
+	// The same threshold as an explicit FO(f) formula (Example 10 style).
+	phi := moq.Atom{L: moq.F{Var: "y"}, Op: moq.LE, R: moq.C{Value: 22500}}
+	form, _, err := moq.RunPastFormula(db, d, "y", phi, 0, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("same query as FO(f) formula: %v\n\n", form.Existential())
+
+	// ---- Example 3: aircraft entering a county (constraint QE). ------
+	county := cql.Box(geom.Of(-150, -150, 0), geom.Of(150, 150, 1000))
+	entering, err := cql.Entering(db, county, 0, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("aircraft entering the county during [0, 60]:")
+	count := 0
+	for _, o := range db.Objects() {
+		if ts := entering[o]; len(ts) > 0 {
+			fmt.Printf("  %v entered at t=%.2f\n", o, ts[0])
+			count++
+			if count == 5 {
+				fmt.Println("  ...")
+				break
+			}
+		}
+	}
+
+	// ---- Collision discovery (Section 2's motivating application). ---
+	fmt.Println("\nseparation conflicts (pairs within 40 during [0, 60]):")
+	encounters, err := moq.DetectEncounters(db, 40, 0, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(encounters) == 0 {
+		fmt.Println("  none")
+	}
+	for i, e := range encounters {
+		fmt.Printf("  %v and %v too close during %v\n", e.A, e.B, e.Spans)
+		if i == 4 {
+			fmt.Println("  ...")
+			break
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Quickstart: build a small moving object database, run a past k-NN
+// query, then keep a continuing query live while updates stream in.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	moq "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 2-D MOD; the last-update time starts before our first update.
+	db := moq.NewDB(2, -1)
+
+	// Three vehicles: one parked near the depot, one driving past it,
+	// one circling far away.
+	err := db.ApplyAll(
+		moq.New(1, 0, moq.V(0, 0), moq.V(3, 4)),      // parked, 5 away
+		moq.New(2, 0.5, moq.V(-1, 0), moq.V(20, 0)),  // inbound along x
+		moq.New(3, 0.75, moq.V(0, 2), moq.V(50, 50)), // far away
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ---- Past query (Theorem 4): who was nearest to the depot when? --
+	depot := moq.V(0, 0)
+	ans, st, err := moq.RunPastKNN(db, moq.PointSq(depot), 1, 1, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("1-NN to the depot over [1, 30]:")
+	for _, o := range ans.Objects() {
+		fmt.Printf("  %v nearest during %v\n", o, ans.Intervals(o))
+	}
+	fmt.Printf("  (sweep processed %d intersection events)\n\n", st.Events)
+
+	// The three answer modes of the paper:
+	fmt.Printf("snapshot  Q[D]_10   = %v\n", ans.At(10))
+	fmt.Printf("snapshot  Q[D]_20   = %v\n", ans.At(20))
+	fmt.Printf("accumulative (some t) = %v\n", ans.Existential())
+	fmt.Printf("persevering (all t)   = %v\n\n", ans.Universal(1, 30))
+
+	// ---- Continuing query (Theorem 5): maintain the answer live. -----
+	db2 := moq.NewDB(2, -1)
+	if err := db2.Apply(moq.New(1, 0, moq.V(0, 0), moq.V(10, 0))); err != nil {
+		log.Fatal(err)
+	}
+	sess, knn, err := moq.NewKNNSession(db2, moq.PointSq(depot), 1, 1, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("continuing 1-NN session:")
+	fmt.Printf("  t=1    nearest = %v\n", knn.Current())
+
+	// Wire the live update feed: every database update flows into the
+	// session, which maintains the answer eagerly.
+	db2.OnUpdate(func(u moq.Update) {
+		if err := sess.Apply(u); err != nil {
+			log.Fatal(err)
+		}
+	})
+
+	// A new object appears much closer at t=5...
+	if err := db2.Apply(moq.New(2, 5, moq.V(0, 0), moq.V(1, 1))); err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.AdvanceTo(6); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  t=6    nearest = %v (o2 appeared at t=5)\n", knn.Current())
+
+	// ...and is terminated at t=8.
+	if err := db2.Apply(moq.Terminate(2, 8)); err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.AdvanceTo(9); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  t=9    nearest = %v (o2 terminated at t=8)\n", knn.Current())
+
+	if err := sess.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  history: %v\n", knn.Answer())
+
+	// ---- Valid vs predicted answers (Definitions 4/5). ---------------
+	// The session ran to t=1000 but the last update was at t=8: only the
+	// answer up to 8 is settled; the rest is a prediction that later
+	// updates could revoke.
+	tau := db2.Tau()
+	cls, _ := moq.Classify(1, 1000, tau)
+	fmt.Printf("\nquery class relative to tau=%g: %v\n", tau, cls)
+	fmt.Printf("  valid (settled) part:   %v\n", moq.ValidAnswer(knn.Answer(), 1, 1000, tau))
+	fmt.Printf("  predicted (revocable):  %v\n", moq.PredictedAnswer(knn.Answer(), 1, 1000, tau))
+}

@@ -1,0 +1,214 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gdist"
+	"repro/internal/geom"
+	"repro/internal/mod"
+	"repro/internal/query"
+	"repro/internal/trajectory"
+	"repro/internal/workload"
+)
+
+func TestSR01AgreesAtSampleInstants(t *testing.T) {
+	db, err := workload.StationaryField(11, 60, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := trajectory.Linear(0, geom.Of(20, 5), geom.Of(-400, 0))
+	sa, searches, err := SR01KNN(db, q, SR01Config{K: 3, Period: 2}, 0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if searches == 0 || len(sa.Times) == 0 {
+		t.Fatal("no searches performed")
+	}
+	// At each sample instant the reported set must equal the true k-NN.
+	for i, ts := range sa.Times {
+		want := bruteKNNAt(db, q, 3, ts)
+		if !sameSet(want, sa.Sets[i]) {
+			t.Fatalf("sample %d (t=%g): SR01 %v vs brute %v", i, ts, sa.Sets[i], want)
+		}
+	}
+}
+
+func bruteKNNAt(db *mod.DB, q trajectory.Trajectory, k int, t float64) []mod.OID {
+	qpos := q.MustAt(t)
+	type od struct {
+		o mod.OID
+		d float64
+	}
+	var ds []od
+	for o, tr := range db.Trajectories() {
+		if tr.DefinedAt(t) {
+			ds = append(ds, od{o, tr.MustAt(t).Dist2(qpos)})
+		}
+	}
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && (ds[j].d < ds[j-1].d || (ds[j].d == ds[j-1].d && ds[j].o < ds[j-1].o)); j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+	if len(ds) > k {
+		ds = ds[:k]
+	}
+	out := make([]mod.OID, len(ds))
+	for i, x := range ds {
+		out[i] = x.o
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func TestSR01MissesQuickExchange(t *testing.T) {
+	// The Figure 2 situation: with a coarse period, a 1-NN handover that
+	// flips and flips back between samples is never reported.
+	db := mod.NewDB(2, -1)
+	// Two stationary objects; the query passes closer to o2 only during
+	// a brief stretch around t=5.
+	must(t, db.Load(1, trajectory.Stationary(0, geom.Of(0, 1))))
+	must(t, db.Load(2, trajectory.Stationary(0, geom.Of(5, 2))))
+	// The query approaches o2, then turns back at t=4: o2 is nearest
+	// only on a short middle stretch (~(2.9, 5.1)) that a period-8
+	// sampler straddles — the paper's time-C exchange.
+	q0 := trajectory.Linear(0, geom.Of(1, 0), geom.Of(0, 0))
+	q, err0 := q0.ChDir(4, geom.Of(-1, 0))
+	must(t, err0)
+	// True 1-NN: o1 until the bisector, o2 in the middle stretch, o1
+	// after? Compute truth via the sweep.
+	knn := query.NewKNN(1)
+	if _, err := query.RunPast(db, gdist.EuclideanSq{Query: q}, 0, 10, knn); err != nil {
+		t.Fatal(err)
+	}
+	iv2 := knn.Answer().Intervals(2)
+	if len(iv2) == 0 {
+		t.Skip("geometry produced no exchange; scenario needs o2 to win briefly")
+	}
+	// Coarse sampling straddling the o2 stretch.
+	sa, _, err := SR01KNN(db, q, SR01Config{K: 1, Period: 8}, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := func(tt float64) []mod.OID { return knn.Answer().At(tt) }
+	var changes []float64
+	for _, iv := range iv2 {
+		changes = append(changes, iv.Lo, iv.Hi)
+	}
+	c := Compare(truth, sa, changes, 0, 10, 200)
+	if c.Missed == 0 {
+		t.Errorf("expected the o2 stretch %v to be missed at period 8 (comparison %+v)", iv2, c)
+	}
+	if c.Wrong == 0 {
+		t.Errorf("expected wrong probes between samples, got %+v", c)
+	}
+	// A fine period catches it.
+	saFine, _, err := SR01KNN(db, q, SR01Config{K: 1, Period: 0.25}, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := Compare(truth, saFine, changes, 0, 10, 200)
+	if cf.Missed != 0 {
+		t.Errorf("fine sampling still missed intervals: %+v", cf)
+	}
+	if cf.WrongFraction() >= c.WrongFraction() {
+		t.Errorf("finer sampling should reduce error: %g vs %g", cf.WrongFraction(), c.WrongFraction())
+	}
+}
+
+func TestSR01Validation(t *testing.T) {
+	db, _ := workload.StationaryField(1, 10, 100)
+	q := trajectory.Linear(0, geom.Of(1, 0), geom.Of(0, 0))
+	if _, _, err := SR01KNN(db, q, SR01Config{K: 0, Period: 1}, 0, 10); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, _, err := SR01KNN(db, q, SR01Config{K: 1, Period: 0}, 0, 10); err == nil {
+		t.Error("zero period accepted")
+	}
+	moving := mod.NewDB(2, -1)
+	must(t, moving.Load(1, trajectory.Linear(0, geom.Of(1, 1), geom.Of(0, 0))))
+	if _, _, err := SR01KNN(moving, q, SR01Config{K: 1, Period: 1}, 0, 10); err == nil {
+		t.Error("moving objects accepted (SR01 requires stationary data)")
+	}
+}
+
+func TestAllPairsKNNMatchesSweep(t *testing.T) {
+	db, err := workload.RandomMovers(workload.Config{Seed: 9, N: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := workload.QueryTrajectory(workload.Config{}, 10)
+	res, err := AllPairsKNN(db, q, 2, 0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	knn := query.NewKNN(2)
+	if _, err := query.RunPast(db, gdist.EuclideanSq{Query: q}, 0, 30, knn); err != nil {
+		t.Fatal(err)
+	}
+	for probe := 0; probe < 40; probe++ {
+		tt := 0.37 + float64(probe)*0.74
+		if tt > 30 {
+			break
+		}
+		want := knn.Answer().At(tt)
+		var got []mod.OID
+		for o, ss := range res {
+			if ss.Contains(tt) {
+				got = append(got, o)
+			}
+		}
+		for i := 1; i < len(got); i++ {
+			for j := i; j > 0 && got[j] < got[j-1]; j-- {
+				got[j], got[j-1] = got[j-1], got[j]
+			}
+		}
+		if !sameSet(want, got) {
+			t.Fatalf("t=%g: sweep %v vs all-pairs %v", tt, want, got)
+		}
+	}
+}
+
+func TestSampledAnswerSetAt(t *testing.T) {
+	sa := SampledAnswer{
+		Times: []float64{0, 10, 20},
+		Sets:  [][]mod.OID{{1}, {2}, {3}},
+	}
+	if got := sa.SetAt(-1); got != nil {
+		t.Errorf("SetAt(-1) = %v", got)
+	}
+	if got := sa.SetAt(0); len(got) != 1 || got[0] != 1 {
+		t.Errorf("SetAt(0) = %v", got)
+	}
+	if got := sa.SetAt(15); len(got) != 1 || got[0] != 2 {
+		t.Errorf("SetAt(15) = %v", got)
+	}
+	if got := sa.SetAt(99); len(got) != 1 || got[0] != 3 {
+		t.Errorf("SetAt(99) = %v", got)
+	}
+}
+
+func TestComparisonFractions(t *testing.T) {
+	c := Comparison{Probes: 10, Wrong: 3, Intervals: 4, Missed: 1}
+	if math.Abs(c.WrongFraction()-0.3) > 1e-12 {
+		t.Error("WrongFraction")
+	}
+	if math.Abs(c.MissedFraction()-0.25) > 1e-12 {
+		t.Error("MissedFraction")
+	}
+	if (Comparison{}).WrongFraction() != 0 || (Comparison{}).MissedFraction() != 0 {
+		t.Error("empty comparison fractions")
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,169 @@
+package collide
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mod"
+	"repro/internal/trajectory"
+	"repro/internal/workload"
+)
+
+func TestDetectHeadOnPass(t *testing.T) {
+	db := mod.NewDB(2, -1)
+	// Two objects passing each other on parallel tracks 6 apart: with
+	// radius 10, they are within range while |dx| <= 8 (6-8-10 triangle).
+	must(t, db.Load(1, trajectory.Linear(0, geom.Of(1, 0), geom.Of(-50, 0))))
+	must(t, db.Load(2, trajectory.Linear(0, geom.Of(-1, 0), geom.Of(50, 6))))
+	enc, st, err := Detect(db, Config{Radius: 10}, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != 1 || enc[0].A != 1 || enc[0].B != 2 {
+		t.Fatalf("encounters %+v", enc)
+	}
+	// Closing speed 2; |dx(t)| = |100 - 2t|; within when |dx| <= 8:
+	// t in [46, 54].
+	sp := enc[0].Spans
+	if len(sp) != 1 || math.Abs(sp[0].Lo-46) > 1e-7 || math.Abs(sp[0].Hi-54) > 1e-7 {
+		t.Errorf("spans %v, want [46,54]", sp)
+	}
+	if st.Encounters != 1 || st.Slabs == 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestDetectMissesNothingVsBruteForce(t *testing.T) {
+	db, err := workload.RandomMovers(workload.Config{Seed: 17, N: 60, Extent: 300, MaxSpeed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const radius, lo, hi = 25.0, 0.0, 60.0
+	enc, st, err := Detect(db, Config{Radius: radius}, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force: exact narrow phase on every pair.
+	trajs := db.Trajectories()
+	oids := db.Objects()
+	type key struct{ a, b mod.OID }
+	want := map[key][]float64{} // pair -> flattened span bounds
+	for i := 0; i < len(oids); i++ {
+		for j := i + 1; j < len(oids); j++ {
+			spans, err := encounterSpans(trajs[oids[i]], trajs[oids[j]], radius*radius, lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(spans) > 0 {
+				var flat []float64
+				for _, s := range spans {
+					flat = append(flat, s.Lo, s.Hi)
+				}
+				want[key{oids[i], oids[j]}] = flat
+			}
+		}
+	}
+	got := map[key][]float64{}
+	for _, e := range enc {
+		var flat []float64
+		for _, s := range e.Spans {
+			flat = append(flat, s.Lo, s.Hi)
+		}
+		got[key{e.A, e.B}] = flat
+	}
+	if len(got) != len(want) {
+		t.Fatalf("encounter pairs: %d vs brute %d", len(got), len(want))
+	}
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok {
+			t.Fatalf("missed pair %v", k)
+		}
+		if len(g) != len(w) {
+			t.Fatalf("pair %v spans %v vs %v", k, g, w)
+		}
+		for i := range w {
+			if math.Abs(g[i]-w[i]) > 1e-7 {
+				t.Fatalf("pair %v spans %v vs %v", k, g, w)
+			}
+		}
+	}
+	// The broad phase must actually prune on a dispersed workload.
+	allPairs := len(oids) * (len(oids) - 1) / 2
+	if st.CandidatePairs >= allPairs {
+		t.Errorf("no pruning: %d candidates of %d pairs", st.CandidatePairs, allPairs)
+	}
+}
+
+func TestDetectWithChurnAndTurns(t *testing.T) {
+	db := mod.NewDB(2, -1)
+	// o1 turns toward o2 and then away; o3 exists only briefly.
+	tr1 := trajectory.Linear(0, geom.Of(1, 0), geom.Of(0, 0))
+	tr1b, err := tr1.ChDir(10, geom.Of(0, 1))
+	must(t, err)
+	must(t, db.Load(1, tr1b))
+	must(t, db.Load(2, trajectory.Stationary(0, geom.Of(10, 20))))
+	short := trajectory.Linear(0, geom.Of(0, 0), geom.Of(10, 18))
+	shortEnd, err := short.Terminate(5)
+	must(t, err)
+	must(t, db.Load(3, shortEnd))
+	enc, _, err := Detect(db, Config{Radius: 5}, 0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[[2]mod.OID]bool{}
+	for _, e := range enc {
+		found[[2]mod.OID{e.A, e.B}] = true
+	}
+	// o1 reaches (10, y) climbing toward o2 at (10,20): encounter when
+	// y >= 15, i.e. t >= 25. And o2-o3 are 2 apart during [0,5].
+	if !found[[2]mod.OID{1, 2}] {
+		t.Errorf("missed o1-o2 encounter: %+v", enc)
+	}
+	if !found[[2]mod.OID{2, 3}] {
+		t.Errorf("missed o2-o3 encounter: %+v", enc)
+	}
+	// o1 never gets near o3 before o3 terminates.
+	if found[[2]mod.OID{1, 3}] {
+		t.Errorf("phantom o1-o3 encounter: %+v", enc)
+	}
+}
+
+func TestDetectValidation(t *testing.T) {
+	db := mod.NewDB(2, -1)
+	if _, _, err := Detect(db, Config{Radius: 0}, 0, 10); err == nil {
+		t.Error("zero radius accepted")
+	}
+	if _, _, err := Detect(db, Config{Radius: 1}, 10, 0); err == nil {
+		t.Error("inverted window accepted")
+	}
+	// Empty database: no encounters, no error.
+	enc, _, err := Detect(db, Config{Radius: 1}, 0, 10)
+	if err != nil || len(enc) != 0 {
+		t.Errorf("empty db: %v %v", enc, err)
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDetect(b *testing.B) {
+	db, err := workload.RandomMovers(workload.Config{Seed: 2, N: 500, Extent: 2000, MaxSpeed: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	_ = rng
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Detect(db, Config{Radius: 30}, 0, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

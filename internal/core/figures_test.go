@@ -1,0 +1,222 @@
+package core
+
+// Golden reproductions of the paper's Figure 2 and Figure 3 / Example 12
+// scenarios, with curves constructed to match the figures' qualitative
+// geometry and the exact event times the paper narrates (8, 10, 17, the
+// update at 20, the cancelled 24, and 31).
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/piecewise"
+	"repro/internal/poly"
+)
+
+// TestFigure2Scenario reproduces Figure 2: two objects whose g-distance
+// curves would cross at time D; o1 changes course at time A (cancelling
+// the crossing at D), then o2 changes course at time B making them cross
+// at an earlier time C.
+func TestFigure2Scenario(t *testing.T) {
+	var swaps []float64
+	s := NewSweeper(Config{Start: 0, Horizon: 100, Audit: true, OnChange: func(c Change) {
+		if c.Kind == ChangeSwap {
+			swaps = append(swaps, c.T)
+		}
+	}})
+	// o2 closer (lower curve), o1 above, converging: cross at D = 30.
+	o1 := piecewise.FromPoly(poly.Linear(-1, 40), 0, 100) // 40 - t
+	o2 := piecewise.FromPoly(poly.Constant(10), 0, 100)
+	mustAdd(t, s, 1, o1)
+	mustAdd(t, s, 2, o2)
+
+	// Before D, at time A = 10, o1 changes direction: now level at 30.
+	if err := s.AdvanceTo(10); err != nil {
+		t.Fatal(err)
+	}
+	o1b := piecewise.MustNew(
+		piecewise.Piece{Start: 0, End: 10, P: poly.Linear(-1, 40)},
+		piecewise.Piece{Start: 10, End: 100, P: poly.Constant(30)},
+	)
+	if err := s.ReplaceCurve(1, o1b); err != nil {
+		t.Fatal(err)
+	}
+
+	// At time B = 14, o2 changes course and climbs steeply: crossing at
+	// C = (30-10)/5 + 14 = 18, earlier than the original D = 30.
+	if err := s.AdvanceTo(14); err != nil {
+		t.Fatal(err)
+	}
+	o2b := piecewise.MustNew(
+		piecewise.Piece{Start: 0, End: 14, P: poly.Constant(10)},
+		piecewise.Piece{Start: 14, End: 100, P: poly.Linear(5, -60)}, // 10 + 5(t-14)
+	)
+	if err := s.ReplaceCurve(2, o2b); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.AdvanceTo(100); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one exchange, at C = 18 (not D = 30).
+	if len(swaps) != 1 || math.Abs(swaps[0]-18) > 1e-9 {
+		t.Fatalf("swaps = %v, want exactly one at 18", swaps)
+	}
+	if got := s.Order(); got[0] != 1 || got[1] != 2 {
+		t.Fatalf("final order %v, want o1 closer after C", got)
+	}
+}
+
+// figure3Curves builds the four g-distance curves of Figure 3 with the
+// paper's event times: (o3,o4) at 8 and 17, (o1,o2) at 10, (o2,o3) at 31,
+// and — once o1 and o3 become neighbors — (o1,o3) at 24, which the update
+// at time 20 replaces with an earlier crossing.
+func figure3Curves() map[uint64]piecewise.Func {
+	const hi = 40.0
+	f4 := piecewise.FromPoly(poly.Constant(10), 0, hi)
+	// f3 = f4 + 0.2 (t-8)(t-17) = 0.2 t^2 - 5 t + 37.2
+	f3 := piecewise.FromPoly(poly.New(37.2, -5, 0.2), 0, hi)
+	// f2 = t + 43.4 crosses f3 exactly at t = 31.
+	f2 := piecewise.FromPoly(poly.New(43.4, 1), 0, hi)
+	// f1 = -1.5 t + 68.4 crosses f2 at 10 and (absent updates) f3 at 24.
+	f1 := piecewise.FromPoly(poly.New(68.4, -1.5), 0, hi)
+	return map[uint64]piecewise.Func{1: f1, 2: f2, 3: f3, 4: f4}
+}
+
+// TestExample12Trace replays Example 12 against the sweep and checks the
+// full exchange timeline, including the update at time 20 that replaces
+// o1's curve (the dashed line) and moves the (o1,o3) crossing from 24 to
+// an earlier instant.
+func TestExample12Trace(t *testing.T) {
+	var log []Change
+	s := NewSweeper(Config{Start: 0, Horizon: 40, Audit: true, OnChange: func(c Change) {
+		log = append(log, c)
+	}})
+	for id, f := range figure3Curves() {
+		mustAdd(t, s, id, f)
+	}
+	// Initial ordering o4 < o3 < o2 < o1 (paper: "the ordering is
+	// o4 < o3 < o2 < o1").
+	want := []uint64{4, 3, 2, 1}
+	got := s.Order()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("initial order %v, want %v", got, want)
+		}
+	}
+	// 2-NN answer up to time 3 is {o3, o4}.
+	if err := s.AdvanceTo(3); err != nil {
+		t.Fatal(err)
+	}
+	top2 := s.FirstK(2)
+	if !(top2[0] == 4 && top2[1] == 3) {
+		t.Fatalf("2-NN at t=3 = %v, want [4 3]", top2)
+	}
+
+	// The update arrives at 20: process events at 8, 10, 17 first.
+	if err := s.AdvanceTo(20); err != nil {
+		t.Fatal(err)
+	}
+	var swapTimes []float64
+	for _, c := range log {
+		if c.Kind == ChangeSwap {
+			swapTimes = append(swapTimes, c.T)
+		}
+	}
+	wantSwaps := []float64{8, 10, 17}
+	if len(swapTimes) != len(wantSwaps) {
+		t.Fatalf("swap times before update: %v, want %v", swapTimes, wantSwaps)
+	}
+	for i := range wantSwaps {
+		if math.Abs(swapTimes[i]-wantSwaps[i]) > 1e-7 {
+			t.Fatalf("swap times before update: %v, want %v", swapTimes, wantSwaps)
+		}
+	}
+	// After 8, 10, 17 the order is o4 < o3 < o1 < o2; o1 and o3 are
+	// neighbors so the intersection at 24 is pending (paper's narration).
+	got = s.Order()
+	want = []uint64{4, 3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order at 20: %v, want %v", got, want)
+		}
+	}
+
+	// The update changes o1's curve to the dashed line: from its value
+	// 38.4 at t=20 it descends at slope -3, crossing o3 at
+	// (10+sqrt(1324))/2 ~ 23.193 — earlier than the cancelled 24.
+	dashed := piecewise.MustNew(
+		piecewise.Piece{Start: 0, End: 20, P: poly.New(68.4, -1.5)},
+		piecewise.Piece{Start: 20, End: 40, P: poly.New(98.4, -3)},
+	)
+	if err := s.ReplaceCurve(1, dashed); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AdvanceTo(40); err != nil {
+		t.Fatal(err)
+	}
+	swapTimes = swapTimes[:0]
+	for _, c := range log {
+		if c.Kind == ChangeSwap {
+			swapTimes = append(swapTimes, c.T)
+		}
+	}
+	tC := (10 + math.Sqrt(1324)) / 2 // ~23.1934: the new (o1,o3) crossing
+	tD := 88.4 / 3                   // ~29.4667: o1 then crosses o4
+	wantSwaps = []float64{8, 10, 17, tC, tD, 31}
+	if len(swapTimes) != len(wantSwaps) {
+		t.Fatalf("full swap times: %v, want %v", swapTimes, wantSwaps)
+	}
+	for i := range wantSwaps {
+		if math.Abs(swapTimes[i]-wantSwaps[i]) > 1e-6 {
+			t.Fatalf("full swap times: %v, want %v", swapTimes, wantSwaps)
+		}
+	}
+	// No swap at the cancelled 24.
+	for _, st := range swapTimes {
+		if math.Abs(st-24) < 1e-3 {
+			t.Fatalf("cancelled intersection at 24 still fired: %v", swapTimes)
+		}
+	}
+	// Final order: o1 < o4 < o2 < o3.
+	got = s.Order()
+	want = []uint64{1, 4, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("final order %v, want %v", got, want)
+		}
+	}
+	// Queue length never exceeded N (Lemma 9).
+	if st := s.Stats(); st.MaxQueueLen > 4 {
+		t.Errorf("queue length %d exceeded N=4", st.MaxQueueLen)
+	}
+}
+
+// TestLemma7EqualPrecedesSwap asserts the property underlying Lemma 7 on
+// the change stream: every completed exchange is announced by an equality
+// of the same (then-adjacent) pair at the same instant.
+func TestLemma7EqualPrecedesSwap(t *testing.T) {
+	var log []Change
+	s := NewSweeper(Config{Start: 0, Horizon: 40, Audit: true, OnChange: func(c Change) {
+		log = append(log, c)
+	}})
+	for id, f := range figure3Curves() {
+		mustAdd(t, s, id, f)
+	}
+	if err := s.AdvanceTo(40); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range log {
+		if c.Kind != ChangeSwap {
+			continue
+		}
+		if i == 0 {
+			t.Fatalf("swap %v with no preceding change", c)
+		}
+		prev := log[i-1]
+		if !(prev.Kind == ChangeEqual || prev.Kind == ChangeSeparate) ||
+			prev.T != c.T || prev.A != c.A || prev.B != c.B {
+			t.Errorf("swap %v not announced by matching equal/separate (prev %v)", c, prev)
+		}
+	}
+}

@@ -1,0 +1,384 @@
+// Package cql implements the constraint query language of the paper's
+// Section 3: linear constraints interpreted over the reals, regions as
+// disjunctions of constraint conjunctions, and the quantifier-elimination
+// style evaluation the paper attributes to standard constraint databases
+// (Proposition 1). It serves two roles in this reproduction:
+//
+//   - the data-model substrate: trajectories and spatial regions are
+//     rendered and manipulated as linear-constraint formulas, and
+//   - the baseline evaluator: the paper's example queries (Example 3's
+//     "entering a region", Example 4's 1-NN) evaluated from scratch by
+//     variable elimination, against which the plane sweep is compared
+//     (experiment E5).
+//
+// Full Tarski quantifier elimination over real closed fields is neither
+// practical nor needed: the paper's queries require (i) Fourier–Motzkin
+// elimination for linear constraints and (ii) sign analysis of univariate
+// polynomials, both implemented exactly here (see DESIGN.md,
+// substitution 5).
+package cql
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Op is a comparison operator of a linear constraint.
+type Op int
+
+// Constraint operators. Strict operators are produced by negation and by
+// "entering" style queries; Fourier–Motzkin handles both.
+const (
+	LE Op = iota // sum <= rhs
+	LT           // sum <  rhs
+	EQ           // sum == rhs
+)
+
+// String implements fmt.Stringer.
+func (op Op) String() string {
+	switch op {
+	case LE:
+		return "<="
+	case LT:
+		return "<"
+	case EQ:
+		return "="
+	default:
+		return "?"
+	}
+}
+
+// Constraint is a linear constraint sum_i Coeffs[v_i]*v_i Op RHS.
+// Variables are identified by name.
+type Constraint struct {
+	Coeffs map[string]float64
+	Op     Op
+	RHS    float64
+}
+
+// NewConstraint builds a constraint from coefficient pairs.
+func NewConstraint(op Op, rhs float64, coeffs map[string]float64) Constraint {
+	cp := make(map[string]float64, len(coeffs))
+	for v, c := range coeffs {
+		if c != 0 {
+			cp[v] = c
+		}
+	}
+	return Constraint{Coeffs: cp, Op: op, RHS: rhs}
+}
+
+// clone returns a deep copy.
+func (c Constraint) clone() Constraint {
+	cp := make(map[string]float64, len(c.Coeffs))
+	for v, x := range c.Coeffs {
+		cp[v] = x
+	}
+	return Constraint{Coeffs: cp, Op: c.Op, RHS: c.RHS}
+}
+
+// Coeff returns the coefficient of v (0 when absent).
+func (c Constraint) Coeff(v string) float64 { return c.Coeffs[v] }
+
+// Eval reports whether the constraint holds under the assignment.
+// Unassigned variables are an error.
+func (c Constraint) Eval(assign map[string]float64) (bool, error) {
+	sum := 0.0
+	for v, coef := range c.Coeffs {
+		val, ok := assign[v]
+		if !ok {
+			return false, fmt.Errorf("cql: unassigned variable %q", v)
+		}
+		sum += coef * val
+	}
+	const tol = 1e-9
+	switch c.Op {
+	case LE:
+		return sum <= c.RHS+tol, nil
+	case LT:
+		return sum < c.RHS-tol, nil
+	case EQ:
+		return math.Abs(sum-c.RHS) <= tol, nil
+	default:
+		return false, fmt.Errorf("cql: bad op %d", c.Op)
+	}
+}
+
+// String renders the constraint, variables sorted for determinism.
+func (c Constraint) String() string {
+	vars := make([]string, 0, len(c.Coeffs))
+	for v := range c.Coeffs {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	var b strings.Builder
+	if len(vars) == 0 {
+		b.WriteString("0")
+	}
+	for i, v := range vars {
+		coef := c.Coeffs[v]
+		switch {
+		case i == 0:
+			if coef == 1 {
+				b.WriteString(v)
+			} else if coef == -1 {
+				b.WriteString("-" + v)
+			} else {
+				fmt.Fprintf(&b, "%g%s", coef, v)
+			}
+		case coef >= 0:
+			if coef == 1 {
+				b.WriteString(" + " + v)
+			} else {
+				fmt.Fprintf(&b, " + %g%s", coef, v)
+			}
+		default:
+			if coef == -1 {
+				b.WriteString(" - " + v)
+			} else {
+				fmt.Fprintf(&b, " - %g%s", -coef, v)
+			}
+		}
+	}
+	fmt.Fprintf(&b, " %s %g", c.Op, c.RHS)
+	return b.String()
+}
+
+// Conjunction is a set of constraints, all of which must hold.
+type Conjunction []Constraint
+
+// Eval reports whether every constraint holds.
+func (cj Conjunction) Eval(assign map[string]float64) (bool, error) {
+	for _, c := range cj {
+		ok, err := c.Eval(assign)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// Substitute fixes variable v to value and returns the reduced
+// conjunction (v no longer occurs).
+func (cj Conjunction) Substitute(v string, value float64) Conjunction {
+	out := make(Conjunction, 0, len(cj))
+	for _, c := range cj {
+		nc := c.clone()
+		if coef, ok := nc.Coeffs[v]; ok {
+			nc.RHS -= coef * value
+			delete(nc.Coeffs, v)
+		}
+		out = append(out, nc)
+	}
+	return out
+}
+
+// SubstituteLinear replaces v by the linear expression a*w + b (w may be
+// an existing or new variable; pass a=0 for a constant).
+func (cj Conjunction) SubstituteLinear(v, w string, a, b float64) Conjunction {
+	out := make(Conjunction, 0, len(cj))
+	for _, c := range cj {
+		nc := c.clone()
+		if coef, ok := nc.Coeffs[v]; ok {
+			delete(nc.Coeffs, v)
+			if a != 0 {
+				nc.Coeffs[w] += coef * a
+				if nc.Coeffs[w] == 0 {
+					delete(nc.Coeffs, w)
+				}
+			}
+			nc.RHS -= coef * b
+		}
+		out = append(out, nc)
+	}
+	return out
+}
+
+// ErrUnsatisfiable is returned by elimination when the conjunction is
+// detected inconsistent.
+var ErrUnsatisfiable = errors.New("cql: unsatisfiable")
+
+// Eliminate removes variable v by Fourier–Motzkin elimination: the result
+// is a conjunction over the remaining variables satisfiable by exactly
+// the assignments extendable to v. Equalities on v are used as
+// substitutions. Returns ErrUnsatisfiable when a trivially false
+// constraint (e.g. 0 <= -1) appears.
+func (cj Conjunction) Eliminate(v string) (Conjunction, error) {
+	// First use an equality involving v, if any, to substitute v away.
+	for i, c := range cj {
+		coef := c.Coeff(v)
+		if c.Op == EQ && coef != 0 {
+			// v = (RHS - rest)/coef: substitute into all others.
+			rest := c.clone()
+			delete(rest.Coeffs, v)
+			out := make(Conjunction, 0, len(cj)-1)
+			for j, d := range cj {
+				if j == i {
+					continue
+				}
+				dc := d.Coeff(v)
+				nd := d.clone()
+				if dc != 0 {
+					delete(nd.Coeffs, v)
+					// d: dc*v + rest_d op rhs_d, with
+					// v = (rhs_c - rest_c)/coef.
+					k := dc / coef
+					for w, cw := range rest.Coeffs {
+						nd.Coeffs[w] -= k * cw
+						if nd.Coeffs[w] == 0 {
+							delete(nd.Coeffs, w)
+						}
+					}
+					// d becomes: rest_d - k*rest_c op rhs_d - k*rhs_c.
+					nd.RHS -= k * rest.RHS
+				}
+				nd = nd.normalize()
+				if bad, err := nd.triviallyFalse(); err != nil {
+					return nil, err
+				} else if bad {
+					return nil, ErrUnsatisfiable
+				}
+				out = append(out, nd)
+			}
+			return out, nil
+		}
+	}
+	// Partition by the sign of v's coefficient.
+	var lowers, uppers []Constraint // lower: v >= expr; upper: v <= expr
+	var rest Conjunction
+	for _, c := range cj {
+		coef := c.Coeff(v)
+		switch {
+		case coef == 0:
+			rest = append(rest, c.clone())
+		case coef > 0:
+			uppers = append(uppers, c)
+		default:
+			lowers = append(lowers, c)
+		}
+	}
+	// Combine each (lower, upper) pair.
+	for _, lo := range lowers {
+		for _, up := range uppers {
+			cl, cu := -lo.Coeff(v), up.Coeff(v) // both positive
+			nc := Constraint{Coeffs: map[string]float64{}, RHS: cu*lo.RHS + cl*up.RHS}
+			for w, cw := range lo.Coeffs {
+				if w != v {
+					nc.Coeffs[w] += cu * cw
+				}
+			}
+			for w, cw := range up.Coeffs {
+				if w != v {
+					nc.Coeffs[w] += cl * cw
+				}
+			}
+			for w, cw := range nc.Coeffs {
+				if cw == 0 {
+					delete(nc.Coeffs, w)
+				}
+			}
+			if lo.Op == LT || up.Op == LT {
+				nc.Op = LT
+			} else {
+				nc.Op = LE
+			}
+			nc = nc.normalize()
+			if bad, err := nc.triviallyFalse(); err != nil {
+				return nil, err
+			} else if bad {
+				return nil, ErrUnsatisfiable
+			}
+			if len(nc.Coeffs) > 0 {
+				rest = append(rest, nc)
+			}
+		}
+	}
+	for i := range rest {
+		if bad, err := rest[i].triviallyFalse(); err != nil {
+			return nil, err
+		} else if bad {
+			return nil, ErrUnsatisfiable
+		}
+	}
+	return rest, nil
+}
+
+// normalize scales tiny coefficients to zero.
+func (c Constraint) normalize() Constraint {
+	max := math.Abs(c.RHS)
+	for _, x := range c.Coeffs {
+		if a := math.Abs(x); a > max {
+			max = a
+		}
+	}
+	if max == 0 {
+		return c
+	}
+	cut := max * 1e-12
+	for v, x := range c.Coeffs {
+		if math.Abs(x) <= cut {
+			delete(c.Coeffs, v)
+		}
+	}
+	if math.Abs(c.RHS) <= cut {
+		c.RHS = 0
+	}
+	return c
+}
+
+// triviallyFalse reports whether a variable-free constraint is false.
+func (c Constraint) triviallyFalse() (bool, error) {
+	if len(c.Coeffs) > 0 {
+		return false, nil
+	}
+	ok, err := c.Eval(nil)
+	return !ok, err
+}
+
+// Satisfiable reports whether the conjunction has a real solution, by
+// eliminating every variable.
+func (cj Conjunction) Satisfiable() (bool, error) {
+	vars := map[string]bool{}
+	for _, c := range cj {
+		for v := range c.Coeffs {
+			vars[v] = true
+		}
+	}
+	names := make([]string, 0, len(vars))
+	for v := range vars {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	cur := cj
+	var err error
+	for _, v := range names {
+		cur, err = cur.Eliminate(v)
+		if errors.Is(err, ErrUnsatisfiable) {
+			return false, nil
+		}
+		if err != nil {
+			return false, err
+		}
+	}
+	for _, c := range cur {
+		bad, err := c.triviallyFalse()
+		if err != nil {
+			return false, err
+		}
+		if bad {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// String renders the conjunction with " ∧ " separators.
+func (cj Conjunction) String() string {
+	parts := make([]string, len(cj))
+	for i, c := range cj {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " ∧ ")
+}

@@ -1,0 +1,393 @@
+package cql
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mod"
+	"repro/internal/poly"
+	"repro/internal/trajectory"
+)
+
+func TestConstraintEval(t *testing.T) {
+	c := NewConstraint(LE, 10, map[string]float64{"x": 2, "y": 1})
+	ok, err := c.Eval(map[string]float64{"x": 3, "y": 4})
+	if err != nil || !ok {
+		t.Errorf("2*3+4 <= 10: ok=%v err=%v", ok, err)
+	}
+	ok, _ = c.Eval(map[string]float64{"x": 4, "y": 4})
+	if ok {
+		t.Error("12 <= 10 held")
+	}
+	if _, err := c.Eval(map[string]float64{"x": 1}); err == nil {
+		t.Error("unassigned variable accepted")
+	}
+	eq := NewConstraint(EQ, 5, map[string]float64{"x": 1})
+	if ok, _ := eq.Eval(map[string]float64{"x": 5}); !ok {
+		t.Error("x=5 failed")
+	}
+	lt := NewConstraint(LT, 5, map[string]float64{"x": 1})
+	if ok, _ := lt.Eval(map[string]float64{"x": 5}); ok {
+		t.Error("5 < 5 held")
+	}
+}
+
+func TestConstraintString(t *testing.T) {
+	c := NewConstraint(LE, 3, map[string]float64{"x": 2, "y": -1})
+	if got := c.String(); got != "2x - y <= 3" {
+		t.Errorf("String = %q", got)
+	}
+	c2 := NewConstraint(EQ, 0, map[string]float64{"t": 1})
+	if got := c2.String(); got != "t = 0" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestFourierMotzkinTriangle(t *testing.T) {
+	// x >= 0, y >= 0, x + y <= 1: eliminating y yields 0 <= x <= 1.
+	cj := Conjunction{
+		NewConstraint(LE, 0, map[string]float64{"x": -1}),
+		NewConstraint(LE, 0, map[string]float64{"y": -1}),
+		NewConstraint(LE, 1, map[string]float64{"x": 1, "y": 1}),
+	}
+	out, err := cj.Eliminate("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The projection must admit x in [0, 1] and nothing outside.
+	for _, x := range []float64{0, 0.5, 1} {
+		ok, err := out.Eval(map[string]float64{"x": x})
+		if err != nil || !ok {
+			t.Errorf("x=%g should be in projection: %v %v", x, ok, err)
+		}
+	}
+	for _, x := range []float64{-0.5, 1.5} {
+		if ok, _ := out.Eval(map[string]float64{"x": x}); ok {
+			t.Errorf("x=%g should be outside projection", x)
+		}
+	}
+}
+
+func TestFourierMotzkinUnsat(t *testing.T) {
+	// x <= 0 and x >= 1.
+	cj := Conjunction{
+		NewConstraint(LE, 0, map[string]float64{"x": 1}),
+		NewConstraint(LE, -1, map[string]float64{"x": -1}),
+	}
+	if _, err := cj.Eliminate("x"); !errors.Is(err, ErrUnsatisfiable) {
+		t.Errorf("err = %v, want unsatisfiable", err)
+	}
+	sat, err := cj.Satisfiable()
+	if err != nil || sat {
+		t.Errorf("Satisfiable = %v, %v", sat, err)
+	}
+	sat, err = Conjunction{
+		NewConstraint(LE, 1, map[string]float64{"x": 1, "y": -2}),
+		NewConstraint(LE, 4, map[string]float64{"x": 1, "y": 2}),
+	}.Satisfiable()
+	if err != nil || !sat {
+		t.Errorf("Satisfiable = %v, %v", sat, err)
+	}
+}
+
+func TestFourierMotzkinEquality(t *testing.T) {
+	// x = 2y, x + y <= 6: eliminate x => 3y <= 6.
+	cj := Conjunction{
+		NewConstraint(EQ, 0, map[string]float64{"x": 1, "y": -2}),
+		NewConstraint(LE, 6, map[string]float64{"x": 1, "y": 1}),
+	}
+	out, err := cj.Eliminate("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := out.Eval(map[string]float64{"y": 2}); !ok {
+		t.Error("y=2 should satisfy")
+	}
+	if ok, _ := out.Eval(map[string]float64{"y": 2.5}); ok {
+		t.Error("y=2.5 should fail")
+	}
+}
+
+// Property: eliminating a variable preserves satisfiability of random
+// systems (checked by sampling).
+func TestEliminationSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		var cj Conjunction
+		n := 2 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			cj = append(cj, NewConstraint(LE, rng.Float64()*10-2, map[string]float64{
+				"x": math.Floor(rng.Float64()*7) - 3,
+				"y": math.Floor(rng.Float64()*7) - 3,
+			}))
+		}
+		out, err := cj.Eliminate("y")
+		if errors.Is(err, ErrUnsatisfiable) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Any (x, y) satisfying cj must project to x satisfying out.
+		for probe := 0; probe < 50; probe++ {
+			x := rng.Float64()*20 - 10
+			y := rng.Float64()*20 - 10
+			full, _ := cj.Eval(map[string]float64{"x": x, "y": y})
+			if full {
+				proj, _ := out.Eval(map[string]float64{"x": x})
+				if !proj {
+					t.Fatalf("trial %d: (%g,%g) satisfies system but x rejected by projection\n%s\n=>\n%s",
+						trial, x, y, cj, out)
+				}
+			}
+		}
+	}
+}
+
+func TestSpanSetOps(t *testing.T) {
+	a := NewSpanSet(Span{0, 2}, Span{5, 8})
+	b := NewSpanSet(Span{1, 6})
+	u := a.Union(b)
+	if got := u.Spans(); len(got) != 1 || got[0].Lo != 0 || got[0].Hi != 8 {
+		t.Errorf("union %v", u)
+	}
+	x := a.Intersect(b)
+	if got := x.Spans(); len(got) != 2 || got[0] != (Span{1, 2}) || got[1] != (Span{5, 6}) {
+		t.Errorf("intersect %v", x)
+	}
+	c := a.Complement(0, 10)
+	if got := c.Spans(); len(got) != 2 || got[0] != (Span{2, 5}) || got[1] != (Span{8, 10}) {
+		t.Errorf("complement %v", c)
+	}
+	if !a.Contains(1) || a.Contains(3) {
+		t.Error("Contains")
+	}
+	if m := a.Measure(); math.Abs(m-5) > 1e-12 {
+		t.Errorf("Measure = %g", m)
+	}
+	if (SpanSet{}).String() != "∅" || a.String() == "" {
+		t.Error("String")
+	}
+	if got := a.Clip(1, 6).Measure(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Clip measure = %g", got)
+	}
+	if eps := a.LeftEndpoints(); len(eps) != 2 || eps[0] != 0 || eps[1] != 5 {
+		t.Errorf("LeftEndpoints = %v", eps)
+	}
+}
+
+func TestPolyConstraintSolve(t *testing.T) {
+	// (t-2)(t-5) <= 0 on [0,10] => [2,5].
+	pc := PolyConstraint{P: poly.FromRoots(2, 5), Op: PLE}
+	s, err := pc.Solve(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Spans(); len(got) != 1 || math.Abs(got[0].Lo-2) > 1e-8 || math.Abs(got[0].Hi-5) > 1e-8 {
+		t.Errorf("solve %v", s)
+	}
+	// > 0: complement.
+	pc.Op = PGT
+	s, _ = pc.Solve(0, 10)
+	if got := s.Spans(); len(got) != 2 {
+		t.Errorf("solve > %v", s)
+	}
+	// == 0: the roots.
+	pc.Op = PEQ
+	s, _ = pc.Solve(0, 10)
+	if got := s.Spans(); len(got) != 2 || math.Abs(got[0].Lo-2) > 1e-8 || got[0].Lo != got[0].Hi {
+		t.Errorf("solve == %v", s)
+	}
+	// Zero polynomial.
+	zs, _ := (PolyConstraint{P: poly.Poly{}, Op: PLE}).Solve(0, 1)
+	if zs.Measure() != 1 {
+		t.Errorf("zero poly <= 0: %v", zs)
+	}
+	zs, _ = (PolyConstraint{P: poly.Poly{}, Op: PGT}).Solve(0, 1)
+	if !zs.IsEmpty() {
+		t.Errorf("zero poly > 0: %v", zs)
+	}
+	if _, err := pc.Solve(5, 1); err == nil {
+		t.Error("inverted window accepted")
+	}
+}
+
+func TestSolvePolySystem(t *testing.T) {
+	// t >= 3 and (t-2)(t-5) <= 0 => [3,5].
+	s, err := SolvePolySystem(0, 10,
+		PolyConstraint{P: poly.Linear(-1, 3), Op: PLE}, // 3 - t <= 0
+		PolyConstraint{P: poly.FromRoots(2, 5), Op: PLE},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Spans(); len(got) != 1 || math.Abs(got[0].Lo-3) > 1e-8 || math.Abs(got[0].Hi-5) > 1e-8 {
+		t.Errorf("system %v", s)
+	}
+}
+
+func TestRegionBoxContains(t *testing.T) {
+	r := Box(geom.Of(0, 0), geom.Of(10, 5))
+	for _, c := range []struct {
+		p    geom.Vec
+		want bool
+	}{
+		{geom.Of(5, 2), true}, {geom.Of(0, 0), true}, {geom.Of(10, 5), true},
+		{geom.Of(11, 2), false}, {geom.Of(5, -1), false},
+	} {
+		got, err := r.Contains(c.p)
+		if err != nil || got != c.want {
+			t.Errorf("Contains(%v) = %v, %v; want %v", c.p, got, err, c.want)
+		}
+	}
+}
+
+func TestConvexPolygon(t *testing.T) {
+	// CCW triangle (0,0) (4,0) (0,4).
+	r, err := ConvexPolygon(geom.Of(0, 0), geom.Of(4, 0), geom.Of(0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in, _ := r.Contains(geom.Of(1, 1)); !in {
+		t.Error("(1,1) outside triangle")
+	}
+	if in, _ := r.Contains(geom.Of(3, 3)); in {
+		t.Error("(3,3) inside triangle")
+	}
+	if _, err := ConvexPolygon(geom.Of(0, 0), geom.Of(1, 1)); err == nil {
+		t.Error("2-vertex polygon accepted")
+	}
+}
+
+func TestTimesInside(t *testing.T) {
+	// Object crosses the box [0,10]x[0,10] along y=5: x = t-5, inside
+	// for t in [5, 15].
+	r := Box(geom.Of(0, 0), geom.Of(10, 10))
+	tr := trajectory.Linear(0, geom.Of(1, 0), geom.Of(-5, 5))
+	s, err := r.TimesInside(tr, 0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Spans(); len(got) != 1 || math.Abs(got[0].Lo-5) > 1e-9 || math.Abs(got[0].Hi-15) > 1e-9 {
+		t.Errorf("inside %v, want [5,15]", s)
+	}
+	// With a turn back: re-enters.
+	tr2, _ := tr.ChDir(20, geom.Of(-1, 0)) // at t=20 x=15; heads back
+	s, err = r.TimesInside(tr2, 0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Spans(); len(got) != 2 {
+		t.Fatalf("inside %v, want two spans", s)
+	}
+	if got := s.Spans(); math.Abs(got[1].Lo-25) > 1e-9 || math.Abs(got[1].Hi-35) > 1e-9 {
+		t.Errorf("second span %v, want [25,35]", got[1])
+	}
+}
+
+func TestExample3Entering(t *testing.T) {
+	// Example 3: aircraft entering Santa Barbara County (a box) between
+	// tau1 and tau2.
+	db := mod.NewDB(2, -1)
+	county := Box(geom.Of(0, 0), geom.Of(10, 10))
+	// o1 enters at t=5 (from outside).
+	must(t, db.Load(1, trajectory.Linear(0, geom.Of(1, 0), geom.Of(-5, 5))))
+	// o2 starts inside and only leaves: never "enters".
+	must(t, db.Load(2, trajectory.Linear(0, geom.Of(1, 0), geom.Of(5, 5))))
+	// o3 enters twice: crosses, turns around, crosses back.
+	tr3 := trajectory.Linear(0, geom.Of(2, 0), geom.Of(-15, 2))
+	tr3b, _ := tr3.ChDir(15, geom.Of(-2, 0)) // at t=15 x=15 (outside); back
+	must(t, db.Load(3, tr3b))
+	// o4 never comes near.
+	must(t, db.Load(4, trajectory.Linear(0, geom.Of(0, 1), geom.Of(100, 100))))
+
+	res, err := Entering(db, county, 0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res[1]; len(got) != 1 || math.Abs(got[0]-5) > 1e-9 {
+		t.Errorf("o1 entering times %v, want [5]", got)
+	}
+	if got := res[2]; len(got) != 0 {
+		t.Errorf("o2 entering times %v, want none (started inside)", got)
+	}
+	// o3: crosses x in [0,10] at t in [7.5, 12.5], exits, re-enters at
+	// 17.5+... position: 2t-15 until 15 (x=15), then 15-2(t-15): re-enter
+	// when x=10: t=17.5.
+	if got := res[3]; len(got) != 2 || math.Abs(got[0]-7.5) > 1e-9 || math.Abs(got[1]-17.5) > 1e-9 {
+		t.Errorf("o3 entering times %v, want [7.5 17.5]", got)
+	}
+	if got := res[4]; len(got) != 0 {
+		t.Errorf("o4 entering times %v", got)
+	}
+	// Window restriction: only the second entry.
+	res, err = Entering(db, county, 10, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res[3]; len(got) != 1 || math.Abs(got[0]-17.5) > 1e-9 {
+		t.Errorf("windowed o3 entering %v, want [17.5]", got)
+	}
+}
+
+func TestExample4OneNN(t *testing.T) {
+	// Query object moves along the x-axis; o1 nearest first, o2 later.
+	db := mod.NewDB(2, -1)
+	must(t, db.Load(1, trajectory.Stationary(0, geom.Of(0, 1))))
+	must(t, db.Load(2, trajectory.Stationary(0, geom.Of(10, 1))))
+	gamma := trajectory.Linear(0, geom.Of(1, 0), geom.Of(0, 0))
+	res, err := OneNNNaive(db, gamma, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Midpoint handover at t=5.
+	s1 := res[1]
+	if got := s1.Spans(); len(got) != 1 || got[0].Lo != 0 || math.Abs(got[0].Hi-5) > 1e-8 {
+		t.Errorf("o1 spans %v, want [0,5]", s1)
+	}
+	s2 := res[2]
+	if got := s2.Spans(); len(got) != 1 || math.Abs(got[0].Lo-5) > 1e-8 || got[0].Hi != 10 {
+		t.Errorf("o2 spans %v, want [5,10]", s2)
+	}
+}
+
+func TestKNNNaiveMatchesOneNN(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	db := mod.NewDB(2, -1)
+	for i := 1; i <= 8; i++ {
+		pos := geom.Of(rng.Float64()*100-50, rng.Float64()*100-50)
+		vel := geom.Of(rng.Float64()*6-3, rng.Float64()*6-3)
+		must(t, db.Load(mod.OID(i), trajectory.Linear(0, vel, pos)))
+	}
+	gamma := trajectory.Linear(0, geom.Of(1, 1), geom.Of(0, 0))
+	one, err := OneNNNaive(db, gamma, 0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	knn, err := KNNNaive(db, gamma, 1, 0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0.7, 5.1, 13.3, 22.9, 29.2} {
+		for o := mod.OID(1); o <= 8; o++ {
+			a := one[o].Contains(tt)
+			b := knn[o].Contains(tt)
+			if a != b {
+				t.Errorf("t=%g %s: OneNN=%v KNN=%v", tt, o, a, b)
+			}
+		}
+	}
+	if _, err := KNNNaive(db, gamma, 0, 0, 30); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+package cql
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mod"
+	"repro/internal/trajectory"
+)
+
+func formulaDB(t *testing.T) *mod.DB {
+	t.Helper()
+	db := mod.NewDB(2, -1)
+	// o1 crosses the box [0,10]^2 during [5,15]; o2 lives inside it;
+	// o3 is far away; o4 approaches the origin.
+	must(t, db.Load(1, trajectory.Linear(0, geom.Of(1, 0), geom.Of(-5, 5))))
+	must(t, db.Load(2, trajectory.Stationary(0, geom.Of(5, 5))))
+	must(t, db.Load(3, trajectory.Stationary(0, geom.Of(100, 100))))
+	must(t, db.Load(4, trajectory.Linear(0, geom.Of(-1, 0), geom.Of(30, 0))))
+	return db
+}
+
+func TestInRegionFormula(t *testing.T) {
+	db := formulaDB(t)
+	f := InRegion{Region: Box(geom.Of(0, 0), geom.Of(10, 10))}
+	res, err := Evaluate(db, f, 0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := res[1]
+	if got := s1.Spans(); len(got) != 1 || math.Abs(got[0].Lo-5) > 1e-9 || math.Abs(got[0].Hi-15) > 1e-9 {
+		t.Errorf("o1 spans %v, want [5,15]", s1)
+	}
+	if res[2].Measure() < 39.9 {
+		t.Errorf("o2 should be inside throughout: %v", res[2])
+	}
+	if _, ok := res[3]; ok {
+		t.Errorf("o3 should never be inside")
+	}
+	// Quantified readings.
+	some, err := Sometime(db, f, 0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(some) != 3 || some[0] != 1 || some[1] != 2 || some[2] != 4 {
+		t.Errorf("Sometime = %v", some)
+	}
+	always, err := Always(db, f, 0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(always) != 1 || always[0] != 2 {
+		t.Errorf("Always = %v", always)
+	}
+}
+
+func TestWithinDistFormula(t *testing.T) {
+	db := formulaDB(t)
+	origin := trajectory.Stationary(0, geom.Of(0, 0))
+	f := WithinDist{Target: origin, C2: 100} // within distance 10
+	res, err := Evaluate(db, f, 0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// o4 position (30-t, 0): within 10 of origin for t in [20, 40].
+	s4 := res[4]
+	if got := s4.Spans(); len(got) != 1 || math.Abs(got[0].Lo-20) > 1e-7 {
+		t.Errorf("o4 spans %v, want from 20", s4)
+	}
+	if _, ok := res[3]; ok {
+		t.Error("o3 never within 10")
+	}
+}
+
+func TestConnectivesAndNegation(t *testing.T) {
+	db := formulaDB(t)
+	box := InRegion{Region: Box(geom.Of(0, 0), geom.Of(10, 10))}
+	origin := trajectory.Stationary(0, geom.Of(0, 0))
+	near := WithinDist{Target: origin, C2: 64} // within 8
+	// Inside the box AND NOT within 8 of the origin.
+	f := AndF{X: box, Y: NotF{X: near}}
+	res, err := Evaluate(db, f, 0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// o1: in box [5,15]; near-origin: |(-5+t,5)| <= 8 <=> (t-5)^2 <= 39
+	// <=> t in [5-6.24, 5+6.24]; so AND NOT near = [11.24, 15].
+	s1 := res[1]
+	want := 5 + math.Sqrt(39)
+	if got := s1.Spans(); len(got) != 1 || math.Abs(got[0].Lo-want) > 1e-6 {
+		t.Errorf("o1 spans %v, want from %g", s1, want)
+	}
+	// Or: in box OR near origin.
+	f2 := OrF{X: box, Y: near}
+	res2, err := Evaluate(db, f2, 0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2[1].Measure() <= res[1].Measure() {
+		t.Error("OR should cover at least as much as AND NOT")
+	}
+	if f.String() == "" || f2.String() == "" {
+		t.Error("String")
+	}
+}
+
+func TestForAllOthersIsOneNN(t *testing.T) {
+	db := formulaDB(t)
+	target := trajectory.Stationary(0, geom.Of(0, 0))
+	oneNN := ForAllOthers{
+		Desc: "dist(y) <= dist(z)",
+		Make: func(z mod.OID) TimeFormula { return CloserThan{Target: target, Other: z} },
+	}
+	res, err := Evaluate(db, oneNN, 0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check against the cell-decomposition baseline.
+	naive, err := OneNNNaive(db, target, 0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range db.Objects() {
+		for _, tt := range []float64{0.7, 9.9, 21.3, 33.1, 39.2} {
+			a := res[o].Contains(tt)
+			b := naive[o].Contains(tt)
+			if a != b {
+				t.Errorf("%s t=%g: formula %v vs naive %v", o, tt, a, b)
+			}
+		}
+	}
+}

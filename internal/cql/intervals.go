@@ -1,0 +1,163 @@
+package cql
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Span is a closed time interval [Lo, Hi] (degenerate points allowed).
+type Span struct {
+	Lo, Hi float64
+}
+
+// String implements fmt.Stringer.
+func (s Span) String() string { return fmt.Sprintf("[%g,%g]", s.Lo, s.Hi) }
+
+// Contains reports whether t is in the span.
+func (s Span) Contains(t float64) bool { return t >= s.Lo && t <= s.Hi }
+
+// Empty reports whether the span has no points.
+func (s Span) Empty() bool { return s.Lo > s.Hi }
+
+// SpanSet is a union of disjoint, sorted closed spans — the finite
+// representation of one-dimensional semi-algebraic time sets produced by
+// quantifier elimination.
+type SpanSet struct {
+	spans []Span
+}
+
+// NewSpanSet normalizes arbitrary spans into a canonical set.
+func NewSpanSet(spans ...Span) SpanSet {
+	var ss SpanSet
+	for _, s := range spans {
+		if !s.Empty() {
+			ss.spans = append(ss.spans, s)
+		}
+	}
+	ss.normalize()
+	return ss
+}
+
+const glueTol = 1e-9
+
+func (ss *SpanSet) normalize() {
+	if len(ss.spans) == 0 {
+		return
+	}
+	sort.Slice(ss.spans, func(i, j int) bool { return ss.spans[i].Lo < ss.spans[j].Lo })
+	out := ss.spans[:1]
+	for _, s := range ss.spans[1:] {
+		last := &out[len(out)-1]
+		if s.Lo <= last.Hi+glueTol {
+			if s.Hi > last.Hi {
+				last.Hi = s.Hi
+			}
+			continue
+		}
+		out = append(out, s)
+	}
+	ss.spans = out
+}
+
+// Spans returns the canonical spans.
+func (ss SpanSet) Spans() []Span {
+	out := make([]Span, len(ss.spans))
+	copy(out, ss.spans)
+	return out
+}
+
+// IsEmpty reports whether the set has no points.
+func (ss SpanSet) IsEmpty() bool { return len(ss.spans) == 0 }
+
+// Contains reports membership of t.
+func (ss SpanSet) Contains(t float64) bool {
+	i := sort.Search(len(ss.spans), func(i int) bool { return ss.spans[i].Hi >= t })
+	return i < len(ss.spans) && ss.spans[i].Contains(t)
+}
+
+// Measure returns the total length.
+func (ss SpanSet) Measure() float64 {
+	m := 0.0
+	for _, s := range ss.spans {
+		m += s.Hi - s.Lo
+	}
+	return m
+}
+
+// Union returns the union with other.
+func (ss SpanSet) Union(other SpanSet) SpanSet {
+	return NewSpanSet(append(ss.Spans(), other.Spans()...)...)
+}
+
+// Intersect returns the intersection with other.
+func (ss SpanSet) Intersect(other SpanSet) SpanSet {
+	var out []Span
+	i, j := 0, 0
+	for i < len(ss.spans) && j < len(other.spans) {
+		a, b := ss.spans[i], other.spans[j]
+		lo, hi := math.Max(a.Lo, b.Lo), math.Min(a.Hi, b.Hi)
+		if lo <= hi {
+			out = append(out, Span{lo, hi})
+		}
+		if a.Hi < b.Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return NewSpanSet(out...)
+}
+
+// Complement returns [lo, hi] minus the set (closure of the complement:
+// boundary points are kept, matching the closed-span representation).
+func (ss SpanSet) Complement(lo, hi float64) SpanSet {
+	var out []Span
+	cur := lo
+	for _, s := range ss.spans {
+		if s.Hi < lo {
+			continue
+		}
+		if s.Lo > hi {
+			break
+		}
+		if s.Lo > cur {
+			out = append(out, Span{cur, s.Lo})
+		}
+		if s.Hi > cur {
+			cur = s.Hi
+		}
+	}
+	if cur < hi {
+		out = append(out, Span{cur, hi})
+	}
+	return NewSpanSet(out...)
+}
+
+// Clip restricts the set to [lo, hi].
+func (ss SpanSet) Clip(lo, hi float64) SpanSet {
+	return ss.Intersect(NewSpanSet(Span{lo, hi}))
+}
+
+// LeftEndpoints returns the left boundary of each maximal span — the
+// "entering" instants of Example 3 when the set is "inside the region".
+func (ss SpanSet) LeftEndpoints() []float64 {
+	out := make([]float64, len(ss.spans))
+	for i, s := range ss.spans {
+		out[i] = s.Lo
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (ss SpanSet) String() string {
+	if len(ss.spans) == 0 {
+		return "∅"
+	}
+	parts := make([]string, len(ss.spans))
+	for i, s := range ss.spans {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, " ∪ ")
+}

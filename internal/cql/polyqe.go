@@ -1,0 +1,143 @@
+package cql
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/piecewise"
+	"repro/internal/poly"
+)
+
+// Univariate polynomial "quantifier elimination": the sign-condition
+// solving that the paper's distance queries need once object variables
+// are instantiated. A polynomial constraint p(t) <= 0 over a window
+// decomposes into the spans between the roots of p where the sign
+// condition holds — the one-variable case of cylindrical algebraic
+// decomposition, which is all that Example 4's 1-NN requires.
+
+// PolyOp is the comparison of a polynomial constraint p(t) Op 0.
+type PolyOp int
+
+// Polynomial constraint operators.
+const (
+	PLE PolyOp = iota // p(t) <= 0
+	PLT               // p(t) <  0
+	PGE               // p(t) >= 0
+	PGT               // p(t) >  0
+	PEQ               // p(t) == 0
+)
+
+// String implements fmt.Stringer.
+func (op PolyOp) String() string {
+	switch op {
+	case PLE:
+		return "<=0"
+	case PLT:
+		return "<0"
+	case PGE:
+		return ">=0"
+	case PGT:
+		return ">0"
+	case PEQ:
+		return "=0"
+	default:
+		return "?"
+	}
+}
+
+// PolyConstraint is p(t) Op 0.
+type PolyConstraint struct {
+	P  poly.Poly
+	Op PolyOp
+}
+
+// Solve returns the subset of [lo, hi] satisfying the constraint, as a
+// closed span set (strict operators yield the closure of the open set:
+// span boundaries are the roots; this matches the closed representation
+// used throughout and the paper's closed time intervals).
+func (pc PolyConstraint) Solve(lo, hi float64) (SpanSet, error) {
+	if lo > hi {
+		return SpanSet{}, fmt.Errorf("cql: inverted window [%g,%g]", lo, hi)
+	}
+	p := pc.P
+	if p.IsZero() {
+		switch pc.Op {
+		case PLE, PGE, PEQ:
+			return NewSpanSet(Span{lo, hi}), nil
+		default:
+			return SpanSet{}, nil
+		}
+	}
+	roots, _ := p.RootsIn(lo, hi)
+	// Decompose [lo, hi] at the roots and test a sample per cell.
+	bounds := append([]float64{lo}, roots...)
+	bounds = append(bounds, hi)
+	var spans []Span
+	keepSign := func(s int) bool {
+		switch pc.Op {
+		case PLE:
+			return s <= 0
+		case PLT:
+			return s < 0
+		case PGE:
+			return s >= 0
+		case PGT:
+			return s > 0
+		case PEQ:
+			return s == 0
+		}
+		return false
+	}
+	for i := 0; i+1 < len(bounds); i++ {
+		a, b := bounds[i], bounds[i+1]
+		if b < a {
+			continue
+		}
+		mid := 0.5 * (a + b)
+		if keepSign(p.SignAt(mid)) {
+			spans = append(spans, Span{a, b})
+		}
+	}
+	// Root points themselves satisfy <=, >=, ==.
+	if pc.Op == PLE || pc.Op == PGE || pc.Op == PEQ {
+		for _, r := range roots {
+			spans = append(spans, Span{r, r})
+		}
+	}
+	return NewSpanSet(spans...), nil
+}
+
+// SolvePolySystem intersects several polynomial constraints over [lo, hi].
+func SolvePolySystem(lo, hi float64, cs ...PolyConstraint) (SpanSet, error) {
+	out := NewSpanSet(Span{lo, hi})
+	for _, c := range cs {
+		s, err := c.Solve(lo, hi)
+		if err != nil {
+			return SpanSet{}, err
+		}
+		out = out.Intersect(s)
+		if out.IsEmpty() {
+			return out, nil
+		}
+	}
+	return out, nil
+}
+
+// SolvePiecewiseLE returns the subset of [lo, hi] where the piecewise
+// polynomial f satisfies f(t) <= 0, by solving each piece.
+func SolvePiecewiseLE(f piecewise.Func, lo, hi float64) (SpanSet, error) {
+	var spans []Span
+	for _, pc := range f.Pieces() {
+		a := math.Max(pc.Start, lo)
+		b := math.Min(pc.End, hi)
+		if !(a <= b) {
+			continue
+		}
+		s, err := (PolyConstraint{P: pc.P, Op: PLE}).Solve(a, b)
+		if err != nil {
+			return SpanSet{}, err
+		}
+		spans = append(spans, s.Spans()...)
+	}
+	return NewSpanSet(spans...), nil
+}

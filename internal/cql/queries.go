@@ -1,0 +1,229 @@
+package cql
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/gdist"
+	"repro/internal/mod"
+	"repro/internal/piecewise"
+	"repro/internal/trajectory"
+)
+
+// The paper's example queries evaluated the constraint-database way
+// (Proposition 1): instantiate object variables, eliminate the real
+// variables by linear/univariate-polynomial QE, and recompute from
+// scratch whenever asked. These are the baselines the plane sweep is
+// measured against in experiment E5 — correct, polynomial-time, and
+// oblivious to incrementality.
+
+// EnteringResult lists, per object, the instants at which it entered the
+// region during the query window.
+type EnteringResult map[mod.OID][]float64
+
+// Entering evaluates Example 3: all objects entering the region between
+// tau1 and tau2. An object enters at t when it is inside at t but not
+// inside during some open interval immediately before t; for
+// piecewise-linear motion those are exactly the left endpoints of the
+// maximal inside-spans, excluding a span that begins at the object's
+// creation instant.
+func Entering(db *mod.DB, region Region, tau1, tau2 float64) (EnteringResult, error) {
+	out := EnteringResult{}
+	for o, tr := range db.Trajectories() {
+		if !tr.IsDefined() || tr.End() < tau1 || tr.Start() > tau2 {
+			continue
+		}
+		// Look slightly before the window so an entering instant at
+		// tau1 is classified correctly.
+		lo := math.Max(tr.Start(), tau1-enteringLookback(tr, tau1))
+		inside, err := region.TimesInside(tr, lo, math.Min(tr.End(), tau2))
+		if err != nil {
+			return nil, fmt.Errorf("cql: entering(%s): %w", o, err)
+		}
+		for _, s := range inside.Spans() {
+			t := s.Lo
+			if t < tau1 || t > tau2 {
+				continue
+			}
+			if t <= tr.Start() {
+				continue // existed inside from creation: never "entered"
+			}
+			out[o] = append(out[o], t)
+		}
+	}
+	return out, nil
+}
+
+// enteringLookback picks how far before tau1 to examine: one piece back
+// is enough for piecewise-linear motion.
+func enteringLookback(tr trajectory.Trajectory, tau1 float64) float64 {
+	look := 1.0
+	for _, b := range tr.Breaks() {
+		if b < tau1 && tau1-b < look {
+			look = (tau1 - b) / 2
+		}
+	}
+	return look
+}
+
+// NNResult maps each object to the time spans (within the window) during
+// which it is among the k nearest.
+type NNResult map[mod.OID]SpanSet
+
+// OneNNNaive evaluates Example 4's 1-NN by direct quantifier
+// elimination: for each candidate y, intersect over all z the solution of
+// the polynomial constraint d_y(t) - d_z(t) <= 0. Cost O(N^2) polynomial
+// solves per evaluation, recomputed from scratch — the Proposition 1
+// baseline.
+func OneNNNaive(db *mod.DB, gamma trajectory.Trajectory, tau1, tau2 float64) (NNResult, error) {
+	d := gdist.EuclideanSq{Query: gamma}
+	trajs := db.Trajectories()
+	type entry struct {
+		o mod.OID
+		f curve
+	}
+	var entries []entry
+	for o, tr := range trajs {
+		if !tr.IsDefined() || tr.End() <= tau1 || tr.Start() >= tau2 {
+			continue
+		}
+		cf, err := d.Curve(tr, tau1, tau2)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, entry{o, curve{cf, math.Max(tr.Start(), tau1), math.Min(tr.End(), tau2)}})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].o < entries[j].o })
+	out := NNResult{}
+	for _, y := range entries {
+		spans := NewSpanSet(Span{y.f.lo, y.f.hi})
+		for _, z := range entries {
+			if z.o == y.o {
+				continue
+			}
+			diff, err := y.f.f.Sub(z.f.f)
+			if err != nil {
+				// Disjoint lifetimes: z imposes no constraint outside
+				// its life; clip instead.
+				continue
+			}
+			le, err := SolvePiecewiseLE(diff, y.f.lo, y.f.hi)
+			if err != nil {
+				return nil, err
+			}
+			// Outside z's lifetime the constraint d_y <= d_z is
+			// vacuously true.
+			outside := NewSpanSet(Span{y.f.lo, y.f.hi}).
+				Intersect(NewSpanSet(Span{z.f.lo, z.f.hi}).Complement(y.f.lo, y.f.hi))
+			spans = spans.Intersect(le.Union(outside))
+			if spans.IsEmpty() {
+				break
+			}
+		}
+		if !spans.IsEmpty() {
+			out[y.o] = spans
+		}
+	}
+	return out, nil
+}
+
+type curve struct {
+	f      pw
+	lo, hi float64
+}
+
+// KNNNaive evaluates k-NN by full cell decomposition: collect every
+// pairwise intersection time of the distance curves, cut the window into
+// cells, and sort the distances once per cell. This is both the "QE with
+// cell decomposition" baseline and the oracle used to validate the sweep
+// in the experiment harness. Cost O(N^2) root finding plus
+// O(cells * N log N).
+func KNNNaive(db *mod.DB, gamma trajectory.Trajectory, k int, tau1, tau2 float64) (NNResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("cql: k = %d", k)
+	}
+	d := gdist.EuclideanSq{Query: gamma}
+	type entry struct {
+		o      mod.OID
+		f      pw
+		lo, hi float64
+	}
+	var entries []entry
+	for o, tr := range db.Trajectories() {
+		if !tr.IsDefined() || tr.End() <= tau1 || tr.Start() >= tau2 {
+			continue
+		}
+		cf, err := d.Curve(tr, tau1, tau2)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := cf.Domain()
+		entries = append(entries, entry{o, cf, lo, hi})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].o < entries[j].o })
+	// Cell boundaries: window ends, lifetimes, and pairwise crossings.
+	cuts := []float64{tau1, tau2}
+	for _, e := range entries {
+		cuts = append(cuts, e.lo, e.hi)
+	}
+	for i := range entries {
+		for j := i + 1; j < len(entries); j++ {
+			diff, err := entries[i].f.Sub(entries[j].f)
+			if err != nil {
+				continue
+			}
+			for _, pc := range diff.Pieces() {
+				roots, _ := pc.P.RootsIn(pc.Start, pc.End)
+				cuts = append(cuts, roots...)
+			}
+		}
+	}
+	sort.Float64s(cuts)
+	uniq := cuts[:0]
+	for _, c := range cuts {
+		if c < tau1 || c > tau2 {
+			continue
+		}
+		if len(uniq) == 0 || c-uniq[len(uniq)-1] > 1e-9 {
+			uniq = append(uniq, c)
+		}
+	}
+	out := map[mod.OID][]Span{}
+	for i := 0; i+1 < len(uniq); i++ {
+		a, b := uniq[i], uniq[i+1]
+		mid := 0.5 * (a + b)
+		type ov struct {
+			o mod.OID
+			v float64
+		}
+		var vs []ov
+		for _, e := range entries {
+			if mid < e.lo || mid > e.hi {
+				continue
+			}
+			vs = append(vs, ov{e.o, e.f.Eval(mid)})
+		}
+		sort.Slice(vs, func(x, y int) bool {
+			if vs[x].v != vs[y].v {
+				return vs[x].v < vs[y].v
+			}
+			return vs[x].o < vs[y].o
+		})
+		top := k
+		if top > len(vs) {
+			top = len(vs)
+		}
+		for _, e := range vs[:top] {
+			out[e.o] = append(out[e.o], Span{a, b})
+		}
+	}
+	res := NNResult{}
+	for o, spans := range out {
+		res[o] = NewSpanSet(spans...)
+	}
+	return res, nil
+}
+
+// pw aliases the piecewise function type used by the naive evaluators.
+type pw = piecewise.Func

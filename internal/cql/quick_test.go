@@ -1,0 +1,121 @@
+package cql
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genSpans builds a normalized span set from raw fuzz input.
+func genSpans(raw []uint16) SpanSet {
+	var spans []Span
+	for i := 0; i+1 < len(raw); i += 2 {
+		lo := float64(raw[i] % 1000)
+		hi := lo + float64(raw[i+1]%100)
+		spans = append(spans, Span{lo, hi})
+	}
+	return NewSpanSet(spans...)
+}
+
+// offBoundary reports whether t is comfortably away from every span
+// boundary of the given sets (closed-set boundary semantics make exact
+// boundary membership ambiguous under complement).
+func offBoundary(t float64, sets ...SpanSet) bool {
+	for _, ss := range sets {
+		for _, s := range ss.Spans() {
+			if math.Abs(t-s.Lo) < 1e-6 || math.Abs(t-s.Hi) < 1e-6 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Property: union membership is the disjunction of memberships.
+func TestQuickUnionMembership(t *testing.T) {
+	f := func(rawA, rawB []uint16, seed int64) bool {
+		a, b := genSpans(rawA), genSpans(rawB)
+		u := a.Union(b)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			x := rng.Float64() * 1100
+			if !offBoundary(x, a, b, u) {
+				continue
+			}
+			if u.Contains(x) != (a.Contains(x) || b.Contains(x)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: intersection membership is the conjunction of memberships.
+func TestQuickIntersectMembership(t *testing.T) {
+	f := func(rawA, rawB []uint16, seed int64) bool {
+		a, b := genSpans(rawA), genSpans(rawB)
+		x := a.Intersect(b)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			p := rng.Float64() * 1100
+			if !offBoundary(p, a, b, x) {
+				continue
+			}
+			if x.Contains(p) != (a.Contains(p) && b.Contains(p)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: complement within a window flips membership off boundaries,
+// and double complement restores it.
+func TestQuickComplement(t *testing.T) {
+	f := func(raw []uint16, seed int64) bool {
+		a := genSpans(raw)
+		const lo, hi = 0.0, 1200.0
+		c := a.Complement(lo, hi)
+		cc := c.Complement(lo, hi)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			p := lo + rng.Float64()*(hi-lo)
+			if !offBoundary(p, a, c, cc) {
+				continue
+			}
+			if c.Contains(p) == a.Contains(p) {
+				return false
+			}
+			if cc.Contains(p) != a.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: measure is monotone under union and subadditive.
+func TestQuickMeasure(t *testing.T) {
+	f := func(rawA, rawB []uint16) bool {
+		a, b := genSpans(rawA), genSpans(rawB)
+		u := a.Union(b)
+		const tol = 1e-6
+		if u.Measure() < a.Measure()-tol || u.Measure() < b.Measure()-tol {
+			return false
+		}
+		return u.Measure() <= a.Measure()+b.Measure()+tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,166 @@
+package cql
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/trajectory"
+)
+
+// Region is a spatial region represented, as in constraint databases, by
+// a disjunction of conjunctions of linear constraints over the coordinate
+// variables "x0", "x1", ... (a union of convex polytopes).
+type Region struct {
+	Disjuncts []Conjunction
+	Dim       int
+}
+
+// coordVar names coordinate i.
+func coordVar(i int) string { return fmt.Sprintf("x%d", i) }
+
+// Box builds the axis-aligned box [lo_i, hi_i] as a region.
+func Box(lo, hi geom.Vec) Region {
+	if len(lo) != len(hi) {
+		panic("cql: box corner dimension mismatch")
+	}
+	var cj Conjunction
+	for i := range lo {
+		cj = append(cj,
+			NewConstraint(LE, hi[i], map[string]float64{coordVar(i): 1}),
+			NewConstraint(LE, -lo[i], map[string]float64{coordVar(i): -1}),
+		)
+	}
+	return Region{Disjuncts: []Conjunction{cj}, Dim: len(lo)}
+}
+
+// HalfSpace builds the region a.x <= b.
+func HalfSpace(a geom.Vec, b float64) Region {
+	coeffs := map[string]float64{}
+	for i, c := range a {
+		if c != 0 {
+			coeffs[coordVar(i)] = c
+		}
+	}
+	return Region{Disjuncts: []Conjunction{{NewConstraint(LE, b, coeffs)}}, Dim: len(a)}
+}
+
+// ConvexPolygon builds a 2-D convex region from counter-clockwise
+// vertices (each consecutive pair contributes an inward half-plane).
+func ConvexPolygon(vertices ...geom.Vec) (Region, error) {
+	if len(vertices) < 3 {
+		return Region{}, fmt.Errorf("cql: polygon needs >= 3 vertices, got %d", len(vertices))
+	}
+	var cj Conjunction
+	n := len(vertices)
+	for i := 0; i < n; i++ {
+		p, q := vertices[i], vertices[(i+1)%n]
+		if len(p) != 2 || len(q) != 2 {
+			return Region{}, fmt.Errorf("cql: polygon vertices must be 2-D")
+		}
+		// Edge p->q; inward normal for CCW order: (-(qy-py), qx-px).
+		nx, ny := -(q[1] - p[1]), q[0]-p[0]
+		// Inside: n.(x - p) >= 0  =>  -n.x <= -n.p
+		cj = append(cj, NewConstraint(LE, -(nx*p[0]+ny*p[1]),
+			map[string]float64{coordVar(0): -nx, coordVar(1): -ny}))
+	}
+	return Region{Disjuncts: []Conjunction{cj}, Dim: 2}, nil
+}
+
+// Union combines regions of equal dimension.
+func (r Region) Union(other Region) Region {
+	return Region{Disjuncts: append(r.Disjuncts, other.Disjuncts...), Dim: r.Dim}
+}
+
+// Contains reports whether point x lies in the region.
+func (r Region) Contains(x geom.Vec) (bool, error) {
+	assign := map[string]float64{}
+	for i, v := range x {
+		assign[coordVar(i)] = v
+	}
+	for _, cj := range r.Disjuncts {
+		ok, err := cj.Eval(assign)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// TimesInside computes, by substituting the trajectory's motion into the
+// region's constraints (the constraint-database way: x_i := A_i t + B_i
+// per linear piece), the set of times in [lo, hi] at which the object is
+// inside the region. Each substituted conjunction is a one-variable
+// linear system whose solution set is an interval.
+func (r Region) TimesInside(tr trajectory.Trajectory, lo, hi float64) (SpanSet, error) {
+	if tr.Dim() != r.Dim {
+		return SpanSet{}, fmt.Errorf("cql: region dim %d vs trajectory dim %d", r.Dim, tr.Dim())
+	}
+	var all []Span
+	for _, pc := range tr.Pieces() {
+		plo := math.Max(pc.Start, lo)
+		phi := math.Min(pc.End, hi)
+		if !(plo <= phi) {
+			continue
+		}
+		off := pc.GlobalOffset()
+		for _, cj := range r.Disjuncts {
+			// Substitute x_i := A_i * t + off_i.
+			sub := cj
+			for i := 0; i < r.Dim; i++ {
+				sub = sub.SubstituteLinear(coordVar(i), "t", pc.A[i], off[i])
+			}
+			span, ok, err := solveLinear1D(sub, "t", plo, phi)
+			if err != nil {
+				return SpanSet{}, err
+			}
+			if ok {
+				all = append(all, span)
+			}
+		}
+	}
+	return NewSpanSet(all...), nil
+}
+
+// solveLinear1D intersects one-variable linear constraints with [lo, hi].
+// Strict constraints are treated as closed at this representation level
+// (consistent with the closed-span time sets).
+func solveLinear1D(cj Conjunction, v string, lo, hi float64) (Span, bool, error) {
+	for _, c := range cj {
+		for w := range c.Coeffs {
+			if w != v {
+				return Span{}, false, fmt.Errorf("cql: residual variable %q in 1-D solve", w)
+			}
+		}
+	}
+	for _, c := range cj {
+		coef := c.Coeff(v)
+		switch {
+		case coef == 0:
+			bad, err := c.triviallyFalse()
+			if err != nil {
+				return Span{}, false, err
+			}
+			if bad {
+				return Span{}, false, nil
+			}
+		case c.Op == EQ:
+			x := c.RHS / coef
+			if x < lo || x > hi {
+				return Span{}, false, nil
+			}
+			lo, hi = x, x
+		case coef > 0: // v <= RHS/coef
+			hi = math.Min(hi, c.RHS/coef)
+		default: // v >= RHS/coef
+			lo = math.Max(lo, c.RHS/coef)
+		}
+	}
+	if lo > hi {
+		return Span{}, false, nil
+	}
+	return Span{lo, hi}, true, nil
+}

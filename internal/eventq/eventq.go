@@ -1,0 +1,57 @@
+// Package eventq implements the sweep's event queue E (Section 5,
+// Lemma 9): a priority queue of pending intersection events with one
+// extra requirement beyond the usual heap interface — when two curves
+// stop being adjacent in the object list, their pending event must be
+// deleted. The paper notes a plain heap does not support this and
+// suggests a height-biased leftist tree with bi-directional pointers (or
+// an indexed heap).
+//
+// Two interchangeable implementations are provided:
+//
+//   - Heap: an indexed binary min-heap (delete via position map), and
+//   - Leftist: a height-biased leftist tree with parent pointers,
+//     the structure the paper names.
+//
+// Both key events by their left endpoint id: under Lemma 9's discipline
+// each entry has at most one pending event (with its current successor),
+// so the queue length never exceeds N. Pushing an event for a left id
+// that already has one replaces it.
+package eventq
+
+// Event is a pending intersection of the curves of two currently-adjacent
+// entries: Left immediately precedes Right in the object list, and their
+// curves meet at time T.
+type Event struct {
+	T           float64
+	Left, Right uint64
+}
+
+// Less orders events by (T, Left, Right); the id tie-break makes
+// simultaneous events process in a deterministic order.
+func (e Event) Less(o Event) bool {
+	if e.T != o.T {
+		return e.T < o.T
+	}
+	if e.Left != o.Left {
+		return e.Left < o.Left
+	}
+	return e.Right < o.Right
+}
+
+// Queue is the event-queue interface shared by both implementations.
+type Queue interface {
+	// Push inserts ev, replacing any pending event with the same Left.
+	Push(ev Event)
+	// RemoveByLeft deletes the pending event whose Left is the given id,
+	// reporting whether one existed.
+	RemoveByLeft(left uint64) bool
+	// Peek returns the earliest event without removing it.
+	Peek() (Event, bool)
+	// Pop removes and returns the earliest event.
+	Pop() (Event, bool)
+	// Len returns the number of pending events.
+	Len() int
+}
+
+// New returns the default queue implementation (indexed binary heap).
+func New() Queue { return NewHeap() }

@@ -1,0 +1,219 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// queues under test, by constructor.
+var impls = []struct {
+	name string
+	mk   func() Queue
+}{
+	{"heap", func() Queue { return NewHeap() }},
+	{"leftist", func() Queue { return NewLeftist() }},
+}
+
+func TestBasicOrder(t *testing.T) {
+	for _, impl := range impls {
+		t.Run(impl.name, func(t *testing.T) {
+			q := impl.mk()
+			q.Push(Event{T: 5, Left: 1, Right: 2})
+			q.Push(Event{T: 1, Left: 3, Right: 4})
+			q.Push(Event{T: 3, Left: 5, Right: 6})
+			if q.Len() != 3 {
+				t.Fatalf("Len = %d", q.Len())
+			}
+			if ev, ok := q.Peek(); !ok || ev.T != 1 {
+				t.Fatalf("Peek = %+v,%v", ev, ok)
+			}
+			var ts []float64
+			for {
+				ev, ok := q.Pop()
+				if !ok {
+					break
+				}
+				ts = append(ts, ev.T)
+			}
+			if !sort.Float64sAreSorted(ts) || len(ts) != 3 {
+				t.Errorf("pop order %v", ts)
+			}
+			if _, ok := q.Pop(); ok {
+				t.Error("Pop on empty")
+			}
+			if _, ok := q.Peek(); ok {
+				t.Error("Peek on empty")
+			}
+		})
+	}
+}
+
+func TestPushReplacesSameLeft(t *testing.T) {
+	for _, impl := range impls {
+		t.Run(impl.name, func(t *testing.T) {
+			q := impl.mk()
+			q.Push(Event{T: 5, Left: 1, Right: 2})
+			q.Push(Event{T: 2, Left: 1, Right: 7}) // replaces
+			if q.Len() != 1 {
+				t.Fatalf("Len = %d, want 1 (replace)", q.Len())
+			}
+			ev, _ := q.Pop()
+			if ev.T != 2 || ev.Right != 7 {
+				t.Errorf("got %+v", ev)
+			}
+			// Replace with a later time too.
+			q.Push(Event{T: 2, Left: 1, Right: 7})
+			q.Push(Event{T: 9, Left: 1, Right: 8})
+			ev, _ = q.Pop()
+			if ev.T != 9 {
+				t.Errorf("got %+v, want replaced later event", ev)
+			}
+		})
+	}
+}
+
+func TestRemoveByLeft(t *testing.T) {
+	for _, impl := range impls {
+		t.Run(impl.name, func(t *testing.T) {
+			q := impl.mk()
+			for i := uint64(1); i <= 10; i++ {
+				q.Push(Event{T: float64(11 - i), Left: i, Right: i + 100})
+			}
+			if !q.RemoveByLeft(5) {
+				t.Fatal("remove existing failed")
+			}
+			if q.RemoveByLeft(5) {
+				t.Fatal("remove twice succeeded")
+			}
+			if q.RemoveByLeft(99) {
+				t.Fatal("remove missing succeeded")
+			}
+			if q.Len() != 9 {
+				t.Fatalf("Len = %d", q.Len())
+			}
+			for {
+				ev, ok := q.Pop()
+				if !ok {
+					break
+				}
+				if ev.Left == 5 {
+					t.Error("removed event surfaced")
+				}
+			}
+		})
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	for _, impl := range impls {
+		t.Run(impl.name, func(t *testing.T) {
+			q := impl.mk()
+			q.Push(Event{T: 1, Left: 9, Right: 1})
+			q.Push(Event{T: 1, Left: 2, Right: 5})
+			q.Push(Event{T: 1, Left: 2.0e0 + 3, Right: 0}) // Left 5
+			var lefts []uint64
+			for {
+				ev, ok := q.Pop()
+				if !ok {
+					break
+				}
+				lefts = append(lefts, ev.Left)
+			}
+			want := []uint64{2, 5, 9}
+			for i := range want {
+				if lefts[i] != want[i] {
+					t.Fatalf("tie order %v, want %v", lefts, want)
+				}
+			}
+		})
+	}
+}
+
+// TestRandomizedAgainstReference runs a mixed workload and compares each
+// pop against a linear-scan reference.
+func TestRandomizedAgainstReference(t *testing.T) {
+	for _, impl := range impls {
+		t.Run(impl.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(99))
+			q := impl.mk()
+			ref := map[uint64]Event{} // left -> event
+			refMin := func() (Event, bool) {
+				var best Event
+				found := false
+				for _, ev := range ref {
+					if !found || ev.Less(best) {
+						best, found = ev, true
+					}
+				}
+				return best, found
+			}
+			for step := 0; step < 5000; step++ {
+				switch op := rng.Intn(10); {
+				case op < 5: // push (possibly replacing)
+					left := uint64(rng.Intn(50))
+					ev := Event{T: rng.Float64() * 100, Left: left, Right: uint64(rng.Intn(1000))}
+					q.Push(ev)
+					ref[left] = ev
+				case op < 7: // remove by left
+					left := uint64(rng.Intn(50))
+					_, inRef := ref[left]
+					got := q.RemoveByLeft(left)
+					if got != inRef {
+						t.Fatalf("step %d: RemoveByLeft(%d) = %v, ref %v", step, left, got, inRef)
+					}
+					delete(ref, left)
+				default: // pop
+					want, wantOK := refMin()
+					got, ok := q.Pop()
+					if ok != wantOK {
+						t.Fatalf("step %d: Pop ok=%v, ref %v", step, ok, wantOK)
+					}
+					if ok && (got != want) {
+						t.Fatalf("step %d: Pop = %+v, ref %+v", step, got, want)
+					}
+					delete(ref, got.Left)
+				}
+				if q.Len() != len(ref) {
+					t.Fatalf("step %d: Len %d vs ref %d", step, q.Len(), len(ref))
+				}
+				if lt, ok := q.(*Leftist); ok && step%100 == 0 {
+					if err := lt.checkInvariants(); err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHeapPushPop(b *testing.B)    { benchPushPop(b, NewHeap()) }
+func BenchmarkLeftistPushPop(b *testing.B) { benchPushPop(b, NewLeftist()) }
+
+func benchPushPop(b *testing.B, q Queue) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		left := uint64(i % 4096)
+		q.Push(Event{T: rng.Float64(), Left: left, Right: left + 1})
+		if i%2 == 1 {
+			q.Pop()
+		}
+	}
+}
+
+func BenchmarkHeapRemove(b *testing.B)    { benchRemove(b, NewHeap()) }
+func BenchmarkLeftistRemove(b *testing.B) { benchRemove(b, NewLeftist()) }
+
+func benchRemove(b *testing.B, q Queue) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 4096
+	for i := 0; i < n; i++ {
+		q.Push(Event{T: rng.Float64(), Left: uint64(i), Right: uint64(i + 1)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		left := uint64(i % n)
+		q.RemoveByLeft(left)
+		q.Push(Event{T: rng.Float64(), Left: left, Right: left + 1})
+	}
+}

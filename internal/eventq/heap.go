@@ -1,0 +1,116 @@
+package eventq
+
+// Heap is an indexed binary min-heap: a position map from Left id to heap
+// slot supports O(log N) deletion of an arbitrary pending event.
+type Heap struct {
+	items []Event
+	pos   map[uint64]int // Left id -> index in items
+}
+
+// NewHeap returns an empty indexed heap.
+func NewHeap() *Heap {
+	return &Heap{pos: make(map[uint64]int)}
+}
+
+// Len implements Queue.
+func (h *Heap) Len() int { return len(h.items) }
+
+// Push implements Queue.
+func (h *Heap) Push(ev Event) {
+	if i, ok := h.pos[ev.Left]; ok {
+		// Replace in place, then restore heap order in whichever
+		// direction the key moved.
+		old := h.items[i]
+		h.items[i] = ev
+		if ev.Less(old) {
+			h.up(i)
+		} else {
+			h.down(i)
+		}
+		return
+	}
+	h.items = append(h.items, ev)
+	i := len(h.items) - 1
+	h.pos[ev.Left] = i
+	h.up(i)
+}
+
+// RemoveByLeft implements Queue.
+func (h *Heap) RemoveByLeft(left uint64) bool {
+	i, ok := h.pos[left]
+	if !ok {
+		return false
+	}
+	h.removeAt(i)
+	return true
+}
+
+// Peek implements Queue.
+func (h *Heap) Peek() (Event, bool) {
+	if len(h.items) == 0 {
+		return Event{}, false
+	}
+	return h.items[0], true
+}
+
+// Pop implements Queue.
+func (h *Heap) Pop() (Event, bool) {
+	if len(h.items) == 0 {
+		return Event{}, false
+	}
+	top := h.items[0]
+	h.removeAt(0)
+	return top, true
+}
+
+func (h *Heap) removeAt(i int) {
+	last := len(h.items) - 1
+	removed := h.items[i]
+	delete(h.pos, removed.Left)
+	if i != last {
+		moved := h.items[last]
+		h.items[i] = moved
+		h.pos[moved.Left] = i
+	}
+	h.items = h.items[:last]
+	if i < len(h.items) {
+		// The moved element may need to travel either way.
+		h.up(i)
+		h.down(i)
+	}
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.items[i].Less(h.items[p]) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *Heap) down(i int) {
+	n := len(h.items)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && h.items[l].Less(h.items[least]) {
+			least = l
+		}
+		if r := 2*i + 2; r < n && h.items[r].Less(h.items[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h.swap(i, least)
+		i = least
+	}
+}
+
+func (h *Heap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i].Left] = i
+	h.pos[h.items[j].Left] = j
+}

@@ -1,0 +1,188 @@
+package eventq
+
+// Leftist is a height-biased leftist tree with parent pointers — the
+// event-queue structure suggested in the paper's Lemma 9 proof for
+// supporting deletion of an arbitrary pending event. Deletion splices the
+// node's merged children into its place and repairs null-path lengths
+// upward, stopping as soon as an ancestor's npl is unchanged.
+type Leftist struct {
+	root  *lnode
+	nodes map[uint64]*lnode
+	n     int
+}
+
+type lnode struct {
+	ev          Event
+	left, right *lnode
+	parent      *lnode
+	npl         int
+}
+
+// NewLeftist returns an empty leftist-tree queue.
+func NewLeftist() *Leftist {
+	return &Leftist{nodes: make(map[uint64]*lnode)}
+}
+
+// Len implements Queue.
+func (q *Leftist) Len() int { return q.n }
+
+func npl(n *lnode) int {
+	if n == nil {
+		return -1
+	}
+	return n.npl
+}
+
+// merge combines two leftist trees rooted at a and b; the result's parent
+// pointer is left nil for the caller to fix.
+func merge(a, b *lnode) *lnode {
+	if a == nil {
+		if b != nil {
+			b.parent = nil
+		}
+		return b
+	}
+	if b == nil {
+		a.parent = nil
+		return a
+	}
+	if b.ev.Less(a.ev) {
+		a, b = b, a
+	}
+	r := merge(a.right, b)
+	a.right = r
+	r.parent = a
+	if npl(a.left) < npl(a.right) {
+		a.left, a.right = a.right, a.left
+	}
+	a.npl = npl(a.right) + 1
+	a.parent = nil
+	return a
+}
+
+// Push implements Queue.
+func (q *Leftist) Push(ev Event) {
+	if old, ok := q.nodes[ev.Left]; ok {
+		q.deleteNode(old)
+	}
+	n := &lnode{ev: ev}
+	q.nodes[ev.Left] = n
+	q.root = merge(q.root, n)
+	q.n++
+}
+
+// RemoveByLeft implements Queue.
+func (q *Leftist) RemoveByLeft(left uint64) bool {
+	n, ok := q.nodes[left]
+	if !ok {
+		return false
+	}
+	q.deleteNode(n)
+	return true
+}
+
+// Peek implements Queue.
+func (q *Leftist) Peek() (Event, bool) {
+	if q.root == nil {
+		return Event{}, false
+	}
+	return q.root.ev, true
+}
+
+// Pop implements Queue.
+func (q *Leftist) Pop() (Event, bool) {
+	if q.root == nil {
+		return Event{}, false
+	}
+	top := q.root
+	q.deleteNode(top)
+	return top.ev, true
+}
+
+// deleteNode removes n from the tree and the index.
+func (q *Leftist) deleteNode(n *lnode) {
+	delete(q.nodes, n.ev.Left)
+	q.n--
+	sub := merge(n.left, n.right)
+	p := n.parent
+	if p == nil {
+		q.root = sub
+		if sub != nil {
+			sub.parent = nil
+		}
+		return
+	}
+	if p.left == n {
+		p.left = sub
+	} else {
+		p.right = sub
+	}
+	if sub != nil {
+		sub.parent = p
+	}
+	// Repair npl and the leftist property upward; stop once an
+	// ancestor's npl is unchanged (its further ancestors are unaffected).
+	for cur := p; cur != nil; cur = cur.parent {
+		if npl(cur.left) < npl(cur.right) {
+			cur.left, cur.right = cur.right, cur.left
+		}
+		want := npl(cur.right) + 1
+		if cur.npl == want {
+			break
+		}
+		cur.npl = want
+	}
+}
+
+// checkInvariants validates heap order, parent pointers, npl values and
+// the leftist property; used by tests.
+func (q *Leftist) checkInvariants() error {
+	count := 0
+	var walk func(n *lnode) error
+	walk = func(n *lnode) error {
+		if n == nil {
+			return nil
+		}
+		count++
+		if n.left != nil {
+			if n.left.parent != n {
+				return errInvariant("parent link (left)")
+			}
+			if n.left.ev.Less(n.ev) {
+				return errInvariant("heap order (left)")
+			}
+			if err := walk(n.left); err != nil {
+				return err
+			}
+		}
+		if n.right != nil {
+			if n.right.parent != n {
+				return errInvariant("parent link (right)")
+			}
+			if n.right.ev.Less(n.ev) {
+				return errInvariant("heap order (right)")
+			}
+			if err := walk(n.right); err != nil {
+				return err
+			}
+		}
+		if npl(n.left) < npl(n.right) {
+			return errInvariant("leftist property")
+		}
+		if n.npl != npl(n.right)+1 {
+			return errInvariant("npl value")
+		}
+		return nil
+	}
+	if err := walk(q.root); err != nil {
+		return err
+	}
+	if count != q.n || count != len(q.nodes) {
+		return errInvariant("size bookkeeping")
+	}
+	return nil
+}
+
+type errInvariant string
+
+func (e errInvariant) Error() string { return "eventq: leftist invariant broken: " + string(e) }

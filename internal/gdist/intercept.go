@@ -1,0 +1,199 @@
+package gdist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/piecewise"
+	"repro/internal/trajectory"
+)
+
+// This file implements the paper's Example 7/9 "fastest arrival"
+// generalized distance: for a pursuer at position p with speed v and a
+// target moving along a trajectory, the interception time t_Delta is the
+// least time after which the pursuer — free to pick any fixed direction —
+// meets the target, both maintaining constant speed.
+//
+// Geometry (Figure 1): the meeting point A at time t + t_Delta satisfies
+// |target(t+t_Delta) - p| = v * t_Delta. Per linear piece of the target
+// this is a quadratic in the meeting time, solved in closed form. The
+// resulting function of t contains a square root in general, so as a
+// g-distance it is admitted via a bounded-error piecewise-quadratic fit
+// (the paper's own approximation escape hatch, Section 5 footnote 1).
+
+// InterceptTime returns the minimal t_Delta >= 0 at which a pursuer
+// starting at p at time t with constant speed v can meet the target, or
+// ok=false when no interception exists within the target's lifetime
+// (possible when the target is faster and fleeing, or terminates first).
+func InterceptTime(p geom.Vec, t, v float64, target trajectory.Trajectory) (float64, bool) {
+	if !target.IsDefined() || v < 0 {
+		return 0, false
+	}
+	if target.End() < t {
+		return 0, false
+	}
+	for _, pc := range target.Pieces() {
+		if pc.End < t {
+			continue
+		}
+		// Meeting time u in [max(pc.Start, t), pc.End]:
+		// |A(u-s) + B - p|^2 = v^2 (u-t)^2.
+		s := pc.Start
+		a2 := pc.A.Len2()
+		c := pc.B.Sub(p).AddScaled(-s, pc.A) // C = B - A*s - p
+		qa := a2 - v*v
+		qb := 2 * (pc.A.Dot(c) + v*v*t)
+		qc := c.Len2() - v*v*t*t
+		lo := math.Max(s, t)
+		hi := pc.End
+		if u, ok := smallestRootIn(qa, qb, qc, lo, hi); ok {
+			return u - t, true
+		}
+	}
+	return 0, false
+}
+
+// smallestRootIn returns the least root of qa*u^2 + qb*u + qc in [lo, hi].
+func smallestRootIn(qa, qb, qc, lo, hi float64) (float64, bool) {
+	const tol = 1e-9
+	candidates := func(roots ...float64) (float64, bool) {
+		best, found := 0.0, false
+		for _, r := range roots {
+			if r >= lo-tol && r <= hi+tol {
+				r = math.Min(math.Max(r, lo), hi)
+				if !found || r < best {
+					best, found = r, true
+				}
+			}
+		}
+		return best, found
+	}
+	if math.Abs(qa) < 1e-15 {
+		if math.Abs(qb) < 1e-15 {
+			if math.Abs(qc) < 1e-12 {
+				// Identically satisfied: pursuer already on target.
+				return math.Max(lo, 0), true
+			}
+			return 0, false
+		}
+		return candidates(-qc / qb)
+	}
+	disc := qb*qb - 4*qa*qc
+	if disc < 0 {
+		return 0, false
+	}
+	sq := math.Sqrt(disc)
+	var q float64
+	if qb >= 0 {
+		q = -0.5 * (qb + sq)
+	} else {
+		q = -0.5 * (qb - sq)
+	}
+	r1, r2 := q/qa, 0.0
+	if q != 0 {
+		r2 = qc / q
+	} else {
+		r2 = r1
+	}
+	return candidates(r1, r2)
+}
+
+// Intercept is the fastest-arrival g-distance. For each object o the curve
+// value at time t is the interception time from o's current position at
+// its current speed toward Target; unreachable instants are capped at Cap
+// so the curve stays finite and continuous fits remain possible.
+type Intercept struct {
+	Target trajectory.Trajectory
+	// Cap bounds the reported interception time (default 1e6 when 0).
+	Cap float64
+	// MaxErr is the fit tolerance (default 1e-6 when 0).
+	MaxErr float64
+}
+
+// Name implements GDistance.
+func (ic Intercept) Name() string { return "intercept-time" }
+
+// cap returns the effective cap.
+func (ic Intercept) capValue() float64 {
+	if ic.Cap > 0 {
+		return ic.Cap
+	}
+	return 1e6
+}
+
+// Eval computes the exact (unfitted) g-distance value for object
+// trajectory tr at time t.
+func (ic Intercept) Eval(tr trajectory.Trajectory, t float64) (float64, error) {
+	pos, err := tr.At(t)
+	if err != nil {
+		return 0, err
+	}
+	vel, err := tr.VelocityAt(t)
+	if err != nil {
+		return 0, err
+	}
+	td, ok := InterceptTime(pos, t, vel.Len(), ic.Target)
+	if !ok || td > ic.capValue() {
+		return ic.capValue(), nil
+	}
+	return td, nil
+}
+
+// Curve implements GDistance by fitting the exact interception time with
+// piecewise quadratics between the trajectory's breakpoints (the function
+// can kink or jump at speed changes, so each inter-break stretch is fitted
+// independently).
+func (ic Intercept) Curve(tr trajectory.Trajectory, from, to float64) (piecewise.Func, error) {
+	if math.IsInf(to, 1) {
+		return piecewise.Func{}, errors.New("gdist: Intercept.Curve needs a finite window")
+	}
+	lo, hi, err := window(tr, from, to)
+	if err != nil {
+		return piecewise.Func{}, err
+	}
+	maxErr := ic.MaxErr
+	if maxErr == 0 {
+		maxErr = 1e-6
+	}
+	// Split at the breakpoints of both the object and the target.
+	cuts := []float64{lo}
+	for _, b := range append(tr.Breaks(), ic.Target.Breaks()...) {
+		if b > lo && b < hi {
+			cuts = append(cuts, b)
+		}
+	}
+	cuts = append(cuts, hi)
+	sortFloats(cuts)
+	var pieces []piecewise.Piece
+	for i := 0; i+1 < len(cuts); i++ {
+		a, b := cuts[i], cuts[i+1]
+		if !(a < b) {
+			continue
+		}
+		fn := func(t float64) float64 {
+			v, err := ic.Eval(tr, t)
+			if err != nil {
+				return ic.capValue()
+			}
+			return v
+		}
+		seg, err := piecewise.Fit(fn, a, b, maxErr)
+		if err != nil {
+			return piecewise.Func{}, fmt.Errorf("gdist: intercept fit on [%g,%g]: %w", a, b, err)
+		}
+		pieces = append(pieces, seg.Pieces()...)
+	}
+	return piecewise.New(pieces...)
+}
+
+// sortFloats is a tiny insertion sort: cut lists are short and this avoids
+// importing sort for one call site with duplicate-tolerant semantics.
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package mod
+
+// JSON persistence for moving object databases: a stable snapshot format
+// carrying the dimension, the last-update time, every trajectory (as its
+// linear pieces) and the applied update log. Used by the CLI tools to
+// save and restore databases and by tests for round-trip validation.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/trajectory"
+)
+
+// jsonDB is the wire form of a database snapshot.
+type jsonDB struct {
+	Dim     int          `json:"dim"`
+	Tau     float64      `json:"tau"`
+	Objects []jsonObject `json:"objects"`
+	Log     []jsonUpdate `json:"log,omitempty"`
+}
+
+type jsonObject struct {
+	OID    uint64      `json:"oid"`
+	Pieces []jsonPiece `json:"pieces"`
+}
+
+type jsonPiece struct {
+	Start float64 `json:"start"`
+	// End is omitted for the open-ended final piece.
+	End *float64  `json:"end,omitempty"`
+	A   []float64 `json:"a"`
+	B   []float64 `json:"b"`
+}
+
+type jsonUpdate struct {
+	Kind string    `json:"kind"`
+	OID  uint64    `json:"oid"`
+	Tau  float64   `json:"tau"`
+	A    []float64 `json:"a,omitempty"`
+	B    []float64 `json:"b,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler for updates.
+func (u Update) MarshalJSON() ([]byte, error) {
+	return json.Marshal(toJSONUpdate(u))
+}
+
+func toJSONUpdate(u Update) jsonUpdate {
+	return jsonUpdate{Kind: u.Kind.String(), OID: uint64(u.O), Tau: u.Tau, A: u.A, B: u.B}
+}
+
+// UnmarshalJSON implements json.Unmarshaler for updates.
+func (u *Update) UnmarshalJSON(data []byte) error {
+	var j jsonUpdate
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	got, err := fromJSONUpdate(j)
+	if err != nil {
+		return err
+	}
+	*u = got
+	return nil
+}
+
+func fromJSONUpdate(j jsonUpdate) (Update, error) {
+	u := Update{O: OID(j.OID), Tau: j.Tau, A: geom.Vec(j.A), B: geom.Vec(j.B)}
+	switch j.Kind {
+	case "new":
+		u.Kind = KindNew
+	case "terminate":
+		u.Kind = KindTerminate
+	case "chdir":
+		u.Kind = KindChDir
+	default:
+		return Update{}, fmt.Errorf("mod: unknown update kind %q", j.Kind)
+	}
+	return u, nil
+}
+
+// SaveJSON writes a snapshot of the database to w.
+func (db *DB) SaveJSON(w io.Writer) error {
+	db.mu.RLock()
+	out := jsonDB{Dim: db.dim, Tau: db.tau}
+	oids := make([]OID, 0, len(db.objs))
+	for o := range db.objs {
+		oids = append(oids, o)
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	for _, o := range oids {
+		tr := db.objs[o]
+		jo := jsonObject{OID: uint64(o)}
+		for _, pc := range tr.Pieces() {
+			jp := jsonPiece{Start: pc.Start, A: pc.A, B: pc.B}
+			if !math.IsInf(pc.End, 1) {
+				end := pc.End
+				jp.End = &end
+			}
+			jo.Pieces = append(jo.Pieces, jp)
+		}
+		out.Objects = append(out.Objects, jo)
+	}
+	for _, u := range db.log {
+		out.Log = append(out.Log, toJSONUpdate(u))
+	}
+	db.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadJSON reads a snapshot produced by SaveJSON and reconstructs the
+// database (trajectories validated for continuity on the way in).
+func LoadJSON(r io.Reader) (*DB, error) {
+	var in jsonDB
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("mod: decode snapshot: %w", err)
+	}
+	if in.Dim <= 0 {
+		return nil, fmt.Errorf("mod: snapshot has dimension %d", in.Dim)
+	}
+	db := NewDB(in.Dim, math.Inf(-1))
+	for _, jo := range in.Objects {
+		pieces := make([]trajectory.Piece, 0, len(jo.Pieces))
+		for _, jp := range jo.Pieces {
+			end := math.Inf(1)
+			if jp.End != nil {
+				end = *jp.End
+			}
+			pieces = append(pieces, trajectory.Piece{
+				Start: jp.Start, End: end,
+				A: geom.Vec(jp.A), B: geom.Vec(jp.B),
+			})
+		}
+		tr, err := trajectory.FromPieces(pieces...)
+		if err != nil {
+			return nil, fmt.Errorf("mod: object %d: %w", jo.OID, err)
+		}
+		if err := db.Load(OID(jo.OID), tr); err != nil {
+			return nil, err
+		}
+	}
+	for _, ju := range in.Log {
+		u, err := fromJSONUpdate(ju)
+		if err != nil {
+			return nil, err
+		}
+		db.mu.Lock()
+		db.log = append(db.log, u)
+		db.mu.Unlock()
+	}
+	db.mu.Lock()
+	db.tau = in.Tau
+	db.mu.Unlock()
+	return db, nil
+}

@@ -1,0 +1,88 @@
+package mod
+
+// Journal: a durable append-only update log (JSON lines). Together with
+// SaveJSON snapshots it gives the MOD a conventional persistence story:
+// snapshot + journal replay reconstructs the database after a restart,
+// and the journal doubles as a distribution format for update streams.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Journal appends updates to a writer as they are applied. It is driven
+// by the DB's listener hook; create it before applying updates and every
+// successful update is recorded.
+type Journal struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJournal wires a journal to db: every subsequently applied update is
+// appended to w as one JSON line. Call Flush before closing the
+// underlying writer.
+func NewJournal(db *DB, w io.Writer) *Journal {
+	bw := bufio.NewWriter(w)
+	j := &Journal{w: bw, enc: json.NewEncoder(bw)}
+	db.OnUpdate(func(u Update) {
+		if j.err != nil {
+			return
+		}
+		j.err = j.enc.Encode(u)
+	})
+	return j
+}
+
+// Flush forces buffered entries to the underlying writer.
+func (j *Journal) Flush() error {
+	if j.err != nil {
+		return j.err
+	}
+	return j.w.Flush()
+}
+
+// Err returns the first write error, if any.
+func (j *Journal) Err() error { return j.err }
+
+// Replay applies a journal stream to db in order. It stops at the first
+// malformed line or failed update and reports how many updates were
+// applied.
+func Replay(db *DB, r io.Reader) (int, error) {
+	dec := json.NewDecoder(r)
+	n := 0
+	for {
+		var u Update
+		if err := dec.Decode(&u); err == io.EOF {
+			return n, nil
+		} else if err != nil {
+			return n, fmt.Errorf("mod: journal entry %d: %w", n, err)
+		}
+		if err := db.Apply(u); err != nil {
+			return n, fmt.Errorf("mod: journal entry %d: %w", n, err)
+		}
+		n++
+	}
+}
+
+// ReplayTolerant applies a journal but skips entries rejected by the
+// chronology check (useful when replaying over a snapshot that already
+// contains a prefix of the journal). Malformed JSON still aborts.
+func ReplayTolerant(db *DB, r io.Reader) (applied, skipped int, err error) {
+	dec := json.NewDecoder(r)
+	for {
+		var u Update
+		if err := dec.Decode(&u); err == io.EOF {
+			return applied, skipped, nil
+		} else if err != nil {
+			return applied, skipped, fmt.Errorf("mod: journal entry %d: %w", applied+skipped, err)
+		}
+		if err := db.Apply(u); err != nil {
+			skipped++
+			continue
+		}
+		applied++
+	}
+}

@@ -1,0 +1,96 @@
+package mod
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestJournalRecordsAndReplays(t *testing.T) {
+	var buf bytes.Buffer
+	db := NewDB(2, -1)
+	j := NewJournal(db, &buf)
+	must(t, db.ApplyAll(
+		New(1, 0, geom.Of(1, 0), geom.Of(0, 0)),
+		ChDir(1, 5, geom.Of(0, 1)),
+		New(2, 6, geom.Of(0, 0), geom.Of(9, 9)),
+		Terminate(2, 8),
+	))
+	// A rejected update must not be journaled.
+	_ = db.Apply(ChDir(1, 3, geom.Of(1, 1)))
+	must(t, j.Flush())
+	if j.Err() != nil {
+		t.Fatal(j.Err())
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 4 {
+		t.Fatalf("journal has %d lines, want 4:\n%s", got, buf.String())
+	}
+
+	// Replay into a fresh database reproduces the state.
+	fresh := NewDB(2, -1)
+	n, err := Replay(fresh, bytes.NewReader(buf.Bytes()))
+	if err != nil || n != 4 {
+		t.Fatalf("replay: n=%d err=%v", n, err)
+	}
+	if fresh.Tau() != db.Tau() || fresh.Len() != db.Len() {
+		t.Fatalf("replayed state differs: tau %g/%g len %d/%d",
+			fresh.Tau(), db.Tau(), fresh.Len(), db.Len())
+	}
+	a, _ := db.Traj(1)
+	b, _ := fresh.Traj(1)
+	if !a.Equal(b) {
+		t.Error("trajectory differs after replay")
+	}
+}
+
+func TestReplayStopsOnBadEntry(t *testing.T) {
+	db := NewDB(2, -1)
+	input := `{"kind":"new","oid":1,"tau":1,"a":[1,0],"b":[0,0]}
+{"kind":"warp","oid":2,"tau":2}
+`
+	n, err := Replay(db, strings.NewReader(input))
+	if err == nil {
+		t.Fatal("bad entry accepted")
+	}
+	if n != 1 || !db.Contains(1) {
+		t.Errorf("applied %d before failure", n)
+	}
+	// Chronology violation also aborts strict replay.
+	db2 := NewDB(2, -1)
+	input2 := `{"kind":"new","oid":1,"tau":5,"a":[1,0],"b":[0,0]}
+{"kind":"new","oid":2,"tau":3,"a":[1,0],"b":[0,0]}
+`
+	if _, err := Replay(db2, strings.NewReader(input2)); err == nil {
+		t.Error("stale entry accepted by strict replay")
+	}
+}
+
+func TestReplayTolerantSkipsApplied(t *testing.T) {
+	// Snapshot already contains the first update; tolerant replay skips
+	// it and applies the rest.
+	var buf bytes.Buffer
+	db := NewDB(2, -1)
+	j := NewJournal(db, &buf)
+	must(t, db.ApplyAll(
+		New(1, 0, geom.Of(1, 0), geom.Of(0, 0)),
+		ChDir(1, 5, geom.Of(0, 1)),
+	))
+	must(t, j.Flush())
+
+	restored := NewDB(2, -1)
+	must(t, restored.Apply(New(1, 0, geom.Of(1, 0), geom.Of(0, 0))))
+	applied, skipped, err := ReplayTolerant(restored, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 1 || skipped != 1 {
+		t.Errorf("applied=%d skipped=%d, want 1/1", applied, skipped)
+	}
+	a, _ := db.Traj(1)
+	b, _ := restored.Traj(1)
+	if !a.Equal(b) {
+		t.Error("state differs after tolerant replay")
+	}
+}

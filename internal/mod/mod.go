@@ -1,0 +1,358 @@
+// Package mod implements the paper's moving object database (Definition
+// 2): a finite set of object identifiers, a trajectory per object, and the
+// time tau of the last update, together with the three chronological
+// update operations of Definition 3 (new, terminate, chdir).
+//
+// The store is safe for concurrent readers with one chronological writer.
+// Readers obtain immutable trajectory values, so long-running query
+// evaluations can proceed against a consistent view while updates stream
+// in (each sweep ingests updates explicitly at its own pace).
+package mod
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/trajectory"
+)
+
+// OID identifies a moving object.
+type OID uint64
+
+// String renders an OID in the paper's o1, o2, ... style.
+func (o OID) String() string { return fmt.Sprintf("o%d", uint64(o)) }
+
+// Errors returned by update application.
+var (
+	ErrChronology   = errors.New("mod: update time not after last update")
+	ErrExists       = errors.New("mod: object already exists")
+	ErrNotFound     = errors.New("mod: no such object")
+	ErrDimMismatch  = errors.New("mod: dimension mismatch with database")
+	ErrNotLive      = errors.New("mod: object not live at update time")
+	ErrBadOperation = errors.New("mod: malformed update")
+)
+
+// UpdateKind enumerates the paper's three update operations.
+type UpdateKind int
+
+const (
+	// KindNew creates an object: new(o, tau, A, B).
+	KindNew UpdateKind = iota
+	// KindTerminate ends an object: terminate(o, tau).
+	KindTerminate
+	// KindChDir changes direction/speed: chdir(o, tau, A).
+	KindChDir
+)
+
+// String implements fmt.Stringer.
+func (k UpdateKind) String() string {
+	switch k {
+	case KindNew:
+		return "new"
+	case KindTerminate:
+		return "terminate"
+	case KindChDir:
+		return "chdir"
+	default:
+		return "unknown"
+	}
+}
+
+// Update is one of the paper's update operations with its time instant.
+type Update struct {
+	Kind UpdateKind
+	O    OID
+	Tau  float64
+	A    geom.Vec // velocity (new, chdir)
+	B    geom.Vec // initial position (new)
+}
+
+// New builds a create-object update.
+func New(o OID, tau float64, a, b geom.Vec) Update {
+	return Update{Kind: KindNew, O: o, Tau: tau, A: a, B: b}
+}
+
+// Terminate builds a terminate update.
+func Terminate(o OID, tau float64) Update {
+	return Update{Kind: KindTerminate, O: o, Tau: tau}
+}
+
+// ChDir builds a change-direction update.
+func ChDir(o OID, tau float64, a geom.Vec) Update {
+	return Update{Kind: KindChDir, O: o, Tau: tau, A: a}
+}
+
+// String renders the update in the paper's notation.
+func (u Update) String() string {
+	switch u.Kind {
+	case KindNew:
+		return fmt.Sprintf("new(%s, %g, %s, %s)", u.O, u.Tau, u.A, u.B)
+	case KindTerminate:
+		return fmt.Sprintf("terminate(%s, %g)", u.O, u.Tau)
+	case KindChDir:
+		return fmt.Sprintf("chdir(%s, %g, %s)", u.O, u.Tau, u.A)
+	default:
+		return "update(?)"
+	}
+}
+
+// Listener observes successfully applied updates (e.g. a continuing-query
+// evaluator). Listeners are invoked synchronously under the writer path,
+// in registration order.
+type Listener func(Update)
+
+// DB is a moving object database (O, T, tau).
+type DB struct {
+	mu        sync.RWMutex
+	dim       int
+	objs      map[OID]trajectory.Trajectory
+	tau       float64
+	log       []Update
+	listeners []Listener
+}
+
+// NewDB creates an empty MOD for objects in R^dim with last-update time
+// tau0 (use a time earlier than the first planned update).
+func NewDB(dim int, tau0 float64) *DB {
+	if dim <= 0 {
+		panic("mod: dimension must be positive")
+	}
+	return &DB{
+		dim:  dim,
+		objs: make(map[OID]trajectory.Trajectory),
+		tau:  tau0,
+	}
+}
+
+// Dim returns the spatial dimension of the database.
+func (db *DB) Dim() int { return db.dim }
+
+// Tau returns the time of the last update.
+func (db *DB) Tau() float64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tau
+}
+
+// Len returns the number of objects (live or terminated-but-retained).
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.objs)
+}
+
+// Objects returns all OIDs in ascending order.
+func (db *DB) Objects() []OID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]OID, 0, len(db.objs))
+	for o := range db.objs {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Traj returns the trajectory of object o.
+func (db *DB) Traj(o OID) (trajectory.Trajectory, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	tr, ok := db.objs[o]
+	if !ok {
+		return trajectory.Trajectory{}, fmt.Errorf("%w: %s", ErrNotFound, o)
+	}
+	return tr, nil
+}
+
+// Contains reports whether o exists in the database.
+func (db *DB) Contains(o OID) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.objs[o]
+	return ok
+}
+
+// LiveAt returns the OIDs whose trajectories are defined at time t,
+// ascending.
+func (db *DB) LiveAt(t float64) []OID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []OID
+	for o, tr := range db.objs {
+		if tr.DefinedAt(t) {
+			out = append(out, o)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PositionAt returns the location of o at time t.
+func (db *DB) PositionAt(o OID, t float64) (geom.Vec, error) {
+	tr, err := db.Traj(o)
+	if err != nil {
+		return nil, err
+	}
+	return tr.At(t)
+}
+
+// Log returns a copy of the applied update log in order.
+func (db *DB) Log() []Update {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]Update, len(db.log))
+	copy(out, db.log)
+	return out
+}
+
+// OnUpdate registers a listener invoked after each successful update.
+func (db *DB) OnUpdate(l Listener) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.listeners = append(db.listeners, l)
+}
+
+// Apply validates and applies one update, enforcing the paper's
+// chronological discipline (tau0 < tau) and the per-operation
+// preconditions of Definition 3.
+func (db *DB) Apply(u Update) error {
+	db.mu.Lock()
+	if err := db.applyLocked(u); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	ls := db.listeners
+	db.mu.Unlock()
+	for _, l := range ls {
+		l(u)
+	}
+	return nil
+}
+
+func (db *DB) applyLocked(u Update) error {
+	if math.IsNaN(u.Tau) || math.IsInf(u.Tau, 0) {
+		return fmt.Errorf("%w: non-finite time %g", ErrBadOperation, u.Tau)
+	}
+	if !(u.Tau > db.tau) {
+		return fmt.Errorf("%w: tau=%g, last=%g", ErrChronology, u.Tau, db.tau)
+	}
+	switch u.Kind {
+	case KindNew:
+		if _, ok := db.objs[u.O]; ok {
+			return fmt.Errorf("%w: %s", ErrExists, u.O)
+		}
+		if u.A.Dim() != db.dim || u.B.Dim() != db.dim {
+			return fmt.Errorf("%w: new(%s) has dim %d/%d, db dim %d",
+				ErrDimMismatch, u.O, u.A.Dim(), u.B.Dim(), db.dim)
+		}
+		db.objs[u.O] = trajectory.Linear(u.Tau, u.A, u.B)
+	case KindTerminate:
+		tr, ok := db.objs[u.O]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrNotFound, u.O)
+		}
+		if tr.IsTerminated() {
+			return fmt.Errorf("%w: %s already terminated at %g", ErrNotLive, u.O, tr.End())
+		}
+		nt, err := tr.Terminate(u.Tau)
+		if err != nil {
+			return err
+		}
+		db.objs[u.O] = nt
+	case KindChDir:
+		tr, ok := db.objs[u.O]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrNotFound, u.O)
+		}
+		if !tr.DefinedAt(u.Tau) {
+			return fmt.Errorf("%w: chdir(%s) at %g outside [%g,%g]",
+				ErrNotLive, u.O, u.Tau, tr.Start(), tr.End())
+		}
+		if u.A.Dim() != db.dim {
+			return fmt.Errorf("%w: chdir(%s) dim %d, db dim %d", ErrDimMismatch, u.O, u.A.Dim(), db.dim)
+		}
+		nt, err := tr.ChDir(u.Tau, u.A)
+		if err != nil {
+			return err
+		}
+		db.objs[u.O] = nt
+	default:
+		return fmt.Errorf("%w: kind %d", ErrBadOperation, u.Kind)
+	}
+	db.tau = u.Tau
+	db.log = append(db.log, u)
+	return nil
+}
+
+// Load inserts a pre-existing trajectory directly, bypassing the
+// chronological update discipline — the bulk-loading path for historical
+// data (past-query workloads, imports). Definition 2 requires every turn
+// to lie at or before the database time, so tau advances to cover the
+// loaded trajectory's recorded events.
+func (db *DB) Load(o OID, tr trajectory.Trajectory) error {
+	if !tr.IsDefined() {
+		return fmt.Errorf("%w: undefined trajectory for %s", ErrBadOperation, o)
+	}
+	if tr.Dim() != db.dim {
+		return fmt.Errorf("%w: %s has dim %d, db dim %d", ErrDimMismatch, o, tr.Dim(), db.dim)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.objs[o]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, o)
+	}
+	db.objs[o] = tr
+	t := tr.Start()
+	for _, turn := range tr.Breaks() {
+		if turn > t {
+			t = turn
+		}
+	}
+	if tr.IsTerminated() && tr.End() > t {
+		t = tr.End()
+	}
+	if t > db.tau {
+		db.tau = t
+	}
+	return nil
+}
+
+// ApplyAll applies updates in order, stopping at the first error.
+func (db *DB) ApplyAll(us ...Update) error {
+	for i, u := range us {
+		if err := db.Apply(u); err != nil {
+			return fmt.Errorf("mod: update %d (%s): %w", i, u, err)
+		}
+	}
+	return nil
+}
+
+// Snapshot returns an independent copy of the database state. Because
+// trajectories are immutable values, the copy shares no mutable state
+// with the original.
+func (db *DB) Snapshot() *DB {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	objs := make(map[OID]trajectory.Trajectory, len(db.objs))
+	for o, tr := range db.objs {
+		objs[o] = tr
+	}
+	log := make([]Update, len(db.log))
+	copy(log, db.log)
+	return &DB{dim: db.dim, objs: objs, tau: db.tau, log: log}
+}
+
+// Trajectories returns a copy of the full object->trajectory mapping.
+func (db *DB) Trajectories() map[OID]trajectory.Trajectory {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make(map[OID]trajectory.Trajectory, len(db.objs))
+	for o, tr := range db.objs {
+		out[o] = tr
+	}
+	return out
+}

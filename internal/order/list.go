@@ -1,0 +1,407 @@
+// Package order implements the sweep's "object list" L (Section 5): a
+// kinetic sorted list over opaque uint64 ids, ordered by an external
+// comparison that is only valid at the moment it is used. The structure
+// supports the exact operations the sweep needs, each in O(log N) or
+// better:
+//
+//   - positional insert using a caller-supplied comparator evaluated at
+//     the current sweep time,
+//   - delete by id,
+//   - O(1) adjacent-neighbor access (doubly-linked threading),
+//   - O(1) swap of two adjacent entries (an intersection event),
+//   - rank/select (order statistics), which give k-NN answers directly.
+//
+// The backing structure is an order-statistic treap with deterministic
+// priorities derived from the id (splitmix64), so runs are reproducible.
+// The paper's Lemma 9 asks for any balanced BST (AVL/red-black); a treap
+// provides the same expected O(log N) bounds and is considerably simpler
+// to maintain alongside the threading.
+package order
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Cmp compares two entries at the current instant: negative when a
+// precedes b, positive when b precedes a. It must be a strict total order
+// (break value ties deterministically, e.g. by id).
+type Cmp func(a, b uint64) int
+
+// node is a treap node threaded into a doubly-linked list.
+type node struct {
+	id          uint64
+	prio        uint64
+	left, right *node
+	parent      *node
+	size        int
+	prev, next  *node
+}
+
+// List is the kinetic sorted list. The zero value is not usable; call
+// NewList.
+type List struct {
+	root  *node
+	nodes map[uint64]*node
+	head  *node
+	tail  *node
+}
+
+// Errors reported by list operations.
+var (
+	ErrDuplicate   = errors.New("order: id already present")
+	ErrMissing     = errors.New("order: id not present")
+	ErrNotAdjacent = errors.New("order: entries not adjacent")
+)
+
+// NewList returns an empty list.
+func NewList() *List {
+	return &List{nodes: make(map[uint64]*node)}
+}
+
+// splitmix64 hashes the id into a deterministic treap priority.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Len returns the number of entries.
+func (l *List) Len() int {
+	if l.root == nil {
+		return 0
+	}
+	return l.root.size
+}
+
+// Contains reports whether id is in the list.
+func (l *List) Contains(id uint64) bool {
+	_, ok := l.nodes[id]
+	return ok
+}
+
+func size(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *node) recalc() { n.size = 1 + size(n.left) + size(n.right) }
+
+// rotateUp moves n above its parent, preserving in-order sequence.
+func (l *List) rotateUp(n *node) {
+	p := n.parent
+	g := p.parent
+	if p.left == n {
+		p.left = n.right
+		if n.right != nil {
+			n.right.parent = p
+		}
+		n.right = p
+	} else {
+		p.right = n.left
+		if n.left != nil {
+			n.left.parent = p
+		}
+		n.left = p
+	}
+	p.parent = n
+	n.parent = g
+	if g == nil {
+		l.root = n
+	} else if g.left == p {
+		g.left = n
+	} else {
+		g.right = n
+	}
+	p.recalc()
+	n.recalc()
+}
+
+// Insert places id into the list at the position determined by cmp
+// against existing entries. cmp is consulted O(log N) times in
+// expectation. Duplicate ids are rejected.
+func (l *List) Insert(id uint64, cmp Cmp) error {
+	if _, ok := l.nodes[id]; ok {
+		return fmt.Errorf("%w: %d", ErrDuplicate, id)
+	}
+	n := &node{id: id, prio: splitmix64(id), size: 1}
+	l.nodes[id] = n
+	if l.root == nil {
+		l.root = n
+		l.head, l.tail = n, n
+		return nil
+	}
+	// BST descent by comparator; track in-order neighbors.
+	cur := l.root
+	var prevN, nextN *node
+	for {
+		cur.size++
+		if cmp(id, cur.id) < 0 {
+			nextN = cur
+			if cur.left == nil {
+				cur.left = n
+				n.parent = cur
+				break
+			}
+			cur = cur.left
+		} else {
+			prevN = cur
+			if cur.right == nil {
+				cur.right = n
+				n.parent = cur
+				break
+			}
+			cur = cur.right
+		}
+	}
+	// Thread into the linked list between prevN and nextN.
+	n.prev, n.next = prevN, nextN
+	if prevN != nil {
+		prevN.next = n
+	} else {
+		l.head = n
+	}
+	if nextN != nil {
+		nextN.prev = n
+	} else {
+		l.tail = n
+	}
+	// Restore the heap property on priorities.
+	for n.parent != nil && n.prio < n.parent.prio {
+		l.rotateUp(n)
+	}
+	return nil
+}
+
+// Delete removes id from the list.
+func (l *List) Delete(id uint64) error {
+	n, ok := l.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrMissing, id)
+	}
+	// Rotate n down until it is a leaf.
+	for n.left != nil || n.right != nil {
+		var child *node
+		switch {
+		case n.left == nil:
+			child = n.right
+		case n.right == nil:
+			child = n.left
+		case n.left.prio < n.right.prio:
+			child = n.left
+		default:
+			child = n.right
+		}
+		l.rotateUp(child)
+	}
+	// Unlink the leaf and shrink ancestor sizes.
+	p := n.parent
+	if p == nil {
+		l.root = nil
+	} else {
+		if p.left == n {
+			p.left = nil
+		} else {
+			p.right = nil
+		}
+		for a := p; a != nil; a = a.parent {
+			a.size--
+		}
+	}
+	// Unthread.
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	delete(l.nodes, id)
+	return nil
+}
+
+// SwapAdjacent exchanges a and b, where a must immediately precede b.
+// O(1): payload ids are swapped in place; tree shape and threading are
+// untouched.
+func (l *List) SwapAdjacent(a, b uint64) error {
+	na, ok := l.nodes[a]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrMissing, a)
+	}
+	nb, ok := l.nodes[b]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrMissing, b)
+	}
+	if na.next != nb {
+		return fmt.Errorf("%w: %d and %d", ErrNotAdjacent, a, b)
+	}
+	na.id, nb.id = nb.id, na.id
+	l.nodes[a], l.nodes[b] = nb, na
+	return nil
+}
+
+// Prev returns the entry immediately preceding id.
+func (l *List) Prev(id uint64) (uint64, bool) {
+	n, ok := l.nodes[id]
+	if !ok || n.prev == nil {
+		return 0, false
+	}
+	return n.prev.id, true
+}
+
+// Next returns the entry immediately following id.
+func (l *List) Next(id uint64) (uint64, bool) {
+	n, ok := l.nodes[id]
+	if !ok || n.next == nil {
+		return 0, false
+	}
+	return n.next.id, true
+}
+
+// Min returns the first (least) entry.
+func (l *List) Min() (uint64, bool) {
+	if l.head == nil {
+		return 0, false
+	}
+	return l.head.id, true
+}
+
+// Max returns the last (greatest) entry.
+func (l *List) Max() (uint64, bool) {
+	if l.tail == nil {
+		return 0, false
+	}
+	return l.tail.id, true
+}
+
+// Rank returns the 0-based position of id in the current order.
+func (l *List) Rank(id uint64) (int, error) {
+	n, ok := l.nodes[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrMissing, id)
+	}
+	r := size(n.left)
+	for cur := n; cur.parent != nil; cur = cur.parent {
+		if cur.parent.right == cur {
+			r += size(cur.parent.left) + 1
+		}
+	}
+	return r, nil
+}
+
+// At returns the entry at 0-based rank r.
+func (l *List) At(r int) (uint64, bool) {
+	if r < 0 || r >= l.Len() {
+		return 0, false
+	}
+	cur := l.root
+	for {
+		ls := size(cur.left)
+		switch {
+		case r < ls:
+			cur = cur.left
+		case r == ls:
+			return cur.id, true
+		default:
+			r -= ls + 1
+			cur = cur.right
+		}
+	}
+}
+
+// Items returns all entries in order (O(N)).
+func (l *List) Items() []uint64 {
+	out := make([]uint64, 0, l.Len())
+	for n := l.head; n != nil; n = n.next {
+		out = append(out, n.id)
+	}
+	return out
+}
+
+// FirstK returns the first k entries in order (fewer if the list is
+// shorter) — the k-NN answer set when the order is by distance.
+func (l *List) FirstK(k int) []uint64 {
+	out := make([]uint64, 0, k)
+	for n := l.head; n != nil && len(out) < k; n = n.next {
+		out = append(out, n.id)
+	}
+	return out
+}
+
+// CheckInvariants verifies treap heap order, subtree sizes, threading
+// consistency, and agreement between tree in-order and the linked list.
+// Used by tests and the sweeper's audit mode.
+func (l *List) CheckInvariants() error {
+	var inorder []*node
+	var walk func(n *node) error
+	walk = func(n *node) error {
+		if n == nil {
+			return nil
+		}
+		if n.left != nil {
+			if n.left.parent != n {
+				return fmt.Errorf("order: bad parent link at %d", n.left.id)
+			}
+			if n.left.prio < n.prio {
+				return fmt.Errorf("order: heap violation at %d", n.id)
+			}
+			if err := walk(n.left); err != nil {
+				return err
+			}
+		}
+		inorder = append(inorder, n)
+		if n.right != nil {
+			if n.right.parent != n {
+				return fmt.Errorf("order: bad parent link at %d", n.right.id)
+			}
+			if n.right.prio < n.prio {
+				return fmt.Errorf("order: heap violation at %d", n.id)
+			}
+			if err := walk(n.right); err != nil {
+				return err
+			}
+		}
+		if n.size != 1+size(n.left)+size(n.right) {
+			return fmt.Errorf("order: bad size at %d", n.id)
+		}
+		return nil
+	}
+	if err := walk(l.root); err != nil {
+		return err
+	}
+	if len(inorder) != len(l.nodes) {
+		return fmt.Errorf("order: tree has %d nodes, map has %d", len(inorder), len(l.nodes))
+	}
+	cur := l.head
+	for i, n := range inorder {
+		if cur == nil {
+			return fmt.Errorf("order: linked list shorter than tree at %d", i)
+		}
+		if cur != n {
+			return fmt.Errorf("order: linked list and in-order diverge at %d", i)
+		}
+		if l.nodes[n.id] != n {
+			return fmt.Errorf("order: map points to wrong node for %d", n.id)
+		}
+		cur = cur.next
+	}
+	if cur != nil {
+		return errors.New("order: linked list longer than tree")
+	}
+	return nil
+}
+
+// Walk visits entries in order until fn returns false.
+func (l *List) Walk(fn func(id uint64) bool) {
+	for n := l.head; n != nil; n = n.next {
+		if !fn(n.id) {
+			return
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package order
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// valCmp builds a Cmp from a value map with id tie-break.
+func valCmp(vals map[uint64]float64) Cmp {
+	return func(a, b uint64) int {
+		va, vb := vals[a], vals[b]
+		switch {
+		case va < vb:
+			return -1
+		case va > vb:
+			return 1
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+}
+
+func TestInsertOrdering(t *testing.T) {
+	vals := map[uint64]float64{1: 5, 2: 1, 3: 9, 4: 3, 5: 7}
+	l := NewList()
+	for id := range vals {
+		if err := l.Insert(id, valCmp(vals)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []uint64{2, 4, 1, 5, 3}
+	got := l.Items()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Items = %v, want %v", got, want)
+		}
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 5 {
+		t.Errorf("Len = %d", l.Len())
+	}
+}
+
+func TestDuplicateInsert(t *testing.T) {
+	l := NewList()
+	vals := map[uint64]float64{1: 1}
+	if err := l.Insert(1, valCmp(vals)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Insert(1, valCmp(vals)); err == nil {
+		t.Error("duplicate insert accepted")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	vals := map[uint64]float64{1: 5, 2: 1, 3: 9, 4: 3, 5: 7}
+	l := NewList()
+	for id := range vals {
+		_ = l.Insert(id, valCmp(vals))
+	}
+	if err := l.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if l.Contains(1) || l.Len() != 4 {
+		t.Error("delete failed")
+	}
+	want := []uint64{2, 4, 5, 3}
+	got := l.Items()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Items = %v, want %v", got, want)
+		}
+	}
+	if err := l.Delete(1); err == nil {
+		t.Error("double delete accepted")
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete everything.
+	for _, id := range []uint64{2, 3, 4, 5} {
+		if err := l.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Len() != 0 {
+		t.Error("not empty")
+	}
+	if _, ok := l.Min(); ok {
+		t.Error("Min on empty")
+	}
+	if _, ok := l.Max(); ok {
+		t.Error("Max on empty")
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	vals := map[uint64]float64{1: 1, 2: 2, 3: 3}
+	l := NewList()
+	for id := range vals {
+		_ = l.Insert(id, valCmp(vals))
+	}
+	if p, ok := l.Prev(2); !ok || p != 1 {
+		t.Errorf("Prev(2) = %d,%v", p, ok)
+	}
+	if n, ok := l.Next(2); !ok || n != 3 {
+		t.Errorf("Next(2) = %d,%v", n, ok)
+	}
+	if _, ok := l.Prev(1); ok {
+		t.Error("Prev of head")
+	}
+	if _, ok := l.Next(3); ok {
+		t.Error("Next of tail")
+	}
+	if _, ok := l.Prev(99); ok {
+		t.Error("Prev of missing")
+	}
+	if mn, _ := l.Min(); mn != 1 {
+		t.Error("Min")
+	}
+	if mx, _ := l.Max(); mx != 3 {
+		t.Error("Max")
+	}
+}
+
+func TestSwapAdjacent(t *testing.T) {
+	vals := map[uint64]float64{1: 1, 2: 2, 3: 3, 4: 4}
+	l := NewList()
+	for id := range vals {
+		_ = l.Insert(id, valCmp(vals))
+	}
+	if err := l.SwapAdjacent(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1, 3, 2, 4}
+	got := l.Items()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after swap: %v, want %v", got, want)
+		}
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Ranks reflect the swap.
+	if r, _ := l.Rank(3); r != 1 {
+		t.Errorf("Rank(3) = %d", r)
+	}
+	if r, _ := l.Rank(2); r != 2 {
+		t.Errorf("Rank(2) = %d", r)
+	}
+	// Not adjacent anymore in that order.
+	if err := l.SwapAdjacent(2, 3); err == nil {
+		t.Error("non-adjacent swap accepted")
+	}
+	if err := l.SwapAdjacent(9, 1); err == nil {
+		t.Error("missing id swap accepted")
+	}
+	// Swap back.
+	if err := l.SwapAdjacent(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Items(); got[1] != 2 || got[2] != 3 {
+		t.Errorf("after swap back: %v", got)
+	}
+}
+
+func TestRankSelect(t *testing.T) {
+	vals := map[uint64]float64{}
+	l := NewList()
+	for i := uint64(1); i <= 100; i++ {
+		vals[i] = float64((i * 37) % 101)
+		_ = l.Insert(i, valCmp(vals))
+	}
+	items := l.Items()
+	for r, id := range items {
+		if got, err := l.Rank(id); err != nil || got != r {
+			t.Fatalf("Rank(%d) = %d,%v want %d", id, got, err, r)
+		}
+		if got, ok := l.At(r); !ok || got != id {
+			t.Fatalf("At(%d) = %d,%v want %d", r, got, ok, id)
+		}
+	}
+	if _, ok := l.At(-1); ok {
+		t.Error("At(-1)")
+	}
+	if _, ok := l.At(100); ok {
+		t.Error("At(len)")
+	}
+	if _, err := l.Rank(999); err == nil {
+		t.Error("Rank of missing")
+	}
+	fk := l.FirstK(3)
+	if len(fk) != 3 || fk[0] != items[0] || fk[2] != items[2] {
+		t.Errorf("FirstK = %v", fk)
+	}
+}
+
+// TestRandomizedAgainstReference drives a long random operation sequence
+// and checks the list against a sorted-slice reference after every step.
+func TestRandomizedAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	vals := map[uint64]float64{}
+	l := NewList()
+	var ref []uint64 // ids in value order
+
+	refInsert := func(id uint64) {
+		i := sort.Search(len(ref), func(i int) bool {
+			return valCmp(vals)(id, ref[i]) < 0
+		})
+		ref = append(ref, 0)
+		copy(ref[i+1:], ref[i:])
+		ref[i] = id
+	}
+	refDelete := func(id uint64) {
+		for i, x := range ref {
+			if x == id {
+				ref = append(ref[:i], ref[i+1:]...)
+				return
+			}
+		}
+	}
+
+	next := uint64(1)
+	for step := 0; step < 3000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5 || len(ref) == 0: // insert
+			id := next
+			next++
+			vals[id] = rng.Float64() * 1000
+			if err := l.Insert(id, valCmp(vals)); err != nil {
+				t.Fatal(err)
+			}
+			refInsert(id)
+		case op < 7: // delete random
+			id := ref[rng.Intn(len(ref))]
+			if err := l.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+			refDelete(id)
+			delete(vals, id)
+		default: // swap adjacent pair
+			if len(ref) < 2 {
+				continue
+			}
+			i := rng.Intn(len(ref) - 1)
+			a, b := ref[i], ref[i+1]
+			if err := l.SwapAdjacent(a, b); err != nil {
+				t.Fatal(err)
+			}
+			// Mirror in values so future inserts see consistent order:
+			// swap their values too (plus id tiebreak concerns: assign
+			// distinct values).
+			vals[a], vals[b] = vals[b], vals[a]
+			ref[i], ref[i+1] = b, a
+		}
+		if step%101 == 0 {
+			if err := l.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+		got := l.Items()
+		if len(got) != len(ref) {
+			t.Fatalf("step %d: len %d vs ref %d", step, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("step %d: order %v vs ref %v", step, got, ref)
+			}
+		}
+	}
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	vals := map[uint64]float64{}
+	cmp := valCmp(vals)
+	l := NewList()
+	for i := uint64(0); i < 10000; i++ {
+		vals[i] = float64(splitmix64(i) % 1000000)
+		_ = l.Insert(i, cmp)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := uint64(10000 + i)
+		vals[id] = float64(splitmix64(id) % 1000000)
+		_ = l.Insert(id, cmp)
+		_ = l.Delete(id)
+		delete(vals, id)
+	}
+}
+
+func BenchmarkSwapAdjacent(b *testing.B) {
+	vals := map[uint64]float64{}
+	l := NewList()
+	for i := uint64(0); i < 10000; i++ {
+		vals[i] = float64(i)
+		_ = l.Insert(i, valCmp(vals))
+	}
+	items := l.Items()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % (len(items) - 1)
+		a, bb := items[j], items[j+1]
+		_ = l.SwapAdjacent(a, bb)
+		items[j], items[j+1] = bb, a
+	}
+}

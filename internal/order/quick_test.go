@@ -1,0 +1,141 @@
+package order
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Property: after inserting any set of distinct-valued entries, Items()
+// is sorted by value and Rank/At are inverse.
+func TestQuickInsertSorted(t *testing.T) {
+	f := func(raw []uint16) bool {
+		vals := map[uint64]float64{}
+		l := NewList()
+		for i, r := range raw {
+			id := uint64(i + 1)
+			// Distinct values via index jitter.
+			vals[id] = float64(r) + float64(i)*1e-4
+			if err := l.Insert(id, valCmp(vals)); err != nil {
+				return false
+			}
+		}
+		items := l.Items()
+		if len(items) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(items); i++ {
+			if vals[items[i-1]] >= vals[items[i]] {
+				return false
+			}
+		}
+		for r, id := range items {
+			rank, err := l.Rank(id)
+			if err != nil || rank != r {
+				return false
+			}
+			got, ok := l.At(r)
+			if !ok || got != id {
+				return false
+			}
+		}
+		return l.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: deleting any subset leaves the remaining entries in the same
+// relative order.
+func TestQuickDeletepreservesOrder(t *testing.T) {
+	f := func(raw []uint16, delMask []bool) bool {
+		vals := map[uint64]float64{}
+		l := NewList()
+		n := len(raw)
+		if n > 200 {
+			n = 200
+		}
+		for i := 0; i < n; i++ {
+			id := uint64(i + 1)
+			vals[id] = float64(raw[i]) + float64(i)*1e-4
+			if err := l.Insert(id, valCmp(vals)); err != nil {
+				return false
+			}
+		}
+		before := l.Items()
+		kept := map[uint64]bool{}
+		for _, id := range before {
+			kept[id] = true
+		}
+		for i, id := range before {
+			if i < len(delMask) && delMask[i] {
+				if err := l.Delete(id); err != nil {
+					return false
+				}
+				kept[id] = false
+			}
+		}
+		after := l.Items()
+		var want []uint64
+		for _, id := range before {
+			if kept[id] {
+				want = append(want, id)
+			}
+		}
+		if len(after) != len(want) {
+			return false
+		}
+		for i := range want {
+			if after[i] != want[i] {
+				return false
+			}
+		}
+		return l.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FirstK agrees with sorting the values directly.
+func TestQuickFirstK(t *testing.T) {
+	f := func(raw []uint16, kRaw uint8) bool {
+		vals := map[uint64]float64{}
+		l := NewList()
+		for i, r := range raw {
+			id := uint64(i + 1)
+			vals[id] = float64(r) + float64(i)*1e-4
+			if err := l.Insert(id, valCmp(vals)); err != nil {
+				return false
+			}
+		}
+		k := int(kRaw%16) + 1
+		got := l.FirstK(k)
+		type ov struct {
+			id uint64
+			v  float64
+		}
+		var all []ov
+		for id, v := range vals {
+			all = append(all, ov{id, v})
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+		want := k
+		if want > len(all) {
+			want = len(all)
+		}
+		if len(got) != want {
+			return false
+		}
+		for i := 0; i < want; i++ {
+			if got[i] != all[i].id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,151 @@
+package piecewise
+
+// Lower envelopes. Example 6 of the paper observes that the 1-NN answer
+// is exactly the lower envelope of the g-distance curves; this file
+// computes that envelope directly by divide and conquer — an independent
+// algorithm against which the sweep's rank-0 timeline is cross-checked
+// (and an alternative for one-shot envelope queries).
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Labeled pairs a curve with an opaque id for envelope attribution.
+type Labeled struct {
+	ID uint64
+	F  Func
+}
+
+// EnvelopePiece attributes one stretch of the lower envelope to a curve.
+type EnvelopePiece struct {
+	Start, End float64
+	ID         uint64
+}
+
+// LowerEnvelope computes, over [lo, hi], which curve is pointwise lowest
+// (ties broken by smaller id). All curves must cover [lo, hi].
+func LowerEnvelope(curves []Labeled, lo, hi float64) ([]EnvelopePiece, error) {
+	if len(curves) == 0 {
+		return nil, errors.New("piecewise: no curves")
+	}
+	if !(lo < hi) {
+		return nil, ErrEmptyDomain
+	}
+	for _, c := range curves {
+		clo, chi := c.F.Domain()
+		if clo > lo+boundTol || chi < hi-boundTol {
+			return nil, errors.New("piecewise: curve does not cover the window")
+		}
+	}
+	pieces := envelopeDC(curves, lo, hi)
+	return mergeEnvelope(pieces), nil
+}
+
+// envelopeDC merges halves recursively.
+func envelopeDC(curves []Labeled, lo, hi float64) []EnvelopePiece {
+	if len(curves) == 1 {
+		return []EnvelopePiece{{Start: lo, End: hi, ID: curves[0].ID}}
+	}
+	mid := len(curves) / 2
+	left := envelopeDC(curves[:mid], lo, hi)
+	right := envelopeDC(curves[mid:], lo, hi)
+	return mergeTwo(curves, left, right, lo, hi)
+}
+
+// mergeTwo combines two envelopes: within each overlap cell (bounded by
+// both envelopes' breakpoints and the crossings of the two active
+// curves), the lower curve wins.
+func mergeTwo(curves []Labeled, a, b []EnvelopePiece, lo, hi float64) []EnvelopePiece {
+	byID := map[uint64]Func{}
+	for _, c := range curves {
+		byID[c.ID] = c.F
+	}
+	// Cell boundaries: piece boundaries of both envelopes.
+	cuts := []float64{lo, hi}
+	for _, p := range a {
+		cuts = append(cuts, p.Start, p.End)
+	}
+	for _, p := range b {
+		cuts = append(cuts, p.Start, p.End)
+	}
+	sort.Float64s(cuts)
+	var out []EnvelopePiece
+	for i := 0; i+1 < len(cuts); i++ {
+		s, e := cuts[i], cuts[i+1]
+		if !(e-s > 1e-12) || s < lo || e > hi {
+			continue
+		}
+		ca := activeAt(a, 0.5*(s+e))
+		cb := activeAt(b, 0.5*(s+e))
+		fa, fb := byID[ca], byID[cb]
+		// Split [s, e] at the crossings of fa and fb.
+		bounds := []float64{s}
+		t := s
+		for {
+			m, coincide, ok := FirstMeetingAfter(fa, fb, t, e)
+			if !ok || m >= e {
+				break
+			}
+			if coincide {
+				// Identical from m on this cell: no more crossings.
+				if m > s {
+					bounds = append(bounds, m)
+				}
+				break
+			}
+			bounds = append(bounds, m)
+			t = m
+		}
+		bounds = append(bounds, e)
+		for j := 0; j+1 < len(bounds); j++ {
+			x, y := bounds[j], bounds[j+1]
+			if !(y-x > 1e-12) {
+				continue
+			}
+			m := 0.5 * (x + y)
+			va, vb := fa.Eval(m), fb.Eval(m)
+			id := ca
+			switch {
+			case vb < va:
+				id = cb
+			case vb == va && cb < ca:
+				id = cb
+			case math.Abs(vb-va) <= 1e-9*math.Max(1, math.Max(math.Abs(va), math.Abs(vb))) && cb < ca:
+				id = cb
+			}
+			out = append(out, EnvelopePiece{Start: x, End: y, ID: id})
+		}
+	}
+	return mergeEnvelope(out)
+}
+
+// activeAt finds the piece of an envelope containing t.
+func activeAt(env []EnvelopePiece, t float64) uint64 {
+	i := sort.Search(len(env), func(i int) bool { return env[i].End >= t })
+	if i >= len(env) {
+		i = len(env) - 1
+	}
+	return env[i].ID
+}
+
+// mergeEnvelope fuses adjacent pieces with the same id.
+func mergeEnvelope(ps []EnvelopePiece) []EnvelopePiece {
+	if len(ps) == 0 {
+		return ps
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Start < ps[j].Start })
+	out := ps[:1]
+	for _, p := range ps[1:] {
+		last := &out[len(out)-1]
+		if p.ID == last.ID && p.Start <= last.End+1e-12 {
+			if p.End > last.End {
+				last.End = p.End
+			}
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package piecewise
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/poly"
+)
+
+func TestLowerEnvelopeTwoLines(t *testing.T) {
+	curves := []Labeled{
+		{ID: 1, F: FromPoly(poly.Linear(1, 0), 0, 100)},   // t
+		{ID: 2, F: FromPoly(poly.Linear(-1, 10), 0, 100)}, // 10-t
+	}
+	env, err := LowerEnvelope(curves, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env) != 2 {
+		t.Fatalf("env = %+v", env)
+	}
+	if env[0].ID != 1 || math.Abs(env[0].End-5) > 1e-9 {
+		t.Errorf("first piece %+v, want curve 1 until 5", env[0])
+	}
+	if env[1].ID != 2 || math.Abs(env[1].Start-5) > 1e-9 || env[1].End != 100 {
+		t.Errorf("second piece %+v", env[1])
+	}
+}
+
+func TestLowerEnvelopeFigure3(t *testing.T) {
+	// The four Figure 3 curves (pre-update): the envelope (the 1-NN
+	// timeline) is o4, except while o3 dips below during (8, 17), and at
+	// the very end where the original (un-updated) o1 line crosses under
+	// (68.4 - 1.5t = 10 at t = 58.4/1.5 ≈ 38.93).
+	curves := []Labeled{
+		{ID: 1, F: FromPoly(poly.New(68.4, -1.5), 0, 40)},
+		{ID: 2, F: FromPoly(poly.New(43.4, 1), 0, 40)},
+		{ID: 3, F: FromPoly(poly.New(37.2, -5, 0.2), 0, 40)},
+		{ID: 4, F: FromPoly(poly.Constant(10), 0, 40)},
+	}
+	env, err := LowerEnvelope(curves, 0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		id   uint64
+		s, e float64
+	}{
+		{4, 0, 8}, {3, 8, 17}, {4, 17, 58.4 / 1.5}, {1, 58.4 / 1.5, 40},
+	}
+	if len(env) != len(want) {
+		t.Fatalf("env = %+v", env)
+	}
+	for i, w := range want {
+		if env[i].ID != w.id || math.Abs(env[i].Start-w.s) > 1e-6 || math.Abs(env[i].End-w.e) > 1e-6 {
+			t.Errorf("piece %d = %+v, want %+v", i, env[i], w)
+		}
+	}
+}
+
+func TestLowerEnvelopeErrors(t *testing.T) {
+	if _, err := LowerEnvelope(nil, 0, 1); err == nil {
+		t.Error("empty input accepted")
+	}
+	short := []Labeled{{ID: 1, F: FromPoly(poly.Constant(1), 0, 5)}}
+	if _, err := LowerEnvelope(short, 0, 10); err == nil {
+		t.Error("non-covering curve accepted")
+	}
+	if _, err := LowerEnvelope(short, 5, 1); err == nil {
+		t.Error("inverted window accepted")
+	}
+}
+
+// TestLowerEnvelopeMatchesPointwise cross-checks the envelope against
+// dense pointwise minimization on random curve sets.
+func TestLowerEnvelopeMatchesPointwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(8)
+		var curves []Labeled
+		for i := 0; i < n; i++ {
+			// Random parabola opening upward with distinct vertex.
+			a := 0.05 + rng.Float64()
+			vx := rng.Float64() * 100
+			vy := rng.Float64() * 50
+			// a(t-vx)^2 + vy
+			p := poly.FromRoots(vx, vx).Scale(a).Add(poly.Constant(vy))
+			curves = append(curves, Labeled{ID: uint64(i + 1), F: FromPoly(p, 0, 100)})
+		}
+		env, err := LowerEnvelope(curves, 0, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Coverage: contiguous from 0 to 100.
+		if env[0].Start != 0 || env[len(env)-1].End != 100 {
+			t.Fatalf("trial %d: envelope not covering: %+v", trial, env)
+		}
+		for i := 1; i < len(env); i++ {
+			if math.Abs(env[i].Start-env[i-1].End) > 1e-9 {
+				t.Fatalf("trial %d: gap in envelope: %+v", trial, env)
+			}
+		}
+		for probe := 0; probe < 100; probe++ {
+			tt := rng.Float64() * 100
+			// True minimum.
+			best := math.Inf(1)
+			for _, c := range curves {
+				if v := c.F.Eval(tt); v < best {
+					best = v
+				}
+			}
+			got := activeAt(env, tt)
+			var gv float64
+			for _, c := range curves {
+				if c.ID == got {
+					gv = c.F.Eval(tt)
+				}
+			}
+			if gv-best > 1e-6*math.Max(1, math.Abs(best)) {
+				t.Fatalf("trial %d t=%g: envelope picks %d (v=%g), true min %g",
+					trial, tt, got, gv, best)
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package piecewise
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/poly"
+)
+
+// Fit approximates an arbitrary continuous function fn on [lo, hi] by an
+// adaptive piecewise-quadratic interpolant with pointwise error below
+// maxErr (verified at probe points; fn is assumed smooth between samples).
+//
+// This is the bridge that admits non-polynomial generalized distances —
+// e.g. the interception time of Examples 7/9, which contains a square
+// root in general geometry — into the plane sweep, which requires
+// piecewise-polynomial curves. The paper itself allows intersection times
+// to be approximated (Section 5, footnote 1); Fit makes the approximation
+// explicit and bounded.
+func Fit(fn func(float64) float64, lo, hi, maxErr float64) (Func, error) {
+	if !(lo < hi) {
+		return Func{}, ErrEmptyDomain
+	}
+	if math.IsInf(hi, 1) {
+		return Func{}, errors.New("piecewise: Fit requires a finite interval")
+	}
+	if maxErr <= 0 {
+		return Func{}, errors.New("piecewise: Fit requires positive maxErr")
+	}
+	var pieces []Piece
+	var build func(a, b float64, fa, fb float64, depth int) error
+	build = func(a, b, fa, fb float64, depth int) error {
+		m := 0.5 * (a + b)
+		fm := fn(m)
+		p, err := quadThrough(a, fa, m, fm, b, fb)
+		if err != nil {
+			return err
+		}
+		// Probe interpolation error at the quarter points.
+		q1, q3 := 0.5*(a+m), 0.5*(m+b)
+		e1 := math.Abs(p.Eval(q1) - fn(q1))
+		e3 := math.Abs(p.Eval(q3) - fn(q3))
+		if (e1 <= maxErr && e3 <= maxErr) || depth >= 24 {
+			pieces = append(pieces, Piece{Start: a, End: b, P: p})
+			return nil
+		}
+		if err := build(a, m, fa, fm, depth+1); err != nil {
+			return err
+		}
+		return build(m, b, fm, fb, depth+1)
+	}
+	if err := build(lo, hi, fn(lo), fn(hi), 0); err != nil {
+		return Func{}, err
+	}
+	return Func{pieces: pieces}, nil
+}
+
+// quadThrough returns the quadratic interpolating (x0,y0), (x1,y1),
+// (x2,y2) with distinct x's, via Newton divided differences.
+func quadThrough(x0, y0, x1, y1, x2, y2 float64) (poly.Poly, error) {
+	if x0 == x1 || x1 == x2 || x0 == x2 {
+		return nil, fmt.Errorf("piecewise: degenerate interpolation nodes %g,%g,%g", x0, x1, x2)
+	}
+	d01 := (y1 - y0) / (x1 - x0)
+	d12 := (y2 - y1) / (x2 - x1)
+	d012 := (d12 - d01) / (x2 - x0)
+	// p(x) = y0 + d01 (x-x0) + d012 (x-x0)(x-x1)
+	p := poly.Constant(y0).
+		Add(poly.Linear(1, -x0).Scale(d01)).
+		Add(poly.Linear(1, -x0).Mul(poly.Linear(1, -x1)).Scale(d012))
+	return p, nil
+}
+
+// MaxAbsErr samples |f - fn| at n points per piece and returns the
+// maximum, for validating fits in tests and experiments.
+func (f Func) MaxAbsErr(fn func(float64) float64, perPiece int) float64 {
+	worst := 0.0
+	for _, pc := range f.pieces {
+		end := pc.End
+		if math.IsInf(end, 1) {
+			end = pc.Start + 100
+		}
+		for k := 0; k <= perPiece; k++ {
+			t := pc.Start + (end-pc.Start)*float64(k)/float64(perPiece)
+			if e := math.Abs(pc.P.Eval(t) - fn(t)); e > worst {
+				worst = e
+			}
+		}
+	}
+	return worst
+}

@@ -1,0 +1,83 @@
+package piecewise
+
+// Intersection search between two curves: the primitive the sweep's event
+// scheduling is built on (Lemma 7 of the paper reduces intersection
+// detection to adjacent pairs; this file finds the next intersection time
+// for one pair).
+
+// IntersectionKind classifies how two curves meet at an intersection time.
+type IntersectionKind int
+
+const (
+	// NoIntersection means the curves never meet after the given time.
+	NoIntersection IntersectionKind = iota
+	// Crossing means the difference changes sign: the curves swap order.
+	Crossing
+	// Touching means the curves meet with even multiplicity and separate
+	// in the same order (tangency): an equivalence instant, no swap.
+	Touching
+	// Coinciding means the curves are identical on an interval starting
+	// at the reported time.
+	Coinciding
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k IntersectionKind) String() string {
+	switch k {
+	case NoIntersection:
+		return "none"
+	case Crossing:
+		return "crossing"
+	case Touching:
+		return "touching"
+	case Coinciding:
+		return "coinciding"
+	default:
+		return "unknown"
+	}
+}
+
+// Intersection describes the next meeting of two curves.
+type Intersection struct {
+	T    float64
+	Kind IntersectionKind
+	// SignAfter is the sign of (f-g) immediately after T: -1 means f
+	// stays below g, +1 means f ends up above g, 0 only for Coinciding.
+	SignAfter int
+}
+
+// FirstIntersectionAfter returns the earliest intersection of f and g at
+// a time strictly greater than `after`, restricted to the overlap of their
+// domains. ok is false when the curves do not meet again.
+func FirstIntersectionAfter(f, g Func, after float64) (Intersection, bool) {
+	diff, err := f.Sub(g)
+	if err != nil {
+		return Intersection{Kind: NoIntersection}, false
+	}
+	t := after
+	for {
+		s, coincide, found := diff.FirstZeroAfter(t)
+		if !found {
+			return Intersection{Kind: NoIntersection}, false
+		}
+		if coincide {
+			return Intersection{T: s, Kind: Coinciding, SignAfter: 0}, true
+		}
+		sa := diff.SignAfter(s)
+		sb := diff.SignBefore(s)
+		switch {
+		case sa == 0:
+			// Root leading into a coincidence piece.
+			return Intersection{T: s, Kind: Coinciding, SignAfter: 0}, true
+		case sb == 0 && s <= after+2e-9:
+			// We are sitting exactly on a root the caller already
+			// processed (numerically); skip forward.
+			t = s
+			continue
+		case sa != sb:
+			return Intersection{T: s, Kind: Crossing, SignAfter: sa}, true
+		default:
+			return Intersection{T: s, Kind: Touching, SignAfter: sa}, true
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package piecewise
+
+// Lazy pairwise operations used on the sweep's hot path. Scheduling the
+// next event for an adjacent pair must not materialize the full difference
+// curve (curves from long histories have many pieces); these walkers start
+// at the pieces containing the query time and stop at the first answer.
+
+import (
+	"math"
+)
+
+// FirstMeetingAfter returns the earliest time s in (after, hi] at which f
+// and g meet, walking the two piece lists in lockstep from the pieces
+// containing `after`.
+//
+// coincide reports that the curves are identical on a stretch beginning at
+// s (s may equal `after` when the coincidence is already in progress);
+// otherwise s is an isolated meeting time, strictly greater than `after`.
+func FirstMeetingAfter(f, g Func, after, hi float64) (s float64, coincide, ok bool) {
+	flo, fhi := f.Domain()
+	glo, ghi := g.Domain()
+	lo := math.Max(flo, glo)
+	end := math.Min(math.Min(fhi, ghi), hi)
+	t := math.Max(after, lo)
+	if t > end {
+		return 0, false, false
+	}
+	ia := f.pieceIndexAt(t)
+	ib := g.pieceIndexAt(t)
+	if ia < 0 || ib < 0 {
+		return 0, false, false
+	}
+	for {
+		pa, pb := f.pieces[ia], g.pieces[ib]
+		segEnd := math.Min(math.Min(pa.End, pb.End), end)
+		d := pa.P.Sub(pb.P)
+		if d.IsZero() {
+			// Identical on this stretch.
+			start := math.Max(t, math.Max(pa.Start, pb.Start))
+			return math.Max(start, after), true, true
+		}
+		// Bound the search by the current segment start: the local
+		// difference polynomial may have extrapolated roots before the
+		// segment, which are not meetings of f and g. Boundary roots
+		// are found by the preceding segment's closed-interval search.
+		segLo := math.Max(after, math.Max(pa.Start, pb.Start))
+		if r, found := d.FirstRootAfter(segLo, segEnd); found && r > after {
+			return r, false, true
+		}
+		// Advance to the next segment.
+		if segEnd >= end {
+			return 0, false, false
+		}
+		t = segEnd
+		if pa.End <= segEnd && ia+1 < len(f.pieces) {
+			ia++
+		}
+		if pb.End <= segEnd && ib+1 < len(g.pieces) {
+			ib++
+		}
+		if f.pieces[ia].End <= t && g.pieces[ib].End <= t {
+			return 0, false, false
+		}
+	}
+}
+
+// SignDiffAfter returns the sign of (f - g) on (t, t+delta) for
+// infinitesimal delta, without materializing the difference. At piece
+// boundaries the pieces beginning at t govern.
+func SignDiffAfter(f, g Func, t float64) int {
+	ia := f.pieceIndexAt(t)
+	ib := g.pieceIndexAt(t)
+	if ia < 0 || ib < 0 {
+		return 0
+	}
+	if ia+1 < len(f.pieces) && t >= f.pieces[ia].End-boundTol {
+		ia++
+	}
+	if ib+1 < len(g.pieces) && t >= g.pieces[ib].End-boundTol {
+		ib++
+	}
+	return f.pieces[ia].P.Sub(g.pieces[ib].P).SignAfter(t)
+}
+
+// SignDiffBefore returns the sign of (f - g) on (t-delta, t). At piece
+// boundaries the pieces ending at t govern.
+func SignDiffBefore(f, g Func, t float64) int {
+	ia := f.pieceIndexAt(t)
+	ib := g.pieceIndexAt(t)
+	if ia < 0 || ib < 0 {
+		return 0
+	}
+	if ia > 0 && t <= f.pieces[ia].Start+boundTol {
+		ia--
+	}
+	if ib > 0 && t <= g.pieces[ib].Start+boundTol {
+		ib--
+	}
+	return f.pieces[ia].P.Sub(g.pieces[ib].P).SignBefore(t)
+}
+
+// CoincidenceEndAfter returns the first time strictly greater than t at
+// which f and g stop being identical, given that they coincide at t.
+// ok=false means they remain identical through the end of the overlap of
+// their domains (or hi).
+func CoincidenceEndAfter(f, g Func, t, hi float64) (float64, bool) {
+	_, fhi := f.Domain()
+	_, ghi := g.Domain()
+	end := math.Min(math.Min(fhi, ghi), hi)
+	ia := f.pieceIndexAt(t)
+	ib := g.pieceIndexAt(t)
+	if ia < 0 || ib < 0 {
+		return 0, false
+	}
+	cur := t
+	for {
+		pa, pb := f.pieces[ia], g.pieces[ib]
+		segEnd := math.Min(math.Min(pa.End, pb.End), end)
+		d := pa.P.Sub(pb.P)
+		if !d.IsZero() {
+			// Difference nonzero somewhere in this segment. It may
+			// still be zero exactly at cur (continuity); separation
+			// happens at cur if the sign just after is nonzero,
+			// otherwise at the first point the polynomial leaves zero
+			// — for a nonzero polynomial that is immediate past its
+			// root, so cur is the separation instant.
+			return math.Max(cur, t), true
+		}
+		if segEnd >= end {
+			return 0, false
+		}
+		cur = segEnd
+		if pa.End <= segEnd && ia+1 < len(f.pieces) {
+			ia++
+		}
+		if pb.End <= segEnd && ib+1 < len(g.pieces) {
+			ib++
+		}
+		if f.pieces[ia].End <= cur && g.pieces[ib].End <= cur {
+			return 0, false
+		}
+	}
+}

@@ -1,0 +1,472 @@
+// Package piecewise implements piecewise-polynomial functions of time,
+// the representation of generalized-distance curves in the plane-sweep
+// evaluator. A "polynomial g-distance" in the paper's sense (Section 5) is
+// exactly a function that "consists of finitely many pieces and is
+// piecewise polynomial"; this package provides that type together with the
+// operations the sweep needs: pointwise algebra, composition with
+// polynomial time terms, first-zero search, and one-sided signs at a point.
+package piecewise
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/poly"
+)
+
+// Piece is one polynomial segment of a piecewise function, valid on the
+// closed time interval [Start, End]. End may be +Inf for the final piece.
+type Piece struct {
+	Start, End float64
+	P          poly.Poly
+}
+
+// Func is a piecewise-polynomial function on a contiguous domain
+// [Domain()]. Pieces are sorted and contiguous: pieces[i].End ==
+// pieces[i+1].Start. At shared boundaries the function value is taken from
+// either side; continuity is the caller's contract for g-distances (the
+// paper's relaxation to finitely many continuous pieces is supported: the
+// sweep re-certifies at discontinuities).
+type Func struct {
+	pieces []Piece
+}
+
+// boundTol is the slack used when locating the piece containing a time.
+const boundTol = 1e-9
+
+// ErrEmptyDomain is returned when an operation would produce a function
+// with an empty domain.
+var ErrEmptyDomain = errors.New("piecewise: empty domain")
+
+// New validates and builds a Func from pieces. Pieces must be non-empty,
+// in ascending order, contiguous, and have Start < End (except a single
+// degenerate point domain is rejected).
+func New(pieces ...Piece) (Func, error) {
+	if len(pieces) == 0 {
+		return Func{}, errors.New("piecewise: no pieces")
+	}
+	for i, pc := range pieces {
+		if !(pc.Start < pc.End) {
+			return Func{}, fmt.Errorf("piecewise: piece %d has empty interval [%g,%g]", i, pc.Start, pc.End)
+		}
+		if i > 0 && pieces[i-1].End != pc.Start {
+			return Func{}, fmt.Errorf("piecewise: gap between piece %d (ends %g) and %d (starts %g)",
+				i-1, pieces[i-1].End, i, pc.Start)
+		}
+	}
+	cp := make([]Piece, len(pieces))
+	copy(cp, pieces)
+	return Func{pieces: cp}, nil
+}
+
+// MustNew is New for statically-known-good inputs (tests, examples).
+func MustNew(pieces ...Piece) Func {
+	f, err := New(pieces...)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// FromPoly wraps a single polynomial on [start, end].
+func FromPoly(p poly.Poly, start, end float64) Func {
+	return Func{pieces: []Piece{{Start: start, End: end, P: p}}}
+}
+
+// Constant is the constant function c on [start, end]. Constant curves
+// model the real-number constants of FO(f) queries as stationary curves in
+// the sweep order.
+func Constant(c, start, end float64) Func {
+	return FromPoly(poly.Constant(c), start, end)
+}
+
+// Domain returns the closed domain [lo, hi] of f (hi may be +Inf).
+func (f Func) Domain() (lo, hi float64) {
+	if len(f.pieces) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	return f.pieces[0].Start, f.pieces[len(f.pieces)-1].End
+}
+
+// IsZeroLen reports whether f has no pieces (the zero value).
+func (f Func) IsZeroLen() bool { return len(f.pieces) == 0 }
+
+// NumPieces returns the number of polynomial segments.
+func (f Func) NumPieces() int { return len(f.pieces) }
+
+// Pieces returns a copy of the segments.
+func (f Func) Pieces() []Piece {
+	out := make([]Piece, len(f.pieces))
+	copy(out, f.pieces)
+	return out
+}
+
+// pieceIndexAt returns the index of the piece whose interval contains t,
+// preferring the piece that starts at t when t is a shared boundary
+// (so one-sided "after" semantics come out of the containing-piece rule).
+// Returns -1 when t is outside the domain by more than boundTol.
+func (f Func) pieceIndexAt(t float64) int {
+	n := len(f.pieces)
+	if n == 0 {
+		return -1
+	}
+	if t < f.pieces[0].Start-boundTol || t > f.pieces[n-1].End+boundTol {
+		return -1
+	}
+	// Binary search for the first piece with End >= t.
+	i := sort.Search(n, func(i int) bool { return f.pieces[i].End >= t })
+	if i == n {
+		i = n - 1
+	}
+	// Prefer the following piece when t sits exactly at this piece's end.
+	if i+1 < n && t >= f.pieces[i].End {
+		i++
+	}
+	return i
+}
+
+// Eval evaluates f at t. Outside the domain it evaluates the nearest
+// boundary piece's polynomial (extrapolation); use InDomain to guard when
+// that matters. The sweep always evaluates in-domain.
+func (f Func) Eval(t float64) float64 {
+	i := f.pieceIndexAt(t)
+	if i < 0 {
+		if len(f.pieces) == 0 {
+			return math.NaN()
+		}
+		if t < f.pieces[0].Start {
+			i = 0
+		} else {
+			i = len(f.pieces) - 1
+		}
+	}
+	return f.pieces[i].P.Eval(t)
+}
+
+// InDomain reports whether t lies within the domain (with boundTol slack).
+func (f Func) InDomain(t float64) bool { return f.pieceIndexAt(t) >= 0 }
+
+// breakpoints returns the merged sorted interior breakpoints of f and g
+// within [lo, hi].
+func mergedBreaks(f, g Func, lo, hi float64) []float64 {
+	var bs []float64
+	add := func(x float64) {
+		if x > lo && x < hi {
+			bs = append(bs, x)
+		}
+	}
+	for _, pc := range f.pieces {
+		add(pc.Start)
+		add(pc.End)
+	}
+	for _, pc := range g.pieces {
+		add(pc.Start)
+		add(pc.End)
+	}
+	sort.Float64s(bs)
+	// Deduplicate.
+	out := bs[:0]
+	for _, x := range bs {
+		if len(out) == 0 || x-out[len(out)-1] > 0 {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// combine applies op to aligned pieces of f and g over the intersection of
+// their domains.
+func combine(f, g Func, op func(a, b poly.Poly) poly.Poly) (Func, error) {
+	flo, fhi := f.Domain()
+	glo, ghi := g.Domain()
+	lo, hi := math.Max(flo, glo), math.Min(fhi, ghi)
+	if !(lo < hi) {
+		return Func{}, ErrEmptyDomain
+	}
+	breaks := mergedBreaks(f, g, lo, hi)
+	bounds := make([]float64, 0, len(breaks)+2)
+	bounds = append(bounds, lo)
+	bounds = append(bounds, breaks...)
+	bounds = append(bounds, hi)
+	pieces := make([]Piece, 0, len(bounds)-1)
+	for i := 0; i+1 < len(bounds); i++ {
+		a, b := bounds[i], bounds[i+1]
+		var mid float64
+		if math.IsInf(b, 1) {
+			mid = a + 1
+		} else {
+			mid = 0.5 * (a + b)
+		}
+		fi := f.pieceIndexAt(mid)
+		gi := g.pieceIndexAt(mid)
+		if fi < 0 || gi < 0 {
+			return Func{}, fmt.Errorf("piecewise: internal alignment failure at t=%g", mid)
+		}
+		pieces = append(pieces, Piece{Start: a, End: b, P: op(f.pieces[fi].P, g.pieces[gi].P)})
+	}
+	return Func{pieces: pieces}, nil
+}
+
+// Sub returns f - g on the intersection of domains. This is the curve
+// whose zeros are the intersections of f and g.
+func (f Func) Sub(g Func) (Func, error) {
+	return combine(f, g, func(a, b poly.Poly) poly.Poly { return a.Sub(b) })
+}
+
+// Add returns f + g on the intersection of domains.
+func (f Func) Add(g Func) (Func, error) {
+	return combine(f, g, func(a, b poly.Poly) poly.Poly { return a.Add(b) })
+}
+
+// Mul returns f * g on the intersection of domains.
+func (f Func) Mul(g Func) (Func, error) {
+	return combine(f, g, func(a, b poly.Poly) poly.Poly { return a.Mul(b) })
+}
+
+// Scale returns c*f.
+func (f Func) Scale(c float64) Func {
+	pieces := make([]Piece, len(f.pieces))
+	for i, pc := range f.pieces {
+		pieces[i] = Piece{Start: pc.Start, End: pc.End, P: pc.P.Scale(c)}
+	}
+	return Func{pieces: pieces}
+}
+
+// AddPoly returns f + p (p applied on all of f's domain).
+func (f Func) AddPoly(p poly.Poly) Func {
+	pieces := make([]Piece, len(f.pieces))
+	for i, pc := range f.pieces {
+		pieces[i] = Piece{Start: pc.Start, End: pc.End, P: pc.P.Add(p)}
+	}
+	return Func{pieces: pieces}
+}
+
+// Restrict returns f limited to [lo, hi] (intersected with f's domain).
+func (f Func) Restrict(lo, hi float64) (Func, error) {
+	flo, fhi := f.Domain()
+	lo, hi = math.Max(lo, flo), math.Min(hi, fhi)
+	if !(lo < hi) {
+		return Func{}, ErrEmptyDomain
+	}
+	var pieces []Piece
+	for _, pc := range f.pieces {
+		s, e := math.Max(pc.Start, lo), math.Min(pc.End, hi)
+		if s < e {
+			pieces = append(pieces, Piece{Start: s, End: e, P: pc.P})
+		}
+	}
+	return Func{pieces: pieces}, nil
+}
+
+// ExtendTo extends the final piece's End to hi if hi is beyond the current
+// domain end (polynomial extrapolation of the last piece). Used when a
+// trajectory's final motion is open-ended.
+func (f Func) ExtendTo(hi float64) Func {
+	if len(f.pieces) == 0 {
+		return f
+	}
+	pieces := make([]Piece, len(f.pieces))
+	copy(pieces, f.pieces)
+	if hi > pieces[len(pieces)-1].End {
+		pieces[len(pieces)-1].End = hi
+	}
+	return Func{pieces: pieces}
+}
+
+// FirstZeroAfter returns the earliest time s with s > t (strictly, by
+// more than poly.RootTol) at which f(s) = 0, within f's domain.
+//
+// coincide reports that instead of an isolated zero, f is identically zero
+// on a whole piece; s is then the start of that coincidence (or t itself
+// when t already lies inside a zero piece).
+func (f Func) FirstZeroAfter(t float64) (s float64, coincide, ok bool) {
+	for _, pc := range f.pieces {
+		if pc.End <= t+poly.RootTol {
+			continue
+		}
+		lo := math.Max(pc.Start, t)
+		if pc.P.IsZero() {
+			return lo, true, true
+		}
+		// The search must be bounded below by the piece's own start:
+		// a later piece's polynomial can have extrapolated roots before
+		// the piece's domain, which are not zeros of f. A zero exactly
+		// at pc.Start is found by the previous piece's closed-interval
+		// search (continuity), so the strictly-after semantics here
+		// lose nothing.
+		if r, found := pc.P.FirstRootAfter(lo, pc.End); found {
+			return r, false, true
+		}
+	}
+	return 0, false, false
+}
+
+// SignAfter returns the sign of f on (t, t+delta) for infinitesimal
+// delta > 0. At a piece boundary the piece starting at t governs.
+func (f Func) SignAfter(t float64) int {
+	i := f.pieceIndexAt(t)
+	if i < 0 {
+		return 0
+	}
+	// If t is (numerically) at this piece's end, the next piece governs.
+	if i+1 < len(f.pieces) && t >= f.pieces[i].End-boundTol {
+		i++
+	}
+	return f.pieces[i].P.SignAfter(t)
+}
+
+// SignBefore returns the sign of f on (t-delta, t). At a piece boundary
+// the piece ending at t governs.
+func (f Func) SignBefore(t float64) int {
+	i := f.pieceIndexAt(t)
+	if i < 0 {
+		return 0
+	}
+	if i > 0 && t <= f.pieces[i].Start+boundTol {
+		i--
+	}
+	return f.pieces[i].P.SignBefore(t)
+}
+
+// Compose returns f(q(t)) on [lo, hi]. The image q([lo, hi]) must lie
+// inside f's domain. Non-monotone q is supported: the domain is split at
+// the solutions of q(t) = b for every piece boundary b of f, so that each
+// resulting segment maps into a single piece.
+//
+// This implements FO(f) time terms (Section 4): a query's real term
+// f(y, p(t)) with polynomial time term p is the curve f_y composed with p.
+func (f Func) Compose(q poly.Poly, lo, hi float64) (Func, error) {
+	if !(lo < hi) {
+		return Func{}, ErrEmptyDomain
+	}
+	flo, fhi := f.Domain()
+	// Collect split points: roots of q - boundary for each interior
+	// boundary and the domain edges (to validate containment).
+	cuts := []float64{lo, hi}
+	addRootsOf := func(target float64) error {
+		if math.IsInf(target, 0) {
+			return nil
+		}
+		diff := q.Sub(poly.Constant(target))
+		roots, ok := diff.RootsIn(lo, hi)
+		if !ok {
+			// q identically equals the boundary; fine, it maps into
+			// both adjacent pieces equally.
+			return nil
+		}
+		cuts = append(cuts, roots...)
+		return nil
+	}
+	for _, pc := range f.pieces {
+		if err := addRootsOf(pc.Start); err != nil {
+			return Func{}, err
+		}
+	}
+	if err := addRootsOf(fhi); err != nil {
+		return Func{}, err
+	}
+	sort.Float64s(cuts)
+	// Deduplicate with tolerance.
+	uniq := cuts[:0]
+	for _, c := range cuts {
+		if len(uniq) == 0 || c-uniq[len(uniq)-1] > poly.RootTol {
+			uniq = append(uniq, c)
+		}
+	}
+	if len(uniq) < 2 || uniq[len(uniq)-1] < hi-poly.RootTol {
+		uniq = append(uniq, hi)
+	}
+	var pieces []Piece
+	for i := 0; i+1 < len(uniq); i++ {
+		a, b := uniq[i], uniq[i+1]
+		var mid float64
+		if math.IsInf(b, 1) {
+			mid = a + 1
+		} else {
+			mid = 0.5 * (a + b)
+		}
+		img := q.Eval(mid)
+		if img < flo-boundTol || img > fhi+boundTol {
+			return Func{}, fmt.Errorf("piecewise: compose image %g at t=%g outside domain [%g,%g]", img, mid, flo, fhi)
+		}
+		fi := f.pieceIndexAt(img)
+		if fi < 0 {
+			return Func{}, fmt.Errorf("piecewise: compose lookup failed at t=%g", mid)
+		}
+		pieces = append(pieces, Piece{Start: a, End: b, P: f.pieces[fi].P.Compose(q)})
+	}
+	return Func{pieces: pieces}, nil
+}
+
+// String renders each piece as "[a,b] p(t)" joined by " | ".
+func (f Func) String() string {
+	if len(f.pieces) == 0 {
+		return "<empty>"
+	}
+	var b strings.Builder
+	for i, pc := range f.pieces {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, "[%g,%g] %s", pc.Start, pc.End, pc.P)
+	}
+	return b.String()
+}
+
+// ApproxEqual reports whether f and g have the same domain and agree
+// within tol at a dense set of sample points (31 per piece). Intended for
+// tests.
+func (f Func) ApproxEqual(g Func, tol float64) bool {
+	flo, fhi := f.Domain()
+	glo, ghi := g.Domain()
+	if math.Abs(flo-glo) > boundTol {
+		return false
+	}
+	if !(math.IsInf(fhi, 1) && math.IsInf(ghi, 1)) && math.Abs(fhi-ghi) > boundTol {
+		return false
+	}
+	sample := func(h Func) []float64 {
+		var ts []float64
+		for _, pc := range h.pieces {
+			end := pc.End
+			if math.IsInf(end, 1) {
+				end = pc.Start + 100
+			}
+			for k := 0; k <= 30; k++ {
+				ts = append(ts, pc.Start+(end-pc.Start)*float64(k)/30)
+			}
+		}
+		return ts
+	}
+	for _, t := range append(sample(f), sample(g)...) {
+		if math.Abs(f.Eval(t)-g.Eval(t)) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Discontinuities returns the interior piece boundaries at which f jumps
+// (left and right limits differ materially), within (lo, hi). Continuous
+// g-distances return none; the paper's relaxation to finitely many
+// continuous pieces (Section 5, first closing remark) produces these
+// instants, at which a sweep must re-certify the curve's position.
+func (f Func) Discontinuities(lo, hi float64) []float64 {
+	var out []float64
+	for i := 1; i < len(f.pieces); i++ {
+		b := f.pieces[i].Start
+		if b <= lo || b >= hi {
+			continue
+		}
+		left := f.pieces[i-1].P.Eval(b)
+		right := f.pieces[i].P.Eval(b)
+		scale := math.Max(1, math.Max(math.Abs(left), math.Abs(right)))
+		if math.Abs(left-right) > 1e-9*scale {
+			out = append(out, b)
+		}
+	}
+	return out
+}

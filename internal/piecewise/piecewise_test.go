@@ -1,0 +1,357 @@
+package piecewise
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/poly"
+)
+
+func inf() float64 { return math.Inf(1) }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Error("empty pieces should fail")
+	}
+	if _, err := New(Piece{Start: 1, End: 1, P: poly.Constant(1)}); err == nil {
+		t.Error("empty interval should fail")
+	}
+	if _, err := New(
+		Piece{Start: 0, End: 1, P: poly.Constant(1)},
+		Piece{Start: 2, End: 3, P: poly.Constant(1)},
+	); err == nil {
+		t.Error("gap should fail")
+	}
+	f, err := New(
+		Piece{Start: 0, End: 1, P: poly.Constant(1)},
+		Piece{Start: 1, End: inf(), P: poly.Linear(1, 0)},
+	)
+	if err != nil {
+		t.Fatalf("valid pieces rejected: %v", err)
+	}
+	lo, hi := f.Domain()
+	if lo != 0 || !math.IsInf(hi, 1) {
+		t.Errorf("Domain = [%g,%g]", lo, hi)
+	}
+}
+
+func TestEvalAcrossPieces(t *testing.T) {
+	// f = t on [0,2], then 4-t on [2,10] (continuous tent at 2).
+	f := MustNew(
+		Piece{Start: 0, End: 2, P: poly.Linear(1, 0)},
+		Piece{Start: 2, End: 10, P: poly.Linear(-1, 4)},
+	)
+	cases := []struct{ t, want float64 }{
+		{0, 0}, {1, 1}, {2, 2}, {3, 1}, {4, 0}, {10, -6},
+	}
+	for _, c := range cases {
+		if got := f.Eval(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Eval(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	if !f.InDomain(5) || f.InDomain(11) || f.InDomain(-1) {
+		t.Error("InDomain wrong")
+	}
+}
+
+func TestSubAlignsBreakpoints(t *testing.T) {
+	f := MustNew(
+		Piece{Start: 0, End: 5, P: poly.Linear(1, 0)},   // t
+		Piece{Start: 5, End: 10, P: poly.Linear(2, -5)}, // 2t-5
+	)
+	g := MustNew(
+		Piece{Start: 0, End: 3, P: poly.Constant(2)},
+		Piece{Start: 3, End: 10, P: poly.Linear(1, -1)}, // t-1
+	)
+	d, err := f.Sub(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumPieces() != 3 {
+		t.Fatalf("NumPieces = %d, want 3 (%s)", d.NumPieces(), d)
+	}
+	for _, tt := range []float64{0, 1, 2.9, 3, 4, 5, 7, 10} {
+		want := f.Eval(tt) - g.Eval(tt)
+		if got := d.Eval(tt); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Sub.Eval(%g) = %g, want %g", tt, got, want)
+		}
+	}
+}
+
+func TestAddMulScale(t *testing.T) {
+	f := FromPoly(poly.Linear(1, 0), 0, 10)
+	g := FromPoly(poly.Linear(-1, 10), 0, 10)
+	sum, err := f.Add(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Eval(4); math.Abs(got-10) > 1e-12 {
+		t.Errorf("Add = %g, want 10", got)
+	}
+	prod, err := f.Mul(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prod.Eval(4); math.Abs(got-24) > 1e-12 {
+		t.Errorf("Mul = %g, want 24", got)
+	}
+	if got := f.Scale(3).Eval(2); math.Abs(got-6) > 1e-12 {
+		t.Errorf("Scale = %g, want 6", got)
+	}
+}
+
+func TestDisjointDomains(t *testing.T) {
+	f := FromPoly(poly.Constant(1), 0, 1)
+	g := FromPoly(poly.Constant(1), 2, 3)
+	if _, err := f.Sub(g); err == nil {
+		t.Error("disjoint domains should fail")
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	f := MustNew(
+		Piece{Start: 0, End: 5, P: poly.Linear(1, 0)},
+		Piece{Start: 5, End: 10, P: poly.Linear(2, -5)},
+	)
+	r, err := f.Restrict(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := r.Domain()
+	if lo != 3 || hi != 7 {
+		t.Errorf("Domain = [%g,%g]", lo, hi)
+	}
+	if r.NumPieces() != 2 {
+		t.Errorf("NumPieces = %d", r.NumPieces())
+	}
+	if got := r.Eval(6); math.Abs(got-7) > 1e-12 {
+		t.Errorf("Eval(6) = %g, want 7", got)
+	}
+	if _, err := f.Restrict(20, 30); err == nil {
+		t.Error("out-of-domain restrict should fail")
+	}
+}
+
+func TestExtendTo(t *testing.T) {
+	f := FromPoly(poly.Linear(1, 0), 0, 5)
+	g := f.ExtendTo(100)
+	_, hi := g.Domain()
+	if hi != 100 {
+		t.Errorf("ExtendTo hi = %g", hi)
+	}
+	if got := g.Eval(50); math.Abs(got-50) > 1e-12 {
+		t.Errorf("extrapolated Eval = %g", got)
+	}
+	// Original untouched.
+	if _, ohi := f.Domain(); ohi != 5 {
+		t.Error("ExtendTo mutated receiver")
+	}
+}
+
+func TestFirstZeroAfter(t *testing.T) {
+	// f = (t-2)(t-6) on [0, 10].
+	f := FromPoly(poly.FromRoots(2, 6), 0, 10)
+	s, coincide, ok := f.FirstZeroAfter(0)
+	if !ok || coincide || math.Abs(s-2) > 1e-8 {
+		t.Errorf("first zero = %g coincide=%v ok=%v", s, coincide, ok)
+	}
+	s, _, ok = f.FirstZeroAfter(2)
+	if !ok || math.Abs(s-6) > 1e-8 {
+		t.Errorf("second zero = %g ok=%v (strictness after root)", s, ok)
+	}
+	if _, _, ok := f.FirstZeroAfter(6); ok {
+		t.Error("no zero after 6 expected")
+	}
+}
+
+func TestFirstZeroAcrossPieces(t *testing.T) {
+	// Zero lives in the second piece.
+	f := MustNew(
+		Piece{Start: 0, End: 4, P: poly.Constant(5)},
+		Piece{Start: 4, End: 20, P: poly.Linear(1, -9)}, // t-9
+	)
+	s, coincide, ok := f.FirstZeroAfter(0)
+	if !ok || coincide || math.Abs(s-9) > 1e-9 {
+		t.Errorf("zero = %g coincide=%v ok=%v", s, coincide, ok)
+	}
+}
+
+func TestFirstZeroCoincide(t *testing.T) {
+	f := MustNew(
+		Piece{Start: 0, End: 3, P: poly.Linear(-1, 3)}, // 3-t hits 0 at 3
+		Piece{Start: 3, End: 8, P: poly.Poly{}},        // identically zero
+		Piece{Start: 8, End: 12, P: poly.Linear(1, -8)},
+	)
+	s, coincide, ok := f.FirstZeroAfter(0)
+	if !ok {
+		t.Fatal("expected zero")
+	}
+	// The isolated root at 3 and the coincidence both begin at 3; either
+	// report is acceptable as long as time is 3.
+	if math.Abs(s-3) > 1e-9 {
+		t.Errorf("zero = %g coincide=%v, want 3", s, coincide)
+	}
+	s, coincide, ok = f.FirstZeroAfter(5)
+	if !ok || !coincide || math.Abs(s-5) > 1e-9 {
+		t.Errorf("mid-coincidence: s=%g coincide=%v ok=%v, want s=5 coincide", s, coincide, ok)
+	}
+}
+
+func TestSignAfterBefore(t *testing.T) {
+	// Tent: up then down; at the peak t=2 sign of (f - 2) flips.
+	f := MustNew(
+		Piece{Start: 0, End: 2, P: poly.Linear(1, 0)},
+		Piece{Start: 2, End: 10, P: poly.Linear(-1, 4)},
+	)
+	d := f.AddPoly(poly.Constant(-2)) // f - 2, zero exactly at t=2
+	if s := d.SignBefore(2); s != -1 {
+		t.Errorf("SignBefore(2) = %d, want -1", s)
+	}
+	if s := d.SignAfter(2); s != -1 {
+		t.Errorf("SignAfter(2) = %d, want -1 (descending side)", s)
+	}
+	if s := d.SignAfter(0); s != -1 {
+		t.Errorf("SignAfter(0) = %d", s)
+	}
+	if s := d.SignBefore(1.5); s != -1 {
+		t.Errorf("SignBefore(1.5) = %d", s)
+	}
+}
+
+func TestCompose(t *testing.T) {
+	// f = t^2 on [0, 100]; q = t+3 -> f(q) = (t+3)^2 on [0, 5].
+	f := FromPoly(poly.New(0, 0, 1), 0, 100)
+	c, err := f.Compose(poly.Linear(1, 3), 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0, 1, 2.5, 5} {
+		want := (tt + 3) * (tt + 3)
+		if got := c.Eval(tt); math.Abs(got-want) > 1e-9 {
+			t.Errorf("Compose.Eval(%g) = %g, want %g", tt, got, want)
+		}
+	}
+}
+
+func TestComposeNonMonotone(t *testing.T) {
+	// f piecewise: |x| style — f = -x on [-10,0], x on [0,10].
+	f := MustNew(
+		Piece{Start: -10, End: 0, P: poly.Linear(-1, 0)},
+		Piece{Start: 0, End: 10, P: poly.Linear(1, 0)},
+	)
+	// q(t) = t^2 - 4: negative for |t|<2, positive beyond.
+	q := poly.New(-4, 0, 1)
+	c, err := f.Compose(q, -3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{-3, -2.5, -1, 0, 1.5, 2, 3} {
+		want := math.Abs(tt*tt - 4)
+		if got := c.Eval(tt); math.Abs(got-want) > 1e-7 {
+			t.Errorf("Compose.Eval(%g) = %g, want %g", tt, got, want)
+		}
+	}
+}
+
+func TestComposeOutOfDomain(t *testing.T) {
+	f := FromPoly(poly.New(0, 0, 1), 0, 10)
+	// q maps 5 -> 25, outside f's domain.
+	if _, err := f.Compose(poly.Linear(5, 0), 0, 5); err == nil {
+		t.Error("compose outside domain should fail")
+	}
+}
+
+func TestConstantCurve(t *testing.T) {
+	c := Constant(7, 0, inf())
+	if got := c.Eval(1e6); got != 7 {
+		t.Errorf("Constant = %g", got)
+	}
+}
+
+func TestFirstIntersectionCrossing(t *testing.T) {
+	f := FromPoly(poly.Linear(1, 0), 0, 100)   // t
+	g := FromPoly(poly.Linear(-1, 10), 0, 100) // 10-t, cross at 5
+	x, ok := FirstIntersectionAfter(f, g, 0)
+	if !ok || x.Kind != Crossing || math.Abs(x.T-5) > 1e-9 {
+		t.Fatalf("got %+v ok=%v", x, ok)
+	}
+	if x.SignAfter != 1 {
+		t.Errorf("SignAfter = %d, want +1 (f above after)", x.SignAfter)
+	}
+	if _, ok := FirstIntersectionAfter(f, g, 5); ok {
+		t.Error("no further intersection expected")
+	}
+}
+
+func TestFirstIntersectionTouching(t *testing.T) {
+	f := FromPoly(poly.New(4, -4, 1), 0, 100) // (t-2)^2
+	g := FromPoly(poly.Poly{}, 0, 100)        // zero... use Constant(0)
+	g = Constant(0, 0, 100)
+	x, ok := FirstIntersectionAfter(f, g, 0)
+	if !ok || x.Kind != Touching || math.Abs(x.T-2) > 1e-9 {
+		t.Fatalf("got %+v ok=%v", x, ok)
+	}
+	if x.SignAfter != 1 {
+		t.Errorf("SignAfter = %d, want +1", x.SignAfter)
+	}
+}
+
+func TestFirstIntersectionCoincide(t *testing.T) {
+	shared := poly.Linear(2, 1)
+	f := MustNew(
+		Piece{Start: 0, End: 5, P: poly.Linear(1, 0)},
+		Piece{Start: 5, End: 20, P: shared},
+	)
+	g := FromPoly(shared, 0, 20)
+	x, ok := FirstIntersectionAfter(f, g, 0)
+	if !ok {
+		t.Fatal("expected intersection")
+	}
+	// f and g: difference is (t - (2t+1)) = -t-1 on [0,5] (no zero in
+	// domain... at t=-1, outside), then identically 0 from 5.
+	if x.Kind != Coinciding || math.Abs(x.T-5) > 1e-9 {
+		t.Errorf("got %+v, want coincide at 5", x)
+	}
+}
+
+func TestFirstIntersectionMultiplePieces(t *testing.T) {
+	// Intersections at t=8 and t=17 like Figure 3's o3/o4 pair: a
+	// parabola dipping below a line and coming back.
+	f := FromPoly(poly.FromRoots(8, 17), 0, 100) // (t-8)(t-17)
+	g := Constant(0, 0, 100)
+	x1, ok := FirstIntersectionAfter(f, g, 3)
+	if !ok || x1.Kind != Crossing || math.Abs(x1.T-8) > 1e-8 {
+		t.Fatalf("first: %+v ok=%v", x1, ok)
+	}
+	x2, ok := FirstIntersectionAfter(f, g, x1.T)
+	if !ok || x2.Kind != Crossing || math.Abs(x2.T-17) > 1e-8 {
+		t.Fatalf("second: %+v ok=%v", x2, ok)
+	}
+	if x1.SignAfter != -1 || x2.SignAfter != 1 {
+		t.Errorf("signs = %d,%d want -1,+1", x1.SignAfter, x2.SignAfter)
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	f := FromPoly(poly.Linear(1, 0), 0, 10)
+	g := FromPoly(poly.New(1e-13, 1), 0, 10)
+	if !f.ApproxEqual(g, 1e-9) {
+		t.Error("near-identical curves reported different")
+	}
+	h := FromPoly(poly.Linear(2, 0), 0, 10)
+	if f.ApproxEqual(h, 1e-9) {
+		t.Error("different curves reported equal")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	f := FromPoly(poly.Linear(1, 0), 0, 1)
+	if f.String() == "" || (Func{}).String() != "<empty>" {
+		t.Error("String failed")
+	}
+	for _, k := range []IntersectionKind{NoIntersection, Crossing, Touching, Coinciding, IntersectionKind(99)} {
+		if k.String() == "" {
+			t.Errorf("IntersectionKind(%d).String empty", k)
+		}
+	}
+}

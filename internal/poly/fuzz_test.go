@@ -1,0 +1,44 @@
+package poly
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzRootsIn hardens root isolation: arbitrary coefficients must never
+// panic or loop, and every reported root must actually be a (near-)zero.
+func FuzzRootsIn(f *testing.F) {
+	f.Add(1.0, -3.0, 2.0, 0.0, 0.0)
+	f.Add(0.0, 0.0, 0.0, 0.0, 1.0)
+	f.Add(1e-300, 1e300, -5.0, 0.125, 3.0)
+	f.Add(2.0, -3.0, 0.0, 0.0, 1.0)
+	f.Fuzz(func(t *testing.T, c0, c1, c2, c3, c4 float64) {
+		for _, c := range []float64{c0, c1, c2, c3, c4} {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				return
+			}
+		}
+		p := New(c0, c1, c2, c3, c4)
+		roots, ok := p.RootsIn(-100, 100)
+		if !ok {
+			return // zero polynomial
+		}
+		for i, r := range roots {
+			if math.IsNaN(r) || r < -100-1e-6 || r > 100+1e-6 {
+				t.Fatalf("root %g outside window for %v", r, p)
+			}
+			if i > 0 && roots[i] <= roots[i-1] {
+				t.Fatalf("roots not strictly ascending: %v", roots)
+			}
+			v, abs := p.evalWithAbs(r)
+			// The residual must be explained by evaluation noise (the
+			// Horner magnitude budget) plus an absolute floor scaled to
+			// the coefficients (covers r at the very bottom of the
+			// value range, e.g. roots at 0).
+			tol := 1e-6*abs + 1e-10*p.coeffScale()
+			if math.Abs(v) > tol {
+				t.Fatalf("reported root %g has residual %g (tol %g) for %v", r, v, tol, p)
+			}
+		}
+	})
+}

@@ -1,0 +1,452 @@
+// Package poly implements univariate real polynomials with hand-rolled
+// real-root isolation, the numeric core of the plane-sweep evaluation
+// technique of Mokhtar, Su and Ibarra (PODS 2002).
+//
+// The sweep needs three primitives from polynomials:
+//
+//   - evaluation (ordering curves along the sweep line),
+//   - the first real root of a difference curve after a given time
+//     (the next intersection of two adjacent g-distance curves), and
+//   - the sign of a polynomial immediately before/after one of its roots
+//     (deciding whether an intersection is a crossing or a tangency).
+//
+// Root isolation uses square-free decomposition followed by Sturm
+// sequences and bisection, with Newton polishing. Degrees in this system
+// are small (g-distances of piecewise-linear trajectories are piecewise
+// quadratic; composed time terms raise the degree modestly), but the code
+// is written to stay robust through degree ~16.
+package poly
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Poly is a polynomial in one variable; Poly[i] is the coefficient of t^i.
+// The zero polynomial is represented by an empty (or all-zero) slice.
+// Poly values are immutable by convention: operations return fresh slices.
+type Poly []float64
+
+// relEps is the relative tolerance below which a coefficient is considered
+// zero when computing effective degrees during arithmetic and Sturm
+// sequences. It is deliberately loose compared to machine epsilon because
+// cancellation in curve differences leaves ~1e-16-scale dust.
+const relEps = 1e-12
+
+// New builds a polynomial from coefficients in ascending-degree order:
+// New(c0, c1, c2) is c0 + c1*t + c2*t^2.
+func New(coeffs ...float64) Poly {
+	p := make(Poly, len(coeffs))
+	copy(p, coeffs)
+	return p.trim()
+}
+
+// Constant returns the constant polynomial c.
+func Constant(c float64) Poly {
+	if c == 0 {
+		return Poly{}
+	}
+	return Poly{c}
+}
+
+// Linear returns b + a*t.
+func Linear(a, b float64) Poly { return New(b, a) }
+
+// X returns the identity polynomial t.
+func X() Poly { return Poly{0, 1} }
+
+// FromRoots returns the monic polynomial with the given roots.
+func FromRoots(roots ...float64) Poly {
+	p := Poly{1}
+	for _, r := range roots {
+		p = p.Mul(Poly{-r, 1})
+	}
+	return p
+}
+
+// trim removes trailing coefficients that are negligible relative to the
+// largest coefficient magnitude, returning the canonical representation.
+func (p Poly) trim() Poly {
+	max := 0.0
+	for _, c := range p {
+		if a := math.Abs(c); a > max {
+			max = a
+		}
+	}
+	if max == 0 {
+		return Poly{}
+	}
+	cut := max * relEps
+	n := len(p)
+	for n > 0 && math.Abs(p[n-1]) <= cut {
+		n--
+	}
+	q := p[:n]
+	// Flush sub-threshold interior dust to exact zeros so that later
+	// operations (notably GCD and Sturm remainders) see clean input.
+	out := make(Poly, n)
+	for i, c := range q {
+		if math.Abs(c) <= cut {
+			out[i] = 0
+		} else {
+			out[i] = c
+		}
+	}
+	return out
+}
+
+// Degree returns the degree of p, or -1 for the zero polynomial.
+func (p Poly) Degree() int { return len(p) - 1 }
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return len(p) == 0 }
+
+// Lead returns the leading coefficient, or 0 for the zero polynomial.
+func (p Poly) Lead() float64 {
+	if len(p) == 0 {
+		return 0
+	}
+	return p[len(p)-1]
+}
+
+// Clone returns an independent copy of p.
+func (p Poly) Clone() Poly {
+	q := make(Poly, len(p))
+	copy(q, p)
+	return q
+}
+
+// Eval evaluates p at t using Horner's rule.
+func (p Poly) Eval(t float64) float64 {
+	v := 0.0
+	for i := len(p) - 1; i >= 0; i-- {
+		v = v*t + p[i]
+	}
+	return v
+}
+
+// EvalWithDeriv evaluates p and its first derivative at t in one pass.
+func (p Poly) EvalWithDeriv(t float64) (v, dv float64) {
+	for i := len(p) - 1; i >= 0; i-- {
+		dv = dv*t + v
+		v = v*t + p[i]
+	}
+	return v, dv
+}
+
+// Add returns p + q.
+func (p Poly) Add(q Poly) Poly {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	r := make(Poly, n)
+	for i := range r {
+		if i < len(p) {
+			r[i] += p[i]
+		}
+		if i < len(q) {
+			r[i] += q[i]
+		}
+	}
+	return r.trim()
+}
+
+// Sub returns p - q.
+func (p Poly) Sub(q Poly) Poly {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	r := make(Poly, n)
+	for i := range r {
+		if i < len(p) {
+			r[i] += p[i]
+		}
+		if i < len(q) {
+			r[i] -= q[i]
+		}
+	}
+	return r.trim()
+}
+
+// Neg returns -p.
+func (p Poly) Neg() Poly {
+	r := make(Poly, len(p))
+	for i, c := range p {
+		r[i] = -c
+	}
+	return r
+}
+
+// Scale returns c*p.
+func (p Poly) Scale(c float64) Poly {
+	if c == 0 {
+		return Poly{}
+	}
+	r := make(Poly, len(p))
+	for i, x := range p {
+		r[i] = c * x
+	}
+	return r.trim()
+}
+
+// Mul returns p*q.
+func (p Poly) Mul(q Poly) Poly {
+	if p.IsZero() || q.IsZero() {
+		return Poly{}
+	}
+	r := make(Poly, len(p)+len(q)-1)
+	for i, a := range p {
+		if a == 0 {
+			continue
+		}
+		for j, b := range q {
+			r[i+j] += a * b
+		}
+	}
+	return r.trim()
+}
+
+// Derivative returns dp/dt.
+func (p Poly) Derivative() Poly {
+	if len(p) <= 1 {
+		return Poly{}
+	}
+	r := make(Poly, len(p)-1)
+	for i := 1; i < len(p); i++ {
+		r[i-1] = float64(i) * p[i]
+	}
+	return r.trim()
+}
+
+// Compose returns p(q(t)).
+func (p Poly) Compose(q Poly) Poly {
+	r := Poly{}
+	for i := len(p) - 1; i >= 0; i-- {
+		r = r.Mul(q).Add(Constant(p[i]))
+	}
+	return r
+}
+
+// Shift returns p(t+c), the Taylor shift of p by c.
+func (p Poly) Shift(c float64) Poly {
+	if c == 0 {
+		return p.Clone()
+	}
+	return p.Compose(Poly{c, 1})
+}
+
+// Div returns the quotient and remainder of p divided by q, so that
+// p = quo*q + rem with deg(rem) < deg(q). Division by the zero polynomial
+// panics: it indicates a bug in the caller, never bad data.
+func (p Poly) Div(q Poly) (quo, rem Poly) {
+	if q.IsZero() {
+		panic("poly: division by zero polynomial")
+	}
+	rem = p.Clone()
+	dq := q.Degree()
+	lead := q[dq]
+	if rem.Degree() < dq {
+		return Poly{}, rem
+	}
+	quo = make(Poly, rem.Degree()-dq+1)
+	for rem.Degree() >= dq {
+		dr := rem.Degree()
+		c := rem[dr] / lead
+		quo[dr-dq] = c
+		for i := 0; i <= dq; i++ {
+			rem[dr-dq+i] -= c * q[i]
+		}
+		// Force the cancelled leading term to an exact zero, then
+		// re-trim so the loop terminates.
+		rem[dr] = 0
+		rem = rem.trim()
+		if rem.IsZero() {
+			break
+		}
+	}
+	return quo.trim(), rem
+}
+
+// Monic returns p scaled to leading coefficient 1 (zero stays zero).
+func (p Poly) Monic() Poly {
+	if p.IsZero() {
+		return Poly{}
+	}
+	return p.Scale(1 / p.Lead())
+}
+
+// normalizeInf scales p so that its largest coefficient magnitude is 1.
+// Sturm-sequence remainders shrink geometrically; renormalizing keeps the
+// tolerance tests meaningful across the sequence.
+func (p Poly) normalizeInf() Poly {
+	max := 0.0
+	for _, c := range p {
+		if a := math.Abs(c); a > max {
+			max = a
+		}
+	}
+	if max == 0 {
+		return Poly{}
+	}
+	return p.Scale(1 / max)
+}
+
+// gcdEps is the residual threshold (relative to inf-norm-1 operands)
+// below which a Euclidean remainder counts as zero. Without this cut,
+// 1e-16-scale remainder dust would be renormalized back up to magnitude 1
+// and a genuine common divisor would be missed. It sits near machine
+// precision: a looser cut makes close-but-separable root clusters (p and
+// p' with roots ~1e-4 apart) masquerade as multiple roots, and SquareFree
+// would then replace the cluster by a single bogus root.
+const gcdEps = 1e-12
+
+// infNorm returns the largest coefficient magnitude.
+func (p Poly) infNorm() float64 {
+	max := 0.0
+	for _, c := range p {
+		if a := math.Abs(c); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// GCD returns a (monic) greatest common divisor of p and q computed by the
+// Euclidean algorithm with renormalization. With floating-point
+// coefficients the result is a numerical GCD: a nontrivial candidate is
+// accepted only if it verifiably divides both (normalized) inputs —
+// remainder dust can otherwise masquerade as a common factor and, through
+// SquareFree, silently replace a polynomial by a non-factor.
+func GCD(p, q Poly) Poly {
+	a, b := p.normalizeInf(), q.normalizeInf()
+	if a.Degree() < b.Degree() {
+		a, b = b, a
+	}
+	if b.IsZero() {
+		if a.IsZero() {
+			return Poly{}
+		}
+		return a.Monic()
+	}
+	a0, b0 := a, b
+	for {
+		_, r := a.Div(b)
+		if r.infNorm() <= gcdEps {
+			g := b.Monic()
+			if g.Degree() >= 1 && (!divides(g, a0) || !divides(g, b0)) {
+				return Poly{1}
+			}
+			return g
+		}
+		a, b = b, r.normalizeInf()
+	}
+}
+
+// divides reports whether g divides p to within a tight relative residual
+// (p is expected inf-norm-normalized).
+func divides(g, p Poly) bool {
+	if g.Degree() < 1 {
+		return true
+	}
+	_, rem := p.Div(g)
+	return rem.infNorm() <= 1e-7*math.Max(1, p.infNorm())
+}
+
+// SquareFree returns the square-free part p/gcd(p, p'): a polynomial with
+// the same real roots as p, all simple. The zero polynomial maps to zero.
+func (p Poly) SquareFree() Poly {
+	if p.Degree() <= 1 {
+		return p.Clone()
+	}
+	g := GCD(p, p.Derivative())
+	if g.Degree() <= 0 {
+		return p.Clone()
+	}
+	q, _ := p.Div(g)
+	if q.IsZero() {
+		// Numerical breakdown; fall back to p itself. Root isolation
+		// then relies on bisection robustness.
+		return p.Clone()
+	}
+	return q
+}
+
+// Equal reports exact coefficient equality after trimming.
+func (p Poly) Equal(q Poly) bool {
+	a, b := p.trim(), q.trim()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxEqual reports whether p and q agree coefficient-wise within tol.
+func (p Poly) ApproxEqual(q Poly, tol float64) bool {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	for i := 0; i < n; i++ {
+		var a, b float64
+		if i < len(p) {
+			a = p[i]
+		}
+		if i < len(q) {
+			b = q[i]
+		}
+		if math.Abs(a-b) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders p in conventional descending-degree notation, e.g.
+// "2t^2 - t + 3".
+func (p Poly) String() string {
+	if p.IsZero() {
+		return "0"
+	}
+	var b strings.Builder
+	first := true
+	for i := len(p) - 1; i >= 0; i-- {
+		c := p[i]
+		if c == 0 {
+			continue
+		}
+		switch {
+		case first && c < 0:
+			b.WriteString("-")
+		case !first && c < 0:
+			b.WriteString(" - ")
+		case !first:
+			b.WriteString(" + ")
+		}
+		a := math.Abs(c)
+		switch {
+		case i == 0:
+			fmt.Fprintf(&b, "%g", a)
+		case a == 1 && i == 1:
+			b.WriteString("t")
+		case a == 1:
+			fmt.Fprintf(&b, "t^%d", i)
+		case i == 1:
+			fmt.Fprintf(&b, "%gt", a)
+		default:
+			fmt.Fprintf(&b, "%gt^%d", a, i)
+		}
+		first = false
+	}
+	if first {
+		return "0"
+	}
+	return b.String()
+}

@@ -1,0 +1,447 @@
+package poly
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTrims(t *testing.T) {
+	p := New(1, 2, 0, 0)
+	if p.Degree() != 1 {
+		t.Fatalf("Degree = %d, want 1", p.Degree())
+	}
+	if !New(0, 0).IsZero() {
+		t.Error("all-zero should be zero polynomial")
+	}
+	if Constant(0).Degree() != -1 {
+		t.Error("Constant(0) should be zero polynomial")
+	}
+}
+
+func TestEvalHorner(t *testing.T) {
+	p := New(3, -1, 2) // 3 - t + 2t^2
+	if got := p.Eval(2); got != 9 {
+		t.Errorf("Eval(2) = %g, want 9", got)
+	}
+	if got := p.Eval(0); got != 3 {
+		t.Errorf("Eval(0) = %g, want 3", got)
+	}
+	v, dv := p.EvalWithDeriv(2)
+	if v != 9 || dv != 7 {
+		t.Errorf("EvalWithDeriv(2) = %g,%g want 9,7", v, dv)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	p := New(1, 1)  // 1 + t
+	q := New(-1, 1) // -1 + t
+	if got := p.Add(q); !got.Equal(New(0, 2)) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); !got.Equal(New(2)) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Mul(q); !got.Equal(New(-1, 0, 1)) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := p.Neg(); !got.Equal(New(-1, -1)) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := p.Scale(3); !got.Equal(New(3, 3)) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestDerivative(t *testing.T) {
+	p := New(5, 3, 0, 2) // 5 + 3t + 2t^3
+	if got := p.Derivative(); !got.Equal(New(3, 0, 6)) {
+		t.Errorf("Derivative = %v", got)
+	}
+	if !Constant(7).Derivative().IsZero() {
+		t.Error("derivative of constant should be zero")
+	}
+}
+
+func TestCompose(t *testing.T) {
+	p := New(0, 0, 1) // t^2
+	q := New(1, 1)    // 1 + t
+	// p(q) = (1+t)^2 = 1 + 2t + t^2
+	if got := p.Compose(q); !got.ApproxEqual(New(1, 2, 1), 1e-12) {
+		t.Errorf("Compose = %v", got)
+	}
+}
+
+func TestShift(t *testing.T) {
+	p := New(0, 0, 1) // t^2
+	q := p.Shift(3)   // (t+3)^2
+	if got := q.Eval(-3); math.Abs(got) > 1e-12 {
+		t.Errorf("Shift: q(-3) = %g, want 0", got)
+	}
+	if !p.Shift(0).Equal(p) {
+		t.Error("Shift(0) should be identity")
+	}
+}
+
+func TestDiv(t *testing.T) {
+	// (t^2 - 1) / (t - 1) = t + 1 rem 0
+	p := New(-1, 0, 1)
+	q := New(-1, 1)
+	quo, rem := p.Div(q)
+	if !quo.ApproxEqual(New(1, 1), 1e-12) {
+		t.Errorf("quo = %v", quo)
+	}
+	if !rem.IsZero() {
+		t.Errorf("rem = %v, want 0", rem)
+	}
+	// t^3 / (t^2+1): quo=t, rem=-t
+	quo, rem = New(0, 0, 0, 1).Div(New(1, 0, 1))
+	if !quo.ApproxEqual(New(0, 1), 1e-12) || !rem.ApproxEqual(New(0, -1), 1e-12) {
+		t.Errorf("quo=%v rem=%v", quo, rem)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(1, 1).Div(Poly{})
+}
+
+func TestGCD(t *testing.T) {
+	// gcd((t-1)(t-2), (t-1)(t-3)) = t-1
+	p := FromRoots(1, 2)
+	q := FromRoots(1, 3)
+	g := GCD(p, q)
+	if g.Degree() != 1 {
+		t.Fatalf("GCD degree = %d (%v), want 1", g.Degree(), g)
+	}
+	if got := g.Eval(1); math.Abs(got) > 1e-9 {
+		t.Errorf("GCD(1) = %g, want 0", got)
+	}
+	// Coprime case.
+	g = GCD(FromRoots(1), FromRoots(2))
+	if g.Degree() != 0 {
+		t.Errorf("coprime GCD degree = %d (%v), want 0", g.Degree(), g)
+	}
+}
+
+func TestSquareFree(t *testing.T) {
+	// (t-2)^3 (t+1) -> roots {2, -1} each simple
+	p := FromRoots(2, 2, 2, -1)
+	sf := p.SquareFree()
+	if sf.Degree() != 2 {
+		t.Fatalf("SquareFree degree = %d (%v), want 2", sf.Degree(), sf)
+	}
+	for _, r := range []float64{2, -1} {
+		if got := sf.Eval(r); math.Abs(got) > 1e-8 {
+			t.Errorf("sf(%g) = %g, want 0", r, got)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		p    Poly
+		want string
+	}{
+		{Poly{}, "0"},
+		{New(3), "3"},
+		{New(0, -1, 2), "2t^2 - t"},
+		{New(-3, 1), "t - 3"},
+		{New(0, 0, 1), "t^2"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", []float64(c.p), got, c.want)
+		}
+	}
+}
+
+func TestQuadraticRoots(t *testing.T) {
+	rs := quadraticRoots(1, -3, 2) // (t-1)(t-2)
+	if len(rs) != 2 || math.Abs(rs[0]-1) > 1e-12 || math.Abs(rs[1]-2) > 1e-12 {
+		t.Errorf("roots = %v", rs)
+	}
+	if rs := quadraticRoots(1, 0, 1); len(rs) != 0 {
+		t.Errorf("t^2+1 roots = %v", rs)
+	}
+	rs = quadraticRoots(1, -2, 1) // (t-1)^2
+	if len(rs) != 1 || math.Abs(rs[0]-1) > 1e-12 {
+		t.Errorf("double root = %v", rs)
+	}
+	// Catastrophic-cancellation regime: large b.
+	rs = quadraticRoots(1, -1e8, 1)
+	if len(rs) != 2 {
+		t.Fatalf("roots = %v", rs)
+	}
+	if math.Abs(rs[0]-1e-8) > 1e-14 {
+		t.Errorf("small root = %g, want 1e-8", rs[0])
+	}
+}
+
+func TestRootsInLinear(t *testing.T) {
+	p := New(-6, 2) // 2t - 6
+	rs, ok := p.RootsIn(0, 10)
+	if !ok || len(rs) != 1 || math.Abs(rs[0]-3) > 1e-9 {
+		t.Errorf("roots = %v ok=%v", rs, ok)
+	}
+	rs, _ = p.RootsIn(4, 10)
+	if len(rs) != 0 {
+		t.Errorf("roots outside window = %v", rs)
+	}
+}
+
+func TestRootsInCubic(t *testing.T) {
+	p := FromRoots(1, 4, 9)
+	rs, ok := p.RootsIn(0, 10)
+	if !ok || len(rs) != 3 {
+		t.Fatalf("roots = %v ok=%v", rs, ok)
+	}
+	for i, want := range []float64{1, 4, 9} {
+		if math.Abs(rs[i]-want) > 1e-7 {
+			t.Errorf("root[%d] = %g, want %g", i, rs[i], want)
+		}
+	}
+}
+
+func TestRootsInWindow(t *testing.T) {
+	p := FromRoots(-5, 0, 5)
+	rs, _ := p.RootsIn(-1, 6)
+	if len(rs) != 2 {
+		t.Fatalf("roots = %v, want 2 in [-1,6]", rs)
+	}
+	if math.Abs(rs[0]) > 1e-8 || math.Abs(rs[1]-5) > 1e-8 {
+		t.Errorf("roots = %v", rs)
+	}
+}
+
+func TestRootsWithMultiplicity(t *testing.T) {
+	// (t-2)^2 (t-7): distinct roots {2, 7}
+	p := FromRoots(2, 2, 7)
+	rs, _ := p.RootsIn(0, 10)
+	if len(rs) != 2 {
+		t.Fatalf("roots = %v, want 2 distinct", rs)
+	}
+	if math.Abs(rs[0]-2) > 1e-7 || math.Abs(rs[1]-7) > 1e-7 {
+		t.Errorf("roots = %v", rs)
+	}
+}
+
+func TestRootsZeroPoly(t *testing.T) {
+	if _, ok := (Poly{}).RootsIn(0, 1); ok {
+		t.Error("zero polynomial should report ok=false")
+	}
+	if _, ok := (Poly{}).Roots(); ok {
+		t.Error("zero polynomial Roots should report ok=false")
+	}
+}
+
+func TestRootAtEndpoint(t *testing.T) {
+	p := FromRoots(0, 3, 8)
+	rs, _ := p.RootsIn(0, 8)
+	if len(rs) != 3 {
+		t.Fatalf("roots = %v, want endpoints included", rs)
+	}
+}
+
+func TestCountRootsIn(t *testing.T) {
+	p := FromRoots(1, 2, 3, 4)
+	if got := p.CountRootsIn(0, 10); got != 4 {
+		t.Errorf("count = %d, want 4", got)
+	}
+	if got := p.CountRootsIn(1.5, 3.5); got != 2 {
+		t.Errorf("count = %d, want 2", got)
+	}
+	if got := p.CountRootsIn(5, 10); got != 0 {
+		t.Errorf("count = %d, want 0", got)
+	}
+}
+
+func TestFirstRootAfter(t *testing.T) {
+	p := FromRoots(2, 5, 11)
+	r, ok := p.FirstRootAfter(0, 100)
+	if !ok || math.Abs(r-2) > 1e-7 {
+		t.Errorf("first root = %g ok=%v, want 2", r, ok)
+	}
+	r, ok = p.FirstRootAfter(2, 100)
+	if !ok || math.Abs(r-5) > 1e-7 {
+		t.Errorf("first root after 2 = %g ok=%v, want 5 (strictness)", r, ok)
+	}
+	if _, ok := p.FirstRootAfter(11, 100); ok {
+		t.Error("no root after 11 expected")
+	}
+	if _, ok := p.FirstRootAfter(0, 1); ok {
+		t.Error("no root before hi=1 expected")
+	}
+}
+
+func TestSignAfterBefore(t *testing.T) {
+	// p = (t-3)^2 touches zero at 3 from above: sign before/after both +1.
+	p := FromRoots(3, 3)
+	if s := p.SignAfter(3); s != 1 {
+		t.Errorf("SignAfter tangent = %d, want 1", s)
+	}
+	if s := p.SignBefore(3); s != 1 {
+		t.Errorf("SignBefore tangent = %d, want 1", s)
+	}
+	// q = t - 3 crosses: before -1, after +1.
+	q := New(-3, 1)
+	if s := q.SignAfter(3); s != 1 {
+		t.Errorf("SignAfter cross = %d", s)
+	}
+	if s := q.SignBefore(3); s != -1 {
+		t.Errorf("SignBefore cross = %d", s)
+	}
+	// cubic crossing with zero derivative: (t-1)^3.
+	c := FromRoots(1, 1, 1)
+	if s := c.SignAfter(1); s != 1 {
+		t.Errorf("cubic SignAfter = %d", s)
+	}
+	if s := c.SignBefore(1); s != -1 {
+		t.Errorf("cubic SignBefore = %d", s)
+	}
+	if s := (Poly{}).SignAfter(0); s != 0 {
+		t.Errorf("zero poly SignAfter = %d", s)
+	}
+}
+
+func TestSignAt(t *testing.T) {
+	p := New(-4, 0, 1) // t^2 - 4
+	if p.SignAt(3) != 1 || p.SignAt(0) != -1 || p.SignAt(2) != 0 {
+		t.Errorf("SignAt wrong: %d %d %d", p.SignAt(3), p.SignAt(0), p.SignAt(2))
+	}
+}
+
+func TestRootBound(t *testing.T) {
+	p := FromRoots(1, -17, 3)
+	b := p.RootBound()
+	if b < 17 {
+		t.Errorf("RootBound = %g too small", b)
+	}
+}
+
+// Property: for random root sets, RootsIn recovers them.
+func TestRootRecoveryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(5)
+		roots := make([]float64, n)
+		for i := range roots {
+			roots[i] = math.Round(rng.Float64()*2000-1000) / 10 // spaced on 0.1 grid
+		}
+		// Deduplicate to keep roots distinct and separated.
+		seen := map[float64]bool{}
+		var uniq []float64
+		for _, r := range roots {
+			if !seen[r] {
+				seen[r] = true
+				uniq = append(uniq, r)
+			}
+		}
+		p := FromRoots(uniq...)
+		got, ok := p.RootsIn(-200, 200)
+		if !ok {
+			t.Fatalf("trial %d: unexpected zero poly", trial)
+		}
+		if len(got) != len(uniq) {
+			t.Fatalf("trial %d: got %d roots %v, want %d (roots %v)", trial, len(got), got, len(uniq), uniq)
+		}
+		for _, r := range got {
+			best := math.Inf(1)
+			for _, w := range uniq {
+				if d := math.Abs(r - w); d < best {
+					best = d
+				}
+			}
+			if best > 1e-6 {
+				t.Fatalf("trial %d: spurious root %g (true roots %v)", trial, r, uniq)
+			}
+		}
+	}
+}
+
+// Property: Eval distributes over Add and Mul.
+func TestEvalHomomorphism(t *testing.T) {
+	f := func(a0, a1, a2, b0, b1, x float64) bool {
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 1
+			}
+			return math.Mod(v, 100)
+		}
+		p := New(clamp(a0), clamp(a1), clamp(a2))
+		q := New(clamp(b0), clamp(b1))
+		xx := clamp(x)
+		sum := p.Add(q).Eval(xx)
+		prod := p.Mul(q).Eval(xx)
+		scale := math.Max(1, math.Abs(p.Eval(xx))+math.Abs(q.Eval(xx)))
+		okSum := math.Abs(sum-(p.Eval(xx)+q.Eval(xx))) < 1e-8*scale
+		okProd := math.Abs(prod-p.Eval(xx)*q.Eval(xx)) < 1e-6*scale*scale
+		return okSum && okProd
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Div is exact: p = quo*q + rem.
+func TestDivIdentityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		p := randPoly(rng, 6)
+		q := randPoly(rng, 3)
+		if q.IsZero() {
+			continue
+		}
+		// Well-conditioned divisor: a near-zero leading coefficient
+		// makes the quotient explode and the identity check degrades
+		// to catastrophic cancellation, which is not what this test
+		// is about.
+		q = q.Monic()
+		quo, rem := p.Div(q)
+		recon := quo.Mul(q).Add(rem)
+		// The identity holds to roundoff relative to the intermediate
+		// magnitudes (|quo|*|q| can dwarf |p| when q's root is far out).
+		scale := math.Max(1, math.Max(p.coeffScale(), quo.coeffScale()*q.coeffScale()))
+		if !recon.ApproxEqual(p, 1e-9*scale) {
+			t.Fatalf("trial %d: p=%v q=%v quo=%v rem=%v recon=%v", trial, p, q, quo, rem, recon)
+		}
+		if !rem.IsZero() && rem.Degree() >= q.Degree() {
+			t.Fatalf("trial %d: rem degree %d >= divisor degree %d", trial, rem.Degree(), q.Degree())
+		}
+	}
+}
+
+func randPoly(rng *rand.Rand, maxDeg int) Poly {
+	n := rng.Intn(maxDeg + 1)
+	c := make(Poly, n+1)
+	for i := range c {
+		c[i] = rng.NormFloat64() * 10
+	}
+	return c.trim()
+}
+
+func BenchmarkEvalDeg2(b *testing.B) {
+	p := New(1, -2, 3)
+	for i := 0; i < b.N; i++ {
+		_ = p.Eval(float64(i % 100))
+	}
+}
+
+func BenchmarkQuadraticRoots(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = quadraticRoots(1, -3, 2)
+	}
+}
+
+func BenchmarkSturmRootsDeg6(b *testing.B) {
+	p := FromRoots(1, 2, 3, 4, 5, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = p.RootsIn(0, 10)
+	}
+}

@@ -1,0 +1,396 @@
+package poly
+
+import (
+	"math"
+	"sort"
+)
+
+// RootTol is the absolute tolerance to which roots are refined. Root
+// separation in the sweep workloads is orders of magnitude above this.
+const RootTol = 1e-10
+
+// maxBisect bounds bisection iterations per root; 200 halvings reduce any
+// bracketing interval below 1e-45 of its width, far past RootTol.
+const maxBisect = 200
+
+// Sign classifies x against zero with an absolute tolerance scaled to the
+// polynomial context in which it is used.
+func signOf(x, tol float64) int {
+	switch {
+	case x > tol:
+		return 1
+	case x < -tol:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// coeffScale returns the largest coefficient magnitude, used to scale
+// zero-tolerances.
+func (p Poly) coeffScale() float64 { return p.infNorm() }
+
+// evalWithAbs evaluates p at t by Horner's rule, and in the same pass
+// evaluates sum_i |c_i| |t|^i, the magnitude budget that bounds the
+// floating-point error of the evaluation.
+func (p Poly) evalWithAbs(t float64) (v, abs float64) {
+	at := math.Abs(t)
+	for i := len(p) - 1; i >= 0; i-- {
+		v = v*t + p[i]
+		abs = abs*at + math.Abs(p[i])
+	}
+	return v, abs
+}
+
+// signEps is the relative evaluation tolerance for SignAt. It sits three
+// orders of magnitude above the Horner rounding bound (~deg * 2^-52) to
+// absorb coefficient dust introduced upstream by curve arithmetic.
+const signEps = 1e-13
+
+// SignAt returns the sign of p(t) (-1, 0, +1), treating values within the
+// Horner evaluation error bound of zero as zero.
+func (p Poly) SignAt(t float64) int {
+	if p.IsZero() {
+		return 0
+	}
+	v, abs := p.evalWithAbs(t)
+	return signOf(v, signEps*abs)
+}
+
+// SignAfter returns the sign of p on an interval (t, t+delta) for all
+// sufficiently small delta > 0. It is the first nonzero sign in the
+// derivative cascade p(t), p'(t), p”(t), ...; all derivatives zero means
+// p is the zero polynomial (sign 0).
+//
+// This is the crossing-vs-tangency decision procedure of the sweep: it is
+// exact up to the SignAt tolerance and involves no epsilon stepping.
+func (p Poly) SignAfter(t float64) int {
+	q := p
+	for !q.IsZero() {
+		if s := q.SignAt(t); s != 0 {
+			return s
+		}
+		q = q.Derivative()
+	}
+	return 0
+}
+
+// SignBefore returns the sign of p on (t-delta, t) for all sufficiently
+// small delta > 0: the first nonzero of p(t), -p'(t), p”(t), -p”'(t)...
+func (p Poly) SignBefore(t float64) int {
+	q := p
+	flip := 1
+	for !q.IsZero() {
+		if s := q.SignAt(t); s != 0 {
+			return s * flip
+		}
+		q = q.Derivative()
+		flip = -flip
+	}
+	return 0
+}
+
+// RootBound returns the Cauchy bound on the magnitude of all real roots:
+// 1 + max_i |a_i / a_n|. The zero and constant polynomials return 0.
+func (p Poly) RootBound() float64 {
+	if p.Degree() < 1 {
+		return 0
+	}
+	lead := math.Abs(p.Lead())
+	max := 0.0
+	for _, c := range p[:len(p)-1] {
+		if a := math.Abs(c); a > max {
+			max = a
+		}
+	}
+	return 1 + max/lead
+}
+
+// sturmSeq builds the Sturm sequence of p: p0 = p, p1 = p',
+// p_{i+1} = -rem(p_{i-1}, p_i), stopping at a (near-)zero remainder.
+// The input should be square-free for exact counts; on non-square-free
+// input the sequence still terminates and counts distinct roots of the
+// square-free part in well-conditioned cases.
+func sturmSeq(p Poly) []Poly {
+	seq := []Poly{p.normalizeInf()}
+	d := p.Derivative().normalizeInf()
+	if d.IsZero() {
+		return seq
+	}
+	seq = append(seq, d)
+	for {
+		n := len(seq)
+		_, rem := seq[n-2].Div(seq[n-1])
+		rem = rem.Neg().normalizeInf()
+		if rem.IsZero() {
+			return seq
+		}
+		seq = append(seq, rem)
+		if len(seq) > len(p)+2 {
+			// Defensive: numerically degenerate input; stop rather
+			// than loop. Counting falls back to bisection scanning.
+			return seq
+		}
+	}
+}
+
+// signChanges counts sign alternations of the Sturm sequence at x,
+// skipping zeros.
+func signChanges(seq []Poly, x float64) int {
+	changes, last := 0, 0
+	for _, q := range seq {
+		s := q.SignAt(x)
+		if s == 0 {
+			continue
+		}
+		if last != 0 && s != last {
+			changes++
+		}
+		last = s
+	}
+	return changes
+}
+
+// signChangesAtInf counts sign alternations as x -> +inf (dir > 0) or
+// x -> -inf (dir < 0), using leading-term signs.
+func signChangesAtInf(seq []Poly, dir int) int {
+	changes, last := 0, 0
+	for _, q := range seq {
+		if q.IsZero() {
+			continue
+		}
+		s := 1
+		if q.Lead() < 0 {
+			s = -1
+		}
+		if dir < 0 && q.Degree()%2 == 1 {
+			s = -s
+		}
+		if last != 0 && s != last {
+			changes++
+		}
+		last = s
+	}
+	return changes
+}
+
+// CountRootsIn returns the number of distinct real roots of p in the
+// half-open interval (a, b]. p must not be the zero polynomial.
+func (p Poly) CountRootsIn(a, b float64) int {
+	sf := p.SquareFree()
+	if sf.Degree() < 1 {
+		return 0
+	}
+	seq := sturmSeq(sf)
+	return signChanges(seq, a) - signChanges(seq, b)
+}
+
+// newton polishes x within [lo, hi]; it never leaves the bracket.
+func newton(p Poly, x, lo, hi float64) float64 {
+	for i := 0; i < 8; i++ {
+		v, dv := p.EvalWithDeriv(x)
+		if dv == 0 {
+			break
+		}
+		nx := x - v/dv
+		if nx < lo || nx > hi || math.IsNaN(nx) {
+			break
+		}
+		if math.Abs(nx-x) <= RootTol*math.Max(1, math.Abs(x)) {
+			return nx
+		}
+		x = nx
+	}
+	return x
+}
+
+// RootsIn returns the distinct real roots of p in the closed interval
+// [a, b], in ascending order. An identically-zero p returns ok=false
+// (every point is a root); callers in the sweep treat that case
+// separately (curves identical on an interval).
+func (p Poly) RootsIn(a, b float64) (roots []float64, ok bool) {
+	if p.IsZero() {
+		return nil, false
+	}
+	if p.Degree() == 0 {
+		return nil, true
+	}
+	if a > b {
+		return nil, true
+	}
+	// Fast paths for the degrees that dominate sweep workloads.
+	if p.Degree() <= 2 {
+		return lowDegreeRootsIn(p, a, b), true
+	}
+	// Critical-point decomposition for higher degrees: between
+	// consecutive roots of p' the polynomial is monotone, so every real
+	// root is either a sign change inside a monotone segment (found by
+	// bisection, which cannot lie) or a tangency exactly at a critical
+	// point (p evaluates to zero there within the Horner noise budget).
+	// Unlike Sturm sequences over numerical GCDs, this degrades
+	// gracefully on clustered roots and badly-scaled coefficients.
+	bound := p.RootBound()
+	lo := math.Max(a, -bound-1)
+	hi := math.Min(b, bound+1)
+	if !(lo <= hi) {
+		return nil, true
+	}
+	crit, _ := p.Derivative().RootsIn(lo, hi)
+	pts := make([]float64, 0, len(crit)+2)
+	pts = append(pts, lo)
+	for _, c := range crit {
+		if c > pts[len(pts)-1] {
+			pts = append(pts, c)
+		}
+	}
+	if hi > pts[len(pts)-1] {
+		pts = append(pts, hi)
+	}
+	var cand []float64
+	signs := make([]int, len(pts))
+	for i, x := range pts {
+		signs[i] = p.SignAt(x)
+		if signs[i] == 0 {
+			cand = append(cand, x)
+		}
+	}
+	for i := 0; i+1 < len(pts); i++ {
+		if signs[i] != 0 && signs[i+1] != 0 && signs[i] != signs[i+1] {
+			cand = append(cand, monotoneBisect(p, pts[i], pts[i+1], signs[i]))
+		}
+	}
+	sort.Float64s(cand)
+	var out []float64
+	for _, r := range cand {
+		if r < a-RootTol || r > b+RootTol {
+			continue
+		}
+		r = math.Min(math.Max(r, a), b)
+		if len(out) == 0 || r-out[len(out)-1] > RootTol {
+			out = append(out, r)
+		}
+	}
+	return out, true
+}
+
+// monotoneBisect finds the unique root of p inside (lo, hi), where p is
+// monotone with sign slo at lo and the opposite sign at hi.
+func monotoneBisect(p Poly, lo, hi float64, slo int) float64 {
+	for i := 0; i < maxBisect && hi-lo > RootTol*math.Max(1, math.Abs(lo)); i++ {
+		mid := 0.5 * (lo + hi)
+		if mid <= lo || mid >= hi {
+			break
+		}
+		sm := signOf(p.Eval(mid), 0)
+		switch {
+		case sm == 0:
+			return newton(p, mid, lo, hi)
+		case sm == slo:
+			lo = mid
+		default:
+			hi = mid
+		}
+	}
+	return newton(p, 0.5*(lo+hi), lo, hi)
+}
+
+// lowDegreeRootsIn solves degree <= 2 in closed form.
+func lowDegreeRootsIn(p Poly, a, b float64) []float64 {
+	var rs []float64
+	switch p.Degree() {
+	case 1:
+		rs = []float64{-p[0] / p[1]}
+	case 2:
+		rs = quadraticRoots(p[2], p[1], p[0])
+	default:
+		return nil
+	}
+	var out []float64
+	for _, r := range rs {
+		if r >= a-RootTol && r <= b+RootTol {
+			r = math.Min(math.Max(r, a), b)
+			if len(out) == 0 || r-out[len(out)-1] > RootTol {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// quadraticRoots returns the real roots of a*x^2 + b*x + c in ascending
+// order using the numerically-stable quadratic formula. A double root is
+// returned once.
+func quadraticRoots(a, b, c float64) []float64 {
+	if a == 0 {
+		if b == 0 {
+			return nil
+		}
+		return []float64{-c / b}
+	}
+	disc := b*b - 4*a*c
+	// Relative tolerance for the discriminant: treat near-tangency as
+	// tangency so that the sweep sees one (even-multiplicity) root
+	// rather than two roots separated by numerical noise.
+	tol := relEps * (b*b + 4*math.Abs(a*c))
+	if disc < -tol {
+		return nil
+	}
+	if disc <= tol {
+		return []float64{-b / (2 * a)}
+	}
+	s := math.Sqrt(disc)
+	var q float64
+	if b >= 0 {
+		q = -0.5 * (b + s)
+	} else {
+		q = -0.5 * (b - s)
+	}
+	r1, r2 := q/a, c/q
+	if r1 > r2 {
+		r1, r2 = r2, r1
+	}
+	return []float64{r1, r2}
+}
+
+// FirstRootAfter returns the smallest real root of p that is strictly
+// greater than t (by more than RootTol), searching up to hi. The boolean
+// reports whether such a root exists. An identically-zero polynomial
+// reports none: "always equal" is not an event.
+func (p Poly) FirstRootAfter(t, hi float64) (float64, bool) {
+	if p.IsZero() || p.Degree() < 1 {
+		return 0, false
+	}
+	if hi <= t {
+		return 0, false
+	}
+	roots, ok := p.RootsIn(t, hi)
+	if !ok {
+		return 0, false
+	}
+	for _, r := range roots {
+		if r > t+RootTol {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// Roots returns all distinct real roots of p in ascending order (ok=false
+// for the zero polynomial).
+func (p Poly) Roots() ([]float64, bool) {
+	if p.IsZero() {
+		return nil, false
+	}
+	bound := p.RootBound()
+	return p.RootsIn(-bound-1, bound+1)
+}
+
+// SignChangesAtInf exposes the asymptotic sign-change count of p's Sturm
+// sequence for diagnostic use (dir=+1 for +inf, -1 for -inf).
+func (p Poly) SignChangesAtInf(dir int) int {
+	sf := p.SquareFree()
+	if sf.Degree() < 1 {
+		return 0
+	}
+	return signChangesAtInf(sturmSeq(sf), dir)
+}

@@ -1,0 +1,79 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/gdist"
+	"repro/internal/geom"
+	"repro/internal/mod"
+	"repro/internal/trajectory"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		lo, hi, tau float64
+		want        Class
+	}{
+		{0, 10, 20, Past},
+		{0, 10, 10, Past},
+		{11, 20, 10, Future},
+		{5, 20, 10, Continuing},
+		{10, 20, 10, Continuing}, // lo == tau: tau instant is settled
+	}
+	for _, c := range cases {
+		got, err := Classify(c.lo, c.hi, c.tau)
+		if err != nil || got != c.want {
+			t.Errorf("Classify(%g,%g,%g) = %v,%v want %v", c.lo, c.hi, c.tau, got, err, c.want)
+		}
+	}
+	if _, err := Classify(10, 5, 7); err == nil {
+		t.Error("inverted interval accepted")
+	}
+	for _, c := range []Class{Past, Future, Continuing, Class(9)} {
+		if c.String() == "" {
+			t.Error("empty class name")
+		}
+	}
+}
+
+func TestValidAndPredictedAnswers(t *testing.T) {
+	// A continuing 1-NN: window [0, 30], last update at tau = 12.
+	db := mod.NewDB(1, -1)
+	must(t, db.Load(1, trajectory.Stationary(0, geom.Of(1))))
+	must(t, db.Load(2, trajectory.Linear(0, geom.Of(-1), geom.Of(20)))) // takes over at t=19.5 -> d=(20-t)^2<1 at t>19
+	knn := NewKNN(1)
+	if _, err := RunPast(db, gdist.PointSq{Point: geom.Of(0)}, 0, 30, knn); err != nil {
+		t.Fatal(err)
+	}
+	ans := knn.Answer()
+	const tau = 12.0
+	cls, _ := Classify(0, 30, tau)
+	if cls != Continuing {
+		t.Fatalf("class = %v", cls)
+	}
+	valid := ValidAnswer(ans, 0, 30, tau)
+	pred := PredictedAnswer(ans, 0, 30, tau)
+	// o1's membership [0, 19] splits: [0,12] valid, [12,19] predicted.
+	iv := valid.Intervals(1)
+	if len(iv) != 1 || iv[0].Lo != 0 || iv[0].Hi != tau {
+		t.Errorf("valid o1 = %v", iv)
+	}
+	if got := valid.Intervals(2); len(got) != 0 {
+		t.Errorf("valid o2 = %v, want none (takeover is in the future)", got)
+	}
+	// o2 dips within distance 1 only during (19, 21), so o1's predicted
+	// membership has two stretches: [tau,19] and [21,30].
+	pv := pred.Intervals(1)
+	if len(pv) != 2 || pv[0].Lo != tau || pv[1].Hi != 30 {
+		t.Errorf("predicted o1 = %v", pv)
+	}
+	if got := pred.Intervals(2); len(got) != 1 {
+		t.Errorf("predicted o2 = %v", got)
+	}
+	// Past query: everything valid, nothing predicted.
+	valid = ValidAnswer(ans, 0, 30, 100)
+	pred = PredictedAnswer(ans, 0, 30, 100)
+	if len(valid.Intervals(2)) != 1 || len(pred.Objects()) != 0 {
+		t.Errorf("past split wrong: valid=%v predicted=%v", valid, pred)
+	}
+}

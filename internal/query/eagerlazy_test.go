@@ -1,0 +1,117 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gdist"
+	"repro/internal/piecewise"
+	"repro/internal/workload"
+)
+
+// TestEagerEqualsLazy is the paper's Section 3 dichotomy as a property:
+// evaluating a future query eagerly (a Session maintaining the answer as
+// updates arrive, Theorem 5) must agree everywhere with the lazy
+// alternative (wait until all updates are recorded, then run the whole
+// window as a past query, Theorem 4).
+func TestEagerEqualsLazy(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 12; trial++ {
+		n := 6 + rng.Intn(15)
+		base, err := workload.RandomMovers(workload.Config{Seed: int64(trial), N: n, Extent: 300, MaxSpeed: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const lo, hi = 0.0, 80.0
+		updates, err := workload.Stream(base, workload.StreamConfig{
+			Seed: int64(trial) + 100, Count: 20 + rng.Intn(30),
+			From: 1, To: hi - 1,
+			NewW: 0.2, TerminateW: 0.15, ChDirW: 0.65,
+			Extent: 300, MaxSpeed: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := workload.QueryTrajectory(workload.Config{Extent: 300}, int64(trial)+200)
+		f := gdist.EuclideanSq{Query: q}
+		k := 1 + rng.Intn(3)
+
+		// Eager: maintain while updates stream in.
+		eager := NewKNN(k)
+		sess, err := NewSession(base.Snapshot(), f, lo, hi, eager)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range updates {
+			if err := sess.Apply(u); err != nil {
+				t.Fatalf("trial %d: apply %v: %v", trial, u, err)
+			}
+		}
+		if err := sess.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Lazy: record everything first, then evaluate as a past query.
+		recorded := base.Snapshot()
+		if err := recorded.ApplyAll(updates...); err != nil {
+			t.Fatal(err)
+		}
+		lazy := NewKNN(k)
+		if _, err := RunPast(recorded, f, lo, hi, lazy); err != nil {
+			t.Fatal(err)
+		}
+
+		for probe := 0; probe < 60; probe++ {
+			tt := lo + (hi-lo)*(float64(probe)+0.37)/60
+			a := eager.Answer().At(tt)
+			b := lazy.Answer().At(tt)
+			if !sameOIDs(a, b) {
+				t.Fatalf("trial %d k=%d t=%g: eager %v vs lazy %v", trial, k, tt, a, b)
+			}
+		}
+	}
+}
+
+// TestSweepMatchesLowerEnvelope is Example 6's identity as a property:
+// the sweep's 1-NN timeline must equal the lower envelope of the
+// g-distance curves, computed by an independent divide-and-conquer
+// algorithm.
+func TestSweepMatchesLowerEnvelope(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(10)
+		db, err := workload.RandomMovers(workload.Config{Seed: int64(trial) + 40, N: n, Extent: 200, MaxSpeed: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := workload.QueryTrajectory(workload.Config{Extent: 200}, int64(trial)+70)
+		f := gdist.EuclideanSq{Query: q}
+		const lo, hi = 0.0, 40.0
+
+		knn := NewKNN(1)
+		if _, err := RunPast(db, f, lo, hi, knn); err != nil {
+			t.Fatal(err)
+		}
+
+		var curves []piecewise.Labeled
+		for o, tr := range db.Trajectories() {
+			cf, err := f.Curve(tr, lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			curves = append(curves, piecewise.Labeled{ID: uint64(o), F: cf})
+		}
+		env, err := piecewise.LowerEnvelope(curves, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Probe at cell midpoints of the envelope.
+		for _, p := range env {
+			mid := 0.5 * (p.Start + p.End)
+			got := knn.Answer().At(mid)
+			if len(got) != 1 || uint64(got[0]) != p.ID {
+				t.Fatalf("trial %d t=%g: sweep %v vs envelope o%d", trial, mid, got, p.ID)
+			}
+		}
+	}
+}

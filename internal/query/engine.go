@@ -1,0 +1,442 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/eventq"
+	"repro/internal/gdist"
+	"repro/internal/mod"
+	"repro/internal/piecewise"
+	"repro/internal/poly"
+	"repro/internal/trajectory"
+)
+
+// Curve-entry id packing. One curve is registered per (object, time term)
+// pair — the paper's treatment of queries with k time terms — plus one
+// curve per real constant appearing in the query.
+const (
+	constBit  = uint64(1) << 63
+	termShift = 48
+	oidMask   = (uint64(1) << termShift) - 1
+)
+
+// packObj builds the sweep id of (object, time-term index).
+func packObj(o mod.OID, term int) uint64 {
+	return uint64(o)&oidMask | uint64(term)<<termShift
+}
+
+// packConst builds the sweep id of constant index i.
+func packConst(i int) uint64 { return constBit | uint64(i) }
+
+// IsConstID reports whether a sweep id denotes a constant curve.
+func IsConstID(id uint64) bool { return id&constBit != 0 }
+
+// UnpackObj splits a non-constant sweep id into (OID, term index).
+func UnpackObj(id uint64) (mod.OID, int) {
+	return mod.OID(id & oidMask), int(id >> termShift & 0x7fff)
+}
+
+// Evaluator consumes the support-change stream. Implementations maintain
+// an AnswerSet incrementally.
+type Evaluator interface {
+	// Attach is called once when the evaluator is registered; it may
+	// register constant curves and must capture the engine reference.
+	Attach(e *Engine) error
+	// OnChange is invoked for every support change, in time order, after
+	// the engine's order already reflects the change.
+	OnChange(c core.Change)
+	// Finish closes the evaluator's answer at the end of the window.
+	Finish(t float64)
+}
+
+// EngineConfig configures an evaluation engine.
+type EngineConfig struct {
+	// F is the generalized distance. Required.
+	F gdist.GDistance
+	// Lo, Hi delimit the query interval I. Hi may be +Inf (pass
+	// math.Inf(1)) only for distances with closed-form curves; Hi == 0
+	// also means +Inf.
+	Lo, Hi float64
+	// TimeTerms lists the polynomial time terms used by the query;
+	// empty means the single identity term t.
+	TimeTerms []poly.Poly
+	// Queue optionally overrides the event-queue implementation.
+	Queue eventq.Queue
+	// Audit enables internal invariant checking (tests).
+	Audit bool
+}
+
+// Engine drives the plane sweep for one query interval over a set of
+// moving objects: it converts trajectories to g-distance curves, feeds
+// updates into the sweeper (the paper's Section 5 update handling), and
+// fans the support-change stream out to evaluators.
+type Engine struct {
+	f       gdist.GDistance
+	lo, hi  float64
+	terms   []poly.Poly
+	sw      *core.Sweeper
+	trajs   map[mod.OID]trajectory.Trajectory
+	pending []pendingInsert
+	evals   []Evaluator
+	consts  map[float64]uint64
+	nconst  int
+
+	updatesApplied int
+}
+
+type pendingInsert struct {
+	at float64
+	o  mod.OID
+}
+
+// Errors returned by the engine.
+var (
+	ErrBadWindow = errors.New("query: empty or inverted window")
+	ErrBadOID    = errors.New("query: OID exceeds 48-bit id space")
+)
+
+// NewEngine builds an engine over the window [cfg.Lo, cfg.Hi].
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if cfg.F == nil {
+		return nil, errors.New("query: nil g-distance")
+	}
+	hi := cfg.Hi
+	if hi == 0 {
+		hi = math.Inf(1)
+	}
+	if !(cfg.Lo < hi) {
+		return nil, fmt.Errorf("%w: [%g,%g]", ErrBadWindow, cfg.Lo, hi)
+	}
+	terms := cfg.TimeTerms
+	if len(terms) == 0 {
+		terms = []poly.Poly{poly.X()}
+	}
+	e := &Engine{
+		f:      cfg.F,
+		lo:     cfg.Lo,
+		hi:     hi,
+		terms:  terms,
+		trajs:  make(map[mod.OID]trajectory.Trajectory),
+		consts: make(map[float64]uint64),
+	}
+	e.sw = core.NewSweeper(core.Config{
+		Start:    cfg.Lo,
+		Horizon:  hi,
+		Queue:    cfg.Queue,
+		Audit:    cfg.Audit,
+		OnChange: e.fanout,
+	})
+	return e, nil
+}
+
+// fanout relays a support change to every evaluator.
+func (e *Engine) fanout(c core.Change) {
+	for _, ev := range e.evals {
+		ev.OnChange(c)
+	}
+}
+
+// AddEvaluator registers an evaluator; call before Seed so the evaluator
+// sees every change.
+func (e *Engine) AddEvaluator(ev Evaluator) error {
+	if err := ev.Attach(e); err != nil {
+		return err
+	}
+	e.evals = append(e.evals, ev)
+	return nil
+}
+
+// Sweeper exposes the underlying sweep (read-only use by evaluators).
+func (e *Engine) Sweeper() *core.Sweeper { return e.sw }
+
+// Window returns the query interval.
+func (e *Engine) Window() (lo, hi float64) { return e.lo, e.hi }
+
+// GDistance returns the engine's generalized distance.
+func (e *Engine) GDistance() gdist.GDistance { return e.f }
+
+// Traj returns the engine's view of an object's trajectory.
+func (e *Engine) Traj(o mod.OID) (trajectory.Trajectory, bool) {
+	tr, ok := e.trajs[o]
+	return tr, ok
+}
+
+// NumObjects returns the number of live objects in the sweep (excluding
+// constants, counting each object once regardless of time terms).
+func (e *Engine) NumObjects() int {
+	n := 0
+	for o := range e.trajs {
+		if e.sw.Contains(packObj(o, 0)) {
+			n++
+		}
+	}
+	return n
+}
+
+// ConstID registers (idempotently) a constant curve for value c, valid on
+// the whole window, and returns its sweep id.
+func (e *Engine) ConstID(c float64) (uint64, error) {
+	if id, ok := e.consts[c]; ok {
+		return id, nil
+	}
+	id := packConst(e.nconst)
+	cf := piecewise.Constant(c, e.lo, e.hi)
+	if err := e.sw.AddCurve(id, cf); err != nil {
+		return 0, err
+	}
+	e.nconst++
+	e.consts[c] = id
+	return id, nil
+}
+
+// buildTermCurve constructs the curve of (trajectory, term) covering
+// [from, hi] (clipped to the trajectory's lifetime).
+func (e *Engine) buildTermCurve(tr trajectory.Trajectory, term int, from float64) (piecewise.Func, error) {
+	p := e.terms[term]
+	if isIdentity(p) {
+		return e.f.Curve(tr, from, e.hi)
+	}
+	imgLo, imgHi := polyImageRange(p, from, e.hi)
+	base, err := e.f.Curve(tr, imgLo, imgHi)
+	if err != nil {
+		return piecewise.Func{}, err
+	}
+	return base.Compose(p, from, e.hi)
+}
+
+// polyImageRange bounds p([lo,hi]) via endpoint and critical-point values.
+func polyImageRange(p poly.Poly, lo, hi float64) (float64, float64) {
+	if math.IsInf(hi, 1) {
+		// Composed time terms require finite windows; callers with
+		// non-identity terms must bound Hi. Guard with a wide window.
+		hi = lo + 1e6
+	}
+	minV := math.Min(p.Eval(lo), p.Eval(hi))
+	maxV := math.Max(p.Eval(lo), p.Eval(hi))
+	if roots, ok := p.Derivative().RootsIn(lo, hi); ok {
+		for _, r := range roots {
+			v := p.Eval(r)
+			minV = math.Min(minV, v)
+			maxV = math.Max(maxV, v)
+		}
+	}
+	return minV, maxV
+}
+
+// isIdentity reports whether p is the polynomial t.
+func isIdentity(p poly.Poly) bool {
+	return p.Degree() == 1 && p[0] == 0 && p[1] == 1
+}
+
+// Seed loads the engine with the trajectories of a MOD snapshot. Objects
+// live at the window start are inserted immediately (the initial
+// O(N log N) sort of Theorem 5(1)); objects whose trajectories begin
+// later in the window are queued and inserted by RunTo at their creation
+// times (a past query replays recorded creations as updates). Objects
+// whose lifetime misses the window entirely are skipped.
+func (e *Engine) Seed(trajs map[mod.OID]trajectory.Trajectory) error {
+	type entry struct {
+		o  mod.OID
+		tr trajectory.Trajectory
+	}
+	entries := make([]entry, 0, len(trajs))
+	for o, tr := range trajs {
+		entries = append(entries, entry{o, tr})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].o < entries[j].o })
+	for _, en := range entries {
+		o, tr := en.o, en.tr
+		if uint64(o) > oidMask {
+			return fmt.Errorf("%w: %s", ErrBadOID, o)
+		}
+		if !tr.IsDefined() || tr.End() <= e.lo || tr.Start() >= e.hi {
+			continue
+		}
+		e.trajs[o] = tr
+		if tr.Start() <= e.lo {
+			if err := e.insertObject(o, tr, e.lo); err != nil {
+				return err
+			}
+		} else {
+			e.pending = append(e.pending, pendingInsert{at: tr.Start(), o: o})
+		}
+	}
+	sort.Slice(e.pending, func(i, j int) bool {
+		if e.pending[i].at != e.pending[j].at {
+			return e.pending[i].at < e.pending[j].at
+		}
+		return e.pending[i].o < e.pending[j].o
+	})
+	return nil
+}
+
+// insertObject adds the curves of all time terms for o starting at from.
+// On failure, any term curves already inserted are rolled back so the
+// sweep never holds a partially-registered object.
+func (e *Engine) insertObject(o mod.OID, tr trajectory.Trajectory, from float64) (err error) {
+	inserted := make([]uint64, 0, len(e.terms))
+	defer func() {
+		if err == nil {
+			return
+		}
+		for _, id := range inserted {
+			_ = e.sw.RemoveCurve(id)
+		}
+	}()
+	for term := range e.terms {
+		cf, berr := e.buildTermCurve(tr, term, from)
+		if berr != nil {
+			return fmt.Errorf("query: curve for %s term %d: %w", o, term, berr)
+		}
+		id := packObj(o, term)
+		if aerr := e.sw.AddCurve(id, cf); aerr != nil {
+			return aerr
+		}
+		inserted = append(inserted, id)
+	}
+	return nil
+}
+
+// RunTo advances the sweep to time t, performing queued insertions at
+// their creation instants along the way.
+func (e *Engine) RunTo(t float64) error {
+	if t > e.hi {
+		return fmt.Errorf("query: RunTo(%g) beyond window end %g", t, e.hi)
+	}
+	for len(e.pending) > 0 && e.pending[0].at <= t {
+		p := e.pending[0]
+		e.pending = e.pending[1:]
+		if err := e.sw.AdvanceTo(p.at); err != nil {
+			return err
+		}
+		if err := e.insertObject(p.o, e.trajs[p.o], p.at); err != nil {
+			return err
+		}
+	}
+	return e.sw.AdvanceTo(t)
+}
+
+// Finish advances to the end of the window and finalizes all evaluators.
+// For unbounded windows it finalizes at the current sweep time.
+func (e *Engine) Finish() error {
+	if !math.IsInf(e.hi, 1) {
+		if err := e.RunTo(e.hi); err != nil {
+			return err
+		}
+	}
+	t := e.sw.Now()
+	for _, ev := range e.evals {
+		ev.Finish(t)
+	}
+	return nil
+}
+
+// ApplyUpdate ingests one MOD update (Definition 3) at its time instant,
+// first processing every pending intersection event before the update
+// time — exactly the event loop of Section 5. Updates must arrive
+// chronologically.
+func (e *Engine) ApplyUpdate(u mod.Update) error {
+	if u.Tau < e.sw.Now() {
+		return fmt.Errorf("query: update at %g before sweep time %g", u.Tau, e.sw.Now())
+	}
+	if u.Tau > e.hi {
+		return fmt.Errorf("query: update at %g beyond window end %g", u.Tau, e.hi)
+	}
+	if err := e.RunTo(u.Tau); err != nil {
+		return err
+	}
+	e.updatesApplied++
+	switch u.Kind {
+	case mod.KindNew:
+		if uint64(u.O) > oidMask {
+			return fmt.Errorf("%w: %s", ErrBadOID, u.O)
+		}
+		tr := trajectory.Linear(u.Tau, u.A, u.B)
+		e.trajs[u.O] = tr
+		return e.insertObject(u.O, tr, u.Tau)
+	case mod.KindTerminate:
+		tr, ok := e.trajs[u.O]
+		if !ok {
+			return fmt.Errorf("query: terminate unknown object %s", u.O)
+		}
+		nt, err := tr.Terminate(u.Tau)
+		if err != nil {
+			return err
+		}
+		e.trajs[u.O] = nt
+		for term := range e.terms {
+			id := packObj(u.O, term)
+			if e.sw.Contains(id) {
+				if err := e.sw.RemoveCurve(id); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	case mod.KindChDir:
+		tr, ok := e.trajs[u.O]
+		if !ok {
+			return fmt.Errorf("query: chdir unknown object %s", u.O)
+		}
+		nt, err := tr.ChDir(u.Tau, u.A)
+		if err != nil {
+			return err
+		}
+		e.trajs[u.O] = nt
+		for term := range e.terms {
+			id := packObj(u.O, term)
+			if !e.sw.Contains(id) {
+				continue
+			}
+			cf, err := e.buildTermCurve(nt, term, u.Tau)
+			if err != nil {
+				return err
+			}
+			if err := e.sw.ReplaceCurve(id, cf); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("query: unknown update kind %v", u.Kind)
+	}
+}
+
+// UpdatesApplied reports how many updates the engine has ingested.
+func (e *Engine) UpdatesApplied() int { return e.updatesApplied }
+
+// ReplaceGDistance swaps the engine's generalized distance — the
+// Theorem 10 case of a chdir on the query trajectory. The current
+// precedence relation stays valid (old and new g-distances agree up to
+// now), so no re-sort happens: every curve is rebuilt and all adjacency
+// events are recomputed in O(N) sweep work.
+func (e *Engine) ReplaceGDistance(f gdist.GDistance) error {
+	e.f = f
+	now := e.sw.Now()
+	replacement := make(map[uint64]piecewise.Func)
+	for o, tr := range e.trajs {
+		for term := range e.terms {
+			id := packObj(o, term)
+			if !e.sw.Contains(id) {
+				continue
+			}
+			cf, err := e.buildTermCurve(tr, term, now)
+			if err != nil {
+				return err
+			}
+			replacement[id] = cf
+		}
+	}
+	// Constant curves are unaffected but ReplaceAll wants the full set.
+	for _, id := range e.sw.Order() {
+		if IsConstID(id) {
+			cf, _ := e.sw.Curve(id)
+			replacement[id] = cf
+		}
+	}
+	return e.sw.ReplaceAll(replacement)
+}

@@ -1,0 +1,99 @@
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gdist"
+	"repro/internal/mod"
+	"repro/internal/tindex"
+	"repro/internal/trajectory"
+)
+
+// Historian answers repeated past queries over one frozen view of the
+// database. It snapshots the trajectories once and builds a lifetime
+// interval index (internal/tindex), so each query seeds its sweep from
+// only the objects whose lifetimes intersect the query window — the
+// access-path role the paper's related work assigns to moving-object
+// indexing ([1, 17, 22]).
+type Historian struct {
+	trajs map[mod.OID]trajectory.Trajectory
+	index *tindex.Tree
+	tau   float64
+}
+
+// NewHistorian snapshots db and indexes the object lifetimes.
+func NewHistorian(db *mod.DB) (*Historian, error) {
+	trajs := db.Trajectories()
+	ivs := make([]tindex.Interval, 0, len(trajs))
+	for o, tr := range trajs {
+		if !tr.IsDefined() {
+			continue
+		}
+		ivs = append(ivs, tindex.Interval{Lo: tr.Start(), Hi: tr.End(), ID: uint64(o)})
+	}
+	idx, err := tindex.Build(ivs)
+	if err != nil {
+		return nil, fmt.Errorf("query: historian index: %w", err)
+	}
+	return &Historian{trajs: trajs, index: idx, tau: db.Tau()}, nil
+}
+
+// NumObjects returns the number of indexed objects.
+func (h *Historian) NumObjects() int { return h.index.Len() }
+
+// Tau returns the snapshot's last-update time; windows ending after it
+// are not settled history (use Classify).
+func (h *Historian) Tau() float64 { return h.tau }
+
+// Relevant returns the objects whose lifetimes intersect [lo, hi].
+func (h *Historian) Relevant(lo, hi float64) []mod.OID {
+	ids := h.index.Overlap(lo, hi)
+	out := make([]mod.OID, len(ids))
+	for i, id := range ids {
+		out[i] = mod.OID(id)
+	}
+	return out
+}
+
+// Run evaluates evaluators over [lo, hi], seeding the sweep from the
+// index-selected objects only.
+func (h *Historian) Run(f gdist.GDistance, lo, hi float64, evs ...Evaluator) (StatsResult, error) {
+	e, err := NewEngine(EngineConfig{F: f, Lo: lo, Hi: hi})
+	if err != nil {
+		return StatsResult{}, err
+	}
+	for _, ev := range evs {
+		if err := e.AddEvaluator(ev); err != nil {
+			return StatsResult{}, err
+		}
+	}
+	relevant := make(map[mod.OID]trajectory.Trajectory)
+	for _, o := range h.Relevant(lo, hi) {
+		relevant[o] = h.trajs[o]
+	}
+	if err := e.Seed(relevant); err != nil {
+		return StatsResult{}, err
+	}
+	if err := e.Finish(); err != nil {
+		return StatsResult{}, err
+	}
+	return StatsResult{Sweep: e.Sweeper().Stats(), Seeded: len(relevant)}, nil
+}
+
+// KNN is a convenience: a k-NN query over [lo, hi].
+func (h *Historian) KNN(f gdist.GDistance, k int, lo, hi float64) (*AnswerSet, StatsResult, error) {
+	knn := NewKNN(k)
+	st, err := h.Run(f, lo, hi, knn)
+	if err != nil {
+		return nil, StatsResult{}, err
+	}
+	return knn.Answer(), st, nil
+}
+
+// StatsResult augments sweep stats with how many objects the index
+// admitted into the sweep.
+type StatsResult struct {
+	Sweep  core.Stats
+	Seeded int
+}

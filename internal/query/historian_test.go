@@ -1,0 +1,76 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gdist"
+	"repro/internal/geom"
+	"repro/internal/mod"
+	"repro/internal/trajectory"
+)
+
+func TestHistorianSeedsOnlyRelevantObjects(t *testing.T) {
+	db := mod.NewDB(1, -1)
+	// Three eras of objects.
+	early := trajectory.Linear(0, geom.Of(0), geom.Of(1))
+	earlyEnd, err := early.Terminate(10)
+	must(t, err)
+	must(t, db.Load(1, earlyEnd))
+	mid := trajectory.Linear(20, geom.Of(0), geom.Of(2))
+	midEnd, err := mid.Terminate(30)
+	must(t, err)
+	must(t, db.Load(2, midEnd))
+	must(t, db.Load(3, trajectory.Linear(40, geom.Of(0), geom.Of(3)))) // open-ended
+
+	h, err := NewHistorian(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumObjects() != 3 {
+		t.Fatalf("NumObjects = %d", h.NumObjects())
+	}
+	if got := h.Relevant(22, 28); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Relevant(22,28) = %v", got)
+	}
+	if got := h.Relevant(5, 45); len(got) != 3 {
+		t.Errorf("Relevant(5,45) = %v", got)
+	}
+	ans, st, err := h.KNN(gdist.PointSq{Point: geom.Of(0)}, 1, 22, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Seeded != 1 {
+		t.Errorf("Seeded = %d, want 1 (index pruning)", st.Seeded)
+	}
+	if got := ans.At(25); len(got) != 1 || got[0] != 2 {
+		t.Errorf("answer = %v", got)
+	}
+}
+
+func TestHistorianMatchesRunPast(t *testing.T) {
+	db := lineDB(t, []float64{1, 10, -4}, []float64{0, -1, 0.5})
+	h, err := NewHistorian(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hAns, _, err := h.KNN(originSq(), 1, 0, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	knn := NewKNN(1)
+	if _, err := RunPast(db, originSq(), 0, 12, knn); err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0.3, 4.4, 8.8, 9.6, 11.7} {
+		if !sameOIDs(hAns.At(tt), knn.Answer().At(tt)) {
+			t.Errorf("t=%g: historian %v vs RunPast %v", tt, hAns.At(tt), knn.Answer().At(tt))
+		}
+	}
+	if h.Tau() != db.Tau() {
+		t.Errorf("Tau = %g vs %g", h.Tau(), db.Tau())
+	}
+	if math.IsNaN(h.Tau()) {
+		t.Error("NaN tau")
+	}
+}

@@ -1,0 +1,77 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mod"
+	"repro/internal/trajectory"
+)
+
+func TestRankTrackerTimeline(t *testing.T) {
+	// o3 starts farthest (rank 2), overtakes o2 then o1.
+	db := lineDB(t, []float64{1, 5, 20}, []float64{0, 0, -1})
+	rt := NewRankTracker(3)
+	if _, err := RunPast(db, originSq(), 0, 25, rt); err != nil {
+		t.Fatal(err)
+	}
+	// d3 = (20-t)^2: passes d2=25 when 20-t<5 => t=15; passes d1=1 at t=19.
+	if got := rt.RankAt(10); got != 2 {
+		t.Errorf("RankAt(10) = %d, want 2", got)
+	}
+	if got := rt.RankAt(17); got != 1 {
+		t.Errorf("RankAt(17) = %d, want 1", got)
+	}
+	if got := rt.RankAt(20); got != 0 {
+		t.Errorf("RankAt(20) = %d, want 0", got)
+	}
+	// It passes through the origin and recedes: loses rank 0 at t=21,
+	// rank 1 at t=25.
+	best, at, ok := rt.Best()
+	if !ok || best != 0 || at < 18.9 || at > 19.1 {
+		t.Errorf("Best = %d at %g ok=%v", best, at, ok)
+	}
+	if got := rt.RankAt(-5); got != -1 {
+		t.Errorf("RankAt before window = %d", got)
+	}
+}
+
+func TestRankTrackerAbsence(t *testing.T) {
+	db := mod.NewDB(1, -1)
+	must(t, db.Load(1, trajectory.Stationary(0, geom.Of(5))))
+	// Tracked object exists only during [10, 20].
+	short := trajectory.Linear(10, geom.Of(0), geom.Of(1))
+	ended, err := short.Terminate(20)
+	must(t, err)
+	must(t, db.Load(2, ended))
+	rt := NewRankTracker(2)
+	if _, err := RunPast(db, originSq(), 0, 30, rt); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.RankAt(5); got != -1 {
+		t.Errorf("RankAt(5) = %d, want absent", got)
+	}
+	if got := rt.RankAt(15); got != 0 {
+		t.Errorf("RankAt(15) = %d, want 0 (closest)", got)
+	}
+	if got := rt.RankAt(25); got != -1 {
+		t.Errorf("RankAt(25) = %d, want absent after termination", got)
+	}
+	steps := rt.Steps()
+	if len(steps) < 3 {
+		t.Errorf("steps = %v", steps)
+	}
+}
+
+func TestRankTrackerWithConstants(t *testing.T) {
+	// A Within evaluator adds a constant curve; ranks must skip it.
+	db := lineDB(t, []float64{1, 5}, []float64{0, 0})
+	rt := NewRankTracker(2)
+	w := NewWithin(9) // constant curve 9 sits between d1=1 and d2=25
+	if _, err := RunPast(db, originSq(), 0, 10, rt, w); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.RankAt(5); got != 1 {
+		t.Errorf("RankAt = %d, want 1 (constants skipped)", got)
+	}
+}

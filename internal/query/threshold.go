@@ -1,0 +1,150 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mod"
+	"repro/internal/piecewise"
+)
+
+// Within maintains the answer of the threshold query f(y, t) <= C —
+// the paper's "all flights within 50 km of Flight 623" (Example 11). The
+// constant is materialized as a stationary curve in the sweep order, so
+// threshold crossings are ordinary intersection events; membership of an
+// object changes only at events involving the constant curve (Lemma 8).
+type Within struct {
+	C float64
+
+	e       *Engine
+	ans     *AnswerSet
+	constID uint64
+	cur     map[mod.OID]bool
+}
+
+// NewWithin builds a threshold evaluator for f(y,t) <= c.
+func NewWithin(c float64) *Within { return &Within{C: c} }
+
+// Attach implements Evaluator.
+func (q *Within) Attach(e *Engine) error {
+	if len(e.terms) != 1 || !isIdentity(e.terms[0]) {
+		return errors.New("query: Within requires the single identity time term")
+	}
+	q.e = e
+	q.ans = NewAnswerSet()
+	q.cur = make(map[mod.OID]bool)
+	id, err := e.ConstID(q.C)
+	if err != nil {
+		return fmt.Errorf("query: Within constant: %w", err)
+	}
+	q.constID = id
+	return nil
+}
+
+// memberAfter decides membership of object id on (t, t+delta): its curve
+// is below (or coinciding with) the constant.
+func (q *Within) memberAfter(id uint64, t float64) bool {
+	fo, ok := q.e.sw.Curve(id)
+	if !ok {
+		return false
+	}
+	fc, _ := q.e.sw.Curve(q.constID)
+	switch piecewise.SignDiffAfter(fo, fc, t) {
+	case -1:
+		return true
+	case 0:
+		return true // coinciding with the threshold: <= holds
+	default:
+		return false
+	}
+}
+
+// setMembership reconciles one object's membership at time t.
+func (q *Within) setMembership(o mod.OID, member bool, t float64) {
+	switch {
+	case member && !q.cur[o]:
+		q.cur[o] = true
+		q.ans.Enter(o, t)
+	case !member && q.cur[o]:
+		delete(q.cur, o)
+		q.ans.Leave(o, t)
+	}
+}
+
+// OnChange implements Evaluator.
+func (q *Within) OnChange(c core.Change) {
+	switch c.Kind {
+	case core.ChangeInsert:
+		if IsConstID(c.A) {
+			return
+		}
+		o, term := UnpackObj(c.A)
+		if term != 0 {
+			return
+		}
+		q.setMembership(o, q.memberAfter(c.A, c.T), c.T)
+	case core.ChangeRemove, core.ChangeExpire:
+		if IsConstID(c.A) {
+			return
+		}
+		o, term := UnpackObj(c.A)
+		if term != 0 {
+			return
+		}
+		q.setMembership(o, false, c.T)
+	case core.ChangeEqual, core.ChangeSwap, core.ChangeSeparate:
+		// Only events involving the constant can change membership.
+		var objID uint64
+		switch {
+		case c.A == q.constID:
+			objID = c.B
+		case c.B == q.constID:
+			objID = c.A
+		default:
+			return
+		}
+		if IsConstID(objID) {
+			return
+		}
+		o, term := UnpackObj(objID)
+		if term != 0 {
+			return
+		}
+		member := q.memberAfter(objID, c.T)
+		if c.Kind == core.ChangeEqual && !member && !q.cur[o] {
+			// Tangency from above: <= holds exactly at the instant.
+			q.ans.Point(o, c.T)
+			return
+		}
+		q.setMembership(o, member, c.T)
+	case core.ChangeReplace:
+		// A chdir preserves the value at the replacement instant, so
+		// membership is unchanged; future changes arrive as events.
+	}
+}
+
+// Finish implements Evaluator.
+func (q *Within) Finish(t float64) { q.ans.Finish(t) }
+
+// Answer returns the accumulated answer set.
+func (q *Within) Answer() *AnswerSet { return q.ans }
+
+// Current returns the objects currently within the threshold, ascending.
+func (q *Within) Current() []mod.OID {
+	out := make([]mod.OID, 0, len(q.cur))
+	for o := range q.cur {
+		out = append(out, o)
+	}
+	sortOIDs(out)
+	return out
+}
+
+// sortOIDs sorts ascending (tiny helper shared by evaluators).
+func sortOIDs(os []mod.OID) {
+	for i := 1; i < len(os); i++ {
+		for j := i; j > 0 && os[j] < os[j-1]; j-- {
+			os[j], os[j-1] = os[j-1], os[j]
+		}
+	}
+}

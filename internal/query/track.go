@@ -1,0 +1,77 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/gdist"
+	"repro/internal/mod"
+)
+
+// TrackSession is the paper's Section 5 closing extension: a continuing
+// query whose query object IS one of the database's moving objects. While
+// ordinary updates flow through the usual per-object handling, a chdir on
+// the tracked object changes every g-distance at once — and, as the paper
+// observes, the current precedence relation remains correct, so the
+// session rebuilds all curves in O(N) without re-sorting (Theorem 10).
+type TrackSession struct {
+	*Session
+	// Target is the tracked query object.
+	Target mod.OID
+
+	mk func(tr targetTrajectory) gdist.GDistance
+}
+
+// targetTrajectory aliases the trajectory type without widening imports.
+type targetTrajectory = trajectoryT
+
+// NewTrackKNNSession starts a continuing k-NN query whose query object is
+// the database object target. The target itself participates as the
+// closest object (distance 0); ask for k+1 neighbors to see k others, or
+// filter the answer.
+func NewTrackKNNSession(db *mod.DB, target mod.OID, k int, lo, hi float64) (*TrackSession, *KNN, error) {
+	tr, err := db.Traj(target)
+	if err != nil {
+		return nil, nil, fmt.Errorf("query: track target: %w", err)
+	}
+	if !tr.DefinedAt(lo) {
+		return nil, nil, fmt.Errorf("query: target %s not live at window start %g", target, lo)
+	}
+	mk := func(tr targetTrajectory) gdist.GDistance { return gdist.EuclideanSq{Query: tr} }
+	knn := NewKNN(k)
+	sess, err := NewSession(db, mk(tr), lo, hi, knn)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &TrackSession{Session: sess, Target: target, mk: mk}, knn, nil
+}
+
+// Apply ingests one update. Updates to the tracked object are split into
+// their two roles: the object's own curve changes like any other
+// object's, and — because the object is also the query — every other
+// curve is rebuilt via the O(N) Theorem 10 path.
+func (ts *TrackSession) Apply(u mod.Update) error {
+	if u.O != ts.Target {
+		return ts.Session.Apply(u)
+	}
+	switch u.Kind {
+	case mod.KindChDir:
+		// First let the engine update the target's own trajectory and
+		// curve (chronology, event processing up to u.Tau)...
+		if err := ts.Session.Apply(u); err != nil {
+			return err
+		}
+		// ...then retarget every curve to the target's new motion. The
+		// g-distances coincide at u.Tau (the trajectory is continuous),
+		// so the precedence relation stays valid.
+		nt, ok := ts.E.Traj(ts.Target)
+		if !ok {
+			return fmt.Errorf("query: tracked object %s vanished", ts.Target)
+		}
+		return ts.E.ReplaceGDistance(ts.mk(nt))
+	case mod.KindTerminate:
+		return errors.New("query: cannot terminate the tracked query object mid-watch")
+	default:
+		return fmt.Errorf("query: unsupported update %v on tracked object", u.Kind)
+	}
+}

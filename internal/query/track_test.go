@@ -1,0 +1,116 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mod"
+	"repro/internal/trajectory"
+)
+
+func TestTrackSessionFollowsTargetTurns(t *testing.T) {
+	db := mod.NewDB(2, -1)
+	// Target o1 moves right from the origin; o2 parked ahead at (20,0);
+	// o3 parked behind at (-4,0).
+	must(t, db.Load(1, trajectory.Linear(0, geom.Of(1, 0), geom.Of(0, 0))))
+	must(t, db.Load(2, trajectory.Stationary(0, geom.Of(20, 0))))
+	must(t, db.Load(3, trajectory.Stationary(0, geom.Of(-4, 0))))
+
+	ts, knn, err := NewTrackKNNSession(db, 1, 2, 0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.OnUpdate(func(u mod.Update) {
+		if err := ts.Apply(u); err != nil {
+			t.Errorf("apply %v: %v", u, err)
+		}
+	})
+	// At t=6 the target is at (6,0): o3 (dist 10) still closer than o2
+	// (dist 14). Answer = [target, o3].
+	must(t, ts.AdvanceTo(6))
+	if cur := knn.Current(); len(cur) != 2 || cur[0] != 1 || cur[1] != 3 {
+		t.Fatalf("at 6: %v, want [o1 o3]", cur)
+	}
+	// Without any turn, o2 takes over when dist(target,o2) < dist(target,o3):
+	// 20-t < t+4 => t > 8.
+	must(t, ts.AdvanceTo(10))
+	if cur := knn.Current(); cur[1] != 2 {
+		t.Fatalf("at 10: %v, want o2 second", cur)
+	}
+	// The TARGET turns around at t=12 (position (12,0)), heading back:
+	// the handover must reverse at 12 + small: dist to o2 grows again,
+	// o3 retakes when 12-... pos = 12-(t-12): dist3 = pos+4 = 28-t,
+	// dist2 = 20-pos = t-4... wait dist2 = 20-(24-t) = t-4; equal when
+	// 28-t = t-4 => t = 16.
+	must(t, db.Apply(mod.ChDir(1, 12, geom.Of(-1, 0))))
+	must(t, ts.AdvanceTo(14))
+	if cur := knn.Current(); cur[1] != 2 {
+		t.Fatalf("at 14: %v, want o2 still second", cur)
+	}
+	must(t, ts.AdvanceTo(17))
+	if cur := knn.Current(); cur[1] != 3 {
+		t.Fatalf("at 17: %v, want o3 again after the target's turn", cur)
+	}
+	must(t, ts.Close())
+	// Answer history for o3 shows the gap [8, 16].
+	iv3 := knn.Answer().Intervals(3)
+	if len(iv3) != 2 {
+		t.Fatalf("o3 intervals %v", iv3)
+	}
+	if iv3[0].Hi < 7.9 || iv3[0].Hi > 8.1 || iv3[1].Lo < 15.9 || iv3[1].Lo > 16.1 {
+		t.Errorf("o3 intervals %v, want [..,8] [16,..]", iv3)
+	}
+}
+
+func TestTrackSessionValidation(t *testing.T) {
+	db := mod.NewDB(2, -1)
+	must(t, db.Load(1, trajectory.Linear(0, geom.Of(1, 0), geom.Of(0, 0))))
+	if _, _, err := NewTrackKNNSession(db, 9, 1, 0, 10); err == nil {
+		t.Error("missing target accepted")
+	}
+	late := trajectory.Linear(50, geom.Of(1, 0), geom.Of(0, 0))
+	must(t, db.Load(2, late))
+	if _, _, err := NewTrackKNNSession(db, 2, 1, 0, 10); err == nil {
+		t.Error("target not live at window start accepted")
+	}
+	ts, _, err := NewTrackKNNSession(db, 1, 1, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Apply(mod.Terminate(1, 5)); err == nil {
+		t.Error("terminating the tracked object accepted")
+	}
+	if err := ts.Apply(mod.Update{Kind: mod.KindNew, O: 1, Tau: 6}); err == nil {
+		t.Error("re-creating the tracked object accepted")
+	}
+}
+
+// TestTrackSessionMatchesOracle replays the tracked session against
+// brute-force geometry after the fact.
+func TestTrackSessionMatchesOracle(t *testing.T) {
+	db := mod.NewDB(2, -1)
+	must(t, db.Load(1, trajectory.Linear(0, geom.Of(2, 1), geom.Of(0, 0))))
+	for i := mod.OID(2); i <= 8; i++ {
+		must(t, db.Load(i, trajectory.Linear(0,
+			geom.Of(float64(i%3)-1, float64(i%4)-2),
+			geom.Of(float64(i)*13-50, 40-float64(i)*9))))
+	}
+	ts, knn, err := NewTrackKNNSession(db, 1, 3, 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.OnUpdate(func(u mod.Update) { must(t, ts.Apply(u)) })
+	must(t, db.Apply(mod.ChDir(1, 15, geom.Of(-1, 0))))
+	must(t, db.Apply(mod.ChDir(1, 30, geom.Of(0, -2))))
+	must(t, ts.AdvanceTo(50))
+	must(t, ts.Close())
+	// Oracle: final recorded trajectories.
+	for _, tt := range []float64{3.3, 14.9, 15.1, 22.2, 29.9, 30.1, 44.4} {
+		q, _ := db.Traj(1)
+		want := bruteKNN(db, q, 3, tt)
+		got := knn.Answer().At(tt)
+		if !sameOIDs(got, want) {
+			t.Fatalf("t=%g: tracked %v vs oracle %v", tt, got, want)
+		}
+	}
+}

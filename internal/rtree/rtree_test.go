@@ -1,0 +1,181 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func randItems(rng *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{ID: uint64(i + 1), P: geom.Of(rng.Float64()*1000, rng.Float64()*1000)}
+	}
+	return items
+}
+
+func TestBulkAndRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	items := randItems(rng, 500)
+	tr, err := Bulk(items, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	r, err := NewRect(geom.Of(100, 100), geom.Of(400, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tr.SearchRange(r)
+	var want []Item
+	for _, it := range items {
+		if r.contains(it.P) {
+			want = append(want, it)
+		}
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i].ID < want[j].ID })
+	if len(got) != len(want) {
+		t.Fatalf("range: %d vs brute %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("range mismatch at %d", i)
+		}
+	}
+}
+
+func TestInsertAndRadius(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := New(2, 8)
+	items := randItems(rng, 300)
+	for _, it := range items {
+		if err := tr.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 300 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	center := geom.Of(500, 500)
+	got := tr.SearchRadius(center, 150)
+	var want []uint64
+	for _, it := range items {
+		if it.P.Dist(center) <= 150 {
+			want = append(want, it.ID)
+		}
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("radius: %d vs brute %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i] {
+			t.Fatalf("radius mismatch at %d", i)
+		}
+	}
+	if err := tr.Insert(Item{ID: 9999, P: geom.Of(1, 2, 3)}); err == nil {
+		t.Error("wrong-dimension insert accepted")
+	}
+}
+
+func TestNearestK(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	items := randItems(rng, 400)
+	tr, err := Bulk(items, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for probe := 0; probe < 20; probe++ {
+		center := geom.Of(rng.Float64()*1000, rng.Float64()*1000)
+		k := 1 + rng.Intn(10)
+		got := tr.NearestK(center, k)
+		// Brute force.
+		sorted := append([]Item(nil), items...)
+		sort.Slice(sorted, func(i, j int) bool {
+			di, dj := sorted[i].P.Dist2(center), sorted[j].P.Dist2(center)
+			if di != dj {
+				return di < dj
+			}
+			return sorted[i].ID < sorted[j].ID
+		})
+		if len(got) != k {
+			t.Fatalf("NearestK returned %d, want %d", len(got), k)
+		}
+		for i := 0; i < k; i++ {
+			if got[i].P.Dist2(center) != sorted[i].P.Dist2(center) {
+				t.Fatalf("probe %d rank %d: got %v (d2=%g), want d2=%g",
+					probe, i, got[i], got[i].P.Dist2(center), sorted[i].P.Dist2(center))
+			}
+		}
+	}
+	if got := tr.NearestK(geom.Of(0, 0), 0); got != nil {
+		t.Error("k=0 should return nil")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(2, 16)
+	if got := tr.NearestK(geom.Of(0, 0), 3); len(got) != 0 {
+		t.Error("NN on empty tree")
+	}
+	r, _ := NewRect(geom.Of(0, 0), geom.Of(1, 1))
+	if got := tr.SearchRange(r); len(got) != 0 {
+		t.Error("range on empty tree")
+	}
+	if got := tr.SearchRadius(geom.Of(0, 0), 5); len(got) != 0 {
+		t.Error("radius on empty tree")
+	}
+	empty, err := Bulk(nil, 2, 16)
+	if err != nil || empty.Len() != 0 {
+		t.Error("empty bulk")
+	}
+}
+
+func TestRectValidation(t *testing.T) {
+	if _, err := NewRect(geom.Of(1, 1), geom.Of(0, 0)); err == nil {
+		t.Error("inverted rect accepted")
+	}
+	if _, err := NewRect(geom.Of(1), geom.Of(0, 0)); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := Bulk([]Item{{ID: 1, P: geom.Of(1)}}, 2, 16); err == nil {
+		t.Error("wrong-dim bulk accepted")
+	}
+}
+
+func TestBulkEqualsInsertResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	items := randItems(rng, 200)
+	bulk, _ := Bulk(items, 2, 8)
+	inc := New(2, 8)
+	for _, it := range items {
+		_ = inc.Insert(it)
+	}
+	for probe := 0; probe < 10; probe++ {
+		c := geom.Of(rng.Float64()*1000, rng.Float64()*1000)
+		a := bulk.SearchRadius(c, 200)
+		b := inc.SearchRadius(c, 200)
+		if len(a) != len(b) {
+			t.Fatalf("bulk %d vs incremental %d results", len(a), len(b))
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID {
+				t.Fatalf("result mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func BenchmarkNearestK(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	items := randItems(rng, 10000)
+	tr, _ := Bulk(items, 2, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.NearestK(geom.Of(float64(i%1000), 500), 5)
+	}
+}

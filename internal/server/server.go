@@ -1,0 +1,250 @@
+// Package server exposes a moving object database over HTTP/JSON: a thin
+// network layer for feeding chronological updates in and running
+// plane-sweep queries, suitable for wiring trackers and dashboards to the
+// engine. Used by cmd/modserve; handlers are plain net/http and are
+// exercised with httptest.
+//
+// Endpoints:
+//
+//	GET  /healthz                 liveness + database header
+//	GET  /objects                 OIDs, tau, live count
+//	GET  /object?oid=1            one trajectory (pieces + constraint syntax)
+//	POST /update                  {"kind":"new|terminate|chdir","oid":..,"tau":..,"a":[..],"b":[..]}
+//	POST /query/knn               {"k":..,"lo":..,"hi":..,"point":[..]}
+//	POST /query/within            {"radius":..,"lo":..,"hi":..,"point":[..]}
+//	GET  /snapshot                full JSON snapshot (mod.SaveJSON format)
+//	POST /watch/knn               SSE stream of a live continuing k-NN query
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/gdist"
+	"repro/internal/geom"
+	"repro/internal/mod"
+	"repro/internal/query"
+)
+
+// Server wraps a DB with HTTP handlers. Queries run on snapshots, so a
+// long query never blocks the update path.
+type Server struct {
+	db  *mod.DB
+	mux *http.ServeMux
+	log *log.Logger
+
+	watchMu  sync.Mutex
+	watchers map[*watcher]struct{}
+}
+
+// New builds a server over db. logger may be nil (logging disabled).
+func New(db *mod.DB, logger *log.Logger) *Server {
+	s := &Server{
+		db: db, mux: http.NewServeMux(), log: logger,
+		watchers: make(map[*watcher]struct{}),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /objects", s.handleObjects)
+	s.mux.HandleFunc("GET /object", s.handleObject)
+	s.mux.HandleFunc("POST /update", s.handleUpdate)
+	s.mux.HandleFunc("POST /query/knn", s.handleKNN)
+	s.mux.HandleFunc("POST /query/within", s.handleWithin)
+	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	s.registerWatchers()
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// httpError is the JSON error envelope.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	if s.log != nil {
+		s.log.Printf("http %d: %v", code, err)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(httpError{Error: err.Error()})
+}
+
+func (s *Server) ok(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.ok(w, map[string]interface{}{
+		"status":  "ok",
+		"dim":     s.db.Dim(),
+		"tau":     s.db.Tau(),
+		"objects": s.db.Len(),
+	})
+}
+
+func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
+	oids := s.db.Objects()
+	out := struct {
+		Tau     float64   `json:"tau"`
+		Objects []mod.OID `json:"objects"`
+		Live    int       `json:"live"`
+	}{Tau: s.db.Tau(), Objects: oids, Live: len(s.db.LiveAt(s.db.Tau()))}
+	s.ok(w, out)
+}
+
+type jsonTrajPiece struct {
+	Start float64   `json:"start"`
+	End   *float64  `json:"end,omitempty"`
+	A     []float64 `json:"a"`
+	B     []float64 `json:"b"`
+}
+
+func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
+	oid, err := strconv.ParseUint(r.URL.Query().Get("oid"), 10, 48)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad oid: %w", err))
+		return
+	}
+	tr, err := s.db.Traj(mod.OID(oid))
+	if err != nil {
+		s.fail(w, http.StatusNotFound, err)
+		return
+	}
+	var pieces []jsonTrajPiece
+	for _, pc := range tr.Pieces() {
+		jp := jsonTrajPiece{Start: pc.Start, A: pc.A, B: pc.B}
+		if !math.IsInf(pc.End, 1) {
+			end := pc.End
+			jp.End = &end
+		}
+		pieces = append(pieces, jp)
+	}
+	s.ok(w, struct {
+		OID        uint64          `json:"oid"`
+		Pieces     []jsonTrajPiece `json:"pieces"`
+		Constraint string          `json:"constraint"`
+	}{OID: oid, Pieces: pieces, Constraint: tr.String()})
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var u mod.Update
+	if err := json.NewDecoder(r.Body).Decode(&u); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decode update: %w", err))
+		return
+	}
+	if err := s.db.Apply(u); err != nil {
+		code := http.StatusConflict
+		if errors.Is(err, mod.ErrBadOperation) || errors.Is(err, mod.ErrDimMismatch) {
+			code = http.StatusBadRequest
+		}
+		s.fail(w, code, err)
+		return
+	}
+	s.ok(w, map[string]interface{}{"applied": u.String(), "tau": s.db.Tau()})
+}
+
+// knnRequest is the body of /query/knn.
+type knnRequest struct {
+	K     int       `json:"k"`
+	Lo    float64   `json:"lo"`
+	Hi    float64   `json:"hi"`
+	Point []float64 `json:"point"`
+}
+
+// answerJSON is the wire form of an AnswerSet.
+type answerJSON struct {
+	Class   string                    `json:"class"`
+	Answers map[string][]intervalJSON `json:"answers"`
+	Events  int                       `json:"events"`
+}
+
+type intervalJSON struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+func toAnswerJSON(ans *query.AnswerSet, cls query.Class, events int) answerJSON {
+	out := answerJSON{Class: cls.String(), Answers: map[string][]intervalJSON{}, Events: events}
+	for _, o := range ans.Objects() {
+		var ivs []intervalJSON
+		for _, iv := range ans.Intervals(o) {
+			ivs = append(ivs, intervalJSON{Lo: iv.Lo, Hi: iv.Hi})
+		}
+		out.Answers[o.String()] = ivs
+	}
+	return out
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	var req knnRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decode query: %w", err))
+		return
+	}
+	if len(req.Point) != s.db.Dim() {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("point has %d components, database dim %d", len(req.Point), s.db.Dim()))
+		return
+	}
+	snap := s.db.Snapshot()
+	knn := query.NewKNN(req.K)
+	st, err := query.RunPast(snap, gdist.PointSq{Point: geom.Vec(req.Point)}, req.Lo, req.Hi, knn)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	cls, _ := query.Classify(req.Lo, req.Hi, snap.Tau())
+	s.ok(w, toAnswerJSON(knn.Answer(), cls, st.Events))
+}
+
+// withinRequest is the body of /query/within.
+type withinRequest struct {
+	Radius float64   `json:"radius"`
+	Lo     float64   `json:"lo"`
+	Hi     float64   `json:"hi"`
+	Point  []float64 `json:"point"`
+}
+
+func (s *Server) handleWithin(w http.ResponseWriter, r *http.Request) {
+	var req withinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decode query: %w", err))
+		return
+	}
+	if len(req.Point) != s.db.Dim() {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("point has %d components, database dim %d", len(req.Point), s.db.Dim()))
+		return
+	}
+	if req.Radius < 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("negative radius"))
+		return
+	}
+	snap := s.db.Snapshot()
+	wq := query.NewWithin(req.Radius * req.Radius)
+	st, err := query.RunPast(snap, gdist.PointSq{Point: geom.Vec(req.Point)}, req.Lo, req.Hi, wq)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	cls, _ := query.Classify(req.Lo, req.Hi, snap.Tau())
+	s.ok(w, toAnswerJSON(wq.Answer(), cls, st.Events))
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.db.Snapshot().SaveJSON(w); err != nil && s.log != nil {
+		s.log.Printf("snapshot: %v", err)
+	}
+}

@@ -1,0 +1,206 @@
+package server
+
+// Live continuing queries over HTTP: POST /watch/knn opens a
+// server-sent-events stream that reports the k-NN answer whenever it
+// changes, maintained eagerly by a plane-sweep session that ingests the
+// database's update feed (the paper's continuing-query evaluation, pushed
+// to a network client).
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+
+	"repro/internal/gdist"
+	"repro/internal/geom"
+	"repro/internal/mod"
+	"repro/internal/query"
+)
+
+// watchRequest is the body of /watch/knn.
+type watchRequest struct {
+	K int `json:"k"`
+	// Hi bounds the watch; 0 means watch indefinitely (bounded by the
+	// server's maxWatchHorizon).
+	Hi    float64   `json:"hi"`
+	Point []float64 `json:"point"`
+}
+
+// watchEvent is one SSE payload.
+type watchEvent struct {
+	T       float64  `json:"t"`
+	Nearest []string `json:"nearest"`
+	Done    bool     `json:"done,omitempty"`
+	Error   string   `json:"error,omitempty"`
+}
+
+// maxWatchHorizon bounds open-ended watches.
+const maxWatchHorizon = 1e9
+
+// watcher is one live continuing-query session.
+type watcher struct {
+	mu   sync.Mutex
+	sess *query.Session
+	knn  *query.KNN
+	hi   float64
+	last string
+	ch   chan watchEvent
+	dead bool
+}
+
+// registerWatchers wires the update fan-out; called from New.
+func (s *Server) registerWatchers() {
+	s.mux.HandleFunc("POST /watch/knn", s.handleWatchKNN)
+	s.db.OnUpdate(func(u mod.Update) {
+		s.watchMu.Lock()
+		ws := make([]*watcher, 0, len(s.watchers))
+		for w := range s.watchers {
+			ws = append(ws, w)
+		}
+		s.watchMu.Unlock()
+		for _, w := range ws {
+			w.apply(u)
+		}
+	})
+}
+
+// apply feeds one database update into the watcher's session.
+func (w *watcher) apply(u mod.Update) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead {
+		return
+	}
+	if u.Tau >= w.hi {
+		w.finish(w.hi)
+		return
+	}
+	if err := w.sess.Apply(u); err != nil {
+		w.emit(watchEvent{T: u.Tau, Error: err.Error(), Done: true})
+		w.dead = true
+		return
+	}
+	w.report(u.Tau)
+}
+
+// report emits an event when the current answer changed.
+func (w *watcher) report(t float64) {
+	cur := w.knn.Current()
+	names := make([]string, len(cur))
+	for i, o := range cur {
+		names[i] = o.String()
+	}
+	key := fmt.Sprint(names)
+	if key == w.last {
+		return
+	}
+	w.last = key
+	w.emit(watchEvent{T: t, Nearest: names})
+}
+
+// finish closes the stream at time t.
+func (w *watcher) finish(t float64) {
+	if w.dead {
+		return
+	}
+	w.dead = true
+	w.emit(watchEvent{T: t, Done: true})
+	close(w.ch)
+}
+
+// emit sends without blocking the update path; a slow client loses
+// intermediate events but always gets the latest state next.
+func (w *watcher) emit(ev watchEvent) {
+	select {
+	case w.ch <- ev:
+	default:
+	}
+}
+
+func (s *Server) handleWatchKNN(w http.ResponseWriter, r *http.Request) {
+	var req watchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decode watch: %w", err))
+		return
+	}
+	if len(req.Point) != s.db.Dim() {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("point has %d components, database dim %d", len(req.Point), s.db.Dim()))
+		return
+	}
+	hi := req.Hi
+	if hi == 0 {
+		hi = maxWatchHorizon
+	}
+	lo := math.Nextafter(s.db.Tau(), math.Inf(1))
+	if hi <= lo {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("watch horizon %g not after now %g", hi, lo))
+		return
+	}
+	knn := query.NewKNN(req.K)
+	sess, err := query.NewSession(s.db, gdist.PointSq{Point: geom.Vec(req.Point)}, lo, hi, knn)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	wt := &watcher{sess: sess, knn: knn, hi: hi, ch: make(chan watchEvent, 64)}
+	s.watchMu.Lock()
+	s.watchers[wt] = struct{}{}
+	s.watchMu.Unlock()
+	defer func() {
+		s.watchMu.Lock()
+		delete(s.watchers, wt)
+		s.watchMu.Unlock()
+	}()
+
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.fail(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	// Initial answer, reported at the database's current time (lo is a
+	// nudge past it, which would render as an ulp-noise timestamp).
+	wt.mu.Lock()
+	wt.report(s.db.Tau())
+	wt.mu.Unlock()
+
+	enc := func(ev watchEvent) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			wt.mu.Lock()
+			wt.dead = true
+			wt.mu.Unlock()
+			return
+		case ev, open := <-wt.ch:
+			if !open {
+				return
+			}
+			if !enc(ev) {
+				wt.mu.Lock()
+				wt.dead = true
+				wt.mu.Unlock()
+				return
+			}
+			if ev.Done {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/mod"
+)
+
+// readEvents consumes SSE events from the stream until done or count.
+func readEvents(t *testing.T, body *bufio.Reader, max int) []watchEvent {
+	t.Helper()
+	var out []watchEvent
+	deadline := time.Now().Add(5 * time.Second)
+	for len(out) < max && time.Now().Before(deadline) {
+		line, err := body.ReadString('\n')
+		if err != nil {
+			break
+		}
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev watchEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad event %q: %v", line, err)
+		}
+		out = append(out, ev)
+		if ev.Done {
+			break
+		}
+	}
+	return out
+}
+
+func TestWatchKNNStreamsAnswerChanges(t *testing.T) {
+	db := mod.NewDB(2, -1)
+	if err := db.Apply(mod.New(1, 0, geom.Of(0, 0), geom.Of(10, 0))); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(db, nil))
+	defer ts.Close()
+
+	// Open the watch.
+	reqBody, _ := json.Marshal(watchRequest{K: 1, Hi: 1000, Point: []float64{0, 0}})
+	req, _ := http.NewRequest("POST", ts.URL+"/watch/knn", bytes.NewReader(reqBody))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("watch code %d", resp.StatusCode)
+	}
+	reader := bufio.NewReader(resp.Body)
+
+	// Initial answer event.
+	evs := readEvents(t, reader, 1)
+	if len(evs) != 1 || len(evs[0].Nearest) != 1 || evs[0].Nearest[0] != "o1" {
+		t.Fatalf("initial event %+v", evs)
+	}
+
+	// A closer object appears: the watch must push a new answer.
+	if err := db.Apply(mod.New(2, 5, geom.Of(0, 0), geom.Of(1, 1))); err != nil {
+		t.Fatal(err)
+	}
+	evs = readEvents(t, reader, 1)
+	if len(evs) != 1 || len(evs[0].Nearest) != 1 || evs[0].Nearest[0] != "o2" {
+		t.Fatalf("after new: %+v", evs)
+	}
+
+	// It terminates: answer reverts.
+	if err := db.Apply(mod.Terminate(2, 8)); err != nil {
+		t.Fatal(err)
+	}
+	evs = readEvents(t, reader, 1)
+	if len(evs) != 1 || len(evs[0].Nearest) != 1 || evs[0].Nearest[0] != "o1" {
+		t.Fatalf("after terminate: %+v", evs)
+	}
+}
+
+func TestWatchKNNClosesAtHorizon(t *testing.T) {
+	db := mod.NewDB(2, -1)
+	if err := db.Apply(mod.New(1, 0, geom.Of(0, 0), geom.Of(10, 0))); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(db, nil))
+	defer ts.Close()
+	reqBody, _ := json.Marshal(watchRequest{K: 1, Hi: 50, Point: []float64{0, 0}})
+	req, _ := http.NewRequest("POST", ts.URL+"/watch/knn", bytes.NewReader(reqBody))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	reader := bufio.NewReader(resp.Body)
+	_ = readEvents(t, reader, 1) // initial
+	// An update beyond the horizon finishes the stream.
+	if err := db.Apply(mod.ChDir(1, 60, geom.Of(1, 0))); err != nil {
+		t.Fatal(err)
+	}
+	evs := readEvents(t, reader, 5)
+	if len(evs) == 0 || !evs[len(evs)-1].Done {
+		t.Fatalf("expected done event, got %+v", evs)
+	}
+}
+
+func TestWatchKNNValidation(t *testing.T) {
+	db := mod.NewDB(2, -1)
+	if err := db.Apply(mod.New(1, 0, geom.Of(0, 0), geom.Of(10, 0))); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(db, nil))
+	defer ts.Close()
+	for _, body := range []watchRequest{
+		{K: 0, Hi: 100, Point: []float64{0, 0}}, // bad k
+		{K: 1, Hi: 100, Point: []float64{0}},    // bad dim
+		{K: 1, Hi: -10, Point: []float64{0, 0}}, // horizon before now
+	} {
+		data, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+"/watch/knn", "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Errorf("watch %+v code %d, want 400", body, resp.StatusCode)
+		}
+	}
+}

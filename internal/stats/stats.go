@@ -1,0 +1,150 @@
+// Package stats provides the small fitting toolkit the experiment harness
+// uses to check complexity *shapes*: given measured (N, time) points, it
+// fits time against candidate growth models (N, N log N, N^2, ...) by
+// least squares through the origin and reports which model explains the
+// measurements best. The reproduction does not chase absolute constants —
+// the substrate differs from the authors' — only the asymptotic shape
+// (who wins, what the growth order is).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Model is a candidate growth law y ~ c * F(x).
+type Model struct {
+	Name string
+	F    func(x float64) float64
+}
+
+// Standard models for the experiments.
+var (
+	ModelConst  = Model{Name: "1", F: func(x float64) float64 { return 1 }}
+	ModelLogN   = Model{Name: "log N", F: func(x float64) float64 { return math.Log2(math.Max(x, 2)) }}
+	ModelN      = Model{Name: "N", F: func(x float64) float64 { return x }}
+	ModelNLogN  = Model{Name: "N log N", F: func(x float64) float64 { return x * math.Log2(math.Max(x, 2)) }}
+	ModelN2     = Model{Name: "N^2", F: func(x float64) float64 { return x * x }}
+	ModelN2LogN = Model{Name: "N^2 log N", F: func(x float64) float64 { return x * x * math.Log2(math.Max(x, 2)) }}
+)
+
+// Fit is the result of fitting one model.
+type Fit struct {
+	Model Model
+	// C is the least-squares coefficient of y = C * F(x).
+	C float64
+	// RelErr is the mean relative residual |y - C F(x)| / y.
+	RelErr float64
+}
+
+// String implements fmt.Stringer.
+func (f Fit) String() string {
+	return fmt.Sprintf("%s (c=%.3g, relerr=%.1f%%)", f.Model.Name, f.C, 100*f.RelErr)
+}
+
+// FitModel fits y = c*F(x) by least squares through the origin.
+func FitModel(xs, ys []float64, m Model) (Fit, error) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return Fit{}, errors.New("stats: need equal-length nonempty samples")
+	}
+	num, den := 0.0, 0.0
+	for i := range xs {
+		fx := m.F(xs[i])
+		num += fx * ys[i]
+		den += fx * fx
+	}
+	if den == 0 {
+		return Fit{}, errors.New("stats: degenerate model values")
+	}
+	c := num / den
+	rel := 0.0
+	n := 0
+	for i := range xs {
+		if ys[i] <= 0 {
+			continue
+		}
+		rel += math.Abs(ys[i]-c*m.F(xs[i])) / ys[i]
+		n++
+	}
+	if n > 0 {
+		rel /= float64(n)
+	}
+	return Fit{Model: m, C: c, RelErr: rel}, nil
+}
+
+// BestFit fits all models and returns them sorted by relative error
+// (best first).
+func BestFit(xs, ys []float64, models ...Model) ([]Fit, error) {
+	if len(models) == 0 {
+		models = []Model{ModelConst, ModelLogN, ModelN, ModelNLogN, ModelN2}
+	}
+	fits := make([]Fit, 0, len(models))
+	for _, m := range models {
+		f, err := FitModel(xs, ys, m)
+		if err != nil {
+			return nil, err
+		}
+		fits = append(fits, f)
+	}
+	sort.Slice(fits, func(i, j int) bool { return fits[i].RelErr < fits[j].RelErr })
+	return fits, nil
+}
+
+// GrowthExponent estimates p in y ~ x^p from the first and last sample
+// (log-log slope), a quick sanity check that complements BestFit.
+func GrowthExponent(xs, ys []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, errors.New("stats: need at least two samples")
+	}
+	x0, x1 := xs[0], xs[len(xs)-1]
+	y0, y1 := ys[0], ys[len(ys)-1]
+	if x0 <= 0 || x1 <= 0 || y0 <= 0 || y1 <= 0 || x0 == x1 {
+		return 0, errors.New("stats: samples must be positive and distinct")
+	}
+	return math.Log(y1/y0) / math.Log(x1/x0), nil
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Median returns the median (average of middle pair for even length).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return 0.5 * (cp[n/2-1] + cp[n/2])
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by nearest rank.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	rank := int(math.Ceil(p/100*float64(len(cp)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(cp) {
+		rank = len(cp) - 1
+	}
+	return cp[rank]
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitModelRecoversCoefficient(t *testing.T) {
+	xs := []float64{100, 200, 400, 800, 1600}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3.5 * x * math.Log2(x)
+	}
+	f, err := FitModel(xs, ys, ModelNLogN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.C-3.5) > 1e-9 || f.RelErr > 1e-12 {
+		t.Errorf("fit = %+v", f)
+	}
+	if f.String() == "" {
+		t.Error("String")
+	}
+}
+
+func TestBestFitPicksRightModel(t *testing.T) {
+	xs := []float64{64, 128, 256, 512, 1024, 2048}
+	cases := []struct {
+		make func(x float64) float64
+		want string
+	}{
+		{func(x float64) float64 { return 7 * x }, "N"},
+		{func(x float64) float64 { return 0.2 * x * math.Log2(x) }, "N log N"},
+		{func(x float64) float64 { return 0.01 * x * x }, "N^2"},
+		{func(x float64) float64 { return 5 * math.Log2(x) }, "log N"},
+	}
+	for _, c := range cases {
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = c.make(x) * (1 + 0.02*math.Sin(x)) // 2% noise
+		}
+		fits, err := BestFit(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fits[0].Model.Name != c.want {
+			t.Errorf("best fit = %s, want %s (all: %v)", fits[0].Model.Name, c.want, fits)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := FitModel(nil, nil, ModelN); err == nil {
+		t.Error("empty samples accepted")
+	}
+	if _, err := FitModel([]float64{1}, []float64{1, 2}, ModelN); err == nil {
+		t.Error("mismatched samples accepted")
+	}
+	if _, err := FitModel([]float64{0, 0}, []float64{1, 1}, Model{Name: "zero", F: func(float64) float64 { return 0 }}); err == nil {
+		t.Error("degenerate model accepted")
+	}
+}
+
+func TestGrowthExponent(t *testing.T) {
+	xs := []float64{100, 1000}
+	ys := []float64{5, 500} // slope 1 in log-log... 500/5=100=10^2 over 10x => p=2
+	p, err := GrowthExponent(xs, ys)
+	if err != nil || math.Abs(p-2) > 1e-9 {
+		t.Errorf("p = %g, %v", p, err)
+	}
+	if _, err := GrowthExponent([]float64{1}, []float64{1}); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, err := GrowthExponent([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("equal xs accepted")
+	}
+}
+
+func TestSummaries(t *testing.T) {
+	xs := []float64{5, 1, 9, 3, 7}
+	if m := Mean(xs); math.Abs(m-5) > 1e-12 {
+		t.Errorf("Mean = %g", m)
+	}
+	if m := Median(xs); m != 5 {
+		t.Errorf("Median = %g", m)
+	}
+	if m := Median([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Errorf("even Median = %g", m)
+	}
+	if p := Percentile(xs, 100); p != 9 {
+		t.Errorf("P100 = %g", p)
+	}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Errorf("P0 = %g", p)
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 || Percentile(nil, 50) != 0 {
+		t.Error("empty summaries")
+	}
+}

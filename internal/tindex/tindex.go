@@ -1,0 +1,125 @@
+// Package tindex implements an interval tree over object lifetimes: given
+// the time span during which each object exists, it answers "which
+// objects are alive at instant t" (stab) and "which objects' lifetimes
+// overlap [lo, hi]" (overlap) in O(log n + k).
+//
+// This is the temporal access path the paper's related work points at
+// (indexing moving objects, [1,17,22]): a past-query engine that replays
+// many different windows over the same recorded history should not scan
+// every object per query. query.NewHistorian uses this index to seed
+// sweeps from only the relevant objects.
+//
+// The tree is an augmented static BST built over intervals sorted by
+// start (balanced by midpoint splitting), each node carrying the maximum
+// end time in its subtree.
+package tindex
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Interval is a closed lifetime [Lo, Hi] for an opaque id; Hi may be
+// +Inf for objects never terminated.
+type Interval struct {
+	Lo, Hi float64
+	ID     uint64
+}
+
+// Tree is the immutable interval index. Build once, query many times.
+type Tree struct {
+	nodes []node
+	root  int
+	size  int
+}
+
+type node struct {
+	iv          Interval
+	maxEnd      float64
+	left, right int // -1 when absent
+}
+
+// Build constructs the index. Intervals with Hi < Lo are rejected.
+func Build(ivs []Interval) (*Tree, error) {
+	for _, iv := range ivs {
+		if iv.Hi < iv.Lo || math.IsNaN(iv.Lo) || math.IsNaN(iv.Hi) {
+			return nil, errors.New("tindex: malformed interval")
+		}
+	}
+	sorted := make([]Interval, len(ivs))
+	copy(sorted, ivs)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Lo != sorted[j].Lo {
+			return sorted[i].Lo < sorted[j].Lo
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	t := &Tree{nodes: make([]node, 0, len(sorted)), size: len(sorted)}
+	t.root = t.build(sorted)
+	return t, nil
+}
+
+// build recursively packs the sorted slice into a balanced subtree,
+// returning the node index (-1 for empty).
+func (t *Tree) build(ivs []Interval) int {
+	if len(ivs) == 0 {
+		return -1
+	}
+	mid := len(ivs) / 2
+	idx := len(t.nodes)
+	t.nodes = append(t.nodes, node{iv: ivs[mid]})
+	left := t.build(ivs[:mid])
+	right := t.build(ivs[mid+1:])
+	n := &t.nodes[idx]
+	n.left, n.right = left, right
+	n.maxEnd = n.iv.Hi
+	if left >= 0 && t.nodes[left].maxEnd > n.maxEnd {
+		n.maxEnd = t.nodes[left].maxEnd
+	}
+	if right >= 0 && t.nodes[right].maxEnd > n.maxEnd {
+		n.maxEnd = t.nodes[right].maxEnd
+	}
+	return idx
+}
+
+// Len returns the number of indexed intervals.
+func (t *Tree) Len() int { return t.size }
+
+// Stab returns the ids of all intervals containing t, ascending by id.
+func (t *Tree) Stab(q float64) []uint64 {
+	return t.Overlap(q, q)
+}
+
+// Overlap returns the ids of all intervals intersecting [lo, hi],
+// ascending by id.
+func (t *Tree) Overlap(lo, hi float64) []uint64 {
+	if hi < lo {
+		return nil
+	}
+	var out []uint64
+	var walk func(i int)
+	walk = func(i int) {
+		if i < 0 {
+			return
+		}
+		n := &t.nodes[i]
+		// Prune: nothing in this subtree ends at or after lo.
+		if n.maxEnd < lo {
+			return
+		}
+		walk(n.left)
+		// Subtree intervals start at >= n.iv.Lo (BST on Lo): if this
+		// node starts beyond hi, so does everything to the right.
+		if n.iv.Lo > hi {
+			return
+		}
+		if n.iv.Hi >= lo {
+			out = append(out, n.iv.ID)
+		}
+		walk(n.right)
+	}
+	walk(t.root)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,148 @@
+package tindex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBuildAndStab(t *testing.T) {
+	tree, err := Build([]Interval{
+		{Lo: 0, Hi: 10, ID: 1},
+		{Lo: 5, Hi: 15, ID: 2},
+		{Lo: 12, Hi: math.Inf(1), ID: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 3 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	cases := []struct {
+		q    float64
+		want []uint64
+	}{
+		{-1, nil},
+		{0, []uint64{1}},
+		{7, []uint64{1, 2}},
+		{11, []uint64{2}},
+		{13, []uint64{2, 3}},
+		{1e9, []uint64{3}},
+	}
+	for _, c := range cases {
+		got := tree.Stab(c.q)
+		if !equalIDs(got, c.want) {
+			t.Errorf("Stab(%g) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	tree, err := Build([]Interval{
+		{Lo: 0, Hi: 2, ID: 1},
+		{Lo: 4, Hi: 6, ID: 2},
+		{Lo: 8, Hi: 10, ID: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Overlap(3, 7); !equalIDs(got, []uint64{2}) {
+		t.Errorf("Overlap(3,7) = %v", got)
+	}
+	if got := tree.Overlap(2, 8); !equalIDs(got, []uint64{1, 2, 3}) {
+		t.Errorf("Overlap(2,8) = %v (closed-interval touching counts)", got)
+	}
+	if got := tree.Overlap(2.5, 3.5); len(got) != 0 {
+		t.Errorf("Overlap gap = %v", got)
+	}
+	if got := tree.Overlap(7, 3); got != nil {
+		t.Errorf("inverted window = %v", got)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build([]Interval{{Lo: 5, Hi: 1, ID: 1}}); err == nil {
+		t.Error("inverted interval accepted")
+	}
+	if _, err := Build([]Interval{{Lo: math.NaN(), Hi: 1, ID: 1}}); err == nil {
+		t.Error("NaN interval accepted")
+	}
+	empty, err := Build(nil)
+	if err != nil || empty.Len() != 0 {
+		t.Error("empty build")
+	}
+	if got := empty.Stab(0); len(got) != 0 {
+		t.Error("stab on empty tree")
+	}
+}
+
+func TestRandomizedAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		ivs := make([]Interval, n)
+		for i := range ivs {
+			lo := rng.Float64() * 100
+			length := rng.Float64() * 30
+			hi := lo + length
+			if rng.Intn(10) == 0 {
+				hi = math.Inf(1)
+			}
+			ivs[i] = Interval{Lo: lo, Hi: hi, ID: uint64(i + 1)}
+		}
+		tree, err := Build(ivs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 30; probe++ {
+			lo := rng.Float64() * 120
+			hi := lo + rng.Float64()*20
+			got := tree.Overlap(lo, hi)
+			var want []uint64
+			for _, iv := range ivs {
+				if iv.Lo <= hi && iv.Hi >= lo {
+					want = append(want, iv.ID)
+				}
+			}
+			sortIDs(want)
+			if !equalIDs(got, want) {
+				t.Fatalf("trial %d Overlap(%g,%g): %v vs brute %v", trial, lo, hi, got, want)
+			}
+		}
+	}
+}
+
+func equalIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortIDs(xs []uint64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func BenchmarkOverlap(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	ivs := make([]Interval, 100000)
+	for i := range ivs {
+		lo := rng.Float64() * 10000
+		ivs[i] = Interval{Lo: lo, Hi: lo + rng.Float64()*100, ID: uint64(i)}
+	}
+	tree, _ := Build(ivs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := float64(i%10000) + 0.5
+		_ = tree.Overlap(lo, lo+10)
+	}
+}

@@ -1,0 +1,138 @@
+package tm
+
+import (
+	"testing"
+
+	"repro/internal/mod"
+)
+
+// halter writes two marks and stops: 0 --(blank/write 1, R)--> 1
+// --(blank/write 1, R)--> 2 (halt).
+func halter() Machine {
+	return Machine{
+		Rules: []Rule{
+			{St: 0, Sym: 0, Write: 1, Move: Right, Next: 1},
+			{St: 1, Sym: 0, Write: 1, Move: Right, Next: 2},
+		},
+		Halt: 2,
+	}
+}
+
+// looper bounces between two states forever on the same cell.
+func looper() Machine {
+	return Machine{
+		Rules: []Rule{
+			{St: 0, Sym: 0, Write: 1, Move: Stay, Next: 1},
+			{St: 1, Sym: 1, Write: 0, Move: Stay, Next: 0},
+			{St: 0, Sym: 1, Write: 1, Move: Stay, Next: 0},
+		},
+		Halt: 99,
+	}
+}
+
+func TestRunHalts(t *testing.T) {
+	trace, halted := halter().Run(100)
+	if !halted {
+		t.Fatal("halter did not halt")
+	}
+	if len(trace) != 3 {
+		t.Fatalf("trace length %d, want 3", len(trace))
+	}
+	last := trace[len(trace)-1]
+	if last.St != 2 || last.Head != 2 {
+		t.Errorf("final config %+v", last)
+	}
+	if last.Tape[0] != 1 || last.Tape[1] != 1 {
+		t.Errorf("final tape %v", last.Tape)
+	}
+}
+
+func TestRunLoops(t *testing.T) {
+	_, halted := looper().Run(1000)
+	if halted {
+		t.Fatal("looper halted")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	trace, _ := halter().Run(100)
+	updates := Encode(trace)
+	db := mod.NewDB(3, 0)
+	if err := db.ApplyAll(updates...); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(trace) {
+		t.Fatalf("decoded %d configs, want %d", len(back), len(trace))
+	}
+	for i := range trace {
+		if !configsEqual(trace[i], back[i]) {
+			t.Errorf("config %d differs: %+v vs %+v", i, trace[i], back[i])
+		}
+	}
+}
+
+// TestHaltingReduction exercises Theorem 2's construction: the query
+// "does the database encode a halting computation" distinguishes the
+// encodings of halting and non-halting runs. Deciding whether that query
+// is `past` for every machine would decide the halting problem.
+func TestHaltingReduction(t *testing.T) {
+	// Halting machine: the full trace encodes a halting computation.
+	trace, halted := halter().Run(100)
+	if !halted {
+		t.Fatal("setup")
+	}
+	db := mod.NewDB(3, 0)
+	if err := db.ApplyAll(Encode(trace)...); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := IsHaltingTrace(db, halter())
+	if err != nil || !ok {
+		t.Errorf("halting trace rejected: %v %v", ok, err)
+	}
+
+	// Non-halting machine truncated at any finite step: never a halting
+	// trace — the query's answer stays invalid under future updates
+	// (it is a future query for every finite prefix).
+	for _, steps := range []int{1, 5, 50} {
+		ltrace, _ := looper().Run(steps)
+		ldb := mod.NewDB(3, 0)
+		if err := ldb.ApplyAll(Encode(ltrace)...); err != nil {
+			t.Fatal(err)
+		}
+		ok, err := IsHaltingTrace(ldb, looper())
+		if err != nil || ok {
+			t.Errorf("loop prefix (%d steps) accepted as halting: %v %v", steps, ok, err)
+		}
+	}
+}
+
+func TestIsHaltingTraceRejectsForged(t *testing.T) {
+	// A forged trace whose second configuration does not follow.
+	trace, _ := halter().Run(100)
+	forged := []Config{trace[0], trace[2]} // skip a step
+	db := mod.NewDB(3, 0)
+	if err := db.ApplyAll(Encode(forged)...); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := IsHaltingTrace(db, halter()); err == nil && ok {
+		t.Error("forged trace accepted")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	db := mod.NewDB(3, 0)
+	// Non-encoding update mix.
+	if err := db.ApplyAll(Encode([]Config{{Tape: map[int]Symbol{}}})...); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Apply(mod.Terminate(1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(db); err == nil {
+		t.Error("decode of non-encoding accepted")
+	}
+}

@@ -1,0 +1,38 @@
+package trajectory
+
+import (
+	"testing"
+)
+
+// FuzzParse hardens the constraint-syntax parser: arbitrary input must
+// never panic, and anything that parses must re-render and re-parse to an
+// equivalent trajectory.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"x = (2, -1, 0)t + (-40, 23, 30) & 0 <= t <= 21",
+		"x = (1, 0)t + (0, 0) & 0 <= t | x = (0, 1)t + (10, -10) & 10 <= t",
+		"x = (14.5, 1, 0) & 47 <= t",
+		"x = (1)t + (2) & t <= 5",
+		"",
+		"x = (1,2)t + (3,4)",
+		"garbage ∧ ∨ ⩽",
+		"x = (1e308,2)t + (3,4) & 0 <= t <= 1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Parse(input)
+		if err != nil {
+			return
+		}
+		// Round trip: whatever parsed must render and re-parse.
+		back, err := Parse(tr.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", tr.String(), err)
+		}
+		if len(back.Pieces()) != len(tr.Pieces()) {
+			t.Fatalf("round trip changed piece count: %d vs %d", len(back.Pieces()), len(tr.Pieces()))
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package trajectory
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// Parse reads a trajectory in the paper's constraint syntax, as produced
+// by String. Both the Unicode connectives (∧, ∨, ⩽) and ASCII forms
+// (&, |, <=) are accepted:
+//
+//	x = (2, -1, 0)t + (-40, 23, 30) & 0 <= t <= 21
+//	| x = (0, -1, -5)t + (2, 23, 135) & 21 <= t <= 22
+//	| x = (0.5, 0, -1)t + (-9, 1, 47) & 22 <= t
+//
+// Pieces given in the global form x = At + B are re-anchored internally.
+func Parse(s string) (Trajectory, error) {
+	norm := strings.NewReplacer("∧", "&", "∨", "|", "⩽", "<=", "≤", "<=").Replace(s)
+	parts := strings.Split(norm, "|")
+	var pieces []Piece
+	for i, part := range parts {
+		pc, err := parsePiece(strings.TrimSpace(part))
+		if err != nil {
+			return Trajectory{}, fmt.Errorf("trajectory: piece %d: %w", i, err)
+		}
+		pieces = append(pieces, pc)
+	}
+	return FromPieces(pieces...)
+}
+
+// MustParse is Parse for statically-valid inputs (tests, examples).
+func MustParse(s string) Trajectory {
+	tr, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+func parsePiece(s string) (Piece, error) {
+	amp := strings.Index(s, "&")
+	if amp < 0 {
+		return Piece{}, fmt.Errorf("missing time constraint in %q", s)
+	}
+	motion, timecon := strings.TrimSpace(s[:amp]), strings.TrimSpace(s[amp+1:])
+
+	// Motion: "x = (a1,...,an)t + (b1,...,bn)".
+	eq := strings.Index(motion, "=")
+	if eq < 0 {
+		return Piece{}, fmt.Errorf("missing '=' in motion %q", motion)
+	}
+	rhs := strings.TrimSpace(motion[eq+1:])
+	tIdx := strings.Index(rhs, ")t")
+	var a, b geom.Vec
+	var err error
+	if tIdx >= 0 {
+		a, err = parseVec(rhs[:tIdx+1])
+		if err != nil {
+			return Piece{}, err
+		}
+		rest := strings.TrimSpace(rhs[tIdx+2:])
+		rest = strings.TrimPrefix(rest, "+")
+		b, err = parseVec(strings.TrimSpace(rest))
+		if err != nil {
+			return Piece{}, err
+		}
+	} else {
+		// Stationary piece: "x = (b1,...,bn)".
+		b, err = parseVec(rhs)
+		if err != nil {
+			return Piece{}, err
+		}
+		a = geom.New(len(b))
+	}
+	if len(a) != len(b) {
+		return Piece{}, fmt.Errorf("dimension mismatch in %q", motion)
+	}
+
+	// Time constraint: "a <= t <= b" or "a <= t" or "t <= b".
+	start, end, err := parseTimeInterval(timecon)
+	if err != nil {
+		return Piece{}, err
+	}
+	// Anchor at start: B_at_start = A*start + B_global.
+	anchored := b.AddScaled(start, a)
+	return Piece{Start: start, End: end, A: a, B: anchored}, nil
+}
+
+func parseVec(s string) (geom.Vec, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("expected vector literal, got %q", s)
+	}
+	fields := strings.Split(s[1:len(s)-1], ",")
+	v := make(geom.Vec, len(fields))
+	for i, f := range fields {
+		x, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad vector component %q: %w", f, err)
+		}
+		v[i] = x
+	}
+	return v, nil
+}
+
+func parseTimeInterval(s string) (start, end float64, err error) {
+	parts := strings.Split(s, "<=")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	switch len(parts) {
+	case 3: // a <= t <= b
+		if parts[1] != "t" {
+			return 0, 0, fmt.Errorf("expected t in middle of %q", s)
+		}
+		start, err = strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			return 0, 0, err
+		}
+		end, err = strconv.ParseFloat(parts[2], 64)
+		return start, end, err
+	case 2:
+		switch {
+		case parts[1] == "t": // a <= t
+			start, err = strconv.ParseFloat(parts[0], 64)
+			return start, math.Inf(1), err
+		case parts[0] == "t": // t <= b
+			end, err = strconv.ParseFloat(parts[1], 64)
+			return math.Inf(-1), end, err
+		}
+	}
+	return 0, 0, fmt.Errorf("cannot parse time constraint %q", s)
+}

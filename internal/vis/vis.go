@@ -1,0 +1,192 @@
+// Package vis renders g-distance curves and answer timelines as ASCII
+// charts for the terminal tools and examples — the closest a text UI gets
+// to the paper's Figures 2 and 3. Rendering is deterministic (golden
+// tests compare full frames).
+package vis
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/piecewise"
+)
+
+// Chart renders curves over a time window onto a character grid.
+type Chart struct {
+	Width, Height int
+	// Lo, Hi delimit the time axis.
+	Lo, Hi float64
+	// YLo, YHi delimit the value axis; equal values mean autoscale.
+	YLo, YHi float64
+
+	curves []chartCurve
+	marks  []mark
+}
+
+type chartCurve struct {
+	label rune
+	f     piecewise.Func
+}
+
+type mark struct {
+	t     float64
+	label string
+}
+
+// NewChart builds an empty chart with sane defaults.
+func NewChart(width, height int, lo, hi float64) *Chart {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	return &Chart{Width: width, Height: height, Lo: lo, Hi: hi}
+}
+
+// AddCurve registers a curve drawn with the given glyph.
+func (c *Chart) AddCurve(label rune, f piecewise.Func) {
+	c.curves = append(c.curves, chartCurve{label: label, f: f})
+}
+
+// MarkTime draws a vertical marker (e.g. an event or update instant).
+func (c *Chart) MarkTime(t float64, label string) {
+	c.marks = append(c.marks, mark{t: t, label: label})
+}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	ylo, yhi := c.YLo, c.YHi
+	if ylo == yhi {
+		ylo, yhi = c.autoscale()
+	}
+	if yhi <= ylo {
+		yhi = ylo + 1
+	}
+	grid := make([][]rune, c.Height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", c.Width))
+	}
+	// Vertical markers first so curves draw over them.
+	for _, m := range c.marks {
+		col := c.col(m.t)
+		if col < 0 || col >= c.Width {
+			continue
+		}
+		for r := 0; r < c.Height; r++ {
+			grid[r][col] = '|'
+		}
+	}
+	// Curves: sample per column.
+	for _, cv := range c.curves {
+		lo, hi := cv.f.Domain()
+		for col := 0; col < c.Width; col++ {
+			t := c.Lo + (c.Hi-c.Lo)*float64(col)/float64(c.Width-1)
+			if t < lo-1e-12 || t > hi+1e-12 {
+				continue
+			}
+			v := cv.f.Eval(t)
+			row := c.row(v, ylo, yhi)
+			if row < 0 || row >= c.Height {
+				continue
+			}
+			grid[row][col] = cv.label
+		}
+	}
+	var b strings.Builder
+	for r, line := range grid {
+		val := yhi - (yhi-ylo)*float64(r)/float64(c.Height-1)
+		fmt.Fprintf(&b, "%9.4g %s\n", val, string(line))
+	}
+	// Time axis.
+	fmt.Fprintf(&b, "%9s %s\n", "", strings.Repeat("-", c.Width))
+	axis := make([]rune, c.Width)
+	for i := range axis {
+		axis[i] = ' '
+	}
+	left := fmt.Sprintf("%g", c.Lo)
+	right := fmt.Sprintf("%g", c.Hi)
+	copy(axis, []rune(left))
+	if len(right) <= c.Width {
+		copy(axis[c.Width-len(right):], []rune(right))
+	}
+	fmt.Fprintf(&b, "%9s %s\n", "t:", string(axis))
+	for _, m := range c.marks {
+		if m.label != "" {
+			fmt.Fprintf(&b, "%9s %s at t=%g\n", "|", m.label, m.t)
+		}
+	}
+	return b.String()
+}
+
+func (c *Chart) col(t float64) int {
+	return int(math.Round((t - c.Lo) / (c.Hi - c.Lo) * float64(c.Width-1)))
+}
+
+func (c *Chart) row(v, ylo, yhi float64) int {
+	return int(math.Round((yhi - v) / (yhi - ylo) * float64(c.Height-1)))
+}
+
+// autoscale finds the value range across all curves within the window.
+func (c *Chart) autoscale() (float64, float64) {
+	ylo, yhi := math.Inf(1), math.Inf(-1)
+	for _, cv := range c.curves {
+		lo, hi := cv.f.Domain()
+		lo = math.Max(lo, c.Lo)
+		hi = math.Min(hi, c.Hi)
+		if !(lo <= hi) {
+			continue
+		}
+		for i := 0; i <= 4*c.Width; i++ {
+			t := lo + (hi-lo)*float64(i)/float64(4*c.Width)
+			v := cv.f.Eval(t)
+			ylo = math.Min(ylo, v)
+			yhi = math.Max(yhi, v)
+		}
+	}
+	if math.IsInf(ylo, 1) {
+		return 0, 1
+	}
+	pad := (yhi - ylo) * 0.05
+	return ylo - pad, yhi + pad
+}
+
+// Timeline renders per-label membership intervals as horizontal bars —
+// the answer-set view ("who was in the answer, when").
+func Timeline(width int, lo, hi float64, rows []TimelineRow) string {
+	if width < 16 {
+		width = 16
+	}
+	var b strings.Builder
+	for _, row := range rows {
+		line := []rune(strings.Repeat("·", width))
+		for _, iv := range row.Spans {
+			c0 := int(math.Round((math.Max(iv[0], lo) - lo) / (hi - lo) * float64(width-1)))
+			c1 := int(math.Round((math.Min(iv[1], hi) - lo) / (hi - lo) * float64(width-1)))
+			for c := c0; c <= c1 && c < width; c++ {
+				if c >= 0 {
+					line[c] = '█'
+				}
+			}
+		}
+		fmt.Fprintf(&b, "%8s %s\n", row.Label, string(line))
+	}
+	fmt.Fprintf(&b, "%8s %s\n", "", strings.Repeat("-", width))
+	axis := []rune(strings.Repeat(" ", width))
+	left := fmt.Sprintf("%g", lo)
+	right := fmt.Sprintf("%g", hi)
+	copy(axis, []rune(left))
+	if len(right) <= width {
+		copy(axis[width-len(right):], []rune(right))
+	}
+	fmt.Fprintf(&b, "%8s %s\n", "t:", string(axis))
+	return b.String()
+}
+
+// TimelineRow is one labelled bar of a Timeline.
+type TimelineRow struct {
+	Label string
+	// Spans are [start, end] pairs.
+	Spans [][2]float64
+}

@@ -1,0 +1,94 @@
+package vis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/piecewise"
+	"repro/internal/poly"
+)
+
+func TestChartRendersCurvesAndMarks(t *testing.T) {
+	c := NewChart(40, 10, 0, 40)
+	c.AddCurve('1', piecewise.FromPoly(poly.New(68.4, -1.5), 0, 40))
+	c.AddCurve('4', piecewise.FromPoly(poly.Constant(10), 0, 40))
+	c.MarkTime(20, "update")
+	out := c.Render()
+	if !strings.Contains(out, "1") || !strings.Contains(out, "4") {
+		t.Fatalf("curve glyphs missing:\n%s", out)
+	}
+	if !strings.Contains(out, "|") {
+		t.Errorf("marker missing:\n%s", out)
+	}
+	if !strings.Contains(out, "update at t=20") {
+		t.Errorf("marker legend missing:\n%s", out)
+	}
+	// Deterministic.
+	if out != c.Render() {
+		t.Error("rendering not deterministic")
+	}
+	// The descending line starts high (left) and ends low (right): the
+	// first body row should contain '1' near the left.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[0], "1") {
+		t.Errorf("descending curve should touch the top row:\n%s", out)
+	}
+}
+
+func TestChartDomainsClipped(t *testing.T) {
+	c := NewChart(30, 6, 0, 100)
+	// Curve only defined on [40, 60].
+	c.AddCurve('x', piecewise.FromPoly(poly.Constant(5), 40, 60))
+	out := c.Render()
+	lines := strings.Split(out, "\n")
+	for _, line := range lines {
+		idx := strings.IndexRune(line, 'x')
+		if idx < 0 {
+			continue
+		}
+		// Column 10 chars label prefix; glyphs should sit in middle.
+		col := idx - 10
+		frac := float64(col) / 29
+		if frac < 0.35 || frac > 0.65 {
+			t.Errorf("glyph outside clipped domain at col %d:\n%s", col, out)
+		}
+	}
+}
+
+func TestChartExplicitScaleAndTinySizes(t *testing.T) {
+	c := NewChart(1, 1, 0, 1) // clamped up
+	c.YLo, c.YHi = 0, 10
+	c.AddCurve('z', piecewise.FromPoly(poly.Constant(5), 0, 1))
+	if out := c.Render(); !strings.Contains(out, "z") {
+		t.Errorf("explicit scale render:\n%s", out)
+	}
+	empty := NewChart(20, 5, 0, 1)
+	if out := empty.Render(); out == "" {
+		t.Error("empty chart renders nothing")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	out := Timeline(40, 0, 40, []TimelineRow{
+		{Label: "o3", Spans: [][2]float64{{0, 23.2}}},
+		{Label: "o4", Spans: [][2]float64{{0, 40}}},
+		{Label: "o1", Spans: [][2]float64{{23.2, 40}}},
+	})
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 {
+		t.Fatalf("short output:\n%s", out)
+	}
+	// o4 covers the full width, o3 only the left part.
+	if strings.Count(lines[1], "█") <= strings.Count(lines[0], "█") {
+		t.Errorf("o4 should cover more than o3:\n%s", out)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(lines[0]), "o3") {
+		t.Errorf("labels missing:\n%s", out)
+	}
+	// o1's bar starts in the right half.
+	o1 := lines[2]
+	first := strings.IndexRune(o1, '█')
+	if first < len(o1)/2 {
+		t.Errorf("o1 bar should start right of center:\n%s", out)
+	}
+}

@@ -1,0 +1,273 @@
+// Package workload generates the synthetic moving-object populations and
+// update streams used by the examples, tests and the experiment harness.
+// The paper has no published datasets (it is a theory paper); these
+// generators parametrize exactly the knobs its complexity claims speak
+// about — the number of objects N, the update rate, and the intersection
+// density m (see DESIGN.md, substitution 1). Every generator is seeded
+// and deterministic.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/mod"
+	"repro/internal/trajectory"
+)
+
+// Config parametrizes a population of random movers.
+type Config struct {
+	// Seed drives all randomness; equal seeds give equal workloads.
+	Seed int64
+	// N is the number of objects.
+	N int
+	// Dim is the spatial dimension (default 2).
+	Dim int
+	// Extent bounds initial positions to [-Extent, Extent]^Dim
+	// (default 1000).
+	Extent float64
+	// MaxSpeed bounds each velocity component (default 10).
+	MaxSpeed float64
+	// Start is the creation time of the population (default 0).
+	Start float64
+	// Turns, when positive, gives each object this many direction
+	// changes at random times in (Start, Start+TurnHorizon], recorded in
+	// the trajectory history (for past-query workloads).
+	Turns       int
+	TurnHorizon float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dim == 0 {
+		c.Dim = 2
+	}
+	if c.Extent == 0 {
+		c.Extent = 1000
+	}
+	if c.MaxSpeed == 0 {
+		c.MaxSpeed = 10
+	}
+	if c.TurnHorizon == 0 {
+		c.TurnHorizon = 100
+	}
+	return c
+}
+
+// randVec draws a vector with components uniform in [-scale, scale].
+func randVec(rng *rand.Rand, dim int, scale float64) geom.Vec {
+	v := make(geom.Vec, dim)
+	for i := range v {
+		v[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return v
+}
+
+// RandomMovers builds a MOD of cfg.N linear movers bulk-loaded at
+// cfg.Start (OIDs 1..N).
+func RandomMovers(cfg Config) (*mod.DB, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := mod.NewDB(cfg.Dim, cfg.Start-1)
+	for i := 1; i <= cfg.N; i++ {
+		tr := trajectory.Linear(cfg.Start,
+			randVec(rng, cfg.Dim, cfg.MaxSpeed),
+			randVec(rng, cfg.Dim, cfg.Extent))
+		for k := 0; k < cfg.Turns; k++ {
+			tau := cfg.Start + cfg.TurnHorizon*(float64(k)+rng.Float64())/float64(cfg.Turns)
+			nt, err := tr.ChDir(tau, randVec(rng, cfg.Dim, cfg.MaxSpeed))
+			if err != nil {
+				return nil, err
+			}
+			tr = nt
+		}
+		if err := db.Load(mod.OID(i), tr); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// ConvergingMovers builds a population that all moves roughly toward the
+// origin, maximizing distance-curve crossings (a high-m workload for
+// Theorem 4's O((m+N) log N) regime).
+func ConvergingMovers(cfg Config) (*mod.DB, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := mod.NewDB(cfg.Dim, cfg.Start-1)
+	for i := 1; i <= cfg.N; i++ {
+		pos := randVec(rng, cfg.Dim, cfg.Extent)
+		// Velocity aimed at the origin with jitter and random speed.
+		dir, err := pos.Scale(-1).Unit()
+		if err != nil {
+			dir = randVec(rng, cfg.Dim, 1)
+		}
+		speed := cfg.MaxSpeed * (0.2 + 0.8*rng.Float64())
+		vel := dir.Scale(speed).Add(randVec(rng, cfg.Dim, cfg.MaxSpeed/10))
+		if err := db.Load(mod.OID(i), trajectory.Linear(cfg.Start, vel, pos)); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// QueryTrajectory draws a random query-object trajectory inside the
+// workload's extent.
+func QueryTrajectory(cfg Config, seed int64) trajectory.Trajectory {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	return trajectory.Linear(cfg.Start,
+		randVec(rng, cfg.Dim, cfg.MaxSpeed),
+		randVec(rng, cfg.Dim, cfg.Extent/4))
+}
+
+// StreamConfig parametrizes a chronological update stream.
+type StreamConfig struct {
+	Seed int64
+	// Count is the number of updates.
+	Count int
+	// From, To delimit the update times (regular spacing with jitter —
+	// the paper's "updates happen regularly" practical assumption).
+	From, To float64
+	// Mix of update kinds as weights (default mostly chdir).
+	NewW, TerminateW, ChDirW float64
+	// Extent/MaxSpeed for the parameters of new/chdir updates.
+	Extent, MaxSpeed float64
+}
+
+// Stream produces a chronological update stream valid against db's
+// current population (it tracks live objects as it generates). The
+// returned updates are NOT applied to db.
+func Stream(db *mod.DB, cfg StreamConfig) ([]mod.Update, error) {
+	if cfg.Count <= 0 {
+		return nil, nil
+	}
+	if !(cfg.From < cfg.To) {
+		return nil, fmt.Errorf("workload: bad stream window [%g,%g]", cfg.From, cfg.To)
+	}
+	if cfg.NewW == 0 && cfg.TerminateW == 0 && cfg.ChDirW == 0 {
+		cfg.NewW, cfg.TerminateW, cfg.ChDirW = 0.1, 0.1, 0.8
+	}
+	if cfg.Extent == 0 {
+		cfg.Extent = 1000
+	}
+	if cfg.MaxSpeed == 0 {
+		cfg.MaxSpeed = 10
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	dim := db.Dim()
+	// Track the live set without mutating db.
+	live := map[mod.OID]bool{}
+	var liveList []mod.OID
+	nextOID := mod.OID(1)
+	for _, o := range db.Objects() {
+		tr, err := db.Traj(o)
+		if err != nil {
+			return nil, err
+		}
+		if !tr.IsTerminated() {
+			live[o] = true
+			liveList = append(liveList, o)
+		}
+		if o >= nextOID {
+			nextOID = o + 1
+		}
+	}
+	total := cfg.NewW + cfg.TerminateW + cfg.ChDirW
+	step := (cfg.To - cfg.From) / float64(cfg.Count)
+	var out []mod.Update
+	t := cfg.From
+	for i := 0; i < cfg.Count; i++ {
+		// Regular spacing with jitter, strictly increasing.
+		t += step * (0.5 + rng.Float64())
+		if t >= cfg.To {
+			t = math.Nextafter(cfg.To, cfg.From) - float64(cfg.Count-i)*1e-9
+		}
+		r := rng.Float64() * total
+		switch {
+		case r < cfg.NewW || len(liveList) == 0:
+			o := nextOID
+			nextOID++
+			out = append(out, mod.New(o, t,
+				randVec(rng, dim, cfg.MaxSpeed), randVec(rng, dim, cfg.Extent)))
+			live[o] = true
+			liveList = append(liveList, o)
+		case r < cfg.NewW+cfg.TerminateW && len(liveList) > 1:
+			idx := rng.Intn(len(liveList))
+			o := liveList[idx]
+			out = append(out, mod.Terminate(o, t))
+			delete(live, o)
+			liveList = append(liveList[:idx], liveList[idx+1:]...)
+		default:
+			o := liveList[rng.Intn(len(liveList))]
+			out = append(out, mod.ChDir(o, t, randVec(rng, dim, cfg.MaxSpeed)))
+		}
+	}
+	// Enforce strict chronology (jitter could stall at the clamp).
+	for i := 1; i < len(out); i++ {
+		if out[i].Tau <= out[i-1].Tau {
+			out[i].Tau = out[i-1].Tau + 1e-9
+		}
+	}
+	return out, nil
+}
+
+// AirTraffic builds the 3-D air-traffic scenario used by the examples:
+// n aircraft cruising at distinct altitudes with gentle lateral motion,
+// plus recorded climbs and descents.
+func AirTraffic(seed int64, n int) (*mod.DB, error) {
+	rng := rand.New(rand.NewSource(seed))
+	db := mod.NewDB(3, -1)
+	for i := 1; i <= n; i++ {
+		pos := geom.Of(rng.Float64()*800-400, rng.Float64()*800-400, 200+rng.Float64()*200)
+		vel := geom.Of(rng.Float64()*8-4, rng.Float64()*8-4, 0)
+		tr := trajectory.Linear(0, vel, pos)
+		// A recorded altitude change for some aircraft.
+		if i%3 == 0 {
+			tau := 10 + rng.Float64()*30
+			nt, err := tr.ChDir(tau, geom.Of(vel[0], vel[1], rng.Float64()*4-2))
+			if err != nil {
+				return nil, err
+			}
+			tr = nt
+		}
+		if err := db.Load(mod.OID(i), tr); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// Dispatch builds the 2-D police-dispatch scenario of Example 7: n
+// patrol cars moving at various speeds, plus the target trajectory
+// (returned separately; the paper's "target train").
+func Dispatch(seed int64, n int) (*mod.DB, trajectory.Trajectory, error) {
+	rng := rand.New(rand.NewSource(seed))
+	db := mod.NewDB(2, -1)
+	for i := 1; i <= n; i++ {
+		pos := geom.Of(rng.Float64()*2000-1000, rng.Float64()*2000-1000)
+		speed := 15 + rng.Float64()*25
+		ang := rng.Float64() * 2 * math.Pi
+		vel := geom.Of(speed*math.Cos(ang), speed*math.Sin(ang))
+		if err := db.Load(mod.OID(i), trajectory.Linear(0, vel, pos)); err != nil {
+			return nil, trajectory.Trajectory{}, err
+		}
+	}
+	target := trajectory.Linear(0, geom.Of(12, 0), geom.Of(-600, 50))
+	return db, target, nil
+}
+
+// StationaryField builds n stationary objects (the Song–Roussopoulos [26]
+// setting: only the query point moves) scattered over the extent.
+func StationaryField(seed int64, n int, extent float64) (*mod.DB, error) {
+	rng := rand.New(rand.NewSource(seed))
+	db := mod.NewDB(2, -1)
+	for i := 1; i <= n; i++ {
+		pos := geom.Of(rng.Float64()*2*extent-extent, rng.Float64()*2*extent-extent)
+		if err := db.Load(mod.OID(i), trajectory.Stationary(0, pos)); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}

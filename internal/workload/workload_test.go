@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/mod"
+)
+
+func TestRandomMoversDeterministic(t *testing.T) {
+	a, err := RandomMovers(Config{Seed: 42, N: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomMovers(Config{Seed: 42, N: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 50 || b.Len() != 50 {
+		t.Fatalf("sizes %d %d", a.Len(), b.Len())
+	}
+	for _, o := range a.Objects() {
+		ta, _ := a.Traj(o)
+		tb, _ := b.Traj(o)
+		if !ta.Equal(tb) {
+			t.Fatalf("object %s differs across equal seeds", o)
+		}
+	}
+	c, err := RandomMovers(Config{Seed: 43, N: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for _, o := range a.Objects() {
+		ta, _ := a.Traj(o)
+		tc, _ := c.Traj(o)
+		if !ta.Equal(tc) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestRandomMoversWithTurns(t *testing.T) {
+	db, err := RandomMovers(Config{Seed: 1, N: 10, Turns: 3, TurnHorizon: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range db.Objects() {
+		tr, _ := db.Traj(o)
+		if got := len(tr.Pieces()); got != 4 {
+			t.Fatalf("%s has %d pieces, want 4", o, got)
+		}
+	}
+}
+
+func TestConvergingMovers(t *testing.T) {
+	db, err := ConvergingMovers(Config{Seed: 2, N: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Converging movers should get closer to the origin initially.
+	closer := 0
+	for _, o := range db.Objects() {
+		tr, _ := db.Traj(o)
+		if tr.MustAt(10).Len2() < tr.MustAt(0).Len2() {
+			closer++
+		}
+	}
+	if closer < 25 {
+		t.Errorf("only %d/30 movers converge", closer)
+	}
+}
+
+func TestStreamChronologyAndValidity(t *testing.T) {
+	db, err := RandomMovers(Config{Seed: 3, N: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, err := Stream(db, StreamConfig{Seed: 4, Count: 200, From: 1, To: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(us) != 200 {
+		t.Fatalf("got %d updates", len(us))
+	}
+	for i := 1; i < len(us); i++ {
+		if !(us[i].Tau > us[i-1].Tau) {
+			t.Fatalf("updates not strictly chronological at %d: %g then %g", i, us[i-1].Tau, us[i].Tau)
+		}
+	}
+	// Every update must apply cleanly.
+	if err := db.ApplyAll(us...); err != nil {
+		t.Fatalf("stream invalid: %v", err)
+	}
+	// Errors.
+	if _, err := Stream(db, StreamConfig{Count: 5, From: 9, To: 9}); err == nil {
+		t.Error("bad window accepted")
+	}
+	if us, _ := Stream(db, StreamConfig{Count: 0, From: 0, To: 1}); us != nil {
+		t.Error("zero count should produce nil")
+	}
+}
+
+func TestAirTrafficAndDispatch(t *testing.T) {
+	db, err := AirTraffic(5, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 30 || db.Dim() != 3 {
+		t.Fatalf("air traffic: %d objects dim %d", db.Len(), db.Dim())
+	}
+	cars, target, err := Dispatch(6, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cars.Len() != 15 || cars.Dim() != 2 {
+		t.Fatalf("dispatch: %d objects dim %d", cars.Len(), cars.Dim())
+	}
+	if !target.IsDefined() {
+		t.Error("no target trajectory")
+	}
+}
+
+func TestStationaryField(t *testing.T) {
+	db, err := StationaryField(7, 25, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 25 {
+		t.Fatalf("len %d", db.Len())
+	}
+	for _, o := range db.Objects() {
+		tr, _ := db.Traj(o)
+		v, _ := tr.VelocityAt(1)
+		if !v.IsZero() {
+			t.Fatalf("%s moves", o)
+		}
+	}
+	_ = mod.OID(1)
+}
+
+func TestQueryTrajectory(t *testing.T) {
+	q1 := QueryTrajectory(Config{}, 1)
+	q2 := QueryTrajectory(Config{}, 1)
+	if !q1.Equal(q2) {
+		t.Error("query trajectory not deterministic")
+	}
+}

@@ -1,0 +1,293 @@
+// Package moq is a moving-object query engine: a from-scratch Go
+// implementation of "On Moving Object Queries" (Mokhtar, Su, Ibarra;
+// PODS 2002).
+//
+// The library models a moving object database (MOD) as a set of
+// piecewise-linear trajectories with chronological updates (new,
+// terminate, chdir), and evaluates generalized-distance queries — k
+// nearest neighbors, distance thresholds, and arbitrary FO(f) formulas —
+// by the paper's plane-sweep technique: the curves f_o(t) of a
+// generalized distance f are kept sorted along a sweeping time line, an
+// event queue holds the next intersection of each adjacent pair, and
+// query answers change only at those events.
+//
+// Three evaluation regimes are supported, matching the paper's taxonomy:
+//
+//   - past queries, over recorded history: RunPastKNN / RunPastWithin /
+//     RunPastFormula (Theorem 4: O((m+N) log N));
+//   - future and continuing queries, maintained eagerly while updates
+//     stream in: NewKNNSession etc. (Theorem 5: O(N log N) init,
+//     O(log N) per update under regular updates);
+//   - query-trajectory changes replacing every curve at once
+//     (Theorem 10: O(N)).
+//
+// The deeper machinery lives in internal packages (polynomial real-root
+// isolation, piecewise-polynomial curves, the kinetic ordered list, the
+// event queues, the sweep core, the constraint-language baseline); this
+// package re-exports the stable surface.
+package moq
+
+import (
+	"math"
+
+	"repro/internal/collide"
+	"repro/internal/core"
+	"repro/internal/gdist"
+	"repro/internal/geom"
+	"repro/internal/mod"
+	"repro/internal/query"
+	"repro/internal/trajectory"
+)
+
+// Core model types, re-exported.
+type (
+	// Vec is a point or velocity in R^n.
+	Vec = geom.Vec
+	// OID identifies a moving object.
+	OID = mod.OID
+	// Trajectory is a continuous piecewise-linear motion history.
+	Trajectory = trajectory.Trajectory
+	// Update is one of the paper's update operations.
+	Update = mod.Update
+	// DB is a moving object database (O, T, tau).
+	DB = mod.DB
+	// GDistance maps trajectories to curves over time (Definition 6).
+	GDistance = gdist.GDistance
+	// AnswerSet is a query answer: per-object time intervals, from which
+	// the snapshot / existential / universal answers derive.
+	AnswerSet = query.AnswerSet
+	// Interval is a closed time interval of an AnswerSet.
+	Interval = query.Interval
+	// SweepStats counts the work a sweep performed.
+	SweepStats = core.Stats
+	// Session drives future/continuing queries as updates arrive.
+	Session = query.Session
+	// KNNQuery is the incremental k-nearest-neighbors evaluator.
+	KNNQuery = query.KNN
+	// WithinQuery is the incremental threshold evaluator.
+	WithinQuery = query.Within
+	// FormulaQuery is the generic FO(f) evaluator.
+	FormulaQuery = query.Formula
+)
+
+// FO(f) formula constructors, re-exported (see Examples 10 and 11 of the
+// paper; build formulas as values, e.g.
+// ForAll{Var: "z", Body: Atom{L: F{Var: "y"}, Op: LE, R: F{Var: "z"}}}).
+type (
+	// Atom compares two real terms.
+	Atom = query.Atom
+	// F is the real term f(var, t).
+	F = query.F
+	// C is a real-constant term.
+	C = query.C
+	// Not negates a formula.
+	Not = query.Not
+	// And conjoins formulas.
+	And = query.And
+	// Or disjoins formulas.
+	Or = query.Or
+	// Implies is material implication.
+	Implies = query.Implies
+	// ForAll quantifies over objects.
+	ForAll = query.ForAll
+	// Exists quantifies over objects.
+	Exists = query.Exists
+)
+
+// Comparison operators for Atom.
+const (
+	EQ = query.EQ
+	NE = query.NE
+	LT = query.LT
+	LE = query.LE
+	GT = query.GT
+	GE = query.GE
+)
+
+// V builds a vector from components.
+func V(xs ...float64) Vec { return geom.Of(xs...) }
+
+// NewDB creates an empty MOD for objects in R^dim with last-update time
+// tau0.
+func NewDB(dim int, tau0 float64) *DB { return mod.NewDB(dim, tau0) }
+
+// New builds a create-object update: new(o, tau, velocity, position).
+func New(o OID, tau float64, velocity, position Vec) Update {
+	return mod.New(o, tau, velocity, position)
+}
+
+// Terminate builds a terminate(o, tau) update.
+func Terminate(o OID, tau float64) Update { return mod.Terminate(o, tau) }
+
+// ChDir builds a chdir(o, tau, velocity) update.
+func ChDir(o OID, tau float64, velocity Vec) Update { return mod.ChDir(o, tau, velocity) }
+
+// Linear returns the trajectory x = velocity*(t-start) + position on
+// [start, +inf).
+func Linear(start float64, velocity, position Vec) Trajectory {
+	return trajectory.Linear(start, velocity, position)
+}
+
+// Stationary returns a trajectory parked at position from start onward.
+func Stationary(start float64, position Vec) Trajectory {
+	return trajectory.Stationary(start, position)
+}
+
+// ParseTrajectory reads the paper's constraint syntax, e.g.
+//
+//	x = (2, -1, 0)t + (-40, 23, 30) & 0 <= t <= 21 | x = ...
+func ParseTrajectory(s string) (Trajectory, error) { return trajectory.Parse(s) }
+
+// EuclideanSq is the squared Euclidean distance to a query trajectory
+// (Example 8): a polynomial g-distance.
+func EuclideanSq(q Trajectory) GDistance { return gdist.EuclideanSq{Query: q} }
+
+// PointSq is the squared distance to a fixed point.
+func PointSq(p Vec) GDistance { return gdist.PointSq{Point: p} }
+
+// AxisSq is the squared distance to the query trajectory along one axis.
+func AxisSq(q Trajectory, axis int) GDistance { return gdist.AxisSq{Query: q, Axis: axis} }
+
+// InterceptTime is the fastest-arrival g-distance of Examples 7/9: the
+// time for each object, at its current speed, to reach the target. The
+// curve is a bounded-error piecewise-quadratic fit (maxErr; 0 means 1e-6)
+// capped at cap (0 means 1e6) where the target is unreachable.
+func InterceptTime(target Trajectory, cap, maxErr float64) GDistance {
+	return gdist.Intercept{Target: target, Cap: cap, MaxErr: maxErr}
+}
+
+// RunPastKNN evaluates a past k-NN query (Example 6) over [lo, hi]:
+// which objects are among the k nearest under f, and when. Theorem 4's
+// regime: the whole window lies in recorded history.
+func RunPastKNN(db *DB, f GDistance, k int, lo, hi float64) (*AnswerSet, SweepStats, error) {
+	knn := query.NewKNN(k)
+	st, err := query.RunPast(db, f, lo, hi, knn)
+	if err != nil {
+		return nil, SweepStats{}, err
+	}
+	return knn.Answer(), st, nil
+}
+
+// RunPastWithin evaluates a past threshold query: f(o, t) <= c.
+func RunPastWithin(db *DB, f GDistance, c float64, lo, hi float64) (*AnswerSet, SweepStats, error) {
+	w := query.NewWithin(c)
+	st, err := query.RunPast(db, f, lo, hi, w)
+	if err != nil {
+		return nil, SweepStats{}, err
+	}
+	return w.Answer(), st, nil
+}
+
+// RunPastFormula evaluates an arbitrary FO(f) query (y, t, [lo,hi], phi).
+func RunPastFormula(db *DB, f GDistance, y string, phi query.Node, lo, hi float64) (*AnswerSet, SweepStats, error) {
+	form := query.NewFormula(y, phi)
+	st, err := query.RunPast(db, f, lo, hi, form)
+	if err != nil {
+		return nil, SweepStats{}, err
+	}
+	if err := form.Err(); err != nil {
+		return nil, SweepStats{}, err
+	}
+	return form.Answer(), st, nil
+}
+
+// NewKNNSession starts a continuing/future k-NN query at time lo (use
+// math.Inf(1) or 0 for an unbounded hi with closed-form distances).
+// Feed updates with sess.Apply, move time forward with sess.AdvanceTo,
+// and read the live set from knn.Current() or the history from
+// knn.Answer().
+func NewKNNSession(db *DB, f GDistance, k int, lo, hi float64) (*Session, *KNNQuery, error) {
+	knn := query.NewKNN(k)
+	sess, err := query.NewSession(db, f, lo, hi, knn)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sess, knn, nil
+}
+
+// NewWithinSession starts a continuing/future threshold query.
+func NewWithinSession(db *DB, f GDistance, c float64, lo, hi float64) (*Session, *WithinQuery, error) {
+	w := query.NewWithin(c)
+	sess, err := query.NewSession(db, f, lo, hi, w)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sess, w, nil
+}
+
+// ReplaceQueryDistance performs the Theorem 10 operation on a session: a
+// chdir on the query trajectory replaces every g-distance curve in O(N)
+// without re-sorting the precedence relation.
+func ReplaceQueryDistance(sess *Session, f GDistance) error {
+	return sess.E.ReplaceGDistance(f)
+}
+
+// Inf is a convenience for unbounded interval ends.
+func Inf() float64 { return math.Inf(1) }
+
+// Encounter is a proximity event between two objects (collision
+// discovery, one of the paper's motivating applications).
+type Encounter = collide.Encounter
+
+// DetectEncounters finds every pair of objects that comes within radius
+// of each other during [lo, hi], with exact encounter intervals
+// (R-tree broad phase + polynomial-root narrow phase).
+func DetectEncounters(db *DB, radius, lo, hi float64) ([]Encounter, error) {
+	enc, _, err := collide.Detect(db, collide.Config{Radius: radius}, lo, hi)
+	return enc, err
+}
+
+// RankTimeline tracks one object's proximity rank over [lo, hi]: a step
+// function giving, at each instant, how many objects were nearer under f
+// (-1 while the object does not exist).
+func RankTimeline(db *DB, f GDistance, o OID, lo, hi float64) ([]query.RankStep, error) {
+	rt := query.NewRankTracker(o)
+	if _, err := query.RunPast(db, f, lo, hi, rt); err != nil {
+		return nil, err
+	}
+	return rt.Steps(), nil
+}
+
+// NewHistorian snapshots the database and builds a lifetime interval
+// index for efficient repeated past queries over the same history.
+func NewHistorian(db *DB) (*query.Historian, error) { return query.NewHistorian(db) }
+
+// QueryClass is the paper's past/future/continuing taxonomy
+// (Definition 5), decidable for interval queries.
+type QueryClass = query.Class
+
+// Query classes.
+const (
+	Past       = query.Past
+	Future     = query.Future
+	Continuing = query.Continuing
+)
+
+// Classify places a query interval relative to the database's
+// last-update time.
+func Classify(lo, hi, tau float64) (QueryClass, error) { return query.Classify(lo, hi, tau) }
+
+// ValidAnswer restricts an answer to its settled part (Definition 4's
+// Q^v): memberships at or before tau survive any future update sequence.
+func ValidAnswer(ans *AnswerSet, lo, hi, tau float64) *AnswerSet {
+	return query.ValidAnswer(ans, lo, hi, tau)
+}
+
+// PredictedAnswer returns the revocable remainder: memberships beyond
+// tau, correct only if no further update intervenes.
+func PredictedAnswer(ans *AnswerSet, lo, hi, tau float64) *AnswerSet {
+	return query.PredictedAnswer(ans, lo, hi, tau)
+}
+
+// TrackedSession is a continuing query whose query object is itself a
+// database object (the paper's Section 5 closing extension): course
+// changes of the tracked object retarget every curve via the Theorem 10
+// O(N) path; all other updates cost O(log N).
+type TrackedSession = query.TrackSession
+
+// NewTrackedKNNSession starts a continuing k-NN watch around database
+// object target. The target counts as its own nearest neighbor; ask for
+// k+1 to see k others.
+func NewTrackedKNNSession(db *DB, target OID, k int, lo, hi float64) (*TrackedSession, *KNNQuery, error) {
+	return query.NewTrackKNNSession(db, target, k, lo, hi)
+}

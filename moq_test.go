@@ -1,0 +1,277 @@
+package moq
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuickstartFlow exercises the README's quickstart path end to end.
+func TestQuickstartFlow(t *testing.T) {
+	db := NewDB(2, -1)
+	if err := db.ApplyAll(
+		New(1, 0, V(0, 0), V(3, 4)),     // parked 5 away
+		New(2, 0.5, V(-1, 0), V(20, 0)), // inbound
+	); err != nil {
+		t.Fatal(err)
+	}
+	ans, st, err := RunPastKNN(db, PointSq(V(0, 0)), 1, 1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Events == 0 {
+		t.Error("no events processed")
+	}
+	// o2 position 20.5-t (created at 0.5): |o2| < 5 when t > 15.5.
+	iv2 := ans.Intervals(2)
+	if len(iv2) != 1 || math.Abs(iv2[0].Lo-15.5) > 1e-7 {
+		t.Errorf("o2 intervals %v, want takeover at 15.5", iv2)
+	}
+	if got := ans.At(10); len(got) != 1 || got[0] != 1 {
+		t.Errorf("At(10) = %v", got)
+	}
+	if got := ans.At(20); len(got) != 1 || got[0] != 2 {
+		t.Errorf("At(20) = %v", got)
+	}
+}
+
+func TestWithinFacade(t *testing.T) {
+	db := NewDB(1, -1)
+	if err := db.Apply(New(1, 0, V(1), V(-10))); err != nil {
+		t.Fatal(err)
+	}
+	ans, _, err := RunPastWithin(db, PointSq(V(0)), 25, 0.5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := ans.Intervals(1)
+	if len(iv) != 1 || math.Abs(iv[0].Lo-5) > 1e-7 || math.Abs(iv[0].Hi-15) > 1e-7 {
+		t.Errorf("intervals %v, want [5,15]", iv)
+	}
+}
+
+func TestFormulaFacade(t *testing.T) {
+	db := NewDB(1, -1)
+	if err := db.ApplyAll(
+		New(1, 0, V(0), V(1)),
+		New(2, 1, V(0), V(5)),
+	); err != nil {
+		t.Fatal(err)
+	}
+	phi := ForAll{Var: "z", Body: Atom{L: F{Var: "y"}, Op: LE, R: F{Var: "z"}}}
+	ans, _, err := RunPastFormula(db, PointSq(V(0)), "y", phi, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ans.At(5); len(got) != 1 || got[0] != 1 {
+		t.Errorf("1-NN via formula = %v", got)
+	}
+}
+
+func TestSessionFacade(t *testing.T) {
+	db := NewDB(2, -1)
+	if err := db.ApplyAll(
+		New(1, 0, V(0, 0), V(10, 0)),
+		New(2, 0.5, V(0, 0), V(1, 1)),
+	); err != nil {
+		t.Fatal(err)
+	}
+	// Query object moves right from the origin.
+	q := Linear(0, V(1, 0), V(0, 0))
+	sess, knn, err := NewKNNSession(db, EuclideanSq(q), 1, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.AdvanceTo(6); err != nil {
+		t.Fatal(err)
+	}
+	cur := knn.Current()
+	if len(cur) != 1 || cur[0] != 1 {
+		t.Errorf("current = %v, want o1 (query at (6,0))", cur)
+	}
+	// Theorem 10: a chdir on the QUERY trajectory at the current time.
+	// The new g-distance coincides with the old one at t=6 (same query
+	// position), so the precedence relation stays valid — the premise
+	// of the O(N) replacement.
+	turned, err := q.ChDir(6, V(-2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ReplaceQueryDistance(sess, EuclideanSq(turned)); err != nil {
+		t.Fatal(err)
+	}
+	// Heading back toward o2 at (1,1): o2 takes over at qx = 49/9.
+	if err := sess.AdvanceTo(8); err != nil {
+		t.Fatal(err)
+	}
+	cur = knn.Current()
+	if len(cur) != 1 || cur[0] != 2 {
+		t.Errorf("after query turn = %v, want o2", cur)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrajectoryFacade(t *testing.T) {
+	tr, err := ParseTrajectory("x = (1, 0)t + (0, 0) & 0 <= t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.MustAt(5); !got.ApproxEqual(V(5, 0), 1e-12) {
+		t.Errorf("parsed At(5) = %v", got)
+	}
+	if Linear(0, V(1), V(2)).MustAt(3)[0] != 5 {
+		t.Error("Linear")
+	}
+	if !Stationary(0, V(7)).MustAt(100).ApproxEqual(V(7), 0) {
+		t.Error("Stationary")
+	}
+	if !math.IsInf(Inf(), 1) {
+		t.Error("Inf")
+	}
+}
+
+func TestInterceptFacade(t *testing.T) {
+	db := NewDB(2, -1)
+	// Fast interceptor far away vs slow one nearby.
+	if err := db.ApplyAll(
+		New(1, 0, V(0, 30), V(500, -300)), // fast, far
+		New(2, 0.5, V(0, 2), V(60, -40)),  // slow, near
+	); err != nil {
+		t.Fatal(err)
+	}
+	target := Linear(0, V(5, 0), V(0, 0))
+	ans, _, err := RunPastKNN(db, InterceptTime(target, 0, 0), 1, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ans.Existential(); len(got) == 0 {
+		t.Error("no fastest-arrival answer")
+	}
+}
+
+func TestDetectEncountersFacade(t *testing.T) {
+	db := NewDB(2, -1)
+	if err := db.ApplyAll(
+		New(1, 0, V(1, 0), V(-50, 0)),
+		New(2, 0.5, V(-1, 0), V(50, 6)),
+	); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := DetectEncounters(db, 10, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != 1 || enc[0].A != 1 || enc[0].B != 2 {
+		t.Fatalf("encounters %+v", enc)
+	}
+}
+
+func TestRankTimelineFacade(t *testing.T) {
+	db := NewDB(1, -1)
+	if err := db.ApplyAll(
+		New(1, 0, V(0), V(1)),
+		New(2, 0.5, V(-1), V(20)),
+	); err != nil {
+		t.Fatal(err)
+	}
+	steps, err := RankTimeline(db, PointSq(V(0)), 2, 1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) < 2 {
+		t.Fatalf("steps = %v", steps)
+	}
+	// o2 starts behind o1 (rank 1) and overtakes.
+	if steps[0].Rank != 1 {
+		t.Errorf("initial rank %d, want 1", steps[0].Rank)
+	}
+	sawZero := false
+	for _, s := range steps {
+		if s.Rank == 0 {
+			sawZero = true
+		}
+	}
+	if !sawZero {
+		t.Errorf("o2 never reached rank 0: %v", steps)
+	}
+}
+
+func TestHistorianFacade(t *testing.T) {
+	db := NewDB(1, -1)
+	if err := db.ApplyAll(
+		New(1, 0, V(0), V(1)),
+		New(2, 0.5, V(0), V(5)),
+	); err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHistorian(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, st, err := h.KNN(PointSq(V(0)), 1, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Seeded != 2 {
+		t.Errorf("Seeded = %d", st.Seeded)
+	}
+	if got := ans.At(5); len(got) != 1 || got[0] != 1 {
+		t.Errorf("answer = %v", got)
+	}
+}
+
+func TestAxisSqFacade(t *testing.T) {
+	db := NewDB(2, -1)
+	if err := db.ApplyAll(
+		New(1, 0, V(0, 0), V(100, 1)), // far in x, 1 in y
+		New(2, 0.5, V(0, 0), V(0, 50)),
+	); err != nil {
+		t.Fatal(err)
+	}
+	q := Stationary(0, V(0, 0))
+	// Along the y axis, o1 (Δy=1) beats o2 (Δy=50).
+	ans, _, err := RunPastKNN(db, AxisSq(q, 1), 1, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ans.At(5); len(got) != 1 || got[0] != 1 {
+		t.Errorf("axis 1-NN = %v", got)
+	}
+}
+
+func TestTrackedSessionFacade(t *testing.T) {
+	db := NewDB(2, -1)
+	if err := db.ApplyAll(
+		New(1, 0, V(1, 0), V(0, 0)),
+		New(2, 0.5, V(0, 0), V(20, 0)),
+		New(3, 0.75, V(0, 0), V(-4, 0)),
+	); err != nil {
+		t.Fatal(err)
+	}
+	ts, knn, err := NewTrackedKNNSession(db, 1, 2, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.OnUpdate(func(u Update) {
+		if err := ts.Apply(u); err != nil {
+			t.Errorf("apply: %v", err)
+		}
+	})
+	if err := ts.AdvanceTo(6); err != nil {
+		t.Fatal(err)
+	}
+	if cur := knn.Current(); len(cur) != 2 || cur[1] != 3 {
+		t.Fatalf("at 6: %v", cur)
+	}
+	// Target turns back at 12: o3 retakes second place by t=17.
+	if err := db.Apply(ChDir(1, 12, V(-1, 0))); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.AdvanceTo(17); err != nil {
+		t.Fatal(err)
+	}
+	if cur := knn.Current(); cur[1] != 3 {
+		t.Fatalf("at 17: %v, want o3 after the turn", cur)
+	}
+}
