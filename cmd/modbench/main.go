@@ -83,11 +83,11 @@ func sizes(full []int) []int {
 
 func table(header string, rows [][]string) {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, header)
+	_, _ = fmt.Fprintln(w, header)
 	for _, r := range rows {
-		fmt.Fprintln(w, strings.Join(r, "\t"))
+		_, _ = fmt.Fprintln(w, strings.Join(r, "\t"))
 	}
-	w.Flush()
+	_ = w.Flush()
 }
 
 func movers(n int) (*mod.DB, error) {

@@ -1,0 +1,162 @@
+// Command modlint runs the repo's static-analysis suite (internal/lint)
+// over the module: floatcmp, lockcopy, goroutinecapture, errdrop — the
+// mechanical form of the numeric-comparison and lock-discipline
+// invariants the plane sweep depends on.
+//
+// Usage:
+//
+//	go run ./cmd/modlint ./...            # whole module
+//	go run ./cmd/modlint ./internal/poly  # one subtree
+//
+// Exit status: 0 clean, 1 findings, 2 load/type errors. Suppress a
+// finding with a `//modlint:allow <analyzer> -- reason` comment on the
+// same line or the line above.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// fprintf writes best-effort output: there is nothing actionable to do
+// when stdout/stderr themselves fail.
+func fprintf(w io.Writer, format string, a ...interface{}) {
+	_, _ = fmt.Fprintf(w, format, a...)
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("modlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fprintf(stderr, "usage: modlint [-list] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fprintf(stderr, "modlint: %v\n", err)
+		return 2
+	}
+	root, modPath, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fprintf(stderr, "modlint: %v\n", err)
+		return 2
+	}
+	keep, err := packageFilter(cwd, root, modPath, fs.Args())
+	if err != nil {
+		fprintf(stderr, "modlint: %v\n", err)
+		return 2
+	}
+
+	pkgs, err := lint.LoadModule(root, modPath)
+	if err != nil {
+		fprintf(stderr, "modlint: %v\n", err)
+		return 2
+	}
+	status := 0
+	findings := 0
+	matched := 0
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			for _, e := range pkg.TypeErrors {
+				fprintf(stderr, "modlint: %s: type error: %v\n", pkg.ImportPath, e)
+			}
+			status = 2
+			continue
+		}
+		if !keep(pkg.ImportPath) {
+			continue
+		}
+		matched++
+		for _, f := range lint.Run(pkg.Pass, lint.All()) {
+			// Render positions relative to the module root for stable,
+			// clickable output.
+			pos := f.Position
+			if rel, err := filepath.Rel(root, pos.Filename); err == nil {
+				pos.Filename = rel
+			}
+			fprintf(stdout, "%s: [%s] %s\n", pos, f.Analyzer, f.Message)
+			findings++
+		}
+	}
+	if matched == 0 && status == 0 {
+		// A typo'd pattern must not report a vacuous clean pass.
+		fprintf(stderr, "modlint: no packages match %v\n", fs.Args())
+		return 2
+	}
+	if findings > 0 {
+		fprintf(stderr, "modlint: %d finding(s)\n", findings)
+		if status == 0 {
+			status = 1
+		}
+	}
+	return status
+}
+
+// packageFilter turns CLI package patterns into an import-path predicate.
+// Supported patterns: "./..." (everything), "dir/..." and plain package
+// directories, resolved relative to the current directory.
+func packageFilter(cwd, root, modPath string, patterns []string) (func(string) bool, error) {
+	if len(patterns) == 0 {
+		return func(string) bool { return true }, nil
+	}
+	var prefixes []string
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+		}
+		if pat == "." && recursive && cwd == root {
+			return func(string) bool { return true }, nil
+		}
+		abs, err := filepath.Abs(filepath.Join(cwd, pat))
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("pattern %q is outside module %s", pat, modPath)
+		}
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		if recursive {
+			prefixes = append(prefixes, ip+"/", ip)
+		} else {
+			prefixes = append(prefixes, ip)
+		}
+	}
+	return func(importPath string) bool {
+		// External test packages follow their primary package.
+		importPath = strings.TrimSuffix(importPath, "_test")
+		for i := 0; i < len(prefixes); i++ {
+			p := prefixes[i]
+			if importPath == p || (strings.HasSuffix(p, "/") && strings.HasPrefix(importPath, p)) {
+				return true
+			}
+		}
+		return false
+	}, nil
+}

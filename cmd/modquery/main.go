@@ -64,7 +64,7 @@ func main() {
 			return
 		}
 		if err := sh.execute(line); err != nil {
-			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			_, _ = fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		}
 	}
 }

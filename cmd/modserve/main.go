@@ -45,7 +45,7 @@ func main() {
 			logger.Fatal(err)
 		}
 		loaded, err := mod.LoadJSON(f)
-		f.Close()
+		_ = f.Close()
 		if err != nil {
 			logger.Fatal(err)
 		}
@@ -67,7 +67,7 @@ func main() {
 		// already includes a prefix of it is fine), then keep appending.
 		if f, err := os.Open(*journalFlag); err == nil {
 			applied, skipped, rerr := mod.ReplayTolerant(db, f)
-			f.Close()
+			_ = f.Close()
 			if rerr != nil {
 				logger.Fatalf("journal replay: %v", rerr)
 			}
@@ -82,7 +82,7 @@ func main() {
 			if err := j.Flush(); err != nil {
 				logger.Printf("journal flush: %v", err)
 			}
-			jf.Close()
+			_ = jf.Close()
 		}()
 		db.OnUpdate(func(mod.Update) {
 			if err := j.Flush(); err != nil {

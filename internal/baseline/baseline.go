@@ -38,7 +38,7 @@ type SampledAnswer struct {
 // SetAt returns the answer in force at time t (the last sample <= t).
 func (sa SampledAnswer) SetAt(t float64) []mod.OID {
 	i := sort.SearchFloat64s(sa.Times, t)
-	if i < len(sa.Times) && sa.Times[i] == t {
+	if i < len(sa.Times) && sa.Times[i] == t { //modlint:allow floatcmp -- binary-search hit against stored sample times is bit-identical
 		return sa.Sets[i]
 	}
 	if i == 0 {
@@ -115,7 +115,7 @@ func SR01KNN(db *mod.DB, query trajectory.Trajectory, cfg SR01Config, lo, hi flo
 		// Keep the K nearest of the candidates.
 		sort.Slice(got, func(i, j int) bool {
 			di, dj := got[i].P.Dist2(qpos), got[j].P.Dist2(qpos)
-			if di != dj {
+			if di != dj { //modlint:allow floatcmp -- comparator: strict weak ordering needs exact compares; ties break by OID
 				return di < dj
 			}
 			return got[i].ID < got[j].ID

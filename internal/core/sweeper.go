@@ -161,7 +161,7 @@ func NewSweeper(cfg Config) *Sweeper {
 		q = eventq.NewHeap()
 	}
 	h := cfg.Horizon
-	if h == 0 {
+	if h == 0 { //modlint:allow floatcmp -- unset-config sentinel: zero horizon means unbounded
 		h = math.Inf(1)
 	}
 	return &Sweeper{

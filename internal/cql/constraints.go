@@ -24,7 +24,17 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"repro/internal/poly"
 )
+
+// coeffEps is the absolute threshold below which a coefficient produced
+// by constraint *arithmetic* (linear substitution, Fourier-Motzkin
+// combination) is treated as exact zero. Cancellation of O(1)..O(1e3)
+// coordinate data leaves ~1e-13-scale dust that would otherwise
+// masquerade as a live variable with an enormous RHS/coef quotient.
+// Coefficients supplied directly by callers are kept verbatim.
+const coeffEps = 1e-9
 
 // Op is a comparison operator of a linear constraint.
 type Op int
@@ -63,7 +73,7 @@ type Constraint struct {
 func NewConstraint(op Op, rhs float64, coeffs map[string]float64) Constraint {
 	cp := make(map[string]float64, len(coeffs))
 	for v, c := range coeffs {
-		if c != 0 {
+		if c != 0 { //modlint:allow floatcmp -- caller-supplied coefficient, untouched: dropping exact zeros only
 			cp[v] = c
 		}
 	}
@@ -121,21 +131,22 @@ func (c Constraint) String() string {
 		coef := c.Coeffs[v]
 		switch {
 		case i == 0:
+			//modlint:allow floatcmp -- display only: render 1x as x when the stored value is exactly 1
 			if coef == 1 {
 				b.WriteString(v)
-			} else if coef == -1 {
+			} else if coef == -1 { //modlint:allow floatcmp -- display only
 				b.WriteString("-" + v)
 			} else {
 				fmt.Fprintf(&b, "%g%s", coef, v)
 			}
 		case coef >= 0:
-			if coef == 1 {
+			if coef == 1 { //modlint:allow floatcmp -- display only
 				b.WriteString(" + " + v)
 			} else {
 				fmt.Fprintf(&b, " + %g%s", coef, v)
 			}
 		default:
-			if coef == -1 {
+			if coef == -1 { //modlint:allow floatcmp -- display only
 				b.WriteString(" - " + v)
 			} else {
 				fmt.Fprintf(&b, " - %g%s", -coef, v)
@@ -183,9 +194,9 @@ func (cj Conjunction) SubstituteLinear(v, w string, a, b float64) Conjunction {
 		nc := c.clone()
 		if coef, ok := nc.Coeffs[v]; ok {
 			delete(nc.Coeffs, v)
-			if a != 0 {
+			if a != 0 { //modlint:allow floatcmp -- caller-supplied slope, untouched: zero means the term vanishes
 				nc.Coeffs[w] += coef * a
-				if nc.Coeffs[w] == 0 {
+				if poly.ApproxZero(nc.Coeffs[w], coeffEps) {
 					delete(nc.Coeffs, w)
 				}
 			}
@@ -209,7 +220,7 @@ func (cj Conjunction) Eliminate(v string) (Conjunction, error) {
 	// First use an equality involving v, if any, to substitute v away.
 	for i, c := range cj {
 		coef := c.Coeff(v)
-		if c.Op == EQ && coef != 0 {
+		if c.Op == EQ && !poly.ApproxZero(coef, coeffEps) {
 			// v = (RHS - rest)/coef: substitute into all others.
 			rest := c.clone()
 			delete(rest.Coeffs, v)
@@ -220,14 +231,14 @@ func (cj Conjunction) Eliminate(v string) (Conjunction, error) {
 				}
 				dc := d.Coeff(v)
 				nd := d.clone()
-				if dc != 0 {
+				if !poly.ApproxZero(dc, coeffEps) {
 					delete(nd.Coeffs, v)
 					// d: dc*v + rest_d op rhs_d, with
 					// v = (rhs_c - rest_c)/coef.
 					k := dc / coef
 					for w, cw := range rest.Coeffs {
 						nd.Coeffs[w] -= k * cw
-						if nd.Coeffs[w] == 0 {
+						if poly.ApproxZero(nd.Coeffs[w], coeffEps) {
 							delete(nd.Coeffs, w)
 						}
 					}
@@ -251,7 +262,7 @@ func (cj Conjunction) Eliminate(v string) (Conjunction, error) {
 	for _, c := range cj {
 		coef := c.Coeff(v)
 		switch {
-		case coef == 0:
+		case poly.ApproxZero(coef, coeffEps):
 			rest = append(rest, c.clone())
 		case coef > 0:
 			uppers = append(uppers, c)
@@ -275,7 +286,7 @@ func (cj Conjunction) Eliminate(v string) (Conjunction, error) {
 				}
 			}
 			for w, cw := range nc.Coeffs {
-				if cw == 0 {
+				if poly.ApproxZero(cw, coeffEps) {
 					delete(nc.Coeffs, w)
 				}
 			}
@@ -313,7 +324,7 @@ func (c Constraint) normalize() Constraint {
 			max = a
 		}
 	}
-	if max == 0 {
+	if max == 0 { //modlint:allow floatcmp -- all-zero constraint: max of absolute values is exactly 0
 		return c
 	}
 	cut := max * 1e-12

@@ -1,0 +1,398 @@
+package cql
+
+// ParseFormula reads a time-dependent formula in a small concrete syntax
+// mirroring the paper's FO(f_1,...,f_k) query examples (Section 3). The
+// grammar, with `point` a parenthesized coordinate vector like (3, -4.5):
+//
+//	formula := or
+//	or      := and { ("or" | "∨" | "|") and }
+//	and     := unary { ("and" | "∧" | "&") unary }
+//	unary   := ("not" | "¬" | "!") unary | atom
+//	atom    := "(" formula ")"
+//	         | "in" "box" "(" point "," point ")"          — Example 1
+//	         | "in" "halfspace" "(" point "," number ")"   — a·x <= b
+//	         | "within" number "of" point                  — Example 5
+//	         | "closer" "to" point "than" oid              — Example 6
+//	         | "closest" "to" point                        — ∀z quantified
+//
+// Both the Unicode connectives and their ASCII spellings are accepted.
+// Stationary points stand in for the target trajectory of the distance
+// atoms; programmatic construction remains available for moving targets.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/geom"
+	"repro/internal/mod"
+	"repro/internal/trajectory"
+)
+
+// maxParseDepth bounds connective/paren nesting so that adversarial
+// inputs (fuzzing, network queries) cannot overflow the goroutine stack.
+const maxParseDepth = 64
+
+// ParseFormula parses the concrete syntax above into a TimeFormula.
+func ParseFormula(s string) (TimeFormula, error) {
+	toks, err := lexFormula(s)
+	if err != nil {
+		return nil, fmt.Errorf("cql: %w", err)
+	}
+	p := &formulaParser{toks: toks}
+	f, err := p.parseOr(0)
+	if err != nil {
+		return nil, fmt.Errorf("cql: %w", err)
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("cql: unexpected %q after formula", p.peek().text)
+	}
+	return f, nil
+}
+
+// MustParseFormula is ParseFormula for statically-valid inputs.
+func MustParseFormula(s string) TimeFormula {
+	f, err := ParseFormula(s)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokAnd
+	tokOr
+	tokNot
+)
+
+type formulaTok struct {
+	kind tokKind
+	text string
+}
+
+func lexFormula(s string) ([]formulaTok, error) {
+	var toks []formulaTok
+	rs := []rune(s)
+	for i := 0; i < len(rs); {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '(':
+			toks = append(toks, formulaTok{tokLParen, "("})
+			i++
+		case r == ')':
+			toks = append(toks, formulaTok{tokRParen, ")"})
+			i++
+		case r == ',':
+			toks = append(toks, formulaTok{tokComma, ","})
+			i++
+		case r == '∧' || r == '&':
+			toks = append(toks, formulaTok{tokAnd, "and"})
+			i++
+		case r == '∨' || r == '|':
+			toks = append(toks, formulaTok{tokOr, "or"})
+			i++
+		case r == '¬' || r == '!':
+			toks = append(toks, formulaTok{tokNot, "not"})
+			i++
+		case unicode.IsLetter(r):
+			j := i
+			for j < len(rs) && unicode.IsLetter(rs[j]) {
+				j++
+			}
+			word := strings.ToLower(string(rs[i:j]))
+			switch word {
+			case "and":
+				toks = append(toks, formulaTok{tokAnd, word})
+			case "or":
+				toks = append(toks, formulaTok{tokOr, word})
+			case "not":
+				toks = append(toks, formulaTok{tokNot, word})
+			default:
+				toks = append(toks, formulaTok{tokIdent, word})
+			}
+			i = j
+		case unicode.IsDigit(r) || r == '.' || r == '-' || r == '+':
+			j := i + 1
+			for j < len(rs) && (unicode.IsDigit(rs[j]) || rs[j] == '.' ||
+				rs[j] == 'e' || rs[j] == 'E' ||
+				((rs[j] == '+' || rs[j] == '-') && (rs[j-1] == 'e' || rs[j-1] == 'E'))) {
+				j++
+			}
+			toks = append(toks, formulaTok{tokNumber, string(rs[i:j])})
+			i = j
+		default:
+			return nil, fmt.Errorf("unexpected character %q", r)
+		}
+	}
+	return toks, nil
+}
+
+type formulaParser struct {
+	toks []formulaTok
+	pos  int
+}
+
+func (p *formulaParser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *formulaParser) peek() formulaTok {
+	if p.eof() {
+		return formulaTok{tokIdent, "<end of input>"}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *formulaParser) next() formulaTok {
+	t := p.peek()
+	if !p.eof() {
+		p.pos++
+	}
+	return t
+}
+
+func (p *formulaParser) accept(k tokKind) bool {
+	if !p.eof() && p.toks[p.pos].kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *formulaParser) expect(k tokKind, what string) error {
+	if p.accept(k) {
+		return nil
+	}
+	return fmt.Errorf("expected %s, found %q", what, p.peek().text)
+}
+
+func (p *formulaParser) expectWord(w string) error {
+	if t := p.peek(); t.kind == tokIdent && t.text == w {
+		p.pos++
+		return nil
+	}
+	return fmt.Errorf("expected %q, found %q", w, p.peek().text)
+}
+
+func (p *formulaParser) parseOr(depth int) (TimeFormula, error) {
+	if depth > maxParseDepth {
+		return nil, fmt.Errorf("formula nested deeper than %d", maxParseDepth)
+	}
+	f, err := p.parseAnd(depth)
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokOr) {
+		g, err := p.parseAnd(depth)
+		if err != nil {
+			return nil, err
+		}
+		f = OrF{X: f, Y: g}
+	}
+	return f, nil
+}
+
+func (p *formulaParser) parseAnd(depth int) (TimeFormula, error) {
+	f, err := p.parseUnary(depth)
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokAnd) {
+		g, err := p.parseUnary(depth)
+		if err != nil {
+			return nil, err
+		}
+		f = AndF{X: f, Y: g}
+	}
+	return f, nil
+}
+
+func (p *formulaParser) parseUnary(depth int) (TimeFormula, error) {
+	if depth > maxParseDepth {
+		return nil, fmt.Errorf("formula nested deeper than %d", maxParseDepth)
+	}
+	if p.accept(tokNot) {
+		f, err := p.parseUnary(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		return NotF{X: f}, nil
+	}
+	return p.parseAtom(depth)
+}
+
+func (p *formulaParser) parseAtom(depth int) (TimeFormula, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokLParen:
+		p.pos++
+		f, err := p.parseOr(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen, `")"`); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case t.kind == tokIdent && t.text == "in":
+		p.pos++
+		return p.parseRegionAtom()
+	case t.kind == tokIdent && t.text == "within":
+		p.pos++
+		c, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectWord("of"); err != nil {
+			return nil, err
+		}
+		pt, err := p.parsePoint()
+		if err != nil {
+			return nil, err
+		}
+		return WithinDist{Target: trajectory.Stationary(0, pt), C2: c * c}, nil
+	case t.kind == tokIdent && t.text == "closer":
+		p.pos++
+		if err := p.expectWord("to"); err != nil {
+			return nil, err
+		}
+		pt, err := p.parsePoint()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectWord("than"); err != nil {
+			return nil, err
+		}
+		oid, err := p.parseOID()
+		if err != nil {
+			return nil, err
+		}
+		return CloserThan{Target: trajectory.Stationary(0, pt), Other: oid}, nil
+	case t.kind == tokIdent && t.text == "closest":
+		p.pos++
+		if err := p.expectWord("to"); err != nil {
+			return nil, err
+		}
+		pt, err := p.parsePoint()
+		if err != nil {
+			return nil, err
+		}
+		target := trajectory.Stationary(0, pt)
+		return ForAllOthers{
+			Desc: fmt.Sprintf("dist(y,%v) <= dist(z,%v)", pt, pt),
+			Make: func(z mod.OID) TimeFormula {
+				return CloserThan{Target: target, Other: z}
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("expected atom, found %q", t.text)
+	}
+}
+
+// parseRegionAtom parses the tail of "in box(...)" / "in halfspace(...)".
+func (p *formulaParser) parseRegionAtom() (TimeFormula, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("expected region kind after \"in\", found %q", t.text)
+	}
+	switch t.text {
+	case "box":
+		if err := p.expect(tokLParen, `"("`); err != nil {
+			return nil, err
+		}
+		lo, err := p.parsePoint()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokComma, `","`); err != nil {
+			return nil, err
+		}
+		hi, err := p.parsePoint()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen, `")"`); err != nil {
+			return nil, err
+		}
+		if len(lo) != len(hi) {
+			return nil, fmt.Errorf("box corners have dimensions %d and %d", len(lo), len(hi))
+		}
+		return InRegion{Region: Box(lo, hi)}, nil
+	case "halfspace":
+		if err := p.expect(tokLParen, `"("`); err != nil {
+			return nil, err
+		}
+		a, err := p.parsePoint()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokComma, `","`); err != nil {
+			return nil, err
+		}
+		b, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen, `")"`); err != nil {
+			return nil, err
+		}
+		return InRegion{Region: HalfSpace(a, b)}, nil
+	default:
+		return nil, fmt.Errorf("unknown region kind %q (want box or halfspace)", t.text)
+	}
+}
+
+// parsePoint parses "(" number { "," number } ")".
+func (p *formulaParser) parsePoint() (geom.Vec, error) {
+	if err := p.expect(tokLParen, `"(" opening a point`); err != nil {
+		return nil, err
+	}
+	var v geom.Vec
+	for {
+		x, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		v = append(v, x)
+		if p.accept(tokComma) {
+			continue
+		}
+		break
+	}
+	if err := p.expect(tokRParen, `")" closing a point`); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func (p *formulaParser) parseNumber() (float64, error) {
+	t := p.next()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("expected number, found %q", t.text)
+	}
+	x, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", t.text)
+	}
+	return x, nil
+}
+
+func (p *formulaParser) parseOID() (mod.OID, error) {
+	t := p.next()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("expected object id, found %q", t.text)
+	}
+	n, err := strconv.ParseUint(t.text, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad object id %q", t.text)
+	}
+	return mod.OID(n), nil
+}

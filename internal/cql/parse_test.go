@@ -1,0 +1,180 @@
+package cql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mod"
+	"repro/internal/trajectory"
+)
+
+func TestParseFormulaValid(t *testing.T) {
+	cases := []struct {
+		in   string
+		want func(TimeFormula) bool
+	}{
+		{"in box((0, 0), (10, 10))", func(f TimeFormula) bool {
+			_, ok := f.(InRegion)
+			return ok
+		}},
+		{"in halfspace((1, 0), 5)", func(f TimeFormula) bool {
+			_, ok := f.(InRegion)
+			return ok
+		}},
+		{"within 10 of (0, 0)", func(f TimeFormula) bool {
+			w, ok := f.(WithinDist)
+			return ok && w.C2 == 100
+		}},
+		{"closer to (3, -4.5) than 7", func(f TimeFormula) bool {
+			c, ok := f.(CloserThan)
+			return ok && c.Other == 7
+		}},
+		{"closest to (1, 2)", func(f TimeFormula) bool {
+			_, ok := f.(ForAllOthers)
+			return ok
+		}},
+		{"not within 5 of (0, 0)", func(f TimeFormula) bool {
+			n, ok := f.(NotF)
+			if !ok {
+				return false
+			}
+			_, ok = n.X.(WithinDist)
+			return ok
+		}},
+		// "and" binds tighter than "or".
+		{"within 1 of (0,0) or within 2 of (0,0) and within 3 of (0,0)",
+			func(f TimeFormula) bool {
+				o, ok := f.(OrF)
+				if !ok {
+					return false
+				}
+				_, xOK := o.X.(WithinDist)
+				_, yOK := o.Y.(AndF)
+				return xOK && yOK
+			}},
+		// Parens override precedence.
+		{"(within 1 of (0,0) or within 2 of (0,0)) and within 3 of (0,0)",
+			func(f TimeFormula) bool {
+				a, ok := f.(AndF)
+				if !ok {
+					return false
+				}
+				_, xOK := a.X.(OrF)
+				return xOK
+			}},
+		// Unicode connectives.
+		{"within 1 of (0,0) ∧ ¬(within 2 of (0,0) ∨ within 3 of (0,0))",
+			func(f TimeFormula) bool {
+				_, ok := f.(AndF)
+				return ok
+			}},
+		// 3-d points, signed and scientific-notation numbers.
+		{"in box((-1, -1, -1), (1e1, 1E1, +10.5))", func(f TimeFormula) bool {
+			_, ok := f.(InRegion)
+			return ok
+		}},
+	}
+	for _, c := range cases {
+		f, err := ParseFormula(c.in)
+		if err != nil {
+			t.Errorf("ParseFormula(%q): %v", c.in, err)
+			continue
+		}
+		if !c.want(f) {
+			t.Errorf("ParseFormula(%q) = %v: unexpected shape", c.in, f)
+		}
+	}
+}
+
+func TestParseFormulaInvalid(t *testing.T) {
+	cases := []string{
+		"",
+		"in",
+		"in box",
+		"in box((0,0), (1,1,1))", // dimension mismatch
+		"in sphere((0,0), 1)",    // unknown region kind
+		"within of (0,0)",
+		"within 5 of 3",          // point required
+		"closer to (0,0) than x", // oid must be numeric
+		"closer to (0,0) than -1",
+		"within 1 of (0,0) and",          // dangling connective
+		"within 1 of (0,0) within",       // trailing garbage
+		"(within 1 of (0,0)",             // unbalanced paren
+		"within 1 of (0,0) @",            // stray character
+		strings.Repeat("not ", 100) + "", // too deep / dangling
+		strings.Repeat("(", 200) + "within 1 of (0,0)" + strings.Repeat(")", 200),
+	}
+	for _, in := range cases {
+		if f, err := ParseFormula(in); err == nil {
+			t.Errorf("ParseFormula(%q) = %v, want error", in, f)
+		}
+	}
+}
+
+// TestParseFormulaEvaluates checks that a parsed formula and its
+// programmatic twin answer identically over a small database.
+func TestParseFormulaEvaluates(t *testing.T) {
+	db := mod.NewDB(2, -1)
+	if err := db.Load(1, trajectory.Linear(0, geom.Of(1, 0), geom.Of(-20, 0))); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Load(2, trajectory.Stationary(0, geom.Of(100, 100))); err != nil {
+		t.Fatal(err)
+	}
+
+	parsed := MustParseFormula("within 10 of (0, 0)")
+	direct := WithinDist{Target: trajectory.Stationary(0, geom.Of(0, 0)), C2: 100}
+
+	got, err := Evaluate(db, parsed, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Evaluate(db, direct, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed formula answers %d objects, direct %d", len(got), len(want))
+	}
+	for oid, ws := range want {
+		gs, ok := got[oid]
+		if !ok || len(gs.Spans()) != len(ws.Spans()) {
+			t.Fatalf("object %d: parsed spans %v, direct %v", oid, gs, ws)
+		}
+	}
+}
+
+func FuzzParseFormula(f *testing.F) {
+	seeds := []string{
+		"in box((0, 0), (10, 10))",
+		"in halfspace((1, 0), 5)",
+		"within 10 of (0, 0)",
+		"closer to (3, -4.5) than 7",
+		"closest to (1, 2)",
+		"not within 5 of (0,0) and (in box((0,0),(1,1)) or closest to (2,2))",
+		"within 1 of (0,0) ∧ ¬(within 2 of (0,0) ∨ within 3 of (0,0))",
+		"in box((-1e3, .5), (+1E3, 2.5))",
+		"((((within 1 of (0)))))",
+		"in box((0,0),(1,1,1))",
+		"within 1 of (0,0) @",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		// The parser must never panic and must uphold its contract:
+		// exactly one of (formula, error) is non-nil.
+		fm, err := ParseFormula(s)
+		if err == nil && fm == nil {
+			t.Fatalf("ParseFormula(%q) returned nil formula and nil error", s)
+		}
+		if err != nil && fm != nil {
+			t.Fatalf("ParseFormula(%q) returned both a formula and error %v", s, err)
+		}
+		if fm != nil {
+			// String must be total on parsed formulas.
+			_ = fm.String()
+		}
+	})
+}

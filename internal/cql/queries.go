@@ -205,7 +205,7 @@ func KNNNaive(db *mod.DB, gamma trajectory.Trajectory, k int, tau1, tau2 float64
 			vs = append(vs, ov{e.o, e.f.Eval(mid)})
 		}
 		sort.Slice(vs, func(x, y int) bool {
-			if vs[x].v != vs[y].v {
+			if vs[x].v != vs[y].v { //modlint:allow floatcmp -- comparator: strict weak ordering needs exact compares; ties break by OID
 				return vs[x].v < vs[y].v
 			}
 			return vs[x].o < vs[y].o

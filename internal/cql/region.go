@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/geom"
+	"repro/internal/poly"
 	"repro/internal/trajectory"
 )
 
@@ -38,7 +39,7 @@ func Box(lo, hi geom.Vec) Region {
 func HalfSpace(a geom.Vec, b float64) Region {
 	coeffs := map[string]float64{}
 	for i, c := range a {
-		if c != 0 {
+		if c != 0 { //modlint:allow floatcmp -- caller-supplied normal component, untouched: dropping exact zeros only
 			coeffs[coordVar(i)] = c
 		}
 	}
@@ -139,7 +140,7 @@ func solveLinear1D(cj Conjunction, v string, lo, hi float64) (Span, bool, error)
 	for _, c := range cj {
 		coef := c.Coeff(v)
 		switch {
-		case coef == 0:
+		case poly.ApproxZero(coef, coeffEps):
 			bad, err := c.triviallyFalse()
 			if err != nil {
 				return Span{}, false, err

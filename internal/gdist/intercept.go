@@ -92,7 +92,7 @@ func smallestRootIn(qa, qb, qc, lo, hi float64) (float64, bool) {
 		q = -0.5 * (qb - sq)
 	}
 	r1, r2 := q/qa, 0.0
-	if q != 0 {
+	if q != 0 { //modlint:allow floatcmp -- exact zero-divisor guard on the stable quadratic formula
 		r2 = qc / q
 	} else {
 		r2 = r1
@@ -154,7 +154,7 @@ func (ic Intercept) Curve(tr trajectory.Trajectory, from, to float64) (piecewise
 		return piecewise.Func{}, err
 	}
 	maxErr := ic.MaxErr
-	if maxErr == 0 {
+	if maxErr == 0 { //modlint:allow floatcmp -- unset-config sentinel: zero means "use the default tolerance"
 		maxErr = 1e-6
 	}
 	// Split at the breakpoints of both the object and the target.

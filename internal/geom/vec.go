@@ -128,7 +128,7 @@ func (u Vec) Dist2(v Vec) float64 {
 // The zero vector has no direction; Unit reports an error for it.
 func (v Vec) Unit() (Vec, error) {
 	l := v.Len()
-	if l == 0 {
+	if l == 0 { //modlint:allow floatcmp -- exact zero-divisor guard: any nonzero length is divisible
 		return nil, errors.New("geom: unit of zero vector")
 	}
 	return v.Scale(1 / l), nil

@@ -1,0 +1,136 @@
+package lint
+
+// errdrop: call statements that silently discard a returned error.
+//
+// The update path (mod.DB.Apply, journal writes, codec round-trips) and
+// the query drivers report numeric breakdown through errors; swallowing
+// one turns "the sweep refused to certify this order" into "the answer is
+// quietly wrong". Policy: handle the error, or drop it explicitly with
+// `_ = f()` so the drop is visible in review. A small allowlist covers
+// calls that cannot fail by contract (strings.Builder, bytes.Buffer, and
+// fmt printers targeting them).
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop is the dropped-error analyzer.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flags call statements discarding an error result (use `_ =` to drop explicitly)",
+	Run:  runErrDrop,
+}
+
+// errDropAllowExact lists functions whose returned error is always nil by
+// documented contract, keyed by types.Func.FullName.
+var errDropAllowExact = map[string]bool{
+	"fmt.Print": true, "fmt.Printf": true, "fmt.Println": true,
+}
+
+// errDropAllowPrefix lists FullName prefixes for never-failing method
+// sets.
+var errDropAllowPrefix = []string{
+	"(*strings.Builder).",
+	"(*bytes.Buffer).",
+}
+
+// neverFailingWriters are *T types whose Write never returns an error;
+// fmt.Fprint* into them is allowlisted.
+var neverFailingWriters = map[string]bool{
+	"*strings.Builder": true,
+	"*bytes.Buffer":    true,
+}
+
+func runErrDrop(pass *Pass) []Diagnostic {
+	errType := types.Universe.Lookup("error").Type()
+	var out []Diagnostic
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass, call, errType) {
+				return true
+			}
+			if allowedErrDrop(pass, call) {
+				return true
+			}
+			out = append(out, Diag(call.Pos(),
+				"call %s discards its error result; handle it or drop explicitly with `_ =`",
+				calleeName(pass, call)))
+			return true
+		})
+	}
+	return out
+}
+
+// returnsError reports whether the call's result type includes error.
+func returnsError(pass *Pass, call *ast.CallExpr, errType types.Type) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if types.Identical(tup.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errType)
+}
+
+// allowedErrDrop applies the never-failing allowlist.
+func allowedErrDrop(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return false
+	}
+	name := fn.FullName()
+	if errDropAllowExact[name] {
+		return true
+	}
+	for _, p := range errDropAllowPrefix {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	// fmt.Fprint* into a writer that cannot fail.
+	if strings.HasPrefix(name, "fmt.Fprint") && len(call.Args) > 0 {
+		if t := pass.TypeOf(call.Args[0]); t != nil && neverFailingWriters[t.String()] {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the called function object, if statically known.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// calleeName renders the callee for diagnostics.
+func calleeName(pass *Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(pass, call); fn != nil {
+		return fn.FullName()
+	}
+	return types.ExprString(call.Fun)
+}

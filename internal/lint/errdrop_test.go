@@ -1,0 +1,76 @@
+package lint
+
+import "testing"
+
+func TestErrDrop(t *testing.T) {
+	checkFixture(t, ErrDrop, `package fixture
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func fail() error { return errors.New("x") }
+
+func pair() (int, error) { return 0, nil }
+
+func noErr() int { return 1 }
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func drops(c closer) {
+	fail() // want "discards its error"
+	pair() // want "discards its error"
+	c.Close() // want "discards its error"
+}
+
+func explicitOK() {
+	_ = fail()
+	_, _ = pair()
+	if err := fail(); err != nil {
+		_ = err
+	}
+}
+
+func pureOK() {
+	noErr()
+}
+
+func allowlistedOK() string {
+	var b strings.Builder
+	b.WriteString("hi")
+	fmt.Fprintf(&b, "%d", 1)
+	fmt.Println("x")
+	return b.String()
+}
+
+func annotatedOK() {
+	fail() //modlint:allow errdrop -- fixture: best-effort cleanup
+}
+`)
+}
+
+// TestErrDropFprintWriters distinguishes never-failing in-memory writers
+// from real ones.
+func TestErrDropFprintWriters(t *testing.T) {
+	checkFixture(t, ErrDrop, `package fixture
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+)
+
+func toBuffer(buf *bytes.Buffer) {
+	fmt.Fprintf(buf, "%d", 1)
+	buf.WriteByte('x')
+}
+
+func toRealWriter(w io.Writer) {
+	fmt.Fprintf(w, "%d", 1) // want "discards its error"
+}
+`)
+}

@@ -1,0 +1,84 @@
+package lint
+
+// Table-driven fixture harness: each analyzer test type-checks an
+// embedded source fixture and compares findings against `// want "..."`
+// line markers, in the style of x/tools analysistest. A line with markers
+// must produce a matching finding; a line without markers must stay
+// silent — so every fixture simultaneously proves the analyzer catches
+// the seeded violation and accepts the allowlisted idiom next to it.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// lintFixture type-checks src as a single-file package named "fixture"
+// and runs one analyzer over it (suppression comments honored).
+func lintFixture(t *testing.T, a *Analyzer, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: newModuleImporter(fset)}
+	pkg, err := conf.Check("fixture", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check fixture: %v", err)
+	}
+	return Run(&Pass{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}, []*Analyzer{a})
+}
+
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+// checkFixture asserts findings match the fixture's want markers exactly.
+func checkFixture(t *testing.T, a *Analyzer, src string) {
+	t.Helper()
+	findings := lintFixture(t, a, src)
+	wants := map[int][]string{} // line -> expected message substrings
+	for i, line := range strings.Split(src, "\n") {
+		for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+			wants[i+1] = append(wants[i+1], m[1])
+		}
+	}
+	got := map[int][]string{}
+	for _, f := range findings {
+		got[f.Position.Line] = append(got[f.Position.Line], f.Message)
+	}
+	for line, subs := range wants {
+		msgs := got[line]
+		for _, sub := range subs {
+			found := false
+			for _, m := range msgs {
+				if strings.Contains(m, sub) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("line %d: want finding containing %q, got %v", line, sub, msgs)
+			}
+		}
+		if len(msgs) > len(subs) {
+			t.Errorf("line %d: %d findings for %d want markers: %v", line, len(msgs), len(subs), msgs)
+		}
+	}
+	for line, msgs := range got {
+		if _, ok := wants[line]; !ok {
+			t.Errorf("line %d: unexpected findings %v", line, msgs)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package lint
+
+// floatcmp: exact == / != / switch on floating-point operands.
+//
+// The sweep's correctness (Lemmas 7-8: the event queue holds the *next*
+// intersection; Theorems 4-5: the order along the sweep line is exact)
+// hangs on the kinetic precedence relation <=_t between curve times.
+// Intersection times come out of root isolation carrying ~1e-16-scale
+// dust, so exact float equality silently misclassifies tangency vs
+// crossing and "same event time" vs "distinct events". Policy: numeric
+// comparisons on computed values go through epsilon helpers
+// (poly.ApproxEq and friends); exact equality is reserved for provably
+// exact values (untouched inputs, trim-flushed zeros, IEEE sentinels) and
+// must be annotated with //modlint:allow floatcmp -- <why exact>.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatCmpAllowFuncs lists fully-qualified functions whose body may use
+// exact float comparisons without annotation: the epsilon helpers
+// themselves and documented exact-equality primitives. Methods are named
+// pkgpath.Recv.Name; plain functions pkgpath.Name.
+var FloatCmpAllowFuncs = map[string]bool{
+	"repro/internal/poly.ApproxEq":   true, // the epsilon helper itself
+	"repro/internal/poly.ApproxZero": true,
+	"repro/internal/poly.Poly.Equal": true, // documented exact coefficient equality
+	// Documented exact-identity primitives: their contract is bitwise
+	// equality (used for change detection and canonical-form checks),
+	// with Approx* siblings for numeric use.
+	"repro/internal/geom.Vec.Equal":              true,
+	"repro/internal/geom.Vec.IsZero":             true,
+	"repro/internal/trajectory.Trajectory.Equal": true,
+	"repro/internal/eventq.Event.Less":           true, // comparator: total order needs exact compares
+}
+
+// FloatCmp is the float-equality analyzer.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags == / != / switch on float operands outside epsilon helpers",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, file := range pass.Files {
+		// Test files assert exact expected values on purpose (they are
+		// determinism checks over exact inputs); the numeric policy
+		// governs engine code.
+		if name := pass.Fset.Position(file.Pos()).Filename; strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			allowed := false
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				allowed = FloatCmpAllowFuncs[qualifiedFuncName(pass, fd)]
+			}
+			if allowed {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					if !isFloat(pass.TypeOf(n.X)) && !isFloat(pass.TypeOf(n.Y)) {
+						return true
+					}
+					// Two compile-time constants compare exactly.
+					if isConst(pass, n.X) && isConst(pass, n.Y) {
+						return true
+					}
+					out = append(out, Diag(n.OpPos,
+						"exact float comparison %s %s %s; use poly.ApproxEq (or annotate //modlint:allow floatcmp -- <why exact>)",
+						types.ExprString(n.X), n.Op, types.ExprString(n.Y)))
+				case *ast.SwitchStmt:
+					if n.Tag != nil && isFloat(pass.TypeOf(n.Tag)) {
+						out = append(out, Diag(n.Switch,
+							"switch on float expression %s compares exactly; rewrite with epsilon comparisons",
+							types.ExprString(n.Tag)))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// qualifiedFuncName renders pkgpath.Func or pkgpath.Recv.Func.
+func qualifiedFuncName(pass *Pass, fd *ast.FuncDecl) string {
+	name := pass.Pkg.Path() + "."
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		// Strip generic type parameters if present.
+		if idx, ok := t.(*ast.IndexExpr); ok {
+			t = idx.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			name += id.Name + "."
+		}
+	}
+	return name + fd.Name.Name
+}
+
+// isFloat reports whether t's underlying type is a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isConst reports whether e has a compile-time constant value.
+func isConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}

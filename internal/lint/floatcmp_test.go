@@ -1,0 +1,79 @@
+package lint
+
+import "testing"
+
+func TestFloatCmp(t *testing.T) {
+	checkFixture(t, FloatCmp, `package fixture
+
+type length float64
+
+func cmp(a, b float64) bool {
+	if a == b { // want "exact float comparison"
+		return true
+	}
+	return a != 0 // want "exact float comparison"
+}
+
+func namedFloat(a, b length) bool {
+	return a == b // want "exact float comparison"
+}
+
+func intsOK(a, b int) bool { return a == b }
+
+func constsOK() bool { return 1.5 == 3.0/2.0 }
+
+func orderingOK(a, b float64) bool { return a < b || a >= b }
+
+func annotatedOK(a float64) bool {
+	return a == 0 //modlint:allow floatcmp -- fixture: trim-flushed exact zero
+}
+
+func annotatedAboveOK(a float64) bool {
+	//modlint:allow floatcmp -- fixture: IEEE sentinel compare
+	return a != 0
+}
+
+func sw(x float64) int {
+	switch x { // want "switch on float"
+	case 0:
+		return 0
+	}
+	return 1
+}
+
+func swTaglessOK(x float64) int {
+	switch {
+	case x < 0:
+		return -1
+	}
+	return 1
+}
+`)
+}
+
+// TestFloatCmpAllowlist proves registered epsilon helpers may compare
+// exactly without annotation.
+func TestFloatCmpAllowlist(t *testing.T) {
+	FloatCmpAllowFuncs["fixture.eq"] = true
+	defer delete(FloatCmpAllowFuncs, "fixture.eq")
+	checkFixture(t, FloatCmp, `package fixture
+
+func eq(a, b float64) bool { return a == b }
+
+func notAllowed(a, b float64) bool { return a == b } // want "exact float comparison"
+`)
+}
+
+// TestFloatCmpMethodAllowlist covers the Recv.Name qualified form.
+func TestFloatCmpMethodAllowlist(t *testing.T) {
+	FloatCmpAllowFuncs["fixture.Scalar.Equal"] = true
+	defer delete(FloatCmpAllowFuncs, "fixture.Scalar.Equal")
+	checkFixture(t, FloatCmp, `package fixture
+
+type Scalar float64
+
+func (s Scalar) Equal(o Scalar) bool { return s == o }
+
+func (s Scalar) Same(o Scalar) bool { return s == o } // want "exact float comparison"
+`)
+}

@@ -1,0 +1,188 @@
+package lint
+
+// goroutinecapture: `go func` literals that capture loop variables, or
+// that read mutex-guarded fields without holding the lock.
+//
+// Two repo policies are enforced here. First, goroutines take their
+// per-iteration data as arguments, never by closure over the loop
+// variable: even with Go 1.22 per-iteration loop variables the capture
+// reads as shared state, and the fan-out paths (watch subscriber
+// broadcast, batched sweep workers) are exactly where a reader must be
+// able to see at a glance that iterations are independent. Second, a
+// goroutine that touches a field of a lock-guarded struct must acquire
+// that struct's lock inside the literal; reading a guarded field through
+// a captured pointer is a data race the type system cannot see.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineCapture is the goroutine-capture analyzer.
+var GoroutineCapture = &Analyzer{
+	Name: "goroutinecapture",
+	Doc:  "flags go-func literals capturing loop variables or unguarded lock-protected fields",
+	Run:  runGoroutineCapture,
+}
+
+func runGoroutineCapture(pass *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, file := range pass.Files {
+		loopVars := collectLoopVars(pass, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			out = append(out, checkGoLiteral(pass, gs, lit, loopVars)...)
+			return true
+		})
+	}
+	return out
+}
+
+// collectLoopVars gathers the objects introduced by for/range clauses.
+func collectLoopVars(pass *Pass, file *ast.File) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	add := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n.Tok == token.DEFINE {
+				if n.Key != nil {
+					add(n.Key)
+				}
+				if n.Value != nil {
+					add(n.Value)
+				}
+			}
+		case *ast.ForStmt:
+			if init, ok := n.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					add(lhs)
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// checkGoLiteral inspects one `go func(){...}()` literal.
+func checkGoLiteral(pass *Pass, gs *ast.GoStmt, lit *ast.FuncLit, loopVars map[types.Object]bool) []Diagnostic {
+	var out []Diagnostic
+	reportedLoop := map[types.Object]bool{}
+	reportedField := map[string]bool{}
+	locked := lockedBases(pass, lit)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			obj := pass.Info.Uses[n]
+			if obj == nil || !capturedBy(obj, lit) {
+				return true
+			}
+			if loopVars[obj] && !reportedLoop[obj] {
+				reportedLoop[obj] = true
+				out = append(out, Diag(n.Pos(),
+					"go-func literal captures loop variable %s by reference; pass it as an argument", obj.Name()))
+			}
+		case *ast.SelectorExpr:
+			base, ok := n.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[base]
+			if obj == nil || !capturedBy(obj, lit) {
+				return true
+			}
+			v, ok := obj.(*types.Var)
+			if !ok || lockPath(pass, deref(v.Type())) == "" {
+				return true
+			}
+			sel := pass.Info.Selections[n]
+			if sel == nil || sel.Kind() != types.FieldVal {
+				return true
+			}
+			// Touching the lock itself (w.mu.Lock()) is the guarded
+			// idiom, not a violation.
+			if lockPathRec(sel.Type(), map[types.Type]bool{}) != "" {
+				return true
+			}
+			if locked[obj] {
+				return true
+			}
+			key := obj.Name() + "." + n.Sel.Name
+			if !reportedField[key] {
+				reportedField[key] = true
+				out = append(out, Diag(n.Pos(),
+					"go-func literal reads guarded field %s without acquiring %s's lock inside the goroutine", key, obj.Name()))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// capturedBy reports whether obj is declared outside lit (and hence is
+// captured by the literal rather than local to it).
+func capturedBy(obj types.Object, lit *ast.FuncLit) bool {
+	if obj.Pos() == token.NoPos {
+		return false
+	}
+	// Package-level state is shared by design, not a capture.
+	if obj.Parent() != nil && obj.Parent().Parent() == types.Universe {
+		return false
+	}
+	return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+}
+
+// lockedBases returns the captured variables on which the literal's body
+// calls a Lock/RLock method (directly or through a lock-valued field).
+func lockedBases(pass *Pass, lit *ast.FuncLit) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		// Walk to the base identifier of w.mu.Lock() / w.Lock().
+		base := sel.X
+		for {
+			if s, ok := base.(*ast.SelectorExpr); ok {
+				base = s.X
+				continue
+			}
+			break
+		}
+		if id, ok := base.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// deref strips one level of pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

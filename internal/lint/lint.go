@@ -1,0 +1,180 @@
+// Package lint is a small, stdlib-only static-analysis framework plus the
+// repo-specific analyzers that guard the sweep-line invariants. The
+// plane-sweep core (Lemmas 7-8, Theorems 4-5 of the paper) is only correct
+// if two invariant families hold everywhere in the tree:
+//
+//   - numeric comparisons on curve/event times go through epsilon-aware
+//     helpers (exact float == / != silently breaks the kinetic precedence
+//     relation <=_t when intersection times carry 1e-16-scale dust), and
+//   - the concurrent server/watch layers never copy or escape
+//     lock-guarded kinetic state.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis at a
+// fraction of the surface: an Analyzer inspects one type-checked package
+// (a Pass) and reports Diagnostics. It is built only on go/parser, go/ast
+// and go/types, consistent with the repo's no-external-deps seed.
+//
+// Suppression: a finding may be silenced with a trailing or preceding
+// comment of the form
+//
+//	//modlint:allow floatcmp  -- reason
+//
+// naming one or more comma-separated analyzers. Suppressions are expected
+// to carry a justification ("inputs provably exact" and the like); they
+// are the escape hatch for the exact-zero comparisons the numeric policy
+// explicitly permits.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //modlint:allow comments.
+	Name string
+	// Doc is a one-line description shown by `modlint -help`.
+	Doc string
+	// Run inspects the pass and returns findings. Positions must be
+	// valid in pass.Fset.
+	Run func(pass *Pass) []Diagnostic
+}
+
+// Pass is one package presented to an analyzer: syntax plus types.
+type Pass struct {
+	Fset *token.FileSet
+	// Files are the parsed files of the package, including in-package
+	// _test.go files.
+	Files []*ast.File
+	// Pkg is the type-checked package object.
+	Pkg *types.Package
+	// Info carries the type-checker's fact tables for Files.
+	Info *types.Info
+}
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string // filled by Run (the runner) if empty
+	Message  string
+}
+
+// Diag is a convenience constructor.
+func Diag(pos token.Pos, format string, args ...interface{}) Diagnostic {
+	return Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)}
+}
+
+// Finding is a resolved diagnostic, position translated for display.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Position, f.Analyzer, f.Message)
+}
+
+// All returns the repo's analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{FloatCmp, LockCopy, GoroutineCapture, ErrDrop}
+}
+
+// Run applies the analyzers to one package and returns findings with
+// suppressions applied, sorted by position.
+func Run(pass *Pass, analyzers []*Analyzer) []Finding {
+	allowed := collectAllows(pass)
+	var out []Finding
+	for _, a := range analyzers {
+		for _, d := range a.Run(pass) {
+			name := d.Analyzer
+			if name == "" {
+				name = a.Name
+			}
+			pos := pass.Fset.Position(d.Pos)
+			if allowed.allows(name, pos) {
+				continue
+			}
+			out = append(out, Finding{Position: pos, Analyzer: name, Message: d.Message})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Position, out[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// allowSet records, per file and line, which analyzers are suppressed.
+type allowSet map[string]map[int]map[string]bool // filename -> line -> analyzer
+
+// allows reports whether a finding at pos is suppressed by a comment on
+// the same line or on the line directly above.
+func (s allowSet) allows(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, ln := range [2]int{pos.Line, pos.Line - 1} {
+		if m := lines[ln]; m != nil && (m[analyzer] || m["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+const allowPrefix = "//modlint:allow"
+
+// collectAllows scans all comments of the pass for allow directives.
+func collectAllows(pass *Pass) allowSet {
+	out := allowSet{}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				// Directive body ends at an optional "--" rationale.
+				if i := strings.Index(rest, "--"); i >= 0 {
+					rest = rest[:i]
+				}
+				pos := pass.Fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					out[pos.Filename] = lines
+				}
+				m := lines[pos.Line]
+				if m == nil {
+					m = map[string]bool{}
+					lines[pos.Line] = m
+				}
+				for _, name := range strings.Split(rest, ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						m[name] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}

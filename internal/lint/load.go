@@ -1,0 +1,300 @@
+package lint
+
+// A deliberately small module loader: modlint must not depend on
+// golang.org/x/tools, so packages are discovered by walking the module
+// tree, parsed with go/parser, and type-checked in dependency order with
+// go/types. Imports inside the module resolve to the freshly checked
+// packages; standard-library imports resolve through go/importer (compiled
+// export data when available, source otherwise).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// ImportPath is the module-relative import path; external test
+	// packages carry a trailing "_test".
+	ImportPath string
+	Dir        string
+	Pass       *Pass
+	// TypeErrors holds type-checker soft failures. Analysis still runs
+	// (go/types recovers well), but callers should surface them.
+	TypeErrors []error
+}
+
+// FindModuleRoot walks up from dir to the nearest go.mod, returning the
+// root directory and the module path.
+func FindModuleRoot(dir string) (root, modPath string, err error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		gm := filepath.Join(d, "go.mod")
+		if data, err := os.ReadFile(gm); err == nil {
+			mp := parseModulePath(string(data))
+			if mp == "" {
+				return "", "", fmt.Errorf("lint: no module line in %s", gm)
+			}
+			return d, mp, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// parseModulePath extracts the module path from go.mod text.
+func parseModulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			if p, err := strconv.Unquote(rest); err == nil {
+				return p
+			}
+			return rest
+		}
+	}
+	return ""
+}
+
+// LoadModule parses and type-checks every package under root (module path
+// modPath), returning packages in dependency order. In-package test files
+// are included with their package; external _test packages are loaded as
+// separate packages checked last.
+func LoadModule(root, modPath string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	dirs, err := goSourceDirs(root)
+	if err != nil {
+		return nil, err
+	}
+
+	type rawPkg struct {
+		importPath string
+		dir        string
+		files      []*ast.File
+		imports    map[string]bool
+		external   bool // external test package (name ends in _test)
+	}
+	var raws []*rawPkg
+	byPath := map[string]*rawPkg{}
+
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		// Group files by package name: the primary package (plus its
+		// in-package tests) and at most one external test package.
+		groups := map[string][]*ast.File{}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parse %s: %w", e.Name(), err)
+			}
+			groups[f.Name.Name] = append(groups[f.Name.Name], f)
+		}
+		for name, files := range groups {
+			rp := &rawPkg{dir: dir, files: files, imports: map[string]bool{}}
+			if strings.HasSuffix(name, "_test") {
+				rp.importPath = importPath + "_test"
+				rp.external = true
+			} else {
+				rp.importPath = importPath
+			}
+			for _, f := range files {
+				for _, imp := range f.Imports {
+					p, err := strconv.Unquote(imp.Path.Value)
+					if err == nil {
+						rp.imports[p] = true
+					}
+				}
+			}
+			raws = append(raws, rp)
+			if !rp.external {
+				byPath[rp.importPath] = rp
+			}
+		}
+	}
+
+	// Topologically order the in-module packages; external test packages
+	// go last (nothing can import them).
+	sort.Slice(raws, func(i, j int) bool { return raws[i].importPath < raws[j].importPath })
+	var order []*rawPkg
+	state := map[*rawPkg]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(rp *rawPkg) error
+	visit = func(rp *rawPkg) error {
+		switch state[rp] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", rp.importPath)
+		case 2:
+			return nil
+		}
+		state[rp] = 1
+		deps := make([]string, 0, len(rp.imports))
+		for p := range rp.imports {
+			deps = append(deps, p)
+		}
+		sort.Strings(deps)
+		for _, p := range deps {
+			if dep, ok := byPath[p]; ok && dep != rp {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[rp] = 2
+		order = append(order, rp)
+		return nil
+	}
+	for _, rp := range raws {
+		if !rp.external {
+			if err := visit(rp); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, rp := range raws {
+		if rp.external {
+			order = append(order, rp)
+		}
+	}
+
+	imp := newModuleImporter(fset)
+	var out []*Package
+	for _, rp := range order {
+		pkg := &Package{ImportPath: rp.importPath, Dir: rp.dir}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+			Implicits:  map[ast.Node]types.Object{},
+		}
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+		}
+		tpkg, _ := conf.Check(rp.importPath, fset, rp.files, info)
+		if tpkg == nil {
+			return nil, fmt.Errorf("lint: type-check %s failed: %v", rp.importPath, firstErr(pkg.TypeErrors))
+		}
+		pkg.Pass = &Pass{Fset: fset, Files: rp.files, Pkg: tpkg, Info: info}
+		if !rp.external {
+			imp.module[rp.importPath] = tpkg
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+func firstErr(errs []error) error {
+	if len(errs) == 0 {
+		return nil
+	}
+	return errs[0]
+}
+
+// goSourceDirs lists directories under root holding .go files, skipping
+// hidden dirs, testdata and vendor trees.
+func goSourceDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// moduleImporter resolves module-internal paths to freshly checked
+// packages and everything else through the standard importers.
+type moduleImporter struct {
+	module map[string]*types.Package
+	gc     types.Importer
+	src    types.Importer
+	cache  map[string]*types.Package
+}
+
+func newModuleImporter(fset *token.FileSet) *moduleImporter {
+	return &moduleImporter{
+		module: map[string]*types.Package{},
+		gc:     importer.Default(),
+		src:    importer.ForCompiler(fset, "source", nil),
+		cache:  map[string]*types.Package{},
+	}
+}
+
+// Import implements types.Importer.
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.module[path]; ok {
+		return p, nil
+	}
+	if p, ok := m.cache[path]; ok {
+		return p, nil
+	}
+	p, err := m.gc.Import(path)
+	if err != nil || p == nil || !p.Complete() {
+		// Fall back to type-checking the dependency from source (slower
+		// but independent of compiled export data).
+		var srcErr error
+		p, srcErr = m.src.Import(path)
+		if srcErr != nil {
+			if err == nil {
+				err = srcErr
+			}
+			return nil, fmt.Errorf("lint: import %q: %v", path, err)
+		}
+	}
+	m.cache[path] = p
+	return p, nil
+}

@@ -1,0 +1,172 @@
+package lint
+
+// lockcopy: by-value copies and struct-literal escapes of types that
+// contain sync.Mutex / sync.RWMutex (or other no-copy sync primitives).
+//
+// The server and watch layers guard kinetic state (watcher sessions, the
+// subscriber set, DB snapshots-in-progress) with mutexes embedded in
+// structs. Copying such a value forks the lock from the state it guards:
+// the copy compiles, races, and only the race detector (sometimes)
+// notices. This is go vet's copylocks check re-grounded in this repo's
+// types, extended to flag struct-literal escapes of guarded values.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockCopy is the lock-copy analyzer.
+var LockCopy = &Analyzer{
+	Name: "lockcopy",
+	Doc:  "flags by-value copies and literal escapes of lock-containing types",
+	Run:  runLockCopy,
+}
+
+// noCopySyncTypes are the sync primitives that must never be copied after
+// first use.
+var noCopySyncTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Pool": true, "Map": true,
+}
+
+func runLockCopy(pass *Pass) []Diagnostic {
+	var out []Diagnostic
+	report := func(pos ast.Node, format string, args ...interface{}) {
+		out = append(out, Diag(pos.Pos(), format, args...))
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(pass, n.Recv, "receiver", report)
+				checkFieldList(pass, n.Type.Params, "parameter", report)
+			case *ast.FuncLit:
+				checkFieldList(pass, n.Type.Params, "parameter", report)
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					if t := lockPath(pass, pass.TypeOf(res)); t != "" && copiesExisting(res) {
+						report(res, "return copies %s, which contains %s; return a pointer",
+							types.ExprString(res), t)
+					}
+				}
+			case *ast.CallExpr:
+				if isTypeExpr(pass, n.Fun) {
+					return true // conversion, not a call
+				}
+				for _, arg := range n.Args {
+					if t := lockPath(pass, pass.TypeOf(arg)); t != "" {
+						report(arg, "call passes %s by value, which contains %s; pass a pointer",
+							types.ExprString(arg), t)
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if !copiesExisting(rhs) {
+						continue
+					}
+					if i < len(n.Lhs) {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+							continue
+						}
+					}
+					if t := lockPath(pass, pass.TypeOf(rhs)); t != "" {
+						report(rhs, "assignment copies %s, which contains %s; use a pointer",
+							types.ExprString(rhs), t)
+					}
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					v := elt
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if t := lockPath(pass, pass.TypeOf(v)); t != "" && copiesExisting(v) {
+						report(v, "composite literal copies %s, which contains %s; store a pointer",
+							types.ExprString(v), t)
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := lockPath(pass, pass.TypeOf(n.Value)); t != "" {
+						report(n.Value, "range copies elements containing %s; range over indices or pointers", t)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkFieldList flags by-value lock-containing receivers/parameters.
+func checkFieldList(pass *Pass, fl *ast.FieldList, kind string, report func(ast.Node, string, ...interface{})) {
+	if fl == nil {
+		return
+	}
+	for _, f := range fl.List {
+		if t := lockPath(pass, pass.TypeOf(f.Type)); t != "" {
+			name := types.ExprString(f.Type)
+			report(f, "%s of type %s is passed by value but contains %s; use a pointer", kind, name, t)
+		}
+	}
+}
+
+// copiesExisting reports whether evaluating e copies an already-live
+// value (as opposed to constructing a fresh one, which is how such values
+// are born). Fresh composite literals and nil-ish expressions are fine.
+func copiesExisting(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return copiesExisting(e.X)
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.CallExpr:
+		// The copy is reported at the callee's return site; a second
+		// report here would double-count.
+		return false
+	default:
+		return false
+	}
+}
+
+// lockPath reports a human-readable path to the first no-copy sync
+// primitive contained by value in t ("" if none): e.g. "sync.Mutex" or
+// "watcher.mu (sync.Mutex)".
+func lockPath(pass *Pass, t types.Type) string {
+	return lockPathRec(t, map[types.Type]bool{})
+}
+
+func lockPathRec(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && noCopySyncTypes[obj.Name()] {
+			return "sync." + obj.Name()
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if p := lockPathRec(f.Type(), seen); p != "" {
+				if f.Embedded() {
+					return p
+				}
+				return f.Name() + " (" + p + ")"
+			}
+		}
+	case *types.Array:
+		return lockPathRec(u.Elem(), seen)
+	}
+	// Pointers, slices, maps, chans and interfaces share, not copy.
+	return ""
+}
+
+// isTypeExpr reports whether e denotes a type (a conversion target).
+func isTypeExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.IsType()
+}

@@ -1,0 +1,104 @@
+package lint
+
+import "testing"
+
+func TestLockCopy(t *testing.T) {
+	checkFixture(t, LockCopy, `package fixture
+
+import "sync"
+
+type state struct {
+	mu sync.Mutex
+	n  int
+}
+
+type wrapper struct {
+	st state
+}
+
+func byValueParam(s state) int { // want "parameter of type state"
+	return s.n
+}
+
+func ptrParamOK(s *state) int { return s.n }
+
+func (s state) valueRecv() int { // want "receiver of type state"
+	return s.n
+}
+
+func (s *state) ptrRecvOK() int { return s.n }
+
+func copyAssign(s *state) {
+	c := *s // want "assignment copies"
+	c.n++
+}
+
+func freshLiteralOK() *state {
+	s := state{n: 1}
+	return &s
+}
+
+func literalEscape(s *state) wrapper {
+	return wrapper{st: *s} // want "composite literal copies"
+}
+
+func returnCopy(s *state) state {
+	return *s // want "return copies"
+}
+
+func returnPtrOK(s *state) *state { return s }
+
+func callByValue(s *state) int {
+	return byValueParam(*s) // want "call passes"
+}
+
+func rangeCopy(ss []state) int {
+	tot := 0
+	for _, s := range ss { // want "range copies"
+		tot += s.n
+	}
+	return tot
+}
+
+func rangePtrOK(ss []*state) int {
+	tot := 0
+	for _, s := range ss {
+		tot += s.n
+	}
+	return tot
+}
+
+func annotatedOK(s *state) {
+	c := *s //modlint:allow lockcopy -- fixture: pre-use copy
+	c.n++
+}
+`)
+}
+
+// TestLockCopyEmbedded covers locks reached through embedding and arrays.
+func TestLockCopyEmbedded(t *testing.T) {
+	checkFixture(t, LockCopy, `package fixture
+
+import "sync"
+
+type embedded struct {
+	sync.RWMutex
+	n int
+}
+
+type arrayed struct {
+	cells [4]embedded
+}
+
+func copyEmbedded(e *embedded) embedded {
+	return *e // want "return copies"
+}
+
+func copyArrayed(a *arrayed) {
+	c := *a // want "assignment copies"
+	_ = c.cells
+}
+
+func sharerOK(a *arrayed) *arrayed { return a }
+`)
+}

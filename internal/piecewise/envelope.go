@@ -110,8 +110,6 @@ func mergeTwo(curves []Labeled, a, b []EnvelopePiece, lo, hi float64) []Envelope
 			switch {
 			case vb < va:
 				id = cb
-			case vb == va && cb < ca:
-				id = cb
 			case math.Abs(vb-va) <= 1e-9*math.Max(1, math.Max(math.Abs(va), math.Abs(vb))) && cb < ca:
 				id = cb
 			}

@@ -59,7 +59,10 @@ func Fit(fn func(float64) float64, lo, hi, maxErr float64) (Func, error) {
 // quadThrough returns the quadratic interpolating (x0,y0), (x1,y1),
 // (x2,y2) with distinct x's, via Newton divided differences.
 func quadThrough(x0, y0, x1, y1, x2, y2 float64) (poly.Poly, error) {
-	if x0 == x1 || x1 == x2 || x0 == x2 {
+	// Nodes closer than the relative rounding scale make the divided
+	// differences blow up just as surely as exactly coincident ones.
+	eps := 1e-12 * (1 + math.Abs(x0) + math.Abs(x1) + math.Abs(x2))
+	if poly.ApproxEq(x0, x1, eps) || poly.ApproxEq(x1, x2, eps) || poly.ApproxEq(x0, x2, eps) {
 		return nil, fmt.Errorf("piecewise: degenerate interpolation nodes %g,%g,%g", x0, x1, x2)
 	}
 	d01 := (y1 - y0) / (x1 - x0)

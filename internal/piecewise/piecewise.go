@@ -52,7 +52,7 @@ func New(pieces ...Piece) (Func, error) {
 		if !(pc.Start < pc.End) {
 			return Func{}, fmt.Errorf("piecewise: piece %d has empty interval [%g,%g]", i, pc.Start, pc.End)
 		}
-		if i > 0 && pieces[i-1].End != pc.Start {
+		if i > 0 && pieces[i-1].End != pc.Start { //modlint:allow floatcmp -- breakpoints are propagated bit-identically; an epsilon here would mask construction bugs
 			return Func{}, fmt.Errorf("piecewise: gap between piece %d (ends %g) and %d (starts %g)",
 				i-1, pieces[i-1].End, i, pc.Start)
 		}

@@ -44,7 +44,7 @@ func New(coeffs ...float64) Poly {
 
 // Constant returns the constant polynomial c.
 func Constant(c float64) Poly {
-	if c == 0 {
+	if c == 0 { //modlint:allow floatcmp -- exact fast path: representation choice, same value either way
 		return Poly{}
 	}
 	return Poly{c}
@@ -74,7 +74,7 @@ func (p Poly) trim() Poly {
 			max = a
 		}
 	}
-	if max == 0 {
+	if max == 0 { //modlint:allow floatcmp -- inf-norm is exactly 0 iff every coefficient is exactly 0
 		return Poly{}
 	}
 	cut := max * relEps
@@ -182,7 +182,7 @@ func (p Poly) Neg() Poly {
 
 // Scale returns c*p.
 func (p Poly) Scale(c float64) Poly {
-	if c == 0 {
+	if c == 0 { //modlint:allow floatcmp -- exact fast path: 0*p is the zero polynomial either way
 		return Poly{}
 	}
 	r := make(Poly, len(p))
@@ -199,7 +199,7 @@ func (p Poly) Mul(q Poly) Poly {
 	}
 	r := make(Poly, len(p)+len(q)-1)
 	for i, a := range p {
-		if a == 0 {
+		if a == 0 { //modlint:allow floatcmp -- exact fast path over trim-flushed zeros; skipping changes nothing
 			continue
 		}
 		for j, b := range q {
@@ -232,7 +232,7 @@ func (p Poly) Compose(q Poly) Poly {
 
 // Shift returns p(t+c), the Taylor shift of p by c.
 func (p Poly) Shift(c float64) Poly {
-	if c == 0 {
+	if c == 0 { //modlint:allow floatcmp -- exact fast path: shift by exact 0 is the identity
 		return p.Clone()
 	}
 	return p.Compose(Poly{c, 1})
@@ -288,7 +288,7 @@ func (p Poly) normalizeInf() Poly {
 			max = a
 		}
 	}
-	if max == 0 {
+	if max == 0 { //modlint:allow floatcmp -- inf-norm is exactly 0 iff every coefficient is exactly 0
 		return Poly{}
 	}
 	return p.Scale(1 / max)
@@ -374,6 +374,20 @@ func (p Poly) SquareFree() Poly {
 	return q
 }
 
+// ApproxEq reports |a-b| <= eps: the repo-wide epsilon comparison for
+// computed floating-point values (curve times, evaluations, coefficients
+// that have been through arithmetic). The static analyzer (cmd/modlint,
+// floatcmp) rejects exact == / != on floats outside annotated
+// provably-exact sites; this helper is the sanctioned alternative.
+func ApproxEq(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+// ApproxZero reports |x| <= eps; shorthand for ApproxEq(x, 0, eps).
+func ApproxZero(x, eps float64) bool {
+	return math.Abs(x) <= eps
+}
+
 // Equal reports exact coefficient equality after trimming.
 func (p Poly) Equal(q Poly) bool {
 	a, b := p.trim(), q.trim()
@@ -419,7 +433,7 @@ func (p Poly) String() string {
 	first := true
 	for i := len(p) - 1; i >= 0; i-- {
 		c := p[i]
-		if c == 0 {
+		if c == 0 { //modlint:allow floatcmp -- display: suppress exactly-zero terms only
 			continue
 		}
 		switch {
@@ -434,9 +448,9 @@ func (p Poly) String() string {
 		switch {
 		case i == 0:
 			fmt.Fprintf(&b, "%g", a)
-		case a == 1 && i == 1:
+		case a == 1 && i == 1: //modlint:allow floatcmp -- display: drop unit coefficient only when exactly 1
 			b.WriteString("t")
-		case a == 1:
+		case a == 1: //modlint:allow floatcmp -- display: drop unit coefficient only when exactly 1
 			fmt.Fprintf(&b, "t^%d", i)
 		case i == 1:
 			fmt.Fprintf(&b, "%gt", a)

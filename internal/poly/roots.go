@@ -189,7 +189,7 @@ func (p Poly) CountRootsIn(a, b float64) int {
 func newton(p Poly, x, lo, hi float64) float64 {
 	for i := 0; i < 8; i++ {
 		v, dv := p.EvalWithDeriv(x)
-		if dv == 0 {
+		if dv == 0 { //modlint:allow floatcmp -- exact zero-divisor guard; tiny dv is caught by the bracket check below
 			break
 		}
 		nx := x - v/dv
@@ -321,8 +321,9 @@ func lowDegreeRootsIn(p Poly, a, b float64) []float64 {
 // order using the numerically-stable quadratic formula. A double root is
 // returned once.
 func quadraticRoots(a, b, c float64) []float64 {
+	//modlint:allow floatcmp -- degree dispatch on pre-trimmed coefficients is exact
 	if a == 0 {
-		if b == 0 {
+		if b == 0 { //modlint:allow floatcmp -- degree dispatch on pre-trimmed coefficients is exact
 			return nil
 		}
 		return []float64{-c / b}

@@ -105,7 +105,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		return nil, errors.New("query: nil g-distance")
 	}
 	hi := cfg.Hi
-	if hi == 0 {
+	if hi == 0 { //modlint:allow floatcmp -- unset-config sentinel: zero horizon means unbounded
 		hi = math.Inf(1)
 	}
 	if !(cfg.Lo < hi) {
@@ -229,6 +229,7 @@ func polyImageRange(p poly.Poly, lo, hi float64) (float64, float64) {
 
 // isIdentity reports whether p is the polynomial t.
 func isIdentity(p poly.Poly) bool {
+	//modlint:allow floatcmp -- canonical form check: the identity is built from exact literals 0 and 1
 	return p.Degree() == 1 && p[0] == 0 && p[1] == 1
 }
 
@@ -266,7 +267,7 @@ func (e *Engine) Seed(trajs map[mod.OID]trajectory.Trajectory) error {
 		}
 	}
 	sort.Slice(e.pending, func(i, j int) bool {
-		if e.pending[i].at != e.pending[j].at {
+		if e.pending[i].at != e.pending[j].at { //modlint:allow floatcmp -- comparator: strict weak ordering needs exact compares
 			return e.pending[i].at < e.pending[j].at
 		}
 		return e.pending[i].o < e.pending[j].o

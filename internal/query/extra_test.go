@@ -42,7 +42,7 @@ func TestSpeedGDistanceWithChDir(t *testing.T) {
 	if cur := knn.Current(); len(cur) != 1 || cur[0] != 2 {
 		t.Fatalf("slowest after chdir = %v, want o2", cur)
 	}
-	sess.Close()
+	_ = sess.Close()
 	iv2 := knn.Answer().Intervals(2)
 	if len(iv2) != 1 || math.Abs(iv2[0].Lo-10) > 1e-9 {
 		t.Errorf("o2 slowest intervals %v, want from 10", iv2)

@@ -241,7 +241,7 @@ func TestSessionFutureQuery(t *testing.T) {
 	if err := sess.AdvanceTo(60); err != nil {
 		t.Fatal(err)
 	}
-	sess.Close()
+	_ = sess.Close()
 	ans := knn.Answer()
 	iv2 := ans.Intervals(2)
 	if len(iv2) != 1 || math.Abs(iv2[0].Lo-10) > 1e-7 || math.Abs(iv2[0].Hi-24) > 1e-6 {
@@ -304,7 +304,7 @@ func TestReplaceGDistanceTheorem10(t *testing.T) {
 	if err := sess.AdvanceTo(200); err != nil {
 		t.Fatal(err)
 	}
-	sess.Close()
+	_ = sess.Close()
 	iv2 := knn.Answer().Intervals(2)
 	if len(iv2) != 0 {
 		t.Errorf("o2 intervals %v, want none (turnaround cancelled the handover)", iv2)

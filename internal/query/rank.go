@@ -77,7 +77,7 @@ func (rt *RankTracker) OnChange(c core.Change) {
 	rt.cur = r
 	// Same-instant churn (e.g. the initial seeding inserts) collapses to
 	// the final rank at that instant.
-	if n := len(rt.steps); n > 0 && rt.steps[n-1].T == c.T {
+	if n := len(rt.steps); n > 0 && rt.steps[n-1].T == c.T { //modlint:allow floatcmp -- same-instant events carry the identical stored timestamp
 		rt.steps[n-1].Rank = r
 		// Collapsing may recreate the previous plateau; merge it away.
 		if n > 1 && rt.steps[n-2].Rank == r {

@@ -263,7 +263,7 @@ func (t *Tree) insert(n *node, it Item) *node {
 	best, bestGrow := 0, math.Inf(1)
 	for i, c := range n.children {
 		g := c.rect.enlargement(pointRect(it.P))
-		if g < bestGrow || (g == bestGrow && c.rect.area() < n.children[best].rect.area()) {
+		if g < bestGrow || (g == bestGrow && c.rect.area() < n.children[best].rect.area()) { //modlint:allow floatcmp -- heuristic tie-break only; a missed tie costs nothing but balance
 			best, bestGrow = i, g
 		}
 	}

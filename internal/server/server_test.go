@@ -225,12 +225,15 @@ func TestSnapshotEndpointRoundTrips(t *testing.T) {
 
 func TestConcurrentQueriesAndUpdates(t *testing.T) {
 	ts, _ := newTestServer(t)
+	// Hoist the URL: ts contains a mutex, so reading ts.URL inside the
+	// goroutines would be an unsynchronized access to a guarded struct.
+	url := ts.URL
 	done := make(chan error, 8)
 	for i := 0; i < 4; i++ {
 		go func() {
 			var firstErr error
 			for j := 0; j < 20; j++ {
-				code := postJSON(t, ts.URL+"/query/knn", map[string]interface{}{
+				code := postJSON(t, url+"/query/knn", map[string]interface{}{
 					"k": 1, "lo": 1, "hi": 30, "point": []float64{0, 0},
 				}, nil)
 				if code != 200 && firstErr == nil {
@@ -248,7 +251,7 @@ func TestConcurrentQueriesAndUpdates(t *testing.T) {
 				// Distinct strictly-increasing taus per goroutine; 409s
 				// from races are fine, 400/500s are not.
 				tau := 10 + float64(i*20+j)
-				code := postJSON(t, ts.URL+"/update", map[string]interface{}{
+				code := postJSON(t, url+"/update", map[string]interface{}{
 					"kind": "chdir", "oid": 1, "tau": tau, "a": []float64{1, 0},
 				}, nil)
 				if code != 200 && code != http.StatusConflict && firstErr == nil {

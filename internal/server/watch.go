@@ -131,7 +131,7 @@ func (s *Server) handleWatchKNN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	hi := req.Hi
-	if hi == 0 {
+	if hi == 0 { //modlint:allow floatcmp -- unset-field sentinel: absent JSON "hi" decodes to exactly 0
 		hi = maxWatchHorizon
 	}
 	lo := math.Nextafter(s.db.Tau(), math.Inf(1))

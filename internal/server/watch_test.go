@@ -129,7 +129,7 @@ func TestWatchKNNValidation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		if resp.StatusCode != 400 {
 			t.Errorf("watch %+v code %d, want 400", body, resp.StatusCode)
 		}

@@ -55,7 +55,7 @@ func FitModel(xs, ys []float64, m Model) (Fit, error) {
 		num += fx * ys[i]
 		den += fx * fx
 	}
-	if den == 0 {
+	if den == 0 { //modlint:allow floatcmp -- exact zero-divisor guard: den is a sum of squares, zero only when every term is
 		return Fit{}, errors.New("stats: degenerate model values")
 	}
 	c := num / den
@@ -100,7 +100,7 @@ func GrowthExponent(xs, ys []float64) (float64, error) {
 	}
 	x0, x1 := xs[0], xs[len(xs)-1]
 	y0, y1 := ys[0], ys[len(ys)-1]
-	if x0 <= 0 || x1 <= 0 || y0 <= 0 || y1 <= 0 || x0 == x1 {
+	if x0 <= 0 || x1 <= 0 || y0 <= 0 || y1 <= 0 || x0 == x1 { //modlint:allow floatcmp -- exact guard against log(x1/x0)=0 division; sample sizes are small integers
 		return 0, errors.New("stats: samples must be positive and distinct")
 	}
 	return math.Log(y1/y0) / math.Log(x1/x0), nil

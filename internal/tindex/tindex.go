@@ -50,7 +50,7 @@ func Build(ivs []Interval) (*Tree, error) {
 	sorted := make([]Interval, len(ivs))
 	copy(sorted, ivs)
 	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].Lo != sorted[j].Lo {
+		if sorted[i].Lo != sorted[j].Lo { //modlint:allow floatcmp -- comparator: strict weak ordering needs exact compares
 			return sorted[i].Lo < sorted[j].Lo
 		}
 		return sorted[i].ID < sorted[j].ID

@@ -84,7 +84,7 @@ func FromPieces(pieces ...Piece) (Trajectory, error) {
 		}
 		if i > 0 {
 			prev := pieces[i-1]
-			if prev.End != pc.Start {
+			if prev.End != pc.Start { //modlint:allow floatcmp -- breakpoints are propagated bit-identically; positions get the epsilon check below
 				return Trajectory{}, fmt.Errorf("trajectory: time gap between pieces %d and %d", i-1, i)
 			}
 			if !prev.At(prev.End).ApproxEqual(pc.B, 1e-9) {

@@ -58,7 +58,7 @@ func (c *Chart) MarkTime(t float64, label string) {
 // Render draws the chart.
 func (c *Chart) Render() string {
 	ylo, yhi := c.YLo, c.YHi
-	if ylo == yhi {
+	if ylo == yhi { //modlint:allow floatcmp -- unset-config sentinel: equal bounds (default 0,0) mean autoscale
 		ylo, yhi = c.autoscale()
 	}
 	if yhi <= ylo {

@@ -43,13 +43,13 @@ func (c Config) withDefaults() Config {
 	if c.Dim == 0 {
 		c.Dim = 2
 	}
-	if c.Extent == 0 {
+	if c.Extent == 0 { //modlint:allow floatcmp -- unset-config sentinel
 		c.Extent = 1000
 	}
-	if c.MaxSpeed == 0 {
+	if c.MaxSpeed == 0 { //modlint:allow floatcmp -- unset-config sentinel
 		c.MaxSpeed = 10
 	}
-	if c.TurnHorizon == 0 {
+	if c.TurnHorizon == 0 { //modlint:allow floatcmp -- unset-config sentinel
 		c.TurnHorizon = 100
 	}
 	return c
@@ -146,13 +146,13 @@ func Stream(db *mod.DB, cfg StreamConfig) ([]mod.Update, error) {
 	if !(cfg.From < cfg.To) {
 		return nil, fmt.Errorf("workload: bad stream window [%g,%g]", cfg.From, cfg.To)
 	}
-	if cfg.NewW == 0 && cfg.TerminateW == 0 && cfg.ChDirW == 0 {
+	if cfg.NewW == 0 && cfg.TerminateW == 0 && cfg.ChDirW == 0 { //modlint:allow floatcmp -- unset-config sentinel: all-zero weights select the defaults
 		cfg.NewW, cfg.TerminateW, cfg.ChDirW = 0.1, 0.1, 0.8
 	}
-	if cfg.Extent == 0 {
+	if cfg.Extent == 0 { //modlint:allow floatcmp -- unset-config sentinel
 		cfg.Extent = 1000
 	}
-	if cfg.MaxSpeed == 0 {
+	if cfg.MaxSpeed == 0 { //modlint:allow floatcmp -- unset-config sentinel
 		cfg.MaxSpeed = 10
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
