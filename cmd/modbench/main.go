@@ -6,10 +6,16 @@
 //
 // Usage:
 //
-//	modbench [-exp all|e1,e3,e7] [-quick] [-seed N]
+//	modbench [-exp all|e1,e3,e10] [-quick] [-seed N] [-json out.json]
+//
+// Experiments that measure machine-scaling (e10, the internal/shard
+// fan-out) additionally emit one `BENCH {...}` JSON line per
+// measurement on stdout; -json collects all BENCH records into a file
+// (the artifact CI uploads and EXPERIMENTS.md records).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -25,15 +31,62 @@ import (
 	"repro/internal/gdist"
 	"repro/internal/mod"
 	"repro/internal/query"
+	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "comma-separated experiments (e1..e7) or 'all'")
+	expFlag   = flag.String("exp", "all", "comma-separated experiments (e1..e10) or 'all'")
 	quickFlag = flag.Bool("quick", false, "smaller sizes for a fast smoke run")
 	seedFlag  = flag.Int64("seed", 1, "workload seed")
+	jsonFlag  = flag.String("json", "", "write all BENCH records as a JSON document to this file")
 )
+
+// benchRecord is one machine-readable measurement (a BENCH line).
+type benchRecord struct {
+	Exp           string  `json:"exp"`
+	Name          string  `json:"name"`
+	P             int     `json:"p,omitempty"`
+	Workers       int     `json:"workers,omitempty"`
+	N             int     `json:"n"`
+	K             int     `json:"k,omitempty"`
+	Seconds       float64 `json:"seconds"`
+	Events        int     `json:"events,omitempty"`
+	Speedup       float64 `json:"speedup,omitempty"`
+	UpdatesPerSec float64 `json:"updates_per_sec,omitempty"`
+}
+
+var benchRecords []benchRecord
+
+// emitBench prints one BENCH line and retains the record for -json.
+func emitBench(r benchRecord) {
+	data, err := json.Marshal(r)
+	if err != nil {
+		log.Fatalf("bench record: %v", err)
+	}
+	fmt.Printf("BENCH %s\n", data)
+	benchRecords = append(benchRecords, r)
+}
+
+func writeBenchJSON(path string) error {
+	doc := struct {
+		Seed    int64         `json:"seed"`
+		Quick   bool          `json:"quick"`
+		Records []benchRecord `json:"records"`
+	}{Seed: *seedFlag, Quick: *quickFlag, Records: benchRecords}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	log.SetFlags(0)
@@ -41,7 +94,7 @@ func main() {
 	flag.Parse()
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7"} {
+		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e10"} {
 			want[e] = true
 		}
 	} else {
@@ -65,6 +118,12 @@ func main() {
 	run("e5", e5)
 	run("e6", e6)
 	run("e7", e7)
+	run("e10", e10)
+	if *jsonFlag != "" {
+		if err := writeBenchJSON(*jsonFlag); err != nil {
+			log.Fatalf("write %s: %v", *jsonFlag, err)
+		}
+	}
 }
 
 // sizes returns the N sweep, reduced under -quick.
@@ -461,5 +520,84 @@ func e7() error {
 	}
 	table("period\tsearches\ttime ms\twrong answers\tmissed answer intervals", rows)
 	fmt.Printf("sweep (exact; %d answer intervals): %.3g ms\n", len(changes)/2, sweepT*1e3)
+	return nil
+}
+
+// e10 — shard scaling (internal/shard): hash-partition the population
+// over P shards, replay a concurrent update stream through the router,
+// then fan a past k-NN query out across the shards and merge. Because
+// objects in different shards never have their curve crossings
+// scheduled, total event work shrinks as P grows — so the speedup is
+// visible even on a single core; extra cores only add to it.
+func e10() error {
+	fmt.Println("== E10: shard scaling (internal/shard fan-out), P ∈ {1,2,4,8} ==")
+	n := 8000
+	if *quickFlag {
+		n = 2000
+	}
+	const k, lo, hi = 4, 0.0, 50.0
+	f, err := queryDist()
+	if err != nil {
+		return err
+	}
+	base, err := movers(n)
+	if err != nil {
+		return err
+	}
+	us, err := workload.Stream(base, workload.StreamConfig{
+		Seed: *seedFlag + 5, Count: n / 4, From: 1, To: 30})
+	if err != nil {
+		return err
+	}
+	reps := 3
+	if *quickFlag {
+		reps = 2
+	}
+	var rows [][]string
+	var baseQ float64
+	var baseAns string
+	for _, p := range []int{1, 2, 4, 8} {
+		// Fresh copy per P: FromDB adopts the DB at P=1, and the replay
+		// mutates whichever DB backs the engine.
+		eng, err := shard.FromDB(base.Snapshot(), shard.Config{Shards: p, Workers: p})
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if err := workload.ReplayConcurrent(us, p, eng.ShardOf, eng.Apply); err != nil {
+			return err
+		}
+		ingest := time.Since(start).Seconds()
+		bestQ := math.Inf(1)
+		var ans *query.AnswerSet
+		var events int
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			a, st, err := eng.KNN(f, k, lo, hi)
+			if err != nil {
+				return err
+			}
+			if el := time.Since(start).Seconds(); el < bestQ {
+				bestQ = el
+			}
+			ans, events = a, st.Events
+		}
+		if p == 1 {
+			baseQ, baseAns = bestQ, ans.String()
+		} else if s := ans.String(); s != baseAns {
+			return fmt.Errorf("P=%d k-NN answer diverges from P=1", p)
+		}
+		speedup := baseQ / bestQ
+		emitBench(benchRecord{Exp: "e10", Name: "knn-fanout", P: p, Workers: p,
+			N: n, K: k, Seconds: bestQ, Events: events, Speedup: speedup})
+		emitBench(benchRecord{Exp: "e10", Name: "ingest", P: p, N: n,
+			Seconds: ingest, UpdatesPerSec: float64(len(us)) / ingest})
+		rows = append(rows, []string{
+			fmt.Sprint(p), fmt.Sprint(events), fmt.Sprintf("%.3g", bestQ),
+			fmt.Sprintf("%.2fx", speedup), fmt.Sprintf("%.3g", ingest),
+		})
+	}
+	table("P\tevents\tknn s\tspeedup vs P=1\tingest s", rows)
+	fmt.Println("sharded answers verified identical to P=1 at every P")
 	return nil
 }

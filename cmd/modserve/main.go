@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	modserve [-addr :8723] [-dim 2] [-load snapshot.json] [-journal wal.jsonl] [-seed-demo]
+//	modserve [-addr :8723] [-dim 2] [-shards 4] [-load snapshot.json] [-journal wal.jsonl] [-seed-demo]
+//
+// With -shards P > 1 the database is hash-partitioned by OID across P
+// independent shards (internal/shard): updates route to their shard and
+// the /query endpoints fan out across the shards on a worker pool and
+// merge — same answers, less sweep work per query and parallel
+// execution across cores.
 //
 // Example session:
 //
@@ -23,12 +29,15 @@ import (
 
 	"repro/internal/mod"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/workload"
 )
 
 var (
 	addrFlag    = flag.String("addr", ":8723", "listen address")
 	dimFlag     = flag.Int("dim", 2, "spatial dimension of a fresh database")
+	shardsFlag  = flag.Int("shards", 1, "hash-partition objects across P independent shards; queries fan out and merge")
+	workersFlag = flag.Int("workers", 0, "max concurrent per-shard query sweeps (0 = min(shards, GOMAXPROCS))")
 	loadFlag    = flag.String("load", "", "snapshot file to restore at startup")
 	journalFlag = flag.String("journal", "", "append-only update journal; replayed at startup, extended while serving")
 	demoFlag    = flag.Bool("seed-demo", false, "seed 50 random movers for demos")
@@ -62,9 +71,10 @@ func main() {
 	default:
 		db = mod.NewDB(*dimFlag, 0)
 	}
+	// Replay any existing journal into the unsharded view first
+	// (tolerantly, so a snapshot that already includes a prefix of it is
+	// fine); the engine partitions the fully-restored state.
 	if *journalFlag != "" {
-		// Replay any existing journal (tolerantly, so a snapshot that
-		// already includes a prefix of it is fine), then keep appending.
 		if f, err := os.Open(*journalFlag); err == nil {
 			applied, skipped, rerr := mod.ReplayTolerant(db, f)
 			_ = f.Close()
@@ -73,25 +83,36 @@ func main() {
 			}
 			logger.Printf("journal replay: %d applied, %d already present", applied, skipped)
 		}
+	}
+	eng, err := shard.FromDB(db, shard.Config{Shards: *shardsFlag, Workers: *workersFlag})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if eng.NumShards() > 1 {
+		logger.Printf("sharded engine: %d shards, %d objects", eng.NumShards(), eng.Len())
+	}
+	if *journalFlag != "" {
 		jf, err := os.OpenFile(*journalFlag, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 		if err != nil {
 			logger.Fatal(err)
 		}
-		j := mod.NewJournal(db, jf)
+		j := mod.NewJournal(eng, jf)
 		defer func() {
-			if err := j.Flush(); err != nil {
-				logger.Printf("journal flush: %v", err)
+			// Close flushes, fsyncs (jf is a *os.File, a mod.SyncWriter)
+			// and surfaces any sticky write error.
+			if err := j.Close(); err != nil {
+				logger.Printf("journal close: %v", err)
 			}
 			_ = jf.Close()
 		}()
-		db.OnUpdate(func(mod.Update) {
+		eng.OnUpdate(func(mod.Update) {
 			if err := j.Flush(); err != nil {
 				logger.Printf("journal flush: %v", err)
 			}
 		})
 	}
 	logger.Printf("listening on %s", *addrFlag)
-	if err := http.ListenAndServe(*addrFlag, server.New(db, logger)); err != nil {
+	if err := http.ListenAndServe(*addrFlag, server.New(eng, logger)); err != nil {
 		logger.Fatal(err)
 	}
 }

@@ -8,27 +8,55 @@ package mod
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
-// Journal appends updates to a writer as they are applied. It is driven
-// by the DB's listener hook; create it before applying updates and every
-// successful update is recorded.
-type Journal struct {
-	w   *bufio.Writer
-	enc *json.Encoder
-	err error
+// UpdateSource is anything that can feed applied updates to a listener:
+// a *DB, or a sharded engine composing several DBs.
+type UpdateSource interface {
+	OnUpdate(Listener)
 }
 
-// NewJournal wires a journal to db: every subsequently applied update is
-// appended to w as one JSON line. Call Flush before closing the
+// SyncWriter is implemented by writers that can force buffered data to
+// stable storage (notably *os.File). When the journal's underlying
+// writer implements it, Sync and Close fsync after flushing.
+type SyncWriter interface {
+	Sync() error
+}
+
+// Journal appends updates to a writer as they are applied. It is driven
+// by the source's listener hook; create it before applying updates and
+// every successful update is recorded. The journal is safe for
+// concurrent sources (e.g. per-shard writers applying in parallel):
+// entries are serialized internally, each as one JSON line.
+type Journal struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	syncer SyncWriter // non-nil when the underlying writer can fsync
+	enc    *json.Encoder
+	err    error
+	closed bool
+}
+
+// ErrJournalClosed is returned by operations on a closed journal.
+var ErrJournalClosed = errors.New("mod: journal closed")
+
+// NewJournal wires a journal to src: every subsequently applied update
+// is appended to w as one JSON line. Call Close before closing the
 // underlying writer.
-func NewJournal(db *DB, w io.Writer) *Journal {
+func NewJournal(src UpdateSource, w io.Writer) *Journal {
 	bw := bufio.NewWriter(w)
 	j := &Journal{w: bw, enc: json.NewEncoder(bw)}
-	db.OnUpdate(func(u Update) {
-		if j.err != nil {
+	if sw, ok := w.(SyncWriter); ok {
+		j.syncer = sw
+	}
+	src.OnUpdate(func(u Update) {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if j.err != nil || j.closed {
 			return
 		}
 		j.err = j.enc.Encode(u)
@@ -36,16 +64,69 @@ func NewJournal(db *DB, w io.Writer) *Journal {
 	return j
 }
 
-// Flush forces buffered entries to the underlying writer.
+// Flush forces buffered entries to the underlying writer. A flush
+// failure becomes the journal's sticky error.
 func (j *Journal) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.flushLocked()
+}
+
+func (j *Journal) flushLocked() error {
 	if j.err != nil {
 		return j.err
 	}
-	return j.w.Flush()
+	if err := j.w.Flush(); err != nil {
+		j.err = err
+		return err
+	}
+	return nil
+}
+
+// Sync flushes and, when the underlying writer supports it, forces the
+// journal to stable storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.syncLocked()
+}
+
+func (j *Journal) syncLocked() error {
+	if err := j.flushLocked(); err != nil {
+		return err
+	}
+	if j.syncer != nil {
+		if err := j.syncer.Sync(); err != nil {
+			j.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes (and fsyncs, if supported), stops recording further
+// updates, and surfaces the sticky write error. It does not close the
+// underlying writer, which the caller owns. Closing twice returns
+// ErrJournalClosed.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		if j.err != nil {
+			return j.err
+		}
+		return ErrJournalClosed
+	}
+	j.closed = true
+	return j.syncLocked()
 }
 
 // Err returns the first write error, if any.
-func (j *Journal) Err() error { return j.err }
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
 
 // Replay applies a journal stream to db in order. It stops at the first
 // malformed line or failed update and reports how many updates were

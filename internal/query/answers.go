@@ -203,6 +203,39 @@ func (r *AnswerSet) Universal(lo, hi float64) []mod.OID {
 	return out
 }
 
+// MergeDisjoint combines finalized answer sets over pairwise-disjoint
+// object sets — the coordinator step of a sharded evaluation, where each
+// shard answers for its own objects. Intervals are copied; the result is
+// finalized at the latest of the parts' end times. Panics if an object
+// appears in more than one part (the sharding invariant is violated) or
+// if a part still has open memberships (not finalized).
+func MergeDisjoint(sets ...*AnswerSet) *AnswerSet {
+	out := NewAnswerSet()
+	for _, s := range sets {
+		if s == nil {
+			continue
+		}
+		if len(s.open) > 0 {
+			panic("query: MergeDisjoint on a non-finalized answer set")
+		}
+		for o, ivs := range s.closed {
+			if _, dup := out.closed[o]; dup {
+				panic(fmt.Sprintf("query: MergeDisjoint: %s in more than one part", o))
+			}
+			cp := make([]Interval, len(ivs))
+			copy(cp, ivs)
+			out.closed[o] = cp
+		}
+		if s.done {
+			out.done = true
+			if s.endT > out.endT {
+				out.endT = s.endT
+			}
+		}
+	}
+	return out
+}
+
 // String renders the answer set as "o1: [a,b] [c,d]; o2: ..." for tests
 // and the CLI.
 func (r *AnswerSet) String() string {

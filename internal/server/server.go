@@ -4,6 +4,12 @@
 // engine. Used by cmd/modserve; handlers are plain net/http and are
 // exercised with httptest.
 //
+// The handlers speak to a Backend rather than a *mod.DB directly, so the
+// same HTTP surface serves either a single database (shard.Single) or a
+// hash-partitioned sharded engine with fan-out query execution
+// (shard.FromDB, selected by cmd/modserve's -shards flag). Answers are
+// identical either way; see internal/shard for the merge arguments.
+//
 // Endpoints:
 //
 //	GET  /healthz                 liveness + database header
@@ -26,16 +32,42 @@ import (
 	"strconv"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/gdist"
 	"repro/internal/geom"
 	"repro/internal/mod"
 	"repro/internal/query"
+	"repro/internal/trajectory"
 )
 
-// Server wraps a DB with HTTP handlers. Queries run on snapshots, so a
-// long query never blocks the update path.
+// Backend is the storage-and-query engine the HTTP layer serves. The
+// canonical implementation is shard.Engine, which covers both the
+// unsharded case (one shard adopting a mod.DB) and hash-partitioned
+// parallel fan-out (-shards P in cmd/modserve). Keeping the handlers
+// behind this interface is what lets later scaling work (batching,
+// replication, alternative backends) slot in without touching the
+// network layer.
+type Backend interface {
+	Dim() int
+	Tau() float64
+	Len() int
+	Objects() []mod.OID
+	LiveAt(t float64) []mod.OID
+	Traj(o mod.OID) (trajectory.Trajectory, error)
+	Apply(u mod.Update) error
+	OnUpdate(l mod.Listener)
+	// Snapshot returns a consistent unsharded copy of the full state.
+	Snapshot() *mod.DB
+	// KNN and Within evaluate the two built-in past/continuing queries
+	// over [lo, hi] (fanned out across shards by sharded backends).
+	KNN(f gdist.GDistance, k int, lo, hi float64) (*query.AnswerSet, core.Stats, error)
+	Within(f gdist.GDistance, c float64, lo, hi float64) (*query.AnswerSet, core.Stats, error)
+}
+
+// Server wraps a Backend with HTTP handlers. Queries run on snapshots,
+// so a long query never blocks the update path.
 type Server struct {
-	db  *mod.DB
+	be  Backend
 	mux *http.ServeMux
 	log *log.Logger
 
@@ -43,10 +75,12 @@ type Server struct {
 	watchers map[*watcher]struct{}
 }
 
-// New builds a server over db. logger may be nil (logging disabled).
-func New(db *mod.DB, logger *log.Logger) *Server {
+// New builds a server over be (wrap a plain *mod.DB with
+// shard.FromDB(db, shard.Config{}) for the unsharded engine). logger
+// may be nil (logging disabled).
+func New(be Backend, logger *log.Logger) *Server {
 	s := &Server{
-		db: db, mux: http.NewServeMux(), log: logger,
+		be: be, mux: http.NewServeMux(), log: logger,
 		watchers: make(map[*watcher]struct{}),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -87,19 +121,19 @@ func (s *Server) ok(w http.ResponseWriter, v interface{}) {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.ok(w, map[string]interface{}{
 		"status":  "ok",
-		"dim":     s.db.Dim(),
-		"tau":     s.db.Tau(),
-		"objects": s.db.Len(),
+		"dim":     s.be.Dim(),
+		"tau":     s.be.Tau(),
+		"objects": s.be.Len(),
 	})
 }
 
 func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
-	oids := s.db.Objects()
+	oids := s.be.Objects()
 	out := struct {
 		Tau     float64   `json:"tau"`
 		Objects []mod.OID `json:"objects"`
 		Live    int       `json:"live"`
-	}{Tau: s.db.Tau(), Objects: oids, Live: len(s.db.LiveAt(s.db.Tau()))}
+	}{Tau: s.be.Tau(), Objects: oids, Live: len(s.be.LiveAt(s.be.Tau()))}
 	s.ok(w, out)
 }
 
@@ -116,7 +150,7 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad oid: %w", err))
 		return
 	}
-	tr, err := s.db.Traj(mod.OID(oid))
+	tr, err := s.be.Traj(mod.OID(oid))
 	if err != nil {
 		s.fail(w, http.StatusNotFound, err)
 		return
@@ -143,7 +177,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("decode update: %w", err))
 		return
 	}
-	if err := s.db.Apply(u); err != nil {
+	if err := s.be.Apply(u); err != nil {
 		code := http.StatusConflict
 		if errors.Is(err, mod.ErrBadOperation) || errors.Is(err, mod.ErrDimMismatch) {
 			code = http.StatusBadRequest
@@ -151,7 +185,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, code, err)
 		return
 	}
-	s.ok(w, map[string]interface{}{"applied": u.String(), "tau": s.db.Tau()})
+	s.ok(w, map[string]interface{}{"applied": u.String(), "tau": s.be.Tau()})
 }
 
 // knnRequest is the body of /query/knn.
@@ -192,20 +226,19 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("decode query: %w", err))
 		return
 	}
-	if len(req.Point) != s.db.Dim() {
+	if len(req.Point) != s.be.Dim() {
 		s.fail(w, http.StatusBadRequest,
-			fmt.Errorf("point has %d components, database dim %d", len(req.Point), s.db.Dim()))
+			fmt.Errorf("point has %d components, database dim %d", len(req.Point), s.be.Dim()))
 		return
 	}
-	snap := s.db.Snapshot()
-	knn := query.NewKNN(req.K)
-	st, err := query.RunPast(snap, gdist.PointSq{Point: geom.Vec(req.Point)}, req.Lo, req.Hi, knn)
+	tau := s.be.Tau()
+	ans, st, err := s.be.KNN(gdist.PointSq{Point: geom.Vec(req.Point)}, req.K, req.Lo, req.Hi)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	cls, _ := query.Classify(req.Lo, req.Hi, snap.Tau())
-	s.ok(w, toAnswerJSON(knn.Answer(), cls, st.Events))
+	cls, _ := query.Classify(req.Lo, req.Hi, tau)
+	s.ok(w, toAnswerJSON(ans, cls, st.Events))
 }
 
 // withinRequest is the body of /query/within.
@@ -222,29 +255,28 @@ func (s *Server) handleWithin(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("decode query: %w", err))
 		return
 	}
-	if len(req.Point) != s.db.Dim() {
+	if len(req.Point) != s.be.Dim() {
 		s.fail(w, http.StatusBadRequest,
-			fmt.Errorf("point has %d components, database dim %d", len(req.Point), s.db.Dim()))
+			fmt.Errorf("point has %d components, database dim %d", len(req.Point), s.be.Dim()))
 		return
 	}
 	if req.Radius < 0 {
 		s.fail(w, http.StatusBadRequest, errors.New("negative radius"))
 		return
 	}
-	snap := s.db.Snapshot()
-	wq := query.NewWithin(req.Radius * req.Radius)
-	st, err := query.RunPast(snap, gdist.PointSq{Point: geom.Vec(req.Point)}, req.Lo, req.Hi, wq)
+	tau := s.be.Tau()
+	ans, st, err := s.be.Within(gdist.PointSq{Point: geom.Vec(req.Point)}, req.Radius*req.Radius, req.Lo, req.Hi)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	cls, _ := query.Classify(req.Lo, req.Hi, snap.Tau())
-	s.ok(w, toAnswerJSON(wq.Answer(), cls, st.Events))
+	cls, _ := query.Classify(req.Lo, req.Hi, tau)
+	s.ok(w, toAnswerJSON(ans, cls, st.Events))
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	if err := s.db.Snapshot().SaveJSON(w); err != nil && s.log != nil {
+	if err := s.be.Snapshot().SaveJSON(w); err != nil && s.log != nil {
 		s.log.Printf("snapshot: %v", err)
 	}
 }

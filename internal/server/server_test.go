@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/mod"
+	"repro/internal/shard"
 )
 
 func newTestServer(t *testing.T) (*httptest.Server, *mod.DB) {
@@ -22,7 +23,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *mod.DB) {
 	); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(db, nil))
+	ts := httptest.NewServer(New(shard.Single(db), nil))
 	t.Cleanup(ts.Close)
 	return ts, db
 }

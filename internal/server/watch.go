@@ -53,7 +53,7 @@ type watcher struct {
 // registerWatchers wires the update fan-out; called from New.
 func (s *Server) registerWatchers() {
 	s.mux.HandleFunc("POST /watch/knn", s.handleWatchKNN)
-	s.db.OnUpdate(func(u mod.Update) {
+	s.be.OnUpdate(func(u mod.Update) {
 		s.watchMu.Lock()
 		ws := make([]*watcher, 0, len(s.watchers))
 		for w := range s.watchers {
@@ -125,22 +125,25 @@ func (s *Server) handleWatchKNN(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("decode watch: %w", err))
 		return
 	}
-	if len(req.Point) != s.db.Dim() {
+	if len(req.Point) != s.be.Dim() {
 		s.fail(w, http.StatusBadRequest,
-			fmt.Errorf("point has %d components, database dim %d", len(req.Point), s.db.Dim()))
+			fmt.Errorf("point has %d components, database dim %d", len(req.Point), s.be.Dim()))
 		return
 	}
 	hi := req.Hi
 	if hi == 0 { //modlint:allow floatcmp -- unset-field sentinel: absent JSON "hi" decodes to exactly 0
 		hi = maxWatchHorizon
 	}
-	lo := math.Nextafter(s.db.Tau(), math.Inf(1))
+	lo := math.Nextafter(s.be.Tau(), math.Inf(1))
 	if hi <= lo {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("watch horizon %g not after now %g", hi, lo))
 		return
 	}
 	knn := query.NewKNN(req.K)
-	sess, err := query.NewSession(s.db, gdist.PointSq{Point: geom.Vec(req.Point)}, lo, hi, knn)
+	// The session sweeps a full consistent snapshot (continuing queries
+	// are global; a sharded backend merges one on demand) and is then fed
+	// the live update stream via the backend's listener hook.
+	sess, err := query.NewSession(s.be.Snapshot(), gdist.PointSq{Point: geom.Vec(req.Point)}, lo, hi, knn)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
@@ -167,7 +170,7 @@ func (s *Server) handleWatchKNN(w http.ResponseWriter, r *http.Request) {
 	// Initial answer, reported at the database's current time (lo is a
 	// nudge past it, which would render as an ulp-noise timestamp).
 	wt.mu.Lock()
-	wt.report(s.db.Tau())
+	wt.report(s.be.Tau())
 	wt.mu.Unlock()
 
 	enc := func(ev watchEvent) bool {

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/mod"
+	"repro/internal/shard"
 )
 
 // readEvents consumes SSE events from the stream until done or count.
@@ -45,7 +46,7 @@ func TestWatchKNNStreamsAnswerChanges(t *testing.T) {
 	if err := db.Apply(mod.New(1, 0, geom.Of(0, 0), geom.Of(10, 0))); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(db, nil))
+	ts := httptest.NewServer(New(shard.Single(db), nil))
 	defer ts.Close()
 
 	// Open the watch.
@@ -91,7 +92,7 @@ func TestWatchKNNClosesAtHorizon(t *testing.T) {
 	if err := db.Apply(mod.New(1, 0, geom.Of(0, 0), geom.Of(10, 0))); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(db, nil))
+	ts := httptest.NewServer(New(shard.Single(db), nil))
 	defer ts.Close()
 	reqBody, _ := json.Marshal(watchRequest{K: 1, Hi: 50, Point: []float64{0, 0}})
 	req, _ := http.NewRequest("POST", ts.URL+"/watch/knn", bytes.NewReader(reqBody))
@@ -117,7 +118,7 @@ func TestWatchKNNValidation(t *testing.T) {
 	if err := db.Apply(mod.New(1, 0, geom.Of(0, 0), geom.Of(10, 0))); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(db, nil))
+	ts := httptest.NewServer(New(shard.Single(db), nil))
 	defer ts.Close()
 	for _, body := range []watchRequest{
 		{K: 0, Hi: 100, Point: []float64{0, 0}}, // bad k

@@ -1,0 +1,185 @@
+package shard
+
+// Fan-out query execution: every shard sweeps its own objects with the
+// ordinary single-threaded engine of internal/query, at most Workers
+// sweeps in flight at a time, and a coordinator merges the per-shard
+// results.
+//
+// Correctness of the merges:
+//
+//   - RunPast / Within: membership of an object in a threshold answer
+//     f(y,t) <= C depends only on that object's own curve (and the
+//     constant curve, which every shard materializes for itself), so
+//     the per-shard answer restricted to a shard's objects IS the
+//     global answer restricted to them. The merged answer is their
+//     disjoint union.
+//
+//   - KNN: the global k nearest at any instant t is a subset of the
+//     union of the per-shard k nearest at t. (If o has at most k-1
+//     objects strictly closer than it globally at t, then at most k-1
+//     of them are in o's own shard, so o is among its shard's top k at
+//     t.) Each shard therefore reports, as candidates, every object
+//     that ever enters its local top-k answer over the window — a
+//     superset of every object that ever enters (or ties) the global
+//     top-k — and the coordinator runs one final sweep over the merged
+//     candidate pool. Restricting that sweep to candidates cannot
+//     change the answer: all boundary events of the global top-k
+//     involve candidate curves only.
+
+import (
+	"errors"
+	"math"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/gdist"
+	"repro/internal/mod"
+	"repro/internal/query"
+)
+
+// forEach runs fn(i) for every shard index on the bounded worker pool
+// and joins the per-shard errors.
+func (e *Engine) forEach(fn func(i int) error) error {
+	if e.workers <= 1 || len(e.shards) == 1 {
+		for i := range e.shards {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sem := make(chan struct{}, e.workers)
+	errs := make([]error, len(e.shards))
+	var wg sync.WaitGroup
+	for i := range e.shards {
+		sem <- struct{}{} // acquire before spawning: at most Workers in flight
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// addStats accumulates per-shard sweep work into a total. Counters add;
+// MaxQueueLen is the maximum over the concurrent sweeps.
+func addStats(total *core.Stats, st core.Stats) {
+	total.Events += st.Events
+	total.Swaps += st.Swaps
+	total.Equals += st.Equals
+	total.Coincides += st.Coincides
+	total.Expires += st.Expires
+	total.Inserts += st.Inserts
+	total.Removes += st.Removes
+	total.Replaces += st.Replaces
+	total.Reschedules += st.Reschedules
+	if st.MaxQueueLen > total.MaxQueueLen {
+		total.MaxQueueLen = st.MaxQueueLen
+	}
+}
+
+// RunPast fans a past query over the window [lo, hi] out across the
+// shards: mk(i) builds the evaluator for shard i (a fresh one per
+// shard), each shard sweeps a snapshot of its own objects, and the
+// per-shard evaluators are returned for the caller to merge, together
+// with the summed sweep work. This is the generic building block; KNN
+// and Within are the merged front-ends.
+func (e *Engine) RunPast(f gdist.GDistance, lo, hi float64, mk func(i int) query.Evaluator) ([]query.Evaluator, core.Stats, error) {
+	snaps := e.snapshots()
+	evs := make([]query.Evaluator, len(snaps))
+	stats := make([]core.Stats, len(snaps))
+	err := e.forEach(func(i int) error {
+		ev := mk(i)
+		st, rerr := query.RunPast(snaps[i], f, lo, hi, ev)
+		if rerr != nil {
+			return rerr
+		}
+		evs[i] = ev
+		stats[i] = st
+		return nil
+	})
+	var total core.Stats
+	for _, st := range stats {
+		addStats(&total, st)
+	}
+	if err != nil {
+		return nil, total, err
+	}
+	return evs, total, nil
+}
+
+// Within evaluates the threshold query f(y,t) <= c over [lo, hi]: each
+// shard maintains its own answer (with its own materialized constant
+// curve) and the coordinator takes the disjoint union.
+func (e *Engine) Within(f gdist.GDistance, c float64, lo, hi float64) (*query.AnswerSet, core.Stats, error) {
+	evs, st, err := e.RunPast(f, lo, hi, func(int) query.Evaluator { return query.NewWithin(c) })
+	if err != nil {
+		return nil, st, err
+	}
+	parts := make([]*query.AnswerSet, len(evs))
+	for i, ev := range evs {
+		parts[i] = ev.(*query.Within).Answer()
+	}
+	return query.MergeDisjoint(parts...), st, nil
+}
+
+// KNN evaluates the k-nearest-neighbors query over [lo, hi]: each shard
+// sweeps its own objects and reports its local top-k candidate set (the
+// objects of its local k-NN answer), then the coordinator runs the
+// final sweep over the merged candidate pool — at most P*k curves in
+// the order at any instant, typically far fewer than N. See the package
+// comment for why the candidate pool is sufficient.
+func (e *Engine) KNN(f gdist.GDistance, k int, lo, hi float64) (*query.AnswerSet, core.Stats, error) {
+	snaps := e.snapshots()
+	if len(snaps) == 1 {
+		// Unsharded: the local answer is the global answer.
+		knn := query.NewKNN(k)
+		st, err := query.RunPast(snaps[0], f, lo, hi, knn)
+		if err != nil {
+			return nil, st, err
+		}
+		return knn.Answer(), st, nil
+	}
+	cands := make([][]mod.OID, len(snaps))
+	stats := make([]core.Stats, len(snaps))
+	err := e.forEach(func(i int) error {
+		knn := query.NewKNN(k)
+		st, rerr := query.RunPast(snaps[i], f, lo, hi, knn)
+		if rerr != nil {
+			return rerr
+		}
+		cands[i] = knn.Answer().Objects()
+		stats[i] = st
+		return nil
+	})
+	var total core.Stats
+	for _, st := range stats {
+		addStats(&total, st)
+	}
+	if err != nil {
+		return nil, total, err
+	}
+	// Coordinator: one sweep over the union of the candidate pools.
+	pool := mod.NewDB(e.dim, math.Inf(-1))
+	for i, os := range cands {
+		for _, o := range os {
+			tr, terr := snaps[i].Traj(o)
+			if terr != nil {
+				return nil, total, terr
+			}
+			if lerr := pool.Load(o, tr); lerr != nil {
+				return nil, total, lerr
+			}
+		}
+	}
+	final := query.NewKNN(k)
+	st, err := query.RunPast(pool, f, lo, hi, final)
+	addStats(&total, st)
+	if err != nil {
+		return nil, total, err
+	}
+	return final.Answer(), total, nil
+}

@@ -1,0 +1,254 @@
+// Package shard is the horizontally partitioned MOD engine: it
+// hash-partitions the object set by OID across P independent shards,
+// each owning its own mod.DB (and therefore its own lock and, during
+// queries, its own kinetic sweep state). Updates route to the shard of
+// their object; queries fan out across shards on a bounded worker pool
+// and merge at a coordinator (see fanout.go).
+//
+// The partitioning invariant: every object lives in exactly one shard,
+// chosen by a fixed hash of its OID, and every update to that object is
+// applied by that shard alone. A chronological update stream therefore
+// stays chronological within each shard (a subsequence of a
+// chronological sequence is chronological), which is all mod.DB's
+// update discipline requires. The aggregate last-update time Tau() is
+// the maximum of the per-shard taus; after any globally chronological
+// stream it equals the tau a single unsharded DB would report, because
+// the shard that received the final update carries it.
+//
+// Why sharding helps even on one core: the plane sweep costs
+// O((m+N) log N) where m counts order exchanges among the curves it
+// sweeps (Theorem 4). A shard sweeps only its own objects, so
+// cross-shard curve crossings are never scheduled or processed; with a
+// hash partition a 1/P fraction of pairs are co-sharded in expectation,
+// shrinking the event term from m to ~m/P in total across shards. On
+// top of that, the per-shard sweeps are independent and run in parallel
+// on the worker pool. Correctness of the merged answers is argued per
+// query in fanout.go and DESIGN.md ("Sharded evaluation").
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+
+	"repro/internal/mod"
+	"repro/internal/trajectory"
+)
+
+// Config parametrizes an engine.
+type Config struct {
+	// Shards is the partition count P; 0 or 1 means unsharded.
+	Shards int
+	// Workers bounds the number of concurrently running per-shard query
+	// sweeps; 0 means min(Shards, GOMAXPROCS).
+	Workers int
+	// Dim is the spatial dimension (New only; FromDB inherits the
+	// source's).
+	Dim int
+	// Tau0 is the initial last-update time of every shard (New only).
+	Tau0 float64
+}
+
+// Engine is a sharded moving object database. All methods are safe for
+// concurrent use; updates to different shards proceed in parallel.
+type Engine struct {
+	shards  []*mod.DB
+	workers int
+	dim     int
+}
+
+func (c Config) normalized() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = c.Shards
+		if mp := runtime.GOMAXPROCS(0); mp < c.Workers {
+			c.Workers = mp
+		}
+	}
+	return c
+}
+
+// New builds an empty sharded database for objects in R^cfg.Dim with
+// per-shard last-update time cfg.Tau0.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.normalized()
+	if cfg.Dim <= 0 {
+		return nil, errors.New("shard: dimension must be positive")
+	}
+	shards := make([]*mod.DB, cfg.Shards)
+	for i := range shards {
+		shards[i] = mod.NewDB(cfg.Dim, cfg.Tau0)
+	}
+	return &Engine{shards: shards, workers: cfg.Workers, dim: cfg.Dim}, nil
+}
+
+// FromDB partitions an existing database across cfg.Shards shards. With
+// cfg.Shards <= 1 the engine adopts db directly (no copy), so an
+// unsharded deployment pays nothing for going through the engine. With
+// P > 1 the source is split by the OID hash and not modified further;
+// the engine owns the parts.
+func FromDB(db *mod.DB, cfg Config) (*Engine, error) {
+	cfg = cfg.normalized()
+	e := &Engine{workers: cfg.Workers, dim: db.Dim()}
+	if cfg.Shards == 1 {
+		e.shards = []*mod.DB{db}
+		return e, nil
+	}
+	parts, err := db.Partition(cfg.Shards, func(o mod.OID) int {
+		return int(hashOID(o) % uint64(cfg.Shards))
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.shards = parts
+	return e, nil
+}
+
+// Single adopts db as a one-shard engine: the unsharded backend, with
+// no partitioning or fan-out overhead.
+func Single(db *mod.DB) *Engine {
+	e, err := FromDB(db, Config{Shards: 1})
+	if err != nil {
+		// FromDB with Shards == 1 adopts the DB and cannot fail.
+		panic(err)
+	}
+	return e
+}
+
+// hashOID mixes an OID into a well-distributed 64-bit value (the
+// splitmix64 finalizer), so dense sequential OIDs spread evenly across
+// shards.
+func hashOID(o mod.OID) uint64 {
+	x := uint64(o)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// NumShards returns the partition count P.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// ShardOf returns the index of the shard owning o.
+func (e *Engine) ShardOf(o mod.OID) int {
+	return int(hashOID(o) % uint64(len(e.shards)))
+}
+
+// Shard exposes one partition (tests, diagnostics).
+func (e *Engine) Shard(i int) *mod.DB { return e.shards[i] }
+
+// Dim returns the spatial dimension.
+func (e *Engine) Dim() int { return e.dim }
+
+// Apply routes one update to its object's shard. Chronology is enforced
+// per shard: the update time must exceed the owning shard's tau.
+func (e *Engine) Apply(u mod.Update) error {
+	return e.shards[e.ShardOf(u.O)].Apply(u)
+}
+
+// ApplyAll applies updates in order, stopping at the first error.
+func (e *Engine) ApplyAll(us ...mod.Update) error {
+	for i, u := range us {
+		if err := e.Apply(u); err != nil {
+			return fmt.Errorf("shard: update %d (%s): %w", i, u, err)
+		}
+	}
+	return nil
+}
+
+// Load bulk-loads a pre-existing trajectory into its shard.
+func (e *Engine) Load(o mod.OID, tr trajectory.Trajectory) error {
+	return e.shards[e.ShardOf(o)].Load(o, tr)
+}
+
+// OnUpdate registers a listener on every shard; it observes all applied
+// updates. When updates are applied concurrently from several
+// goroutines, the listener is invoked concurrently too and must be safe
+// for that (mod.Journal is; see its locking).
+func (e *Engine) OnUpdate(l mod.Listener) {
+	for _, db := range e.shards {
+		db.OnUpdate(l)
+	}
+}
+
+// Tau returns the aggregate last-update time: the maximum over shards.
+func (e *Engine) Tau() float64 {
+	t := e.shards[0].Tau()
+	for _, db := range e.shards[1:] {
+		if st := db.Tau(); st > t {
+			t = st
+		}
+	}
+	return t
+}
+
+// Len returns the total object count across shards.
+func (e *Engine) Len() int {
+	n := 0
+	for _, db := range e.shards {
+		n += db.Len()
+	}
+	return n
+}
+
+// Objects returns all OIDs across shards in ascending order.
+func (e *Engine) Objects() []mod.OID {
+	var out []mod.OID
+	for _, db := range e.shards {
+		out = append(out, db.Objects()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LiveAt returns the OIDs live at time t across shards, ascending.
+func (e *Engine) LiveAt(t float64) []mod.OID {
+	var out []mod.OID
+	for _, db := range e.shards {
+		out = append(out, db.LiveAt(t)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Traj returns the trajectory of o from its shard.
+func (e *Engine) Traj(o mod.OID) (trajectory.Trajectory, error) {
+	return e.shards[e.ShardOf(o)].Traj(o)
+}
+
+// Contains reports whether o exists.
+func (e *Engine) Contains(o mod.OID) bool {
+	return e.shards[e.ShardOf(o)].Contains(o)
+}
+
+// Snapshot composes a single consistent unsharded copy of the whole
+// database: union of the objects, max of the taus, logs merged
+// chronologically. Per-shard snapshots are taken first (each under its
+// own read lock), so a snapshot never blocks updates for long.
+func (e *Engine) Snapshot() *mod.DB {
+	snaps := make([]*mod.DB, len(e.shards))
+	for i, db := range e.shards {
+		snaps[i] = db.Snapshot()
+	}
+	merged, err := mod.Merge(snaps...)
+	if err != nil {
+		// Disjointness and equal dims are structural invariants of the
+		// engine; a failure here is a bug, not a runtime condition.
+		panic(fmt.Sprintf("shard: snapshot merge: %v", err))
+	}
+	return merged
+}
+
+// snapshots captures one consistent per-shard view for a fan-out query.
+func (e *Engine) snapshots() []*mod.DB {
+	out := make([]*mod.DB, len(e.shards))
+	for i, db := range e.shards {
+		out[i] = db.Snapshot()
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mod"
+	"repro/internal/query"
+	"repro/internal/trajectory"
+	"repro/internal/workload"
+)
+
+func seededEngine(t *testing.T, n, p, workers int) (*Engine, *mod.DB) {
+	t.Helper()
+	db, err := workload.ConvergingMovers(workload.Config{Seed: 11, N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := FromDB(db, Config{Shards: p, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, db
+}
+
+func TestShardOfRouting(t *testing.T) {
+	eng, _ := seededEngine(t, 50, 4, 1)
+	counts := make([]int, 4)
+	for o := mod.OID(1); o <= 50; o++ {
+		i := eng.ShardOf(o)
+		if i < 0 || i >= 4 {
+			t.Fatalf("ShardOf(%s) = %d outside [0,4)", o, i)
+		}
+		if j := eng.ShardOf(o); j != i {
+			t.Fatalf("ShardOf(%s) unstable: %d then %d", o, i, j)
+		}
+		counts[i]++
+	}
+	// The hash must spread dense sequential OIDs: no shard may be empty
+	// or hold everything on this population.
+	for i, c := range counts {
+		if c == 0 || c == 50 {
+			t.Fatalf("degenerate partition: shard %d holds %d of 50", i, c)
+		}
+	}
+}
+
+func TestPartitionDisjointAndComplete(t *testing.T) {
+	eng, db := seededEngine(t, 40, 3, 1)
+	if got, want := eng.Len(), db.Len(); got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	seen := map[mod.OID]int{}
+	for i := 0; i < eng.NumShards(); i++ {
+		for _, o := range eng.Shard(i).Objects() {
+			if prev, dup := seen[o]; dup {
+				t.Fatalf("%s in shards %d and %d", o, prev, i)
+			}
+			seen[o] = i
+			if want := eng.ShardOf(o); want != i {
+				t.Fatalf("%s stored in shard %d but routes to %d", o, i, want)
+			}
+		}
+	}
+	if len(seen) != db.Len() {
+		t.Fatalf("partition covers %d objects, want %d", len(seen), db.Len())
+	}
+}
+
+func TestApplyRoutesToOwningShard(t *testing.T) {
+	eng, err := New(Config{Shards: 4, Dim: 2, Tau0: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const o = mod.OID(77)
+	if err := eng.Apply(mod.New(o, 0, geom.Of(1, 0), geom.Of(0, 0))); err != nil {
+		t.Fatal(err)
+	}
+	owner := eng.ShardOf(o)
+	for i := 0; i < eng.NumShards(); i++ {
+		if got, want := eng.Shard(i).Contains(o), i == owner; got != want {
+			t.Fatalf("shard %d Contains(%s) = %v, want %v", i, o, got, want)
+		}
+	}
+	if !eng.Contains(o) {
+		t.Fatal("engine does not contain applied object")
+	}
+	// Chronology is enforced by the owning shard.
+	err = eng.Apply(mod.ChDir(o, -5, geom.Of(0, 1)))
+	if !errors.Is(err, mod.ErrChronology) {
+		t.Fatalf("stale update error = %v, want ErrChronology", err)
+	}
+	// Unknown objects fail on their (empty) shard.
+	err = eng.Apply(mod.ChDir(999, 1, geom.Of(0, 1)))
+	if !errors.Is(err, mod.ErrNotFound) {
+		t.Fatalf("unknown object error = %v, want ErrNotFound", err)
+	}
+}
+
+func TestAggregatesComposePerShardState(t *testing.T) {
+	eng, db := seededEngine(t, 30, 4, 1)
+	if got, want := eng.Tau(), db.Tau(); got != want {
+		t.Fatalf("Tau = %g, want %g", got, want)
+	}
+	if got, want := len(eng.Objects()), db.Len(); got != want {
+		t.Fatalf("Objects count = %d, want %d", got, want)
+	}
+	for i, o := range eng.Objects() {
+		if want := db.Objects()[i]; o != want {
+			t.Fatalf("Objects[%d] = %s, want %s", i, o, want)
+		}
+	}
+	gotLive, wantLive := eng.LiveAt(1), db.LiveAt(1)
+	if len(gotLive) != len(wantLive) {
+		t.Fatalf("LiveAt(1): %d objects, want %d", len(gotLive), len(wantLive))
+	}
+	// An update advances the aggregate tau past every shard's.
+	if err := eng.Apply(mod.ChDir(eng.Objects()[0], eng.Tau()+5, geom.Of(1, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := eng.Tau(), db.Tau()+5; got != want {
+		t.Fatalf("Tau after update = %g, want %g", got, want)
+	}
+}
+
+// TestSnapshotMatchesUnsharded: partitioning then merging must
+// reconstruct the exact unsharded state, byte-for-byte in the stable
+// snapshot format (same objects, same tau, same chronological log).
+func TestSnapshotMatchesUnsharded(t *testing.T) {
+	db := mod.NewDB(2, -1)
+	var us []mod.Update
+	for i := 1; i <= 20; i++ {
+		us = append(us, mod.New(mod.OID(i), float64(i), geom.Of(1, 0), geom.Of(float64(i), 0)))
+	}
+	us = append(us,
+		mod.ChDir(3, 30, geom.Of(0, 1)),
+		mod.Terminate(7, 31),
+		mod.ChDir(12, 32, geom.Of(-1, 0)),
+	)
+	if err := db.ApplyAll(us...); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 5} {
+		eng, err := FromDB(db.Snapshot(), Config{Shards: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want, got bytes.Buffer
+		if err := db.SaveJSON(&want); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Snapshot().SaveJSON(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Fatalf("P=%d: merged snapshot differs from unsharded original", p)
+		}
+	}
+}
+
+func TestSingleAdoptsDB(t *testing.T) {
+	db := mod.NewDB(2, -1)
+	eng := Single(db)
+	if eng.NumShards() != 1 {
+		t.Fatalf("NumShards = %d, want 1", eng.NumShards())
+	}
+	if err := eng.Apply(mod.New(1, 0, geom.Of(1, 0), geom.Of(0, 0))); err != nil {
+		t.Fatal(err)
+	}
+	// No copy: the update is visible through the adopted DB.
+	if !db.Contains(1) {
+		t.Fatal("update through engine not visible in adopted DB")
+	}
+}
+
+func TestLoadRoutes(t *testing.T) {
+	eng, err := New(Config{Shards: 3, Dim: 2, Tau0: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trajectory.Linear(0, geom.Of(1, 1), geom.Of(0, 0))
+	if err := eng.Load(5, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Shard(eng.ShardOf(5)).Contains(5) {
+		t.Fatal("loaded object not in its shard")
+	}
+	got, err := eng.Traj(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != tr.String() {
+		t.Fatalf("Traj = %s, want %s", got, tr)
+	}
+}
+
+func TestRunPastFanOutCollectsEveryShard(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		eng, _ := seededEngine(t, 60, 4, workers)
+		q := workload.QueryTrajectory(workload.Config{}, 2)
+		evs, st, err := eng.RunPast(evalDist(q), 0, 20, func(int) query.Evaluator {
+			return query.NewWithin(500 * 500)
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(evs) != 4 {
+			t.Fatalf("workers=%d: %d evaluators, want 4", workers, len(evs))
+		}
+		total := 0
+		for _, ev := range evs {
+			total += len(ev.(*query.Within).Answer().Objects())
+		}
+		if total == 0 {
+			t.Fatalf("workers=%d: empty fan-out answer", workers)
+		}
+		if st.Inserts == 0 {
+			t.Fatalf("workers=%d: stats not aggregated", workers)
+		}
+	}
+}
+
+func TestFanOutSurfacesErrors(t *testing.T) {
+	eng, _ := seededEngine(t, 20, 4, 4)
+	q := workload.QueryTrajectory(workload.Config{}, 2)
+	// Inverted window: every shard's sweep construction fails.
+	if _, _, err := eng.KNN(evalDist(q), 1, 10, 5); err == nil {
+		t.Fatal("inverted window KNN did not error")
+	}
+	if _, _, err := eng.Within(evalDist(q), 1, 10, 5); err == nil {
+		t.Fatal("inverted window Within did not error")
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	if _, err := New(Config{Shards: 2}); err == nil {
+		t.Fatal("New without Dim did not error")
+	}
+	eng, err := New(Config{Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.NumShards() != 1 {
+		t.Fatalf("default NumShards = %d, want 1", eng.NumShards())
+	}
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mod"
+)
+
+func testStream(n int) []mod.Update {
+	us := make([]mod.Update, n)
+	for i := range us {
+		us[i] = mod.New(mod.OID(i+1), float64(i), geom.Of(1, 0), geom.Of(0, 0))
+	}
+	return us
+}
+
+func TestReplayConcurrentPreservesPartitionOrder(t *testing.T) {
+	const parts = 4
+	us := testStream(200)
+	var mu sync.Mutex
+	seen := make(map[int][]float64)
+	route := func(o mod.OID) int { return int(o) % parts }
+	err := ReplayConcurrent(us, parts, route, func(u mod.Update) error {
+		mu.Lock()
+		defer mu.Unlock()
+		i := route(u.O)
+		seen[i] = append(seen[i], u.Tau)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, taus := range seen {
+		total += len(taus)
+		for k := 1; k < len(taus); k++ {
+			if taus[k] <= taus[k-1] {
+				t.Fatalf("partition %d applied out of order: %g after %g", i, taus[k], taus[k-1])
+			}
+		}
+	}
+	if total != len(us) {
+		t.Fatalf("applied %d updates, want %d", total, len(us))
+	}
+}
+
+func TestReplayConcurrentSequentialFallback(t *testing.T) {
+	us := testStream(10)
+	var got []mod.OID
+	err := ReplayConcurrent(us, 1, func(mod.OID) int { return 0 }, func(u mod.Update) error {
+		got = append(got, u.O)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range got {
+		if o != us[i].O {
+			t.Fatalf("sequential replay reordered: got %s at %d", o, i)
+		}
+	}
+}
+
+func TestReplayConcurrentStopsFailedPartitionOnly(t *testing.T) {
+	const parts = 3
+	us := testStream(90)
+	var mu sync.Mutex
+	counts := make([]int, parts)
+	boom := errors.New("boom")
+	err := ReplayConcurrent(us, parts, func(o mod.OID) int { return int(o) % parts }, func(u mod.Update) error {
+		if int(u.O)%parts == 1 && u.O >= 10 {
+			return boom
+		}
+		mu.Lock()
+		counts[int(u.O)%parts]++
+		mu.Unlock()
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if counts[0] != 30 || counts[2] != 30 {
+		t.Fatalf("healthy partitions incomplete: %v", counts)
+	}
+	if counts[1] >= 30 {
+		t.Fatalf("failed partition did not stop: %v", counts)
+	}
+}
+
+func TestReplayConcurrentRejectsBadRoute(t *testing.T) {
+	err := ReplayConcurrent(testStream(3), 2, func(mod.OID) int { return 5 }, func(mod.Update) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Fatalf("bad route error = %v", err)
+	}
+}
