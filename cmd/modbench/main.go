@@ -30,6 +30,7 @@ import (
 	"repro/internal/eventq"
 	"repro/internal/gdist"
 	"repro/internal/mod"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/shard"
 	"repro/internal/stats"
@@ -55,6 +56,11 @@ type benchRecord struct {
 	Events        int     `json:"events,omitempty"`
 	Speedup       float64 `json:"speedup,omitempty"`
 	UpdatesPerSec float64 `json:"updates_per_sec,omitempty"`
+	// Latency digests all repetitions of the measured operation through
+	// the same fixed-bucket histogram the live server exposes on
+	// /metrics (internal/obs), so bench JSON and production metrics
+	// report comparable percentiles.
+	Latency *obs.Summary `json:"latency,omitempty"`
 }
 
 var benchRecords []benchRecord
@@ -571,13 +577,19 @@ func e10() error {
 		bestQ := math.Inf(1)
 		var ans *query.AnswerSet
 		var events int
+		// Every repetition lands in the same fixed-bucket histogram the
+		// live server serves on /metrics, so the BENCH record carries
+		// p50/p90/p99 alongside the best time.
+		lat := obs.NewRegistry().NewHistogram("bench_knn_seconds", "", obs.DefLatencyBuckets)
 		for r := 0; r < reps; r++ {
 			start := time.Now()
-			a, st, err := eng.KNN(f, k, lo, hi)
+			a, st, _, err := eng.KNN(f, k, lo, hi)
 			if err != nil {
 				return err
 			}
-			if el := time.Since(start).Seconds(); el < bestQ {
+			el := time.Since(start).Seconds()
+			lat.Observe(el)
+			if el < bestQ {
 				bestQ = el
 			}
 			ans, events = a, st.Events
@@ -588,8 +600,10 @@ func e10() error {
 			return fmt.Errorf("P=%d k-NN answer diverges from P=1", p)
 		}
 		speedup := baseQ / bestQ
+		latSum := lat.Summary()
 		emitBench(benchRecord{Exp: "e10", Name: "knn-fanout", P: p, Workers: p,
-			N: n, K: k, Seconds: bestQ, Events: events, Speedup: speedup})
+			N: n, K: k, Seconds: bestQ, Events: events, Speedup: speedup,
+			Latency: &latSum})
 		emitBench(benchRecord{Exp: "e10", Name: "ingest", P: p, N: n,
 			Seconds: ingest, UpdatesPerSec: float64(len(us)) / ingest})
 		rows = append(rows, []string{

@@ -280,12 +280,10 @@ entering <lo> <hi> <min> <max> | collide <r> <lo> <hi> | save <file> | open <fil
 }
 
 func oid(s string) (mod.OID, error) {
-	s = strings.TrimPrefix(s, "o")
-	n, err := strconv.ParseUint(s, 10, 48)
-	if err != nil {
-		return 0, fmt.Errorf("bad oid %q", s)
-	}
-	return mod.OID(n), nil
+	// mod.ParseOID accepts the full 64-bit range ("o"-prefixed or
+	// bare); a narrower parse here once rejected OIDs >= 2^48 that the
+	// database happily stores.
+	return mod.ParseOID(s)
 }
 
 func oidTau(so, st string) (mod.OID, float64, error) {

@@ -5,12 +5,27 @@
 // Usage:
 //
 //	modserve [-addr :8723] [-dim 2] [-shards 4] [-load snapshot.json] [-journal wal.jsonl] [-seed-demo]
+//	         [-slow-query-threshold 50ms] [-pprof=true]
 //
 // With -shards P > 1 the database is hash-partitioned by OID across P
 // independent shards (internal/shard): updates route to their shard and
 // the /query endpoints fan out across the shards on a worker pool and
 // merge — same answers, less sweep work per query and parallel
 // execution across cores.
+//
+// Observability (internal/obs):
+//
+//	GET /metrics              Prometheus text exposition: per-endpoint
+//	                          request counts/status/latency, per-shard
+//	                          sweep work (events, swaps, reschedules,
+//	                          queue high-water), query latency and k-NN
+//	                          candidate-pool histograms
+//	GET /metrics?format=json  the same registry as JSON
+//	GET /debug/vars           expvar (includes the registry under "mod")
+//	GET /debug/pprof/         net/http/pprof profiles (-pprof=false to drop)
+//
+// -slow-query-threshold D logs a structured "SLOWQUERY {json}" line for
+// every query slower than D (0 disables).
 //
 // Example session:
 //
@@ -19,15 +34,19 @@
 //	  -d '{"kind":"new","oid":1,"tau":0,"a":[1,0],"b":[0,0]}'
 //	curl -s -X POST localhost:8723/query/knn \
 //	  -d '{"k":2,"lo":0,"hi":60,"point":[0,0]}'
+//	curl -s localhost:8723/metrics | grep mod_sweep_events_total
 package main
 
 import (
+	"expvar"
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"repro/internal/mod"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/shard"
 	"repro/internal/workload"
@@ -41,6 +60,8 @@ var (
 	loadFlag    = flag.String("load", "", "snapshot file to restore at startup")
 	journalFlag = flag.String("journal", "", "append-only update journal; replayed at startup, extended while serving")
 	demoFlag    = flag.Bool("seed-demo", false, "seed 50 random movers for demos")
+	slowFlag    = flag.Duration("slow-query-threshold", 0, "log a structured SLOWQUERY line for queries at least this slow (0 disables)")
+	pprofFlag   = flag.Bool("pprof", true, "serve net/http/pprof under /debug/pprof/")
 )
 
 func main() {
@@ -111,8 +132,34 @@ func main() {
 			}
 		})
 	}
+
+	// Observability: one registry shared by the engine (sweep/query
+	// series) and the HTTP layer (request series), served on /metrics
+	// and mirrored into expvar's /debug/vars.
+	reg := obs.NewRegistry()
+	eng.Instrument(reg)
+	expvar.Publish("mod", expvar.Func(reg.ExpvarFunc()))
+	srv := server.NewWithOptions(eng, server.Options{
+		Logger:             logger,
+		Metrics:            reg,
+		SlowQueryThreshold: *slowFlag,
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	if *pprofFlag {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	if *slowFlag > 0 {
+		logger.Printf("slow-query log enabled at %s", slowFlag.String())
+	}
 	logger.Printf("listening on %s", *addrFlag)
-	if err := http.ListenAndServe(*addrFlag, server.New(eng, logger)); err != nil {
+	if err := http.ListenAndServe(*addrFlag, mux); err != nil {
 		logger.Fatal(err)
 	}
 }

@@ -113,6 +113,27 @@ type Stats struct {
 	MaxQueueLen int
 }
 
+// Add accumulates o into s: counters add, MaxQueueLen takes the max.
+// This is the canonical roll-up for concurrent sweeps — per-shard stats
+// merge with it (internal/shard), and the observability layer
+// (internal/obs) mirrors the same rule when per-shard histograms and
+// high-water gauges combine. It is associative and commutative, so any
+// grouping of partial roll-ups yields the same total.
+func (s *Stats) Add(o Stats) {
+	s.Events += o.Events
+	s.Swaps += o.Swaps
+	s.Equals += o.Equals
+	s.Coincides += o.Coincides
+	s.Expires += o.Expires
+	s.Inserts += o.Inserts
+	s.Removes += o.Removes
+	s.Replaces += o.Replaces
+	s.Reschedules += o.Reschedules
+	if o.MaxQueueLen > s.MaxQueueLen {
+		s.MaxQueueLen = o.MaxQueueLen
+	}
+}
+
 // Config configures a Sweeper.
 type Config struct {
 	// Start is the initial sweep time.

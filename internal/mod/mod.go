@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/geom"
@@ -25,6 +27,20 @@ type OID uint64
 
 // String renders an OID in the paper's o1, o2, ... style.
 func (o OID) String() string { return fmt.Sprintf("o%d", uint64(o)) }
+
+// ParseOID parses a decimal OID, accepting the bare number or the
+// "o17" form String renders. OIDs are 64-bit everywhere — POST /update
+// decodes them as full uint64s — so every textual parser must accept
+// the full range too; this shared helper exists because two callers
+// once clipped at 48 bits and 400'd on objects that legitimately
+// existed.
+func ParseOID(s string) (OID, error) {
+	n, err := strconv.ParseUint(strings.TrimPrefix(s, "o"), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("mod: bad oid %q: %w", s, err)
+	}
+	return OID(n), nil
+}
 
 // Errors returned by update application.
 var (

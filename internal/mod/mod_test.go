@@ -263,3 +263,49 @@ func TestLoadHistorical(t *testing.T) {
 		t.Errorf("post-tau update after load: %v", err)
 	}
 }
+
+// TestParseOID pins the full 64-bit OID range: a narrower 48-bit parse
+// once rejected identifiers the database itself stores without issue.
+func TestParseOID(t *testing.T) {
+	big := uint64(1)<<52 + 7 // above 2^48: the old parse clipped here
+	cases := []struct {
+		in   string
+		want OID
+	}{
+		{"0", 0},
+		{"42", 42},
+		{"o42", 42}, // String() form round-trips
+		{"18446744073709551615", OID(math.MaxUint64)},
+		{"281474976710656", OID(1) << 48},
+		{"4503599627370503", OID(big)},
+		{"o4503599627370503", OID(big)},
+	}
+	for _, c := range cases {
+		got, err := ParseOID(c.in)
+		if err != nil {
+			t.Errorf("ParseOID(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseOID(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "o", "abc", "-1", "1.5", "oo1", "18446744073709551616"} {
+		if got, err := ParseOID(bad); err == nil {
+			t.Errorf("ParseOID(%q) = %d, want error", bad, got)
+		}
+	}
+}
+
+// TestParseOIDRoundTrip: every OID's String() form parses back to itself.
+func TestParseOIDRoundTrip(t *testing.T) {
+	for _, o := range []OID{0, 1, 1 << 20, 1 << 48, 1<<52 + 7, math.MaxUint64} {
+		got, err := ParseOID(o.String())
+		if err != nil {
+			t.Fatalf("ParseOID(%q): %v", o.String(), err)
+		}
+		if got != o {
+			t.Fatalf("round trip %d -> %q -> %d", o, o.String(), got)
+		}
+	}
+}

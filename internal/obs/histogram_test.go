@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5})
+	// Upper bounds are inclusive (Prometheus le semantics).
+	for _, v := range []float64{0, 0.5, 1} {
+		h.Observe(v)
+	}
+	h.Observe(1.5) // (1, 2]
+	h.Observe(2)   // (1, 2]
+	h.Observe(4)   // (2, 5]
+	h.Observe(100) // +Inf
+	got := h.snapshot()
+	want := []uint64{3, 2, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d, want 7", h.Count())
+	}
+	if math.Abs(h.Sum()-109) > 1e-9 {
+		t.Errorf("sum = %g, want 109", h.Sum())
+	}
+}
+
+// fill returns a histogram over bounds with n pseudo-random observations.
+func fill(bounds []float64, seed int64, n int) *Histogram {
+	h := newHistogram(bounds)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		h.Observe(rng.Float64() * bounds[len(bounds)-1] * 1.2)
+	}
+	return h
+}
+
+// equal compares two histograms field by field.
+func histEqual(a, b *Histogram) bool {
+	as, bs := a.snapshot(), b.snapshot()
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return a.Count() == b.Count() && math.Abs(a.Sum()-b.Sum()) < 1e-9
+}
+
+// TestMergeAssociativeCommutative is the roll-up invariant: per-shard
+// histograms must merge into the same totals regardless of grouping or
+// order, exactly like core.Stats.Add. (a+b)+c == a+(b+c) == (c+b)+a.
+func TestMergeAssociativeCommutative(t *testing.T) {
+	bounds := DefLatencyBuckets
+	mk := func() (a, b, c *Histogram) {
+		return fill(bounds, 1, 500), fill(bounds, 2, 300), fill(bounds, 3, 700)
+	}
+
+	// (a+b)+c
+	a1, b1, c1 := mk()
+	if err := a1.Merge(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.Merge(c1); err != nil {
+		t.Fatal(err)
+	}
+
+	// a+(b+c)
+	a2, b2, c2 := mk()
+	if err := b2.Merge(c2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.Merge(b2); err != nil {
+		t.Fatal(err)
+	}
+
+	// (c+b)+a
+	a3, b3, c3 := mk()
+	if err := c3.Merge(b3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c3.Merge(a3); err != nil {
+		t.Fatal(err)
+	}
+
+	if !histEqual(a1, a2) {
+		t.Errorf("(a+b)+c != a+(b+c): %v/%g vs %v/%g", a1.snapshot(), a1.Sum(), a2.snapshot(), a2.Sum())
+	}
+	if !histEqual(a1, c3) {
+		t.Errorf("(a+b)+c != (c+b)+a: %v/%g vs %v/%g", a1.snapshot(), a1.Sum(), c3.snapshot(), c3.Sum())
+	}
+}
+
+func TestMergeRejectsMismatchedBounds(t *testing.T) {
+	a := newHistogram([]float64{1, 2, 3})
+	if err := a.Merge(newHistogram([]float64{1, 2})); err == nil {
+		t.Error("merge with fewer buckets: want error")
+	}
+	if err := a.Merge(newHistogram([]float64{1, 2, 4})); err == nil {
+		t.Error("merge with different bound: want error")
+	}
+	b := newHistogram([]float64{1, 2, 3})
+	b.Observe(2.5)
+	if err := a.Merge(b); err != nil {
+		t.Errorf("merge with identical bounds: %v", err)
+	}
+	if a.Count() != 1 {
+		t.Errorf("count after merge = %d", a.Count())
+	}
+}
+
+func TestMergeLeavesSourceIntact(t *testing.T) {
+	a, b := newHistogram([]float64{1, 10}), newHistogram([]float64{1, 10})
+	b.Observe(5)
+	b.Observe(20)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Count() != 2 || b.Sum() != 25 {
+		t.Errorf("source mutated by merge: count=%d sum=%g", b.Count(), b.Sum())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 30, 40})
+	if h.Quantile(0.5) != 0 {
+		t.Errorf("empty histogram quantile = %g", h.Quantile(0.5))
+	}
+	// 100 values uniform in (0, 40]: quantiles track the value range.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.4)
+	}
+	if p50 := h.Quantile(0.50); p50 < 10 || p50 > 30 {
+		t.Errorf("p50 = %g, want in [10, 30]", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 30 || p99 > 40 {
+		t.Errorf("p99 = %g, want in (30, 40]", p99)
+	}
+	// Everything in the overflow bucket reports the last finite bound.
+	inf := newHistogram([]float64{1, 2})
+	inf.Observe(50)
+	if q := inf.Quantile(0.9); q != 2 {
+		t.Errorf("overflow quantile = %g, want 2 (last finite bound)", q)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	h := newHistogram(DefLatencyBuckets)
+	for i := 0; i < 10; i++ {
+		h.Observe(0.003)
+	}
+	s := h.Summary()
+	if s.Count != 10 {
+		t.Errorf("summary count = %d", s.Count)
+	}
+	if math.Abs(s.Sum-0.03) > 1e-9 {
+		t.Errorf("summary sum = %g", s.Sum)
+	}
+	if s.P50 <= 0.0025 || s.P50 > 0.005 {
+		t.Errorf("p50 = %g, want in (0.0025, 0.005]", s.P50)
+	}
+}
+
+func TestCheckBoundsPanics(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"empty":      {},
+		"descending": {2, 1},
+		"equal":      {1, 1},
+		"nan":        {1, math.NaN()},
+		"inf":        {1, math.Inf(1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s bounds %v: want panic", name, bounds)
+				}
+			}()
+			newHistogram(bounds)
+		}()
+	}
+}
+
+func TestHistogramConcurrentObserveAndMerge(t *testing.T) {
+	dst := newHistogram(DefLatencyBuckets)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			src := fill(DefLatencyBuckets, int64(g), 200)
+			if err := dst.Merge(src); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if dst.Count() != 8*200 {
+		t.Errorf("count after concurrent merges = %d, want %d", dst.Count(), 8*200)
+	}
+}

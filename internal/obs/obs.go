@@ -1,0 +1,281 @@
+// Package obs is the engine's observability layer: a stdlib-only
+// metrics registry with atomic counters, gauges and fixed-bucket
+// latency histograms, exposed in Prometheus text exposition format and
+// as an expvar-compatible JSON view.
+//
+// Design constraints, in order:
+//
+//   - Hot-path writes are lock-free (single atomic op for counters and
+//     gauges, two-three for a histogram observation), so instrumenting
+//     the sweep and update paths costs nanoseconds and never contends
+//     with the sharded engine's own locking.
+//
+//   - Histograms are merge-able: two histograms over the same bucket
+//     bounds combine bucket-wise, exactly like per-shard sweep stats
+//     roll up in core.Stats.Add. Merging is associative and
+//     commutative, so per-shard → per-engine → per-fleet roll-ups all
+//     give the same answer regardless of grouping (covered by unit
+//     tests).
+//
+//   - Metric names are unique per registry (registration panics on a
+//     duplicate), which makes the /metrics exposition structurally
+//     free of duplicate families — the property the CI smoke test
+//     asserts.
+//
+// The paper's cost model is what decides *what* to measure: Theorem 4
+// bounds a past sweep by O((m+N) log N), so the support-change count m
+// (events, swaps) and the queue bound of Lemma 9 (max queue length)
+// are the headline series; everything else (HTTP status/latency,
+// fan-out width, candidate-pool sizes) exists to localize where a
+// latency regression comes from.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. The zero value is not
+// usable; obtain counters from a Registry.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 that can move in both directions.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (CAS loop; gauges are written rarely).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — the
+// roll-up used for high-water marks like the sweep's max queue length
+// (max over shards, mirroring core.Stats.Add).
+func (g *Gauge) SetMax(v float64) {
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// metricKind tags a family for the exposition writers.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// family is one registered metric name: either a single unlabeled
+// instrument or a vector of children keyed by label values.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []string // empty for unlabeled instruments
+
+	single interface{} // *Counter, *Gauge or *Histogram when unlabeled
+
+	mu       sync.Mutex
+	children map[string]interface{} // label-value key -> instrument
+	order    []string               // registration order of keys, sorted at exposition
+}
+
+// Registry holds a set of uniquely named metric families.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register adds a family or panics on a duplicate or invalid name —
+// metric registration happens at wiring time, so a clash is a
+// programming error, and failing loudly is what keeps /metrics free of
+// duplicate families.
+func (r *Registry) register(f *family) {
+	if !validName(f.name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", f.name))
+	}
+	for _, l := range f.labels {
+		if !validName(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", l, f.name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[f.name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric name %q", f.name))
+	}
+	r.families[f.name] = f
+	r.names = append(r.names, f.name)
+	sort.Strings(r.names)
+}
+
+// validName reports whether s is a legal Prometheus metric/label name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// NewCounter registers and returns an unlabeled counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&family{name: name, help: help, kind: kindCounter, single: c})
+	return c
+}
+
+// NewGauge registers and returns an unlabeled gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&family{name: name, help: help, kind: kindGauge, single: g})
+	return g
+}
+
+// NewHistogram registers and returns an unlabeled histogram over the
+// given bucket upper bounds (strictly increasing, finite; an implicit
+// +Inf bucket is always appended).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	h := newHistogram(bounds)
+	r.register(&family{name: name, help: help, kind: kindHistogram, single: h})
+	return h
+}
+
+// CounterVec is a family of counters keyed by label values.
+type CounterVec struct{ f *family }
+
+// GaugeVec is a family of gauges keyed by label values.
+type GaugeVec struct{ f *family }
+
+// HistogramVec is a family of histograms keyed by label values; all
+// children share the vector's bucket bounds.
+type HistogramVec struct {
+	f      *family
+	bounds []float64
+}
+
+// NewCounterVec registers a counter family with the given label names.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	f := &family{name: name, help: help, kind: kindCounter,
+		labels: labels, children: make(map[string]interface{})}
+	r.register(f)
+	return &CounterVec{f: f}
+}
+
+// NewGaugeVec registers a gauge family with the given label names.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	f := &family{name: name, help: help, kind: kindGauge,
+		labels: labels, children: make(map[string]interface{})}
+	r.register(f)
+	return &GaugeVec{f: f}
+}
+
+// NewHistogramVec registers a histogram family with the given label
+// names; every child uses bounds.
+func (r *Registry) NewHistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	f := &family{name: name, help: help, kind: kindHistogram,
+		labels: labels, children: make(map[string]interface{})}
+	r.register(f)
+	return &HistogramVec{f: f, bounds: checkBounds(bounds)}
+}
+
+// labelKey joins label values into a child map key. 0x1f (unit
+// separator) cannot collide with reasonable label values.
+func labelKey(values []string) string { return strings.Join(values, "\x1f") }
+
+// child returns (creating on first use) the instrument for the given
+// label values.
+func (f *family) child(values []string, mk func() interface{}) interface{} {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %s: got %d label values, want %d", f.name, len(values), len(f.labels)))
+	}
+	key := labelKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c := mk()
+	f.children[key] = c
+	f.order = append(f.order, key)
+	return c
+}
+
+// With returns the counter for the given label values.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.child(values, func() interface{} { return &Counter{} }).(*Counter)
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.child(values, func() interface{} { return &Gauge{} }).(*Gauge)
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.child(values, func() interface{} { return newHistogramChecked(v.bounds) }).(*Histogram)
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	g := r.NewGauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %g, want 1.5", got)
+	}
+	g.SetMax(1.0)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("SetMax lowered gauge to %g", got)
+	}
+	g.SetMax(9)
+	if got := g.Value(); got != 9 {
+		t.Errorf("SetMax = %g, want 9", got)
+	}
+}
+
+func TestVectorsShareChildrenByLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("reqs_total", "requests", "endpoint", "code")
+	v.With("/a", "200").Inc()
+	v.With("/a", "200").Inc()
+	v.With("/a", "400").Inc()
+	if got := v.With("/a", "200").Value(); got != 2 {
+		t.Errorf("child = %d, want 2", got)
+	}
+	if got := v.With("/a", "400").Value(); got != 1 {
+		t.Errorf("child = %d, want 1", got)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.NewGauge("x_total", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid name did not panic")
+		}
+	}()
+	r.NewCounter("9bad-name", "")
+}
+
+func TestPromExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("b_total", "second")
+	c.Add(7)
+	v := r.NewCounterVec("a_reqs_total", "first", "endpoint", "code")
+	v.With("/knn", "200").Add(3)
+	v.With(`/q"uote`, "500").Inc()
+	h := r.NewHistogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE a_reqs_total counter",
+		`a_reqs_total{endpoint="/knn",code="200"} 3`,
+		`a_reqs_total{endpoint="/q\"uote",code="500"} 1`,
+		"# TYPE b_total counter",
+		"b_total 7",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 5.55",
+		"lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Families sorted by name: a_reqs_total before b_total before lat.
+	if ia, ib := strings.Index(out, "a_reqs_total"), strings.Index(out, "b_total"); ia > ib {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+	// Every non-comment line parses as `name{labels} value`.
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("unparseable exposition line %q", line)
+		}
+	}
+	// No duplicate TYPE lines (the smoke-test property).
+	seen := map[string]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			name := strings.Fields(line)[2]
+			if seen[name] {
+				t.Errorf("duplicate family %q", name)
+			}
+			seen[name] = true
+		}
+	}
+}
+
+func TestJSONViewAndHandler(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("c_total", "").Add(2)
+	r.NewCounterVec("v_total", "", "kind").With("knn").Add(4)
+	h := r.NewHistogram("lat", "", []float64{1, 2})
+	h.Observe(1.5)
+
+	req := httptest.NewRequest("GET", "/metrics?format=json", nil)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("json content type %q", ct)
+	}
+	var got map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("json view: %v", err)
+	}
+	if got["c_total"].(float64) != 2 {
+		t.Errorf("c_total = %v", got["c_total"])
+	}
+	if got["v_total"].(map[string]interface{})["kind=knn"].(float64) != 4 {
+		t.Errorf("v_total = %v", got["v_total"])
+	}
+	if got["lat"].(map[string]interface{})["count"].(float64) != 1 {
+		t.Errorf("lat = %v", got["lat"])
+	}
+
+	// Default (no format): Prometheus text.
+	rec = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Header().Get("Content-Type"), "text/plain") {
+		t.Errorf("prom content type %q", rec.Header().Get("Content-Type"))
+	}
+	if !strings.Contains(rec.Body.String(), "# TYPE c_total counter") {
+		t.Errorf("prom body:\n%s", rec.Body.String())
+	}
+}
+
+func TestConcurrentWrites(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "")
+	g := r.NewGauge("g", "")
+	h := r.NewHistogram("h", "", DefLatencyBuckets)
+	v := r.NewCounterVec("v_total", "", "w")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.SetMax(float64(w*per + i))
+				h.Observe(0.001)
+				v.With("x").Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("hist count = %d, want %d", h.Count(), workers*per)
+	}
+	if v.With("x").Value() != workers*per {
+		t.Errorf("vec = %d, want %d", v.With("x").Value(), workers*per)
+	}
+	if g.Value() != float64(workers*per-1) {
+		t.Errorf("gauge max = %g, want %d", g.Value(), workers*per-1)
+	}
+}

@@ -1,0 +1,209 @@
+package obs
+
+// Exposition: the Prometheus text format served on GET /metrics, plus
+// an expvar-compatible JSON view of the same registry (served for
+// ?format=json and publishable under expvar via ExpvarFunc).
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteProm writes the registry in Prometheus text exposition format
+// (version 0.0.4). Families appear sorted by name; label sets within a
+// family are sorted too, so the output is deterministic.
+func (r *Registry) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		if err := f.writeProm(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// sortedFamilies snapshots the family list in name order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, 0, len(r.names))
+	for _, n := range r.names {
+		out = append(out, r.families[n])
+	}
+	return out
+}
+
+// sortedChildren snapshots a vector family's (labelKey, instrument)
+// pairs in key order; for an unlabeled family it returns the single
+// instrument under an empty key.
+func (f *family) sortedChildren() ([]string, []interface{}) {
+	if f.single != nil {
+		return []string{""}, []interface{}{f.single}
+	}
+	f.mu.Lock()
+	keys := append([]string(nil), f.order...)
+	f.mu.Unlock()
+	sort.Strings(keys)
+	insts := make([]interface{}, len(keys))
+	f.mu.Lock()
+	for i, k := range keys {
+		insts[i] = f.children[k]
+	}
+	f.mu.Unlock()
+	return keys, insts
+}
+
+// promLabels renders {k="v",...} for a child key; extra appends one
+// more pair (the histogram's le). Empty input renders "" or {le=...}.
+func (f *family) promLabels(key string, extra ...string) string {
+	var parts []string
+	if key != "" || len(f.labels) > 0 {
+		values := strings.Split(key, "\x1f")
+		for i, l := range f.labels {
+			v := ""
+			if i < len(values) {
+				v = values[i]
+			}
+			parts = append(parts, fmt.Sprintf("%s=%q", l, v))
+		}
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		parts = append(parts, fmt.Sprintf("%s=%q", extra[i], extra[i+1]))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// promFloat renders a float the way Prometheus expects.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+func (f *family) writeProm(w *bufio.Writer) error {
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		return err
+	}
+	keys, insts := f.sortedChildren()
+	for i, key := range keys {
+		switch m := insts[i].(type) {
+		case *Counter:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, f.promLabels(key), m.Value()); err != nil {
+				return err
+			}
+		case *Gauge:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, f.promLabels(key), promFloat(m.Value())); err != nil {
+				return err
+			}
+		case *Histogram:
+			counts := m.snapshot()
+			var cum uint64
+			for b, c := range counts {
+				cum += c
+				le := "+Inf"
+				if b < len(m.bounds) {
+					le = promFloat(m.bounds[b])
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+					f.name, f.promLabels(key, "le", le), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, f.promLabels(key), promFloat(m.Sum())); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, f.promLabels(key), m.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// jsonValue renders one instrument for the JSON view.
+func jsonValue(inst interface{}) interface{} {
+	switch m := inst.(type) {
+	case *Counter:
+		return m.Value()
+	case *Gauge:
+		return m.Value()
+	case *Histogram:
+		return m.Summary()
+	default:
+		return nil
+	}
+}
+
+// JSONValue returns the registry as a plain name -> value map:
+// counters and gauges as numbers, histograms as their Summary, vector
+// families as a nested map keyed by "label=value,..." strings. The
+// shape is expvar-compatible: publish it with
+// expvar.Publish("mod", expvar.Func(reg.ExpvarFunc())).
+func (r *Registry) JSONValue() map[string]interface{} {
+	out := make(map[string]interface{})
+	for _, f := range r.sortedFamilies() {
+		keys, insts := f.sortedChildren()
+		if f.single != nil {
+			out[f.name] = jsonValue(f.single)
+			continue
+		}
+		sub := make(map[string]interface{}, len(keys))
+		for i, key := range keys {
+			values := strings.Split(key, "\x1f")
+			var parts []string
+			for j, l := range f.labels {
+				v := ""
+				if j < len(values) {
+					v = values[j]
+				}
+				parts = append(parts, l+"="+v)
+			}
+			sub[strings.Join(parts, ",")] = jsonValue(insts[i])
+		}
+		out[f.name] = sub
+	}
+	return out
+}
+
+// ExpvarFunc adapts the registry to expvar.Func's signature.
+func (r *Registry) ExpvarFunc() func() interface{} {
+	return func() interface{} { return r.JSONValue() }
+}
+
+// Handler serves the registry: Prometheus text format by default, the
+// JSON view with ?format=json (or an Accept header preferring JSON).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		wantJSON := req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(r.JSONValue())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w)
+	})
+}

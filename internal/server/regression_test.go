@@ -1,0 +1,355 @@
+package server
+
+// Regression tests for the wire-protocol sweep: 64-bit OIDs round-trip
+// through /update and /object, empty interval lists marshal as [] (not
+// null), and the answer's class is derived from the snapshot tau the
+// backend actually computed over — never from a re-read of the live
+// clock racing with concurrent updates.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gdist"
+	"repro/internal/geom"
+	"repro/internal/mod"
+	"repro/internal/obs"
+	"repro/internal/query"
+	"repro/internal/shard"
+	"repro/internal/trajectory"
+)
+
+// stubBackend lets a test script the query results (answer set, sweep
+// stats, snapshot tau) independently of the live Tau().
+type stubBackend struct {
+	liveTau float64
+	ansTau  float64
+	ans     *query.AnswerSet
+	stats   core.Stats
+}
+
+func (b *stubBackend) Dim() int                 { return 2 }
+func (b *stubBackend) Tau() float64             { return b.liveTau }
+func (b *stubBackend) Len() int                 { return 1 }
+func (b *stubBackend) Objects() []mod.OID       { return []mod.OID{1} }
+func (b *stubBackend) LiveAt(float64) []mod.OID { return []mod.OID{1} }
+func (b *stubBackend) Traj(mod.OID) (trajectory.Trajectory, error) {
+	return trajectory.Trajectory{}, nil
+}
+func (b *stubBackend) Apply(mod.Update) error { return nil }
+func (b *stubBackend) OnUpdate(mod.Listener)  {}
+func (b *stubBackend) Snapshot() *mod.DB      { return mod.NewDB(2, b.liveTau) }
+func (b *stubBackend) KNN(gdist.GDistance, int, float64, float64) (*query.AnswerSet, core.Stats, float64, error) {
+	return b.ans, b.stats, b.ansTau, nil
+}
+func (b *stubBackend) Within(gdist.GDistance, float64, float64, float64) (*query.AnswerSet, core.Stats, float64, error) {
+	return b.ans, b.stats, b.ansTau, nil
+}
+
+// TestLargeOIDRoundTrip: an OID above 2^48 accepted by POST /update must
+// resolve on GET /object (a narrower 48-bit parse once 400'd here).
+func TestLargeOIDRoundTrip(t *testing.T) {
+	ts, _ := newTestServer(t)
+	const big = uint64(1)<<52 + 7
+	code := postJSON(t, ts.URL+"/update", map[string]interface{}{
+		"kind": "new", "oid": big, "tau": 9,
+		"a": []float64{1, 0}, "b": []float64{0, 0},
+	}, nil)
+	if code != 200 {
+		t.Fatalf("update with large oid: code %d", code)
+	}
+	var obj struct {
+		OID uint64 `json:"oid"`
+	}
+	if code := getJSON(t, fmt.Sprintf("%s/object?oid=%d", ts.URL, big), &obj); code != 200 {
+		t.Fatalf("GET /object?oid=%d: code %d", big, code)
+	}
+	if obj.OID != big {
+		t.Errorf("object oid = %d, want %d", obj.OID, big)
+	}
+	// The "o"-prefixed String() form resolves too.
+	if code := getJSON(t, fmt.Sprintf("%s/object?oid=o%d", ts.URL, big), &obj); code != 200 {
+		t.Errorf("GET /object?oid=o%d: code %d", big, code)
+	}
+}
+
+// TestEmptyIntervalListMarshalsAsArray: an answered object whose
+// interval list is empty must encode as [], not null — clients iterate
+// the wire value.
+func TestEmptyIntervalListMarshalsAsArray(t *testing.T) {
+	ans := query.NewAnswerSet()
+	ans.Enter(1, 0) // open membership, no closed intervals yet
+	be := &stubBackend{ans: ans}
+	ts := httptest.NewServer(New(be, nil))
+	defer ts.Close()
+
+	var resp struct {
+		Answers map[string]json.RawMessage `json:"answers"`
+	}
+	code := postJSON(t, ts.URL+"/query/knn", map[string]interface{}{
+		"k": 1, "lo": 0, "hi": 10, "point": []float64{0, 0},
+	}, &resp)
+	if code != 200 {
+		t.Fatalf("knn code %d", code)
+	}
+	raw, ok := resp.Answers["o1"]
+	if !ok {
+		t.Fatalf("o1 missing from answers: %v", resp.Answers)
+	}
+	if got := strings.TrimSpace(string(raw)); got != "[]" {
+		t.Errorf("empty interval list encodes as %s, want []", got)
+	}
+}
+
+// TestClassComesFromSnapshotTau: the class in the response must be
+// computed against the tau of the snapshot the backend answered over,
+// not the live Tau() — the two diverge under concurrent updates.
+func TestClassComesFromSnapshotTau(t *testing.T) {
+	ans := query.NewAnswerSet()
+	ans.Enter(1, 1)
+	ans.Leave(1, 2)
+	ans.Finish(2)
+	// Live clock says 0 (the window [1,2] would look future); the
+	// snapshot that produced the answer had tau=100 (the window is past).
+	be := &stubBackend{liveTau: 0, ansTau: 100, ans: ans}
+	ts := httptest.NewServer(New(be, nil))
+	defer ts.Close()
+
+	for _, ep := range []string{"/query/knn", "/query/within"} {
+		var resp struct {
+			Class string  `json:"class"`
+			Tau   float64 `json:"tau"`
+		}
+		body := map[string]interface{}{"k": 1, "radius": 5, "lo": 1, "hi": 2, "point": []float64{0, 0}}
+		if code := postJSON(t, ts.URL+ep, body, &resp); code != 200 {
+			t.Fatalf("%s code %d", ep, code)
+		}
+		if resp.Tau != 100 {
+			t.Errorf("%s: tau = %g, want 100 (snapshot's)", ep, resp.Tau)
+		}
+		if resp.Class != "past" {
+			t.Errorf("%s: class = %q, want past (window [1,2] vs snapshot tau 100)", ep, resp.Class)
+		}
+	}
+}
+
+// TestClassTauInvariantUnderConcurrentUpdates drives queries against a
+// window the advancing clock sweeps through (future -> continuing ->
+// past) and pins the invariant class == Classify(lo, hi, tau) on every
+// response. Run under -race in CI.
+func TestClassTauInvariantUnderConcurrentUpdates(t *testing.T) {
+	db := mod.NewDB(2, -1)
+	if err := db.ApplyAll(
+		mod.New(1, 0, geom.Of(1, 0), geom.Of(0, 0)),
+		mod.New(2, 0.5, geom.Of(0, 1), geom.Of(5, 5)),
+	); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := shard.FromDB(db, shard.Config{Shards: 4, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(eng, nil))
+	defer ts.Close()
+	url := ts.URL
+
+	const lo, hi = 50.0, 60.0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for tau := 1.0; tau <= 120; tau++ {
+			postJSON(t, url+"/update", map[string]interface{}{
+				"kind": "chdir", "oid": 1, "tau": tau, "a": []float64{1, 1},
+			}, nil)
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				var resp struct {
+					Class string  `json:"class"`
+					Tau   float64 `json:"tau"`
+				}
+				code := postJSON(t, url+"/query/knn", map[string]interface{}{
+					"k": 1, "lo": lo, "hi": hi, "point": []float64{0, 0},
+				}, &resp)
+				if code != 200 {
+					t.Errorf("knn code %d", code)
+					continue
+				}
+				want, err := query.Classify(lo, hi, resp.Tau)
+				if err != nil {
+					t.Errorf("classify: %v", err)
+					continue
+				}
+				if resp.Class != want.String() {
+					t.Errorf("class = %q but tau = %g classifies as %q", resp.Class, resp.Tau, want)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+}
+
+// TestMetricsEndpoint scrapes /metrics after traffic: HTTP series,
+// sweep-work series and query-latency histograms must all be present,
+// with no duplicate family declarations, and the JSON view must parse.
+func TestMetricsEndpoint(t *testing.T) {
+	db := mod.NewDB(2, -1)
+	if err := db.ApplyAll(
+		mod.New(1, 0, geom.Of(0, 0), geom.Of(3, 4)),
+		mod.New(2, 0.5, geom.Of(-1, 0), geom.Of(20, 0)),
+	); err != nil {
+		t.Fatal(err)
+	}
+	eng := shard.Single(db)
+	reg := obs.NewRegistry()
+	eng.Instrument(reg)
+	ts := httptest.NewServer(NewWithOptions(eng, Options{Metrics: reg}))
+	defer ts.Close()
+
+	if code := postJSON(t, ts.URL+"/query/knn", map[string]interface{}{
+		"k": 1, "lo": 0, "hi": 30, "point": []float64{0, 0},
+	}, nil); code != 200 {
+		t.Fatalf("knn code %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != 200 {
+		t.Fatalf("healthz code %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	if body == "" {
+		t.Fatal("/metrics returned an empty body")
+	}
+	for _, want := range []string{
+		"mod_http_requests_total{endpoint=\"POST /query/knn\",code=\"200\"} 1",
+		"mod_http_request_seconds_bucket",
+		"mod_sweep_events_total",
+		"mod_query_seconds_bucket{kind=\"knn\"",
+		"mod_query_fanout_width_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Every family is declared exactly once and every sample line has
+	// exactly two fields (name{labels} value).
+	seen := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		if name, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			fam := strings.Fields(name)[0]
+			if seen[fam] {
+				t.Errorf("duplicate family declaration %q", fam)
+			}
+			seen[fam] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// name{labels} value — label values may contain spaces, so
+		// validate shape as "everything up to the last space" + number.
+		i := strings.LastIndex(line, " ")
+		if i <= 0 {
+			t.Errorf("sample line %q has no value field", line)
+			continue
+		}
+		if _, err := strconv.ParseFloat(line[i+1:], 64); err != nil {
+			t.Errorf("sample line %q: value %q does not parse: %v", line, line[i+1:], err)
+		}
+	}
+	if len(seen) == 0 {
+		t.Error("no # TYPE declarations in /metrics output")
+	}
+
+	// The JSON view parses and carries the same families.
+	var js map[string]interface{}
+	if code := getJSON(t, ts.URL+"/metrics?format=json", &js); code != 200 {
+		t.Fatalf("metrics json code %d", code)
+	}
+	if _, ok := js["mod_http_requests_total"]; !ok {
+		t.Errorf("json view missing mod_http_requests_total: %v", js)
+	}
+}
+
+// syncBuf is a goroutine-safe log sink.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestSlowQueryLog: with a tiny threshold every query logs one
+// structured SLOWQUERY line whose JSON carries the query's shape.
+func TestSlowQueryLog(t *testing.T) {
+	db := mod.NewDB(2, -1)
+	if err := db.Apply(mod.New(1, 0, geom.Of(0, 0), geom.Of(3, 4))); err != nil {
+		t.Fatal(err)
+	}
+	var buf syncBuf
+	srv := NewWithOptions(shard.Single(db), Options{
+		Logger:             log.New(&buf, "", 0),
+		SlowQueryThreshold: time.Nanosecond,
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	if code := postJSON(t, ts.URL+"/query/within", map[string]interface{}{
+		"radius": 6, "lo": 1, "hi": 30, "point": []float64{0, 0},
+	}, nil); code != 200 {
+		t.Fatalf("within code %d", code)
+	}
+	var rec slowQueryRecord
+	found := false
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "SLOWQUERY "); ok {
+			if err := json.Unmarshal([]byte(rest), &rec); err != nil {
+				t.Fatalf("bad SLOWQUERY json %q: %v", rest, err)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no SLOWQUERY line in log:\n%s", buf.String())
+	}
+	if rec.Endpoint != "/query/within" || rec.Radius != 6 || rec.Lo != 1 || rec.Hi != 30 {
+		t.Errorf("slow-query record = %+v", rec)
+	}
+	if rec.Class == "" || rec.Ms < 0 {
+		t.Errorf("slow-query record missing class/ms: %+v", rec)
+	}
+}

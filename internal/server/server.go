@@ -19,7 +19,14 @@
 //	POST /query/knn               {"k":..,"lo":..,"hi":..,"point":[..]}
 //	POST /query/within            {"radius":..,"lo":..,"hi":..,"point":[..]}
 //	GET  /snapshot                full JSON snapshot (mod.SaveJSON format)
+//	GET  /metrics                 Prometheus exposition (with Options.Metrics)
 //	POST /watch/knn               SSE stream of a live continuing k-NN query
+//
+// With Options.Metrics set, every request is accounted per endpoint and
+// status, query latency is observed into merge-able histograms, and
+// /metrics serves the registry (Prometheus text; ?format=json for the
+// expvar-style view). Options.SlowQueryThreshold turns on a structured
+// slow-query log on the server's logger.
 package server
 
 import (
@@ -29,13 +36,15 @@ import (
 	"log"
 	"math"
 	"net/http"
-	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/gdist"
 	"repro/internal/geom"
 	"repro/internal/mod"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/trajectory"
 )
@@ -60,16 +69,39 @@ type Backend interface {
 	Snapshot() *mod.DB
 	// KNN and Within evaluate the two built-in past/continuing queries
 	// over [lo, hi] (fanned out across shards by sharded backends).
-	KNN(f gdist.GDistance, k int, lo, hi float64) (*query.AnswerSet, core.Stats, error)
-	Within(f gdist.GDistance, c float64, lo, hi float64) (*query.AnswerSet, core.Stats, error)
+	// Besides the answer and the sweep work, they return the tau of the
+	// snapshot the answer was computed over: under concurrent updates
+	// the live Tau() keeps moving, so classifying the window against it
+	// would misstate the answer's frame of reference — handlers must
+	// classify against the returned tau.
+	KNN(f gdist.GDistance, k int, lo, hi float64) (*query.AnswerSet, core.Stats, float64, error)
+	Within(f gdist.GDistance, c float64, lo, hi float64) (*query.AnswerSet, core.Stats, float64, error)
+}
+
+// Options configures a Server beyond its backend.
+type Options struct {
+	// Logger receives request errors and the slow-query log; nil
+	// disables logging.
+	Logger *log.Logger
+	// Metrics, when non-nil, turns on HTTP/query instrumentation and
+	// the /metrics endpoint serving this registry.
+	Metrics *obs.Registry
+	// SlowQueryThreshold, when positive, logs a structured SLOWQUERY
+	// line for every /query request at least this slow.
+	SlowQueryThreshold time.Duration
 }
 
 // Server wraps a Backend with HTTP handlers. Queries run on snapshots,
 // so a long query never blocks the update path.
 type Server struct {
-	be  Backend
-	mux *http.ServeMux
-	log *log.Logger
+	be      Backend
+	mux     *http.ServeMux
+	handler http.Handler // mux, wrapped with instrumentation when enabled
+	log     *log.Logger
+
+	routes      map[string]bool // fixed paths, for bounded endpoint labels
+	httpMetrics *httpMetrics    // nil when uninstrumented
+	slowQuery   time.Duration
 
 	watchMu  sync.Mutex
 	watchers map[*watcher]struct{}
@@ -79,24 +111,47 @@ type Server struct {
 // shard.FromDB(db, shard.Config{}) for the unsharded engine). logger
 // may be nil (logging disabled).
 func New(be Backend, logger *log.Logger) *Server {
+	return NewWithOptions(be, Options{Logger: logger})
+}
+
+// NewWithOptions builds a server with observability options.
+func NewWithOptions(be Backend, opts Options) *Server {
 	s := &Server{
-		be: be, mux: http.NewServeMux(), log: logger,
-		watchers: make(map[*watcher]struct{}),
+		be: be, mux: http.NewServeMux(), log: opts.Logger,
+		routes:    make(map[string]bool),
+		slowQuery: opts.SlowQueryThreshold,
+		watchers:  make(map[*watcher]struct{}),
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /objects", s.handleObjects)
-	s.mux.HandleFunc("GET /object", s.handleObject)
-	s.mux.HandleFunc("POST /update", s.handleUpdate)
-	s.mux.HandleFunc("POST /query/knn", s.handleKNN)
-	s.mux.HandleFunc("POST /query/within", s.handleWithin)
-	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	s.handle("GET /healthz", s.handleHealth)
+	s.handle("GET /objects", s.handleObjects)
+	s.handle("GET /object", s.handleObject)
+	s.handle("POST /update", s.handleUpdate)
+	s.handle("POST /query/knn", s.handleKNN)
+	s.handle("POST /query/within", s.handleWithin)
+	s.handle("GET /snapshot", s.handleSnapshot)
 	s.registerWatchers()
+	s.handler = s.mux
+	if opts.Metrics != nil {
+		s.routes["/metrics"] = true
+		s.mux.Handle("GET /metrics", opts.Metrics.Handler())
+		s.httpMetrics = newHTTPMetrics(opts.Metrics)
+		s.handler = s.instrumented(s.mux)
+	}
 	return s
+}
+
+// handle registers a "METHOD /path" pattern and remembers the path for
+// endpoint labeling.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	if _, path, ok := strings.Cut(pattern, " "); ok {
+		s.routes[path] = true
+	}
+	s.mux.HandleFunc(pattern, h)
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 // httpError is the JSON error envelope.
@@ -145,12 +200,15 @@ type jsonTrajPiece struct {
 }
 
 func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
-	oid, err := strconv.ParseUint(r.URL.Query().Get("oid"), 10, 48)
+	// Full 64-bit OIDs: POST /update accepts them, so GET /object must
+	// resolve them (mod.ParseOID; a narrower parse 400'd on objects
+	// that exist).
+	oid, err := mod.ParseOID(r.URL.Query().Get("oid"))
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad oid: %w", err))
+		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	tr, err := s.be.Traj(mod.OID(oid))
+	tr, err := s.be.Traj(oid)
 	if err != nil {
 		s.fail(w, http.StatusNotFound, err)
 		return
@@ -168,7 +226,7 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 		OID        uint64          `json:"oid"`
 		Pieces     []jsonTrajPiece `json:"pieces"`
 		Constraint string          `json:"constraint"`
-	}{OID: oid, Pieces: pieces, Constraint: tr.String()})
+	}{OID: uint64(oid), Pieces: pieces, Constraint: tr.String()})
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
@@ -196,9 +254,12 @@ type knnRequest struct {
 	Point []float64 `json:"point"`
 }
 
-// answerJSON is the wire form of an AnswerSet.
+// answerJSON is the wire form of an AnswerSet. Tau is the snapshot
+// time the answer was computed over; Class always equals
+// query.Classify(lo, hi, Tau) — the invariant the race test pins.
 type answerJSON struct {
 	Class   string                    `json:"class"`
+	Tau     float64                   `json:"tau"`
 	Answers map[string][]intervalJSON `json:"answers"`
 	Events  int                       `json:"events"`
 }
@@ -208,16 +269,46 @@ type intervalJSON struct {
 	Hi float64 `json:"hi"`
 }
 
-func toAnswerJSON(ans *query.AnswerSet, cls query.Class, events int) answerJSON {
-	out := answerJSON{Class: cls.String(), Answers: map[string][]intervalJSON{}, Events: events}
+func toAnswerJSON(ans *query.AnswerSet, cls query.Class, tau float64, events int) answerJSON {
+	out := answerJSON{Class: cls.String(), Tau: tau, Answers: map[string][]intervalJSON{}, Events: events}
 	for _, o := range ans.Objects() {
-		var ivs []intervalJSON
+		// Start non-nil so an object with an empty interval list
+		// marshals as [] — clients iterate the wire value, and null
+		// breaks them.
+		ivs := []intervalJSON{}
 		for _, iv := range ans.Intervals(o) {
 			ivs = append(ivs, intervalJSON{Lo: iv.Lo, Hi: iv.Hi})
 		}
 		out.Answers[o.String()] = ivs
 	}
 	return out
+}
+
+// slowQueryRecord is one structured slow-query log line (logged as
+// "SLOWQUERY {json}").
+type slowQueryRecord struct {
+	Endpoint string  `json:"endpoint"`
+	Ms       float64 `json:"ms"`
+	Lo       float64 `json:"lo"`
+	Hi       float64 `json:"hi"`
+	K        int     `json:"k,omitempty"`
+	Radius   float64 `json:"radius,omitempty"`
+	Events   int     `json:"events"`
+	Tau      float64 `json:"tau"`
+	Class    string  `json:"class"`
+}
+
+// logSlowQuery emits rec if the request exceeded the threshold.
+func (s *Server) logSlowQuery(elapsed time.Duration, rec slowQueryRecord) {
+	if s.slowQuery <= 0 || elapsed < s.slowQuery || s.log == nil {
+		return
+	}
+	rec.Ms = float64(elapsed.Nanoseconds()) / 1e6
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	s.log.Printf("SLOWQUERY %s", data)
 }
 
 func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
@@ -231,14 +322,21 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("point has %d components, database dim %d", len(req.Point), s.be.Dim()))
 		return
 	}
-	tau := s.be.Tau()
-	ans, st, err := s.be.KNN(gdist.PointSq{Point: geom.Vec(req.Point)}, req.K, req.Lo, req.Hi)
+	start := time.Now()
+	ans, st, tau, err := s.be.KNN(gdist.PointSq{Point: geom.Vec(req.Point)}, req.K, req.Lo, req.Hi)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	// Classify against the snapshot's tau, not a re-read of the live
+	// Tau(): an update landing mid-query must not relabel the window
+	// the answer was actually computed over.
 	cls, _ := query.Classify(req.Lo, req.Hi, tau)
-	s.ok(w, toAnswerJSON(ans, cls, st.Events))
+	s.logSlowQuery(time.Since(start), slowQueryRecord{
+		Endpoint: "/query/knn", Lo: req.Lo, Hi: req.Hi, K: req.K,
+		Events: st.Events, Tau: tau, Class: cls.String(),
+	})
+	s.ok(w, toAnswerJSON(ans, cls, tau, st.Events))
 }
 
 // withinRequest is the body of /query/within.
@@ -264,14 +362,18 @@ func (s *Server) handleWithin(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, errors.New("negative radius"))
 		return
 	}
-	tau := s.be.Tau()
-	ans, st, err := s.be.Within(gdist.PointSq{Point: geom.Vec(req.Point)}, req.Radius*req.Radius, req.Lo, req.Hi)
+	start := time.Now()
+	ans, st, tau, err := s.be.Within(gdist.PointSq{Point: geom.Vec(req.Point)}, req.Radius*req.Radius, req.Lo, req.Hi)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
 	cls, _ := query.Classify(req.Lo, req.Hi, tau)
-	s.ok(w, toAnswerJSON(ans, cls, st.Events))
+	s.logSlowQuery(time.Since(start), slowQueryRecord{
+		Endpoint: "/query/within", Lo: req.Lo, Hi: req.Hi, Radius: req.Radius,
+		Events: st.Events, Tau: tau, Class: cls.String(),
+	})
+	s.ok(w, toAnswerJSON(ans, cls, tau, st.Events))
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {

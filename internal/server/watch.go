@@ -7,6 +7,7 @@ package server
 // to a network client).
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -48,11 +49,15 @@ type watcher struct {
 	last string
 	ch   chan watchEvent
 	dead bool
+	// final is the terminal event, delivered by the stream reader after
+	// the channel closes — never through the lossy non-blocking emit, so
+	// a slow client always sees it (see finish).
+	final *watchEvent
 }
 
 // registerWatchers wires the update fan-out; called from New.
 func (s *Server) registerWatchers() {
-	s.mux.HandleFunc("POST /watch/knn", s.handleWatchKNN)
+	s.handle("POST /watch/knn", s.handleWatchKNN)
 	s.be.OnUpdate(func(u mod.Update) {
 		s.watchMu.Lock()
 		ws := make([]*watcher, 0, len(s.watchers))
@@ -74,12 +79,11 @@ func (w *watcher) apply(u mod.Update) {
 		return
 	}
 	if u.Tau >= w.hi {
-		w.finish(w.hi)
+		w.finish(watchEvent{T: w.hi, Done: true})
 		return
 	}
 	if err := w.sess.Apply(u); err != nil {
-		w.emit(watchEvent{T: u.Tau, Error: err.Error(), Done: true})
-		w.dead = true
+		w.finish(watchEvent{T: u.Tau, Error: err.Error(), Done: true})
 		return
 	}
 	w.report(u.Tau)
@@ -100,22 +104,68 @@ func (w *watcher) report(t float64) {
 	w.emit(watchEvent{T: t, Nearest: names})
 }
 
-// finish closes the stream at time t.
-func (w *watcher) finish(t float64) {
+// finish ends the stream with the terminal event ev. The event is NOT
+// sent through the lossy emit: with a full buffer a non-blocking send
+// drops it, and the client would see its stream close without ever
+// learning the watch completed. Instead it is parked in w.final and
+// the channel is closed; the reader drains the buffer and then
+// delivers it, guaranteeing the done record arrives exactly once.
+func (w *watcher) finish(ev watchEvent) {
 	if w.dead {
 		return
 	}
 	w.dead = true
-	w.emit(watchEvent{T: t, Done: true})
+	w.final = &ev
 	close(w.ch)
 }
 
 // emit sends without blocking the update path; a slow client loses
-// intermediate events but always gets the latest state next.
+// intermediate events but always gets the latest state next (and the
+// terminal event is delivered separately — see finish).
 func (w *watcher) emit(ev watchEvent) {
 	select {
 	case w.ch <- ev:
 	default:
+	}
+}
+
+// takeFinal returns the parked terminal event, if any.
+func (w *watcher) takeFinal() *watchEvent {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.final
+}
+
+// markDead stops further session feeding (client gone or write error).
+func (w *watcher) markDead() {
+	w.mu.Lock()
+	w.dead = true
+	w.mu.Unlock()
+}
+
+// stream pumps buffered events into enc until the watch ends, then
+// delivers the terminal event; it returns when the stream is done or
+// ctx is cancelled. enc reports whether the write succeeded.
+func (w *watcher) stream(ctx context.Context, enc func(watchEvent) bool) {
+	for {
+		select {
+		case <-ctx.Done():
+			w.markDead()
+			return
+		case ev, open := <-w.ch:
+			if !open {
+				// Buffer drained; the terminal event is delivered here,
+				// not via emit, so a full buffer can't drop it.
+				if fin := w.takeFinal(); fin != nil {
+					enc(*fin)
+				}
+				return
+			}
+			if !enc(ev) {
+				w.markDead()
+				return
+			}
+		}
 	}
 }
 
@@ -158,7 +208,9 @@ func (s *Server) handleWatchKNN(w http.ResponseWriter, r *http.Request) {
 		s.watchMu.Unlock()
 	}()
 
-	flusher, ok := w.(http.Flusher)
+	// The metrics middleware wraps w; walk the Unwrap chain for the
+	// real flusher.
+	flusher, ok := findFlusher(w)
 	if !ok {
 		s.fail(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
 		return
@@ -184,26 +236,5 @@ func (s *Server) handleWatchKNN(w http.ResponseWriter, r *http.Request) {
 		flusher.Flush()
 		return true
 	}
-	for {
-		select {
-		case <-r.Context().Done():
-			wt.mu.Lock()
-			wt.dead = true
-			wt.mu.Unlock()
-			return
-		case ev, open := <-wt.ch:
-			if !open {
-				return
-			}
-			if !enc(ev) {
-				wt.mu.Lock()
-				wt.dead = true
-				wt.mu.Unlock()
-				return
-			}
-			if ev.Done {
-				return
-			}
-		}
-	}
+	wt.stream(r.Context(), enc)
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -134,5 +135,65 @@ func TestWatchKNNValidation(t *testing.T) {
 		if resp.StatusCode != 400 {
 			t.Errorf("watch %+v code %d, want 400", body, resp.StatusCode)
 		}
+	}
+}
+
+// TestWatchTerminalEventSurvivesFullBuffer: the done record must reach
+// the client even when the event buffer is full at finish time — a
+// non-blocking send there silently dropped it, and the stream closed
+// without the client ever learning the watch completed.
+func TestWatchTerminalEventSurvivesFullBuffer(t *testing.T) {
+	w := &watcher{hi: 10, ch: make(chan watchEvent, 1)}
+	w.emit(watchEvent{T: 1, Nearest: []string{"o1"}}) // fills the buffer
+	w.apply(mod.Update{Tau: 50})                      // beyond the horizon: must finish
+
+	var got []watchEvent
+	w.stream(context.Background(), func(ev watchEvent) bool {
+		got = append(got, ev)
+		return true
+	})
+	if len(got) != 2 {
+		t.Fatalf("events = %+v, want buffered answer then done", got)
+	}
+	if got[0].Nearest == nil || got[0].Done {
+		t.Errorf("first event should be the buffered answer: %+v", got[0])
+	}
+	last := got[len(got)-1]
+	if !last.Done || last.T != 10 {
+		t.Errorf("terminal event = %+v, want done at horizon 10", last)
+	}
+}
+
+// TestWatchStreamStopsOnContextCancel: a gone client ends the pump and
+// marks the watcher dead so the update fan-out stops feeding it.
+func TestWatchStreamStopsOnContextCancel(t *testing.T) {
+	w := &watcher{hi: 10, ch: make(chan watchEvent, 1)}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w.stream(ctx, func(watchEvent) bool { t.Error("enc called after cancel"); return true })
+	w.mu.Lock()
+	dead := w.dead
+	w.mu.Unlock()
+	if !dead {
+		t.Error("watcher not marked dead after context cancel")
+	}
+}
+
+// TestWatchErrorFinishIsTerminal: a session error finishes the stream
+// with an error event that also survives a full buffer.
+func TestWatchErrorFinishIsTerminal(t *testing.T) {
+	w := &watcher{hi: 100, ch: make(chan watchEvent, 1)}
+	w.emit(watchEvent{T: 1})
+	w.mu.Lock()
+	w.finish(watchEvent{T: 3, Error: "boom", Done: true})
+	w.mu.Unlock()
+	var got []watchEvent
+	w.stream(context.Background(), func(ev watchEvent) bool {
+		got = append(got, ev)
+		return true
+	})
+	last := got[len(got)-1]
+	if !last.Done || last.Error != "boom" {
+		t.Errorf("terminal event = %+v, want done with error", last)
 	}
 }

@@ -68,9 +68,12 @@ func TestKNNShardedEquivalence(t *testing.T) {
 			if _, err := query.RunPast(single, f, 0, 25, want); err != nil {
 				t.Fatal(err)
 			}
-			got, _, err := eng.KNN(f, k, 0, 25)
+			got, _, tau, err := eng.KNN(f, k, 0, 25)
 			if err != nil {
 				t.Fatalf("P=%d k=%d: %v", p, k, err)
+			}
+			if tau != single.Tau() {
+				t.Fatalf("P=%d k=%d: snapshot tau = %g, want %g", p, k, tau, single.Tau())
 			}
 			if g, w := got.String(), want.Answer().String(); g != w {
 				t.Fatalf("P=%d k=%d: sharded answer differs\n got: %s\nwant: %s", p, k, g, w)
@@ -97,7 +100,7 @@ func TestWithinShardedEquivalence(t *testing.T) {
 			if _, err := query.RunPast(single, f, 0, 25, want); err != nil {
 				t.Fatal(err)
 			}
-			got, _, err := eng.Within(f, c, 0, 25)
+			got, _, _, err := eng.Within(f, c, 0, 25)
 			if err != nil {
 				t.Fatalf("P=%d r=%g: %v", p, r, err)
 			}
@@ -125,7 +128,7 @@ func TestKNNEquivalencePointQuery(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, _, err := eng.KNN(f, 5, 0, 40)
+		got, _, _, err := eng.KNN(f, 5, 0, 40)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -25,11 +25,19 @@ package shard
 //     candidate pool. Restricting that sweep to candidates cannot
 //     change the answer: all boundary events of the global top-k
 //     involve candidate curves only.
+//
+// Every query also reports the tau of the snapshot set it ran over
+// (the max of the per-shard snapshot taus): under concurrent updates
+// the engine's live Tau() keeps moving, and classifying the query
+// window (past/future/continuing) against anything but the snapshot
+// tau misstates what the answer was computed over — the wire-level
+// race this return value fixes (see server.handleKNN).
 
 import (
 	"errors"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/gdist"
@@ -64,36 +72,23 @@ func (e *Engine) forEach(fn func(i int) error) error {
 	return errors.Join(errs...)
 }
 
-// addStats accumulates per-shard sweep work into a total. Counters add;
-// MaxQueueLen is the maximum over the concurrent sweeps.
-func addStats(total *core.Stats, st core.Stats) {
-	total.Events += st.Events
-	total.Swaps += st.Swaps
-	total.Equals += st.Equals
-	total.Coincides += st.Coincides
-	total.Expires += st.Expires
-	total.Inserts += st.Inserts
-	total.Removes += st.Removes
-	total.Replaces += st.Replaces
-	total.Reschedules += st.Reschedules
-	if st.MaxQueueLen > total.MaxQueueLen {
-		total.MaxQueueLen = st.MaxQueueLen
-	}
-}
-
 // RunPast fans a past query over the window [lo, hi] out across the
 // shards: mk(i) builds the evaluator for shard i (a fresh one per
 // shard), each shard sweeps a snapshot of its own objects, and the
 // per-shard evaluators are returned for the caller to merge, together
-// with the summed sweep work. This is the generic building block; KNN
-// and Within are the merged front-ends.
-func (e *Engine) RunPast(f gdist.GDistance, lo, hi float64, mk func(i int) query.Evaluator) ([]query.Evaluator, core.Stats, error) {
+// with the summed sweep work and the tau of the snapshot set. This is
+// the generic building block; KNN and Within are the merged
+// front-ends.
+func (e *Engine) RunPast(f gdist.GDistance, lo, hi float64, mk func(i int) query.Evaluator) ([]query.Evaluator, core.Stats, float64, error) {
 	snaps := e.snapshots()
+	tau := maxTau(snaps)
 	evs := make([]query.Evaluator, len(snaps))
 	stats := make([]core.Stats, len(snaps))
 	err := e.forEach(func(i int) error {
 		ev := mk(i)
+		start := time.Now()
 		st, rerr := query.RunPast(snaps[i], f, lo, hi, ev)
+		e.recordSweep(i, st, time.Since(start))
 		if rerr != nil {
 			return rerr
 		}
@@ -103,27 +98,32 @@ func (e *Engine) RunPast(f gdist.GDistance, lo, hi float64, mk func(i int) query
 	})
 	var total core.Stats
 	for _, st := range stats {
-		addStats(&total, st)
+		total.Add(st)
 	}
 	if err != nil {
-		return nil, total, err
+		return nil, total, tau, err
 	}
-	return evs, total, nil
+	return evs, total, tau, nil
 }
 
 // Within evaluates the threshold query f(y,t) <= c over [lo, hi]: each
 // shard maintains its own answer (with its own materialized constant
-// curve) and the coordinator takes the disjoint union.
-func (e *Engine) Within(f gdist.GDistance, c float64, lo, hi float64) (*query.AnswerSet, core.Stats, error) {
-	evs, st, err := e.RunPast(f, lo, hi, func(int) query.Evaluator { return query.NewWithin(c) })
+// curve) and the coordinator takes the disjoint union. The returned
+// tau is the snapshot set's last-update time — the "now" the answer
+// was computed as of.
+func (e *Engine) Within(f gdist.GDistance, c float64, lo, hi float64) (*query.AnswerSet, core.Stats, float64, error) {
+	start := time.Now()
+	evs, st, tau, err := e.RunPast(f, lo, hi, func(int) query.Evaluator { return query.NewWithin(c) })
 	if err != nil {
-		return nil, st, err
+		return nil, st, tau, err
 	}
 	parts := make([]*query.AnswerSet, len(evs))
 	for i, ev := range evs {
 		parts[i] = ev.(*query.Within).Answer()
 	}
-	return query.MergeDisjoint(parts...), st, nil
+	ans := query.MergeDisjoint(parts...)
+	e.recordQuery("within", len(e.shards), time.Since(start))
+	return ans, st, tau, nil
 }
 
 // KNN evaluates the k-nearest-neighbors query over [lo, hi]: each shard
@@ -131,23 +131,30 @@ func (e *Engine) Within(f gdist.GDistance, c float64, lo, hi float64) (*query.An
 // objects of its local k-NN answer), then the coordinator runs the
 // final sweep over the merged candidate pool — at most P*k curves in
 // the order at any instant, typically far fewer than N. See the package
-// comment for why the candidate pool is sufficient.
-func (e *Engine) KNN(f gdist.GDistance, k int, lo, hi float64) (*query.AnswerSet, core.Stats, error) {
+// comment for why the candidate pool is sufficient. The returned tau is
+// the snapshot set's last-update time.
+func (e *Engine) KNN(f gdist.GDistance, k int, lo, hi float64) (*query.AnswerSet, core.Stats, float64, error) {
+	start := time.Now()
 	snaps := e.snapshots()
+	tau := maxTau(snaps)
 	if len(snaps) == 1 {
 		// Unsharded: the local answer is the global answer.
 		knn := query.NewKNN(k)
 		st, err := query.RunPast(snaps[0], f, lo, hi, knn)
+		e.recordSweep(0, st, time.Since(start))
 		if err != nil {
-			return nil, st, err
+			return nil, st, tau, err
 		}
-		return knn.Answer(), st, nil
+		e.recordQuery("knn", 1, time.Since(start))
+		return knn.Answer(), st, tau, nil
 	}
 	cands := make([][]mod.OID, len(snaps))
 	stats := make([]core.Stats, len(snaps))
 	err := e.forEach(func(i int) error {
 		knn := query.NewKNN(k)
+		sweepStart := time.Now()
 		st, rerr := query.RunPast(snaps[i], f, lo, hi, knn)
+		e.recordSweep(i, st, time.Since(sweepStart))
 		if rerr != nil {
 			return rerr
 		}
@@ -157,29 +164,35 @@ func (e *Engine) KNN(f gdist.GDistance, k int, lo, hi float64) (*query.AnswerSet
 	})
 	var total core.Stats
 	for _, st := range stats {
-		addStats(&total, st)
+		total.Add(st)
 	}
 	if err != nil {
-		return nil, total, err
+		return nil, total, tau, err
 	}
 	// Coordinator: one sweep over the union of the candidate pools.
 	pool := mod.NewDB(e.dim, math.Inf(-1))
+	nCands := 0
 	for i, os := range cands {
 		for _, o := range os {
 			tr, terr := snaps[i].Traj(o)
 			if terr != nil {
-				return nil, total, terr
+				return nil, total, tau, terr
 			}
 			if lerr := pool.Load(o, tr); lerr != nil {
-				return nil, total, lerr
+				return nil, total, tau, lerr
 			}
+			nCands++
 		}
 	}
+	e.recordCandidates(nCands)
 	final := query.NewKNN(k)
+	finalStart := time.Now()
 	st, err := query.RunPast(pool, f, lo, hi, final)
-	addStats(&total, st)
+	e.recordSweep(-1, st, time.Since(finalStart))
+	total.Add(st)
 	if err != nil {
-		return nil, total, err
+		return nil, total, tau, err
 	}
-	return final.Answer(), total, nil
+	e.recordQuery("knn", len(e.shards), time.Since(start))
+	return final.Answer(), total, tau, nil
 }

@@ -1,0 +1,125 @@
+package shard
+
+// Observability wiring: an Engine optionally records its work into an
+// obs.Registry. Everything here is nil-safe — an uninstrumented engine
+// (tests, embedded use) pays one atomic pointer load per record point.
+//
+// The measured series follow the paper's cost model: a past sweep is
+// O((m+N) log N) (Theorem 4), so the support-change count m — events
+// and swaps — is the headline counter, reschedules approximate the
+// constant factor, and the max queue length watches Lemma 9's <= N
+// bound. Per-shard labels expose partition skew; the histograms
+// (per-shard sweep latency, whole-query latency, k-NN candidate-pool
+// size) localize where a slow query spent its time.
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// metrics is the engine's instrument set.
+type metrics struct {
+	updates      *obs.CounterVec   // applied updates, by shard
+	updateErrors *obs.Counter      // rejected updates (chronology, dim, ...)
+	events       *obs.CounterVec   // sweep intersection events, by shard
+	swaps        *obs.CounterVec   // order exchanges, by shard
+	reschedules  *obs.CounterVec   // pair-event computations, by shard
+	maxQueue     *obs.GaugeVec     // high-water event-queue length, by shard
+	sweepSecs    *obs.HistogramVec // one shard's sweep duration, by shard
+	querySecs    *obs.HistogramVec // whole fan-out query duration, by kind
+	fanout       *obs.Histogram    // shards swept per query
+	candidates   *obs.Histogram    // merged k-NN candidate-pool size
+}
+
+// coordLabel tags the coordinator's final k-NN sweep in per-shard
+// series (it sweeps the merged candidate pool, not a partition).
+const coordLabel = "coord"
+
+// Instrument registers the engine's metrics in reg and starts
+// recording. Call once, before serving traffic; the instruments are
+// lock-free, so recording never contends with queries or updates.
+func (e *Engine) Instrument(reg *obs.Registry) {
+	m := &metrics{
+		updates: reg.NewCounterVec("mod_updates_total",
+			"updates applied, by owning shard", "shard"),
+		updateErrors: reg.NewCounter("mod_update_errors_total",
+			"updates rejected (chronology, dimension, unknown object)"),
+		events: reg.NewCounterVec("mod_sweep_events_total",
+			"intersection events processed by query sweeps (Theorem 4's m)", "shard"),
+		swaps: reg.NewCounterVec("mod_sweep_swaps_total",
+			"order exchanges among g-distance curves", "shard"),
+		reschedules: reg.NewCounterVec("mod_sweep_reschedules_total",
+			"adjacency event computations", "shard"),
+		maxQueue: reg.NewGaugeVec("mod_sweep_max_queue_len",
+			"high-water event-queue length (Lemma 9 bounds it by N)", "shard"),
+		sweepSecs: reg.NewHistogramVec("mod_shard_sweep_seconds",
+			"one shard's sweep duration within a fan-out query",
+			obs.DefLatencyBuckets, "shard"),
+		querySecs: reg.NewHistogramVec("mod_query_seconds",
+			"whole query duration including fan-out and merge",
+			obs.DefLatencyBuckets, "kind"),
+		fanout: reg.NewHistogram("mod_query_fanout_width",
+			"shards swept per query", obs.DefSizeBuckets),
+		candidates: reg.NewHistogram("mod_knn_candidates",
+			"merged candidate-pool size of sharded k-NN queries", obs.DefSizeBuckets),
+	}
+	e.metrics.Store(m)
+}
+
+// shardLabel renders a shard index for the per-shard series.
+func shardLabel(i int) string {
+	if i < 0 {
+		return coordLabel
+	}
+	return strconv.Itoa(i)
+}
+
+// recordUpdate counts one routed update.
+func (e *Engine) recordUpdate(shard int, err error) {
+	m := e.metrics.Load()
+	if m == nil {
+		return
+	}
+	if err != nil {
+		m.updateErrors.Inc()
+		return
+	}
+	m.updates.With(shardLabel(shard)).Inc()
+}
+
+// recordSweep folds one sweep's work into the per-shard series; shard
+// -1 is the k-NN coordinator's final sweep.
+func (e *Engine) recordSweep(shard int, st core.Stats, dur time.Duration) {
+	m := e.metrics.Load()
+	if m == nil {
+		return
+	}
+	l := shardLabel(shard)
+	m.events.With(l).Add(uint64(st.Events))
+	m.swaps.With(l).Add(uint64(st.Swaps))
+	m.reschedules.With(l).Add(uint64(st.Reschedules))
+	m.maxQueue.With(l).SetMax(float64(st.MaxQueueLen))
+	m.sweepSecs.With(l).Observe(dur.Seconds())
+}
+
+// recordQuery observes one whole fan-out query.
+func (e *Engine) recordQuery(kind string, width int, dur time.Duration) {
+	m := e.metrics.Load()
+	if m == nil {
+		return
+	}
+	m.querySecs.With(kind).Observe(dur.Seconds())
+	m.fanout.Observe(float64(width))
+}
+
+// recordCandidates observes a sharded k-NN's merged pool size.
+func (e *Engine) recordCandidates(n int) {
+	m := e.metrics.Load()
+	if m == nil {
+		return
+	}
+	m.candidates.Observe(float64(n))
+}

@@ -1,0 +1,86 @@
+package shard
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gdist"
+	"repro/internal/mod"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// TestInstrumentRecordsEngineWork: after updates and queries, the
+// registry must carry per-shard update counts, sweep work and latency
+// observations — and an uninstrumented engine must keep working.
+func TestInstrumentRecordsEngineWork(t *testing.T) {
+	db, err := workload.RandomMovers(workload.Config{Seed: 5, N: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := FromDB(db, Config{Shards: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	eng.Instrument(reg)
+
+	tau := eng.Tau()
+	if err := eng.Apply(mod.ChDir(eng.Objects()[0], tau+1, []float64{1, 0})); err != nil {
+		t.Fatal(err)
+	}
+	// A rejected update counts as an error, not an update.
+	if err := eng.Apply(mod.ChDir(eng.Objects()[0], tau, []float64{1, 0})); err == nil {
+		t.Fatal("stale update should fail")
+	}
+
+	f := gdist.PointSq{Point: []float64{0, 0}}
+	if _, _, _, err := eng.KNN(f, 3, 0, 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := eng.Within(f, 900, 0, 20); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{
+		"mod_updates_total{shard=",
+		"mod_update_errors_total 1",
+		"mod_sweep_events_total{shard=",
+		"mod_sweep_max_queue_len{shard=",
+		"mod_shard_sweep_seconds_bucket{shard=",
+		`mod_query_seconds_count{kind="knn"} 1`,
+		`mod_query_seconds_count{kind="within"} 1`,
+		"mod_query_fanout_width_count 2",
+		"mod_knn_candidates_count 1",
+		// The coordinator's final k-NN sweep shows up under its own label.
+		`mod_shard_sweep_seconds_count{shard="coord"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// TestUninstrumentedEngineRecordsNothing: record points are nil-safe.
+func TestUninstrumentedEngineRecordsNothing(t *testing.T) {
+	db, err := workload.RandomMovers(workload.Config{Seed: 5, N: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := FromDB(db, Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Apply(mod.ChDir(eng.Objects()[0], eng.Tau()+1, []float64{1, 0})); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := eng.KNN(gdist.PointSq{Point: []float64{0, 0}}, 2, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+}

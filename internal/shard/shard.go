@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/mod"
 	"repro/internal/trajectory"
@@ -56,6 +57,9 @@ type Engine struct {
 	shards  []*mod.DB
 	workers int
 	dim     int
+	// metrics is the optional observability hook (see Instrument in
+	// metrics.go); nil means uninstrumented.
+	metrics atomic.Pointer[metrics]
 }
 
 func (c Config) normalized() Config {
@@ -148,7 +152,10 @@ func (e *Engine) Dim() int { return e.dim }
 // Apply routes one update to its object's shard. Chronology is enforced
 // per shard: the update time must exceed the owning shard's tau.
 func (e *Engine) Apply(u mod.Update) error {
-	return e.shards[e.ShardOf(u.O)].Apply(u)
+	i := e.ShardOf(u.O)
+	err := e.shards[i].Apply(u)
+	e.recordUpdate(i, err)
+	return err
 }
 
 // ApplyAll applies updates in order, stopping at the first error.
@@ -251,4 +258,16 @@ func (e *Engine) snapshots() []*mod.DB {
 		out[i] = db.Snapshot()
 	}
 	return out
+}
+
+// maxTau is the aggregate last-update time of a set of per-shard
+// snapshots — the tau a query over those snapshots is answered as of.
+func maxTau(snaps []*mod.DB) float64 {
+	t := snaps[0].Tau()
+	for _, db := range snaps[1:] {
+		if st := db.Tau(); st > t {
+			t = st
+		}
+	}
+	return t
 }

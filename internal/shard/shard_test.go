@@ -200,7 +200,7 @@ func TestRunPastFanOutCollectsEveryShard(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		eng, _ := seededEngine(t, 60, 4, workers)
 		q := workload.QueryTrajectory(workload.Config{}, 2)
-		evs, st, err := eng.RunPast(evalDist(q), 0, 20, func(int) query.Evaluator {
+		evs, st, _, err := eng.RunPast(evalDist(q), 0, 20, func(int) query.Evaluator {
 			return query.NewWithin(500 * 500)
 		})
 		if err != nil {
@@ -226,10 +226,10 @@ func TestFanOutSurfacesErrors(t *testing.T) {
 	eng, _ := seededEngine(t, 20, 4, 4)
 	q := workload.QueryTrajectory(workload.Config{}, 2)
 	// Inverted window: every shard's sweep construction fails.
-	if _, _, err := eng.KNN(evalDist(q), 1, 10, 5); err == nil {
+	if _, _, _, err := eng.KNN(evalDist(q), 1, 10, 5); err == nil {
 		t.Fatal("inverted window KNN did not error")
 	}
-	if _, _, err := eng.Within(evalDist(q), 1, 10, 5); err == nil {
+	if _, _, _, err := eng.Within(evalDist(q), 1, 10, 5); err == nil {
 		t.Fatal("inverted window Within did not error")
 	}
 }
