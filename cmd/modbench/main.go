@@ -7,11 +7,15 @@
 // Usage:
 //
 //	modbench [-exp all|e1,e3,e10] [-quick] [-seed N] [-json out.json]
+//	modbench -drive http://HOST:PORT [-acked acked.jsonl]      (crash smoke)
+//	modbench -crashcheck http://HOST:PORT [-acked acked.jsonl]
 //
 // Experiments that measure machine-scaling (e10, the internal/shard
-// fan-out) additionally emit one `BENCH {...}` JSON line per
-// measurement on stdout; -json collects all BENCH records into a file
-// (the artifact CI uploads and EXPERIMENTS.md records).
+// fan-out) or durability cost (e11, internal/durable) additionally emit
+// one `BENCH {...}` JSON line per measurement on stdout; -json collects
+// all BENCH records into a file (the artifact CI uploads and
+// EXPERIMENTS.md records). The -drive/-crashcheck modes are the two
+// halves of the kill -9 crash-recovery smoke test (see crash.go).
 package main
 
 import (
@@ -54,6 +58,7 @@ type benchRecord struct {
 	K             int     `json:"k,omitempty"`
 	Seconds       float64 `json:"seconds"`
 	Events        int     `json:"events,omitempty"`
+	Bytes         int     `json:"bytes,omitempty"`
 	Speedup       float64 `json:"speedup,omitempty"`
 	UpdatesPerSec float64 `json:"updates_per_sec,omitempty"`
 	// Latency digests all repetitions of the measured operation through
@@ -98,9 +103,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("modbench: ")
 	flag.Parse()
+	if *driveFlag != "" || *checkFlag != "" {
+		crashMain()
+		return
+	}
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e10"} {
+		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e10", "e11"} {
 			want[e] = true
 		}
 	} else {
@@ -125,6 +134,7 @@ func main() {
 	run("e6", e6)
 	run("e7", e7)
 	run("e10", e10)
+	run("e11", e11)
 	if *jsonFlag != "" {
 		if err := writeBenchJSON(*jsonFlag); err != nil {
 			log.Fatalf("write %s: %v", *jsonFlag, err)

@@ -4,7 +4,9 @@
 //
 // Usage:
 //
-//	modserve [-addr :8723] [-dim 2] [-shards 4] [-load snapshot.json] [-journal wal.jsonl] [-seed-demo]
+//	modserve [-addr :8723] [-dim 2] [-shards 4] [-seed-demo]
+//	         [-data-dir DIR] [-checkpoint-every 30s]
+//	         [-load snapshot.json] [-journal wal.jsonl]
 //	         [-slow-query-threshold 50ms] [-pprof=true]
 //
 // With -shards P > 1 the database is hash-partitioned by OID across P
@@ -13,13 +15,26 @@
 // merge — same answers, less sweep work per query and parallel
 // execution across cores.
 //
+// Durability (-data-dir, internal/durable): the server recovers the
+// database from DIR at boot (snapshot + journal replay, tolerating the
+// torn tail a crash leaves), journals every applied update (flushed
+// per update, so an acknowledged update survives a kill -9), and
+// checkpoints — atomically rotating the {snapshot, journal} pair —
+// every -checkpoint-every interval, on SIGINT/SIGTERM, and once more
+// after the listener drains. Changing -shards across restarts
+// re-partitions the store (a generation bump) transparently.
+// The older -load/-journal flags remain for single-file workflows and
+// are mutually exclusive with -data-dir.
+//
 // Observability (internal/obs):
 //
 //	GET /metrics              Prometheus text exposition: per-endpoint
 //	                          request counts/status/latency, per-shard
 //	                          sweep work (events, swaps, reschedules,
 //	                          queue high-water), query latency and k-NN
-//	                          candidate-pool histograms
+//	                          candidate-pool histograms; with -data-dir
+//	                          also checkpoint/recovery counters and
+//	                          per-shard journal sequence numbers
 //	GET /metrics?format=json  the same registry as JSON
 //	GET /debug/vars           expvar (includes the registry under "mod")
 //	GET /debug/pprof/         net/http/pprof profiles (-pprof=false to drop)
@@ -34,17 +49,23 @@
 //	  -d '{"kind":"new","oid":1,"tau":0,"a":[1,0],"b":[0,0]}'
 //	curl -s -X POST localhost:8723/query/knn \
 //	  -d '{"k":2,"lo":0,"hi":60,"point":[0,0]}'
-//	curl -s localhost:8723/metrics | grep mod_sweep_events_total
+//	curl -s localhost:8723/metrics | grep mod_checkpoints_total
 package main
 
 import (
+	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
+	"repro/internal/durable"
 	"repro/internal/mod"
 	"repro/internal/obs"
 	"repro/internal/server"
@@ -57,8 +78,10 @@ var (
 	dimFlag     = flag.Int("dim", 2, "spatial dimension of a fresh database")
 	shardsFlag  = flag.Int("shards", 1, "hash-partition objects across P independent shards; queries fan out and merge")
 	workersFlag = flag.Int("workers", 0, "max concurrent per-shard query sweeps (0 = min(shards, GOMAXPROCS))")
-	loadFlag    = flag.String("load", "", "snapshot file to restore at startup")
-	journalFlag = flag.String("journal", "", "append-only update journal; replayed at startup, extended while serving")
+	dataDirFlag = flag.String("data-dir", "", "durable data directory: recover at boot, journal every update, checkpoint on signal/interval")
+	ckptFlag    = flag.Duration("checkpoint-every", 0, "checkpoint period with -data-dir (0 = only at shutdown)")
+	loadFlag    = flag.String("load", "", "snapshot file to restore at startup (exclusive with -data-dir)")
+	journalFlag = flag.String("journal", "", "append-only update journal; replayed at startup, extended while serving (exclusive with -data-dir)")
 	demoFlag    = flag.Bool("seed-demo", false, "seed 50 random movers for demos")
 	slowFlag    = flag.Duration("slow-query-threshold", 0, "log a structured SLOWQUERY line for queries at least this slow (0 disables)")
 	pprofFlag   = flag.Bool("pprof", true, "serve net/http/pprof under /debug/pprof/")
@@ -67,6 +90,128 @@ var (
 func main() {
 	logger := log.New(os.Stderr, "modserve: ", log.LstdFlags)
 	flag.Parse()
+
+	// Observability: one registry shared by the durability layer
+	// (checkpoint/recovery series), the engine (sweep/query series) and
+	// the HTTP layer (request series).
+	reg := obs.NewRegistry()
+
+	var backend server.Backend
+	var deng *durable.Engine
+	if *dataDirFlag != "" {
+		if *loadFlag != "" || *journalFlag != "" || *demoFlag {
+			logger.Fatal("-data-dir is exclusive with -load, -journal and -seed-demo")
+		}
+		eng, err := durable.Open(*dataDirFlag, durable.Config{
+			Shards:   *shardsFlag,
+			Workers:  *workersFlag,
+			Dim:      *dimFlag,
+			Registry: reg,
+		})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		for i, info := range eng.Recovery() {
+			logger.Printf("shard %d recovery: snapshot=%v replayed=%d skipped=%d torn=%v (%s)",
+				i, info.SnapshotLoaded, info.Replay.Applied, info.Replay.Skipped,
+				info.Replay.TornTail, info.Duration.Round(time.Microsecond))
+		}
+		logger.Printf("durable engine: dir=%s gen=%d shards=%d objects=%d tau=%g",
+			*dataDirFlag, eng.Generation(), eng.NumShards(), eng.Len(), eng.Tau())
+		eng.Instrument(reg)
+		backend = eng
+		deng = eng
+	} else {
+		eng := openEphemeral(logger)
+		eng.Instrument(reg)
+		backend = eng
+	}
+
+	expvar.Publish("mod", expvar.Func(reg.ExpvarFunc()))
+	srv := server.NewWithOptions(backend, server.Options{
+		Logger:             logger,
+		Metrics:            reg,
+		SlowQueryThreshold: *slowFlag,
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	if *pprofFlag {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	if *slowFlag > 0 {
+		logger.Printf("slow-query log enabled at %s", slowFlag.String())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	// Periodic checkpoints: bounded journal length, bounded recovery
+	// time. Runs concurrently with updates and queries by design.
+	if deng != nil && *ckptFlag > 0 {
+		go func() {
+			tick := time.NewTicker(*ckptFlag)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if infos, err := deng.Checkpoint(); err != nil {
+						logger.Printf("checkpoint: %v", err)
+					} else {
+						total := 0
+						for _, info := range infos {
+							total += info.SnapshotBytes
+						}
+						logger.Printf("checkpoint: seq=%d snapshot=%dB", infos[0].Seq, total)
+					}
+				}
+			}
+		}()
+		logger.Printf("checkpointing every %s", ckptFlag.String())
+	}
+
+	httpSrv := &http.Server{Addr: *addrFlag, Handler: mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	logger.Printf("listening on %s", *addrFlag)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Fatal(err)
+		}
+	case <-ctx.Done():
+		logger.Printf("signal received, draining")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			logger.Printf("http shutdown: %v", err)
+		}
+	}
+	if deng != nil {
+		// Graceful shutdown: one final checkpoint (so the next boot
+		// recovers from a snapshot, not a long replay), then close.
+		if _, err := deng.Checkpoint(); err != nil {
+			logger.Printf("final checkpoint: %v", err)
+		}
+		if err := deng.Close(); err != nil {
+			logger.Printf("close: %v", err)
+		}
+		logger.Printf("durable engine closed")
+	}
+}
+
+// openEphemeral builds the non-durable backend the pre-data-dir flags
+// describe: optional snapshot restore, optional single-file journal
+// replay + append, optional demo seed.
+func openEphemeral(logger *log.Logger) *shard.Engine {
 	var db *mod.DB
 	switch {
 	case *loadFlag != "":
@@ -97,12 +242,15 @@ func main() {
 	// fine); the engine partitions the fully-restored state.
 	if *journalFlag != "" {
 		if f, err := os.Open(*journalFlag); err == nil {
-			applied, skipped, rerr := mod.ReplayTolerant(db, f)
+			st, rerr := mod.ReplayTolerant(db, f)
 			_ = f.Close()
 			if rerr != nil {
 				logger.Fatalf("journal replay: %v", rerr)
 			}
-			logger.Printf("journal replay: %d applied, %d already present", applied, skipped)
+			logger.Printf("journal replay: %d applied, %d already present", st.Applied, st.Skipped)
+			if st.TornTail {
+				logger.Printf("journal replay: dropped %d-byte torn tail", st.TailBytes)
+			}
 		}
 	}
 	eng, err := shard.FromDB(db, shard.Config{Shards: *shardsFlag, Workers: *workersFlag})
@@ -118,48 +266,11 @@ func main() {
 			logger.Fatal(err)
 		}
 		j := mod.NewJournal(eng, jf)
-		defer func() {
-			// Close flushes, fsyncs (jf is a *os.File, a mod.SyncWriter)
-			// and surfaces any sticky write error.
-			if err := j.Close(); err != nil {
-				logger.Printf("journal close: %v", err)
-			}
-			_ = jf.Close()
-		}()
 		eng.OnUpdate(func(mod.Update) {
 			if err := j.Flush(); err != nil {
 				logger.Printf("journal flush: %v", err)
 			}
 		})
 	}
-
-	// Observability: one registry shared by the engine (sweep/query
-	// series) and the HTTP layer (request series), served on /metrics
-	// and mirrored into expvar's /debug/vars.
-	reg := obs.NewRegistry()
-	eng.Instrument(reg)
-	expvar.Publish("mod", expvar.Func(reg.ExpvarFunc()))
-	srv := server.NewWithOptions(eng, server.Options{
-		Logger:             logger,
-		Metrics:            reg,
-		SlowQueryThreshold: *slowFlag,
-	})
-
-	mux := http.NewServeMux()
-	mux.Handle("/", srv)
-	mux.Handle("GET /debug/vars", expvar.Handler())
-	if *pprofFlag {
-		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
-		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-	}
-	if *slowFlag > 0 {
-		logger.Printf("slow-query log enabled at %s", slowFlag.String())
-	}
-	logger.Printf("listening on %s", *addrFlag)
-	if err := http.ListenAndServe(*addrFlag, mux); err != nil {
-		logger.Fatal(err)
-	}
+	return eng
 }

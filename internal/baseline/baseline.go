@@ -144,6 +144,13 @@ func AllPairsKNN(db *mod.DB, query trajectory.Trajectory, k int, lo, hi float64)
 	return cql.KNNNaive(db, query, k, lo, hi)
 }
 
+// AllPairsWithin is the threshold-query counterpart of AllPairsKNN:
+// per-object exact quantifier elimination of "distance <= c", no sweep.
+// It is the oracle of the differential test harness.
+func AllPairsWithin(db *mod.DB, query trajectory.Trajectory, c float64, lo, hi float64) (cql.NNResult, error) {
+	return cql.WithinNaive(db, query, c, lo, hi)
+}
+
 // Comparison quantifies how a sampled baseline diverges from the exact
 // answer timeline.
 type Comparison struct {

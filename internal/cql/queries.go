@@ -8,6 +8,7 @@ import (
 	"repro/internal/gdist"
 	"repro/internal/mod"
 	"repro/internal/piecewise"
+	"repro/internal/poly"
 	"repro/internal/trajectory"
 )
 
@@ -223,6 +224,37 @@ func KNNNaive(db *mod.DB, gamma trajectory.Trajectory, k int, tau1, tau2 float64
 		res[o] = NewSpanSet(spans...)
 	}
 	return res, nil
+}
+
+// WithinNaive evaluates the threshold query "g-distance to gamma is at
+// most c" over [tau1, tau2] the constraint-database way: per object,
+// instantiate the distance term as a piecewise polynomial and eliminate
+// the time variable by exact univariate QE (SolvePiecewiseLE on
+// f(t) - c). No sweep, no incrementality — the per-object counterpart
+// of Proposition 1, and the oracle the differential harness checks the
+// sweep's Within evaluator against.
+func WithinNaive(db *mod.DB, gamma trajectory.Trajectory, c float64, tau1, tau2 float64) (NNResult, error) {
+	d := gdist.EuclideanSq{Query: gamma}
+	out := NNResult{}
+	for o, tr := range db.Trajectories() {
+		if !tr.IsDefined() || tr.End() <= tau1 || tr.Start() >= tau2 {
+			continue
+		}
+		cf, err := d.Curve(tr, tau1, tau2)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := cf.Domain()
+		ss, err := SolvePiecewiseLE(cf.AddPoly(poly.Constant(-c)),
+			math.Max(lo, tau1), math.Min(hi, tau2))
+		if err != nil {
+			return nil, err
+		}
+		if !ss.IsEmpty() {
+			out[o] = ss
+		}
+	}
+	return out, nil
 }
 
 // pw aliases the piecewise function type used by the naive evaluators.

@@ -1,0 +1,89 @@
+package durable
+
+// Durability observability: checkpoint and recovery series registered
+// in an obs.Registry when Config.Registry is set. All record points are
+// nil-safe — an engine opened without a registry pays a nil check.
+//
+// These series are deliberately separate from the query/update metrics
+// of the embedded shard engine (Instrument): recovery happens during
+// Open, before any instrumentation of the serving path could exist, so
+// durability metrics are wired through the Config instead.
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// engineMetrics is the durability instrument set.
+type engineMetrics struct {
+	checkpoints      *obs.Counter   // completed engine checkpoints
+	checkpointErrors *obs.Counter   // failed engine checkpoints
+	checkpointSecs   *obs.Histogram // whole-engine checkpoint duration
+	snapshotBytes    *obs.Gauge     // total snapshot bytes of the last checkpoint
+	journalSeq       *obs.GaugeVec  // current manifest seq, by shard
+	recoverySecs     *obs.Gauge     // wall-clock recovery time of Open
+	recoveryApplied  *obs.Counter   // journal entries replayed at recovery
+	recoverySkipped  *obs.Counter   // replay entries skipped (chronology dups)
+	recoveryTorn     *obs.Counter   // torn journal tails dropped at recovery
+}
+
+func newEngineMetrics(reg *obs.Registry) *engineMetrics {
+	return &engineMetrics{
+		checkpoints: reg.NewCounter("mod_checkpoints_total",
+			"completed checkpoints (snapshot + journal rotation, all shards)"),
+		checkpointErrors: reg.NewCounter("mod_checkpoint_errors_total",
+			"failed checkpoints (the previous checkpoint stays current)"),
+		checkpointSecs: reg.NewHistogram("mod_checkpoint_seconds",
+			"whole-engine checkpoint duration", obs.DefLatencyBuckets),
+		snapshotBytes: reg.NewGauge("mod_checkpoint_snapshot_bytes",
+			"total snapshot size written by the last successful checkpoint"),
+		journalSeq: reg.NewGaugeVec("mod_journal_seq",
+			"committed manifest sequence number, by shard", "shard"),
+		recoverySecs: reg.NewGauge("mod_recovery_seconds",
+			"wall-clock time Open spent recovering (snapshot load + replay)"),
+		recoveryApplied: reg.NewCounter("mod_recovery_replayed_total",
+			"journal entries applied during recovery"),
+		recoverySkipped: reg.NewCounter("mod_recovery_skipped_total",
+			"journal entries skipped during recovery (already in snapshot)"),
+		recoveryTorn: reg.NewCounter("mod_recovery_torn_tails_total",
+			"torn journal tails dropped during recovery"),
+	}
+}
+
+// recordRecovery publishes what Open did, once stores exist.
+func (e *Engine) recordRecovery(d time.Duration) {
+	if e.m == nil {
+		return
+	}
+	e.m.recoverySecs.Set(d.Seconds())
+	for i, st := range e.stores {
+		info := st.Recovery()
+		e.m.recoveryApplied.Add(uint64(info.Replay.Applied))
+		e.m.recoverySkipped.Add(uint64(info.Replay.Skipped))
+		if info.Replay.TornTail {
+			e.m.recoveryTorn.Inc()
+		}
+		e.m.journalSeq.With(strconv.Itoa(i)).Set(float64(st.Seq()))
+	}
+}
+
+// recordCheckpoint publishes one Checkpoint outcome.
+func (e *Engine) recordCheckpoint(infos []CheckpointInfo, d time.Duration, err error) {
+	if e.m == nil {
+		return
+	}
+	if err != nil {
+		e.m.checkpointErrors.Inc()
+		return
+	}
+	e.m.checkpoints.Inc()
+	e.m.checkpointSecs.Observe(d.Seconds())
+	total := 0
+	for i, info := range infos {
+		total += info.SnapshotBytes
+		e.m.journalSeq.With(strconv.Itoa(i)).Set(float64(info.Seq))
+	}
+	e.m.snapshotBytes.Set(float64(total))
+}

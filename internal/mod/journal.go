@@ -7,6 +7,7 @@ package mod
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -104,6 +105,36 @@ func (j *Journal) syncLocked() error {
 	return nil
 }
 
+// SwapWriter atomically redirects subsequent entries to w: it flushes
+// (and fsyncs, when supported) the current writer, then installs w as
+// the journal's sink. The swap happens at an entry boundary — entries
+// are serialized under the journal's lock — so no entry is ever split
+// across writers. A sticky error is cleared by a successful swap: the
+// caller is rotating to a fresh segment precisely because everything
+// the old writer held is being superseded by a snapshot, so the old
+// writer's failure no longer taints the new segment. The flush/sync
+// error of the old writer is still reported so the caller can decide
+// whether the old segment's tail is trustworthy.
+func (j *Journal) SwapWriter(w io.Writer) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrJournalClosed
+	}
+	oldErr := j.err
+	if oldErr == nil {
+		oldErr = j.syncLocked()
+	}
+	j.w = bufio.NewWriter(w)
+	j.enc = json.NewEncoder(j.w)
+	j.syncer = nil
+	if sw, ok := w.(SyncWriter); ok {
+		j.syncer = sw
+	}
+	j.err = nil
+	return oldErr
+}
+
 // Close flushes (and fsyncs, if supported), stops recording further
 // updates, and surfaces the sticky write error. It does not close the
 // underlying writer, which the caller owns. Closing twice returns
@@ -148,22 +179,79 @@ func Replay(db *DB, r io.Reader) (int, error) {
 	}
 }
 
-// ReplayTolerant applies a journal but skips entries rejected by the
-// chronology check (useful when replaying over a snapshot that already
-// contains a prefix of the journal). Malformed JSON still aborts.
-func ReplayTolerant(db *DB, r io.Reader) (applied, skipped int, err error) {
-	dec := json.NewDecoder(r)
+// ReplayStats reports what a tolerant replay did with a journal stream.
+type ReplayStats struct {
+	// Applied counts entries decoded and applied to the database.
+	Applied int
+	// Skipped counts entries that decoded but were rejected by Apply —
+	// typically chronology duplicates when replaying a journal over a
+	// snapshot that already contains a prefix of it.
+	Skipped int
+	// TornTail reports that the stream ended in an incomplete or
+	// undecodable final record (a crash mid-append), which was dropped.
+	TornTail bool
+	// TailBytes is the length of the dropped torn tail, zero otherwise.
+	TailBytes int
+	// GoodBytes is the byte offset just past the last record that
+	// decoded cleanly (including skipped ones and blank lines). It is
+	// always a safe boundary: replaying the first GoodBytes bytes again
+	// reproduces Applied+Skipped exactly, and truncating a journal file
+	// to GoodBytes makes it safe to append to.
+	GoodBytes int64
+}
+
+// ReplayTolerant applies a journal stream to db, skipping entries
+// rejected by Apply (chronology duplicates over a snapshot, stale
+// objects) and tolerating a torn tail: if the final record is
+// incomplete or corrupt — the signature a crash leaves mid-append — it
+// is dropped and reported in the stats rather than failing recovery. A
+// record that fails to decode with further data after it is real
+// corruption and aborts with an error; everything decoded up to that
+// point stays applied and is reflected in the stats.
+//
+// Entries are framed as JSON lines (the format Journal writes); JSON
+// values never contain raw newlines, so line framing is lossless.
+func ReplayTolerant(db *DB, r io.Reader) (ReplayStats, error) {
+	var st ReplayStats
+	br := bufio.NewReader(r)
 	for {
-		var u Update
-		if err := dec.Decode(&u); err == io.EOF {
-			return applied, skipped, nil
-		} else if err != nil {
-			return applied, skipped, fmt.Errorf("mod: journal entry %d: %w", applied+skipped, err)
+		line, rerr := br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return st, fmt.Errorf("mod: journal read at byte %d: %w", st.GoodBytes, rerr)
 		}
-		if err := db.Apply(u); err != nil {
-			skipped++
-			continue
+		if rerr == io.EOF && len(line) > 0 {
+			// Unterminated final line: the record's terminating newline
+			// never reached the disk, so the entry was never fully
+			// committed — a torn tail even if the bytes happen to parse.
+			// (Dropping it also keeps GoodBytes a boundary after which
+			// appending "entry\n" yields a well-formed journal.)
+			st.TornTail = true
+			st.TailBytes = len(line)
+			return st, nil
 		}
-		applied++
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) > 0 {
+			var u Update
+			if jerr := json.Unmarshal(trimmed, &u); jerr != nil {
+				// Decode failure on a terminated line: a torn tail iff
+				// nothing follows it, otherwise mid-journal corruption.
+				if _, perr := br.Peek(1); perr == io.EOF {
+					st.TornTail = true
+					st.TailBytes = len(line)
+					return st, nil
+				}
+				return st, fmt.Errorf("mod: journal entry %d at byte %d: %w",
+					st.Applied+st.Skipped, st.GoodBytes, jerr)
+			}
+			if aerr := db.Apply(u); aerr != nil {
+				st.Skipped++
+			} else {
+				st.Applied++
+			}
+		}
+		st.GoodBytes += int64(len(line))
+		if rerr == io.EOF {
+			return st, nil
+		}
 	}
 }

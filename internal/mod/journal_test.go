@@ -81,12 +81,15 @@ func TestReplayTolerantSkipsApplied(t *testing.T) {
 
 	restored := NewDB(2, -1)
 	must(t, restored.Apply(New(1, 0, geom.Of(1, 0), geom.Of(0, 0))))
-	applied, skipped, err := ReplayTolerant(restored, bytes.NewReader(buf.Bytes()))
+	st, err := ReplayTolerant(restored, bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if applied != 1 || skipped != 1 {
-		t.Errorf("applied=%d skipped=%d, want 1/1", applied, skipped)
+	if st.Applied != 1 || st.Skipped != 1 {
+		t.Errorf("applied=%d skipped=%d, want 1/1", st.Applied, st.Skipped)
+	}
+	if st.TornTail || st.GoodBytes != int64(buf.Len()) {
+		t.Errorf("stats = %+v, want clean tail covering %d bytes", st, buf.Len())
 	}
 	a, _ := db.Traj(1)
 	b, _ := restored.Traj(1)

@@ -129,6 +129,13 @@ type DB struct {
 	tau       float64
 	log       []Update
 	listeners []Listener
+	// notifyMu serializes the whole apply-then-notify section so
+	// listeners observe updates in application (chronological) order
+	// even when Apply is called concurrently. Without it, two writers
+	// could apply u1 then u2 under mu but run the listeners in the
+	// opposite order — a journal written that way replays u2 first and
+	// the chronology check silently drops u1 on recovery.
+	notifyMu sync.Mutex
 }
 
 // NewDB creates an empty MOD for objects in R^dim with last-update time
@@ -234,8 +241,15 @@ func (db *DB) OnUpdate(l Listener) {
 
 // Apply validates and applies one update, enforcing the paper's
 // chronological discipline (tau0 < tau) and the per-operation
-// preconditions of Definition 3.
+// preconditions of Definition 3. Listeners run synchronously before
+// Apply returns, in application order: the state mutation happens under
+// the write lock, but notifyMu extends the serial section over the
+// listener calls so a concurrent writer cannot publish a later update
+// to the listeners first. Listeners must not call back into db's update
+// path (they would deadlock on notifyMu); readers are unaffected.
 func (db *DB) Apply(u Update) error {
+	db.notifyMu.Lock()
+	defer db.notifyMu.Unlock()
 	db.mu.Lock()
 	if err := db.applyLocked(u); err != nil {
 		db.mu.Unlock()
@@ -360,6 +374,45 @@ func (db *DB) Snapshot() *DB {
 	log := make([]Update, len(db.log))
 	copy(log, db.log)
 	return &DB{dim: db.dim, objs: objs, tau: db.tau, log: log}
+}
+
+// StateEqual reports whether two databases hold identical state: same
+// dimension, same last-update time and the same trajectory (piece for
+// piece, bit-exact) for the same object set. The applied-update log is
+// NOT compared — two databases reaching one state along different paths
+// (direct updates vs snapshot-load plus journal replay) are equal. The
+// bit-exact float comparison is intentional: recovery is required to
+// reproduce state exactly, and JSON float64 round-tripping is lossless.
+func (db *DB) StateEqual(other *DB) bool {
+	if db == other {
+		return true
+	}
+	a, b := db.Snapshot(), other.Snapshot()
+	if a.dim != b.dim || len(a.objs) != len(b.objs) {
+		return false
+	}
+	if a.tau != b.tau { //modlint:allow floatcmp -- recovery must restore tau bit-exactly
+		return false
+	}
+	for o, ta := range a.objs {
+		tb, ok := b.objs[o]
+		if !ok {
+			return false
+		}
+		pa, pb := ta.Pieces(), tb.Pieces()
+		if len(pa) != len(pb) {
+			return false
+		}
+		for i := range pa {
+			if pa[i].Start != pb[i].Start || pa[i].End != pb[i].End { //modlint:allow floatcmp -- recovery must restore pieces bit-exactly
+				return false
+			}
+			if !pa[i].A.Equal(pb[i].A) || !pa[i].B.Equal(pb[i].B) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Trajectories returns a copy of the full object->trajectory mapping.

@@ -111,6 +111,33 @@ func FromDB(db *mod.DB, cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// FromShards adopts pre-partitioned databases as the engine's shards —
+// the recovery path: a durable store recovers each shard's database
+// independently (snapshot + journal replay) and hands the set back to
+// the engine without re-partitioning. The adoption is validated: the
+// partitioning invariant (every object lives in the shard its OID
+// hashes to) is what makes update routing and fan-out merges correct,
+// so a mis-filed object is an error here, not a latent wrong answer.
+func FromShards(dbs []*mod.DB, cfg Config) (*Engine, error) {
+	if len(dbs) == 0 {
+		return nil, errors.New("shard: FromShards needs at least one shard")
+	}
+	cfg.Shards = len(dbs)
+	cfg = cfg.normalized()
+	dim := dbs[0].Dim()
+	for i, db := range dbs {
+		if db.Dim() != dim {
+			return nil, fmt.Errorf("shard: shard %d has dim %d, shard 0 has %d", i, db.Dim(), dim)
+		}
+		for _, o := range db.Objects() {
+			if want := int(hashOID(o) % uint64(len(dbs))); want != i {
+				return nil, fmt.Errorf("shard: object %s found in shard %d, owned by shard %d", o, i, want)
+			}
+		}
+	}
+	return &Engine{shards: dbs, workers: cfg.Workers, dim: dim}, nil
+}
+
 // Single adopts db as a one-shard engine: the unsharded backend, with
 // no partitioning or fan-out overhead.
 func Single(db *mod.DB) *Engine {

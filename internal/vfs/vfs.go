@@ -1,0 +1,150 @@
+// Package vfs is the narrow filesystem seam the durability layer writes
+// through: just the nine operations the checkpoint/recovery protocol
+// needs, implemented by the real OS (OS) and wrapped by the
+// deterministic fault injector (internal/errfs). Keeping the interface
+// minimal is what makes exhaustive fault injection tractable — every
+// mutating operation the protocol performs is one countable call here,
+// so a test can crash the protocol at literally every step.
+package vfs
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is a writable file handle that can force its contents to stable
+// storage. It satisfies mod.SyncWriter, so a journal wired to a File
+// fsyncs on Sync/Close.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface of the durability protocol. All paths
+// are plain strings; implementations interpret them like package os.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// ReadDir lists the names (not paths) of dir's entries, sorted.
+	ReadDir(dir string) ([]string, error)
+	// Open opens name for reading.
+	Open(name string) (io.ReadCloser, error)
+	// Create opens name for writing, truncating it if it exists.
+	Create(name string) (File, error)
+	// Append opens name for appending, creating it if needed.
+	Append(name string) (File, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Truncate cuts name to size bytes.
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs the directory itself, making entry creations,
+	// renames and removals durable.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// ReadDir implements FS.
+func (OS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Open implements FS.
+func (OS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+// Create implements FS.
+func (OS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+// Append implements FS.
+func (OS) Append(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+}
+
+// Rename implements FS.
+func (OS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// Truncate implements FS.
+func (OS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// SyncDir implements FS.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// WriteFileAtomic writes data to path via the tmp + fsync + rename +
+// dir-fsync dance: after it returns nil the file durably holds exactly
+// data, and a crash at any interior point leaves either the old file or
+// no file — never a partial one. The temp file lives in path's
+// directory so the rename stays within one filesystem.
+func WriteFileAtomic(fsys FS, path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
+}
+
+// ReadFile slurps name through fsys.
+func ReadFile(fsys FS, name string) ([]byte, error) {
+	r, err := fsys.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	data, rerr := io.ReadAll(r)
+	cerr := r.Close()
+	if rerr != nil {
+		return nil, rerr
+	}
+	return data, cerr
+}

@@ -1,0 +1,132 @@
+package vfs_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/errfs"
+	"repro/internal/vfs"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fsys := vfs.OS{}
+	sub := filepath.Join(dir, "a", "b")
+	if err := fsys.MkdirAll(sub); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(sub, "x.txt")
+	f, err := fsys.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	af, err := fsys.Append(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := af.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := af.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(fsys, p)
+	if err != nil || string(got) != "hello world" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if err := fsys.Truncate(p, 5); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = vfs.ReadFile(fsys, p)
+	if string(got) != "hello" {
+		t.Fatalf("after truncate: %q", got)
+	}
+	names, err := fsys.ReadDir(sub)
+	if err != nil || len(names) != 1 || names[0] != "x.txt" {
+		t.Fatalf("ReadDir = %v, %v", names, err)
+	}
+	if err := fsys.SyncDir(sub); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Remove(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.Open(p); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("open after remove: %v", err)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	fsys := vfs.OS{}
+	p := filepath.Join(dir, "m.json")
+	if err := vfs.WriteFileAtomic(fsys, p, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFileAtomic(fsys, p, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(fsys, p)
+	if err != nil || string(got) != "two" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	names, _ := fsys.ReadDir(dir)
+	if len(names) != 1 {
+		t.Fatalf("temp file left behind: %v", names)
+	}
+}
+
+// TestWriteFileAtomicCrashLeavesOldContent sweeps a fault across every
+// operation of an atomic overwrite and asserts the destination always
+// holds the old or the new content in full.
+func TestWriteFileAtomicCrashLeavesOldContent(t *testing.T) {
+	// Measure the operation count of one clean overwrite.
+	probeDir := t.TempDir()
+	probe := errfs.New(vfs.OS{}, 0, errfs.FailOp)
+	p := filepath.Join(probeDir, "m.json")
+	if err := vfs.WriteFileAtomic(vfs.OS{}, p, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFileAtomic(probe, p, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	total := probe.Ops()
+	if total < 4 {
+		t.Fatalf("expected >= 4 ops (create, write, sync, rename), got %d", total)
+	}
+	for _, mode := range []errfs.Mode{errfs.FailOp, errfs.ShortWrite, errfs.FailSync} {
+		for k := 1; k <= total; k++ {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "m.json")
+			if err := vfs.WriteFileAtomic(vfs.OS{}, path, []byte("old")); err != nil {
+				t.Fatal(err)
+			}
+			inj := errfs.New(vfs.OS{}, k, mode)
+			err := vfs.WriteFileAtomic(inj, path, []byte("fresh"))
+			got, rerr := vfs.ReadFile(vfs.OS{}, path)
+			if rerr != nil {
+				t.Fatalf("mode=%v k=%d: destination unreadable: %v", mode, k, rerr)
+			}
+			if err == nil {
+				// The injected op was not on this protocol's path only if
+				// injection never fired; with k <= total it must have.
+				t.Fatalf("mode=%v k=%d: overwrite succeeded despite injection", mode, k)
+			}
+			if s := string(got); s != "old" && s != "fresh" {
+				t.Fatalf("mode=%v k=%d: destination holds %q — a partial write\ntrace:\n%v",
+					mode, k, s, inj.Trace())
+			}
+		}
+	}
+}
