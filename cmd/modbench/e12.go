@@ -1,0 +1,224 @@
+package main
+
+// e12 — update-path throughput: what PR 5's three optimizations buy.
+//
+//  1. Batched ingestion (shard.Engine.ApplyBatch) vs one-at-a-time
+//     Apply on a volatile engine: one router pass and one per-shard
+//     lock/journal session per batch instead of per update.
+//  2. Group commit vs per-update fsync on a durable engine, measured
+//     at equal guarantee: every measured call returns only after the
+//     fsync covering its updates (CommitSyncEach per update vs
+//     CommitGroup where one fsync acks a whole per-shard batch).
+//  3. The zero-alloc sweep hot path: allocations per steady-state
+//     AdvanceTo step and per ReplaceCurve (the exported operation
+//     driving schedulePair), measured with testing.AllocsPerRun. The
+//     go-test benchmarks BenchmarkAdvanceTo/BenchmarkSchedulePair in
+//     internal/core are the per-op gate; this record commits the
+//     numbers into the bench artifact.
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/mod"
+	"repro/internal/piecewise"
+	"repro/internal/poly"
+	"repro/internal/shard"
+	"repro/internal/workload"
+)
+
+// benchZigzag is the triangular wave of internal/core's sweep
+// benchmarks: period 16+i so every pair keeps crossing, offset i*1e-3
+// to break exact ties.
+func benchZigzag(i int, amp, lo, hi float64) piecewise.Func {
+	period := float64(16 + i)
+	slope := 2 * amp / period
+	off := float64(i) * 1e-3
+	var pieces []piecewise.Piece
+	for start := lo; start < hi; start += period {
+		mid := start + period/2
+		end := start + period
+		if mid > hi {
+			mid = hi
+		}
+		if end > hi {
+			end = hi
+		}
+		pieces = append(pieces, piecewise.Piece{
+			Start: start, End: mid,
+			P: poly.Linear(slope, off-slope*start),
+		})
+		if end > mid {
+			pieces = append(pieces, piecewise.Piece{
+				Start: mid, End: end,
+				P: poly.Linear(-slope, off+slope*end),
+			})
+		}
+	}
+	return piecewise.MustNew(pieces...)
+}
+
+func e12() error {
+	fmt.Println("== E12: update-path throughput (batching, group commit, zero-alloc sweep) ==")
+	count := 20000
+	ackedCount := 8000
+	if *quickFlag {
+		count = 4000
+		ackedCount = 1500
+	}
+	const p = 4
+	const batch = 256
+
+	applyAll := func(us []mod.Update, apply func(mod.Update) error) (float64, error) {
+		start := time.Now()
+		for _, u := range us {
+			if err := apply(u); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start).Seconds(), nil
+	}
+	applyBatches := func(us []mod.Update, apply func([]mod.Update) (int, error)) (float64, error) {
+		start := time.Now()
+		if err := workload.ReplayBatches(us, batch, apply); err != nil {
+			return 0, err
+		}
+		return time.Since(start).Seconds(), nil
+	}
+	ups := func(n int, t float64) float64 { return float64(n) / t }
+
+	// --- 1. single vs batched ingestion, volatile sharded engine ---
+	us := crashStream(*seedFlag+7, count)
+	seng, err := shard.FromDB(mod.NewDB(2, 0), shard.Config{Shards: p, Workers: p})
+	if err != nil {
+		return err
+	}
+	singleT, err := applyAll(us, seng.Apply)
+	if err != nil {
+		return err
+	}
+	beng, err := shard.FromDB(mod.NewDB(2, 0), shard.Config{Shards: p, Workers: p})
+	if err != nil {
+		return err
+	}
+	batchT, err := applyBatches(us, beng.ApplyBatch)
+	if err != nil {
+		return err
+	}
+	emitBench(benchRecord{Exp: "e12", Name: "ingest-single", P: p, N: count,
+		Seconds: singleT, UpdatesPerSec: ups(count, singleT)})
+	emitBench(benchRecord{Exp: "e12", Name: "ingest-batch", P: p, N: count, Batch: batch,
+		Seconds: batchT, UpdatesPerSec: ups(count, batchT), Speedup: singleT / batchT})
+
+	// --- 2. per-update fsync vs group commit, durable acked ingestion ---
+	aus := crashStream(*seedFlag+8, ackedCount)
+	root, err := os.MkdirTemp("", "modbench-e12-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+	durCfg := func(commit durable.CommitPolicy) durable.Config {
+		return durable.Config{Shards: p, Workers: p, Dim: 2, Commit: commit}
+	}
+	syncEng, err := durable.Open(root+"/sync", durCfg(durable.CommitSyncEach))
+	if err != nil {
+		return err
+	}
+	syncT, err := applyAll(aus, syncEng.Apply)
+	if err != nil {
+		return err
+	}
+	if err := syncEng.Close(); err != nil {
+		return err
+	}
+	grpEng, err := durable.Open(root+"/group", durCfg(durable.CommitGroup))
+	if err != nil {
+		return err
+	}
+	grpT, err := applyBatches(aus, grpEng.ApplyBatch)
+	if err != nil {
+		return err
+	}
+	if err := grpEng.Close(); err != nil {
+		return err
+	}
+	emitBench(benchRecord{Exp: "e12", Name: "acked-sync-each", P: p, N: ackedCount,
+		Seconds: syncT, UpdatesPerSec: ups(ackedCount, syncT)})
+	emitBench(benchRecord{Exp: "e12", Name: "acked-group-batch", P: p, N: ackedCount,
+		Batch: batch, Seconds: grpT, UpdatesPerSec: ups(ackedCount, grpT),
+		Speedup: syncT / grpT})
+
+	// --- 3. sweep hot-path allocations ---
+	const horizon = 1 << 14
+	const movers = 64
+	mkSweeper := func() (*core.Sweeper, error) {
+		s := core.NewSweeper(core.Config{Start: 0, Horizon: horizon})
+		for i := 0; i < movers; i++ {
+			if err := s.AddCurve(uint64(i+1), benchZigzag(i, movers, 0, horizon)); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+	s, err := mkSweeper()
+	if err != nil {
+		return err
+	}
+	if err := s.AdvanceTo(64); err != nil { // warm caches past the growth phase
+		return err
+	}
+	now := s.Now()
+	var advErr error
+	const advRuns = 2000
+	advStart := time.Now()
+	advAllocs := testing.AllocsPerRun(advRuns, func() {
+		now += 0.25
+		if err := s.AdvanceTo(now); err != nil && advErr == nil {
+			advErr = err
+		}
+	})
+	advPerOp := time.Since(advStart).Seconds() / (advRuns + 1)
+	if advErr != nil {
+		return advErr
+	}
+
+	s2, err := mkSweeper()
+	if err != nil {
+		return err
+	}
+	if err := s2.AdvanceTo(64); err != nil {
+		return err
+	}
+	curve := benchZigzag(0, movers, 0, horizon)
+	var repErr error
+	repAllocs := testing.AllocsPerRun(advRuns, func() {
+		if err := s2.ReplaceCurve(1, curve); err != nil && repErr == nil {
+			repErr = err
+		}
+	})
+	if repErr != nil {
+		return repErr
+	}
+	emitBench(benchRecord{Exp: "e12", Name: "allocs-advance-to", N: movers,
+		Seconds: advPerOp, AllocsPerOp: &advAllocs})
+	emitBench(benchRecord{Exp: "e12", Name: "allocs-replace-curve", N: movers,
+		AllocsPerOp: &repAllocs})
+
+	table("path\tmode\ttime s\tupdates/s\tspeedup", [][]string{
+		{"ingest (volatile)", "single Apply", fmt.Sprintf("%.3g", singleT),
+			fmt.Sprintf("%.0f", ups(count, singleT)), "1.00x"},
+		{"ingest (volatile)", fmt.Sprintf("ApplyBatch(%d)", batch), fmt.Sprintf("%.3g", batchT),
+			fmt.Sprintf("%.0f", ups(count, batchT)), fmt.Sprintf("%.2fx", singleT/batchT)},
+		{"acked (durable)", "fsync per update", fmt.Sprintf("%.3g", syncT),
+			fmt.Sprintf("%.0f", ups(ackedCount, syncT)), "1.00x"},
+		{"acked (durable)", fmt.Sprintf("group commit, batch %d", batch), fmt.Sprintf("%.3g", grpT),
+			fmt.Sprintf("%.0f", ups(ackedCount, grpT)), fmt.Sprintf("%.2fx", syncT/grpT)},
+	})
+	fmt.Printf("sweep hot path: AdvanceTo %.3g allocs/op (%.3g µs/op), ReplaceCurve %.3g allocs/op\n",
+		advAllocs, advPerOp*1e6, repAllocs)
+	return nil
+}

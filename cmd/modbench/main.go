@@ -11,7 +11,9 @@
 //	modbench -crashcheck http://HOST:PORT [-acked acked.jsonl]
 //
 // Experiments that measure machine-scaling (e10, the internal/shard
-// fan-out) or durability cost (e11, internal/durable) additionally emit
+// fan-out), durability cost (e11, internal/durable) or update-path
+// throughput (e12, batched ingestion + group commit + the zero-alloc
+// sweep hot path) additionally emit
 // one `BENCH {...}` JSON line per measurement on stdout; -json collects
 // all BENCH records into a file (the artifact CI uploads and
 // EXPERIMENTS.md records). The -drive/-crashcheck modes are the two
@@ -42,10 +44,11 @@ import (
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "comma-separated experiments (e1..e10) or 'all'")
-	quickFlag = flag.Bool("quick", false, "smaller sizes for a fast smoke run")
-	seedFlag  = flag.Int64("seed", 1, "workload seed")
-	jsonFlag  = flag.String("json", "", "write all BENCH records as a JSON document to this file")
+	expFlag     = flag.String("exp", "all", "comma-separated experiments (e1..e10) or 'all'")
+	quickFlag   = flag.Bool("quick", false, "smaller sizes for a fast smoke run")
+	seedFlag    = flag.Int64("seed", 1, "workload seed")
+	jsonFlag    = flag.String("json", "", "write all BENCH records as a JSON document to this file")
+	compareFlag = flag.String("compare", "", "baseline -json document to regression-check this run against")
 )
 
 // benchRecord is one machine-readable measurement (a BENCH line).
@@ -61,6 +64,11 @@ type benchRecord struct {
 	Bytes         int     `json:"bytes,omitempty"`
 	Speedup       float64 `json:"speedup,omitempty"`
 	UpdatesPerSec float64 `json:"updates_per_sec,omitempty"`
+	Batch         int     `json:"batch,omitempty"`
+	// AllocsPerOp is a pointer so a measured zero (the e12 hot-path
+	// acceptance value) still serializes instead of vanishing under
+	// omitempty.
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 	// Latency digests all repetitions of the measured operation through
 	// the same fixed-bucket histogram the live server exposes on
 	// /metrics (internal/obs), so bench JSON and production metrics
@@ -109,7 +117,7 @@ func main() {
 	}
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e10", "e11"} {
+		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e10", "e11", "e12"} {
 			want[e] = true
 		}
 	} else {
@@ -135,9 +143,15 @@ func main() {
 	run("e7", e7)
 	run("e10", e10)
 	run("e11", e11)
+	run("e12", e12)
 	if *jsonFlag != "" {
 		if err := writeBenchJSON(*jsonFlag); err != nil {
 			log.Fatalf("write %s: %v", *jsonFlag, err)
+		}
+	}
+	if *compareFlag != "" {
+		if err := compareBaseline(*compareFlag, want); err != nil {
+			log.Fatalf("bench regression:\n%v", err)
 		}
 	}
 }

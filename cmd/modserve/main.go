@@ -17,12 +17,27 @@
 //
 // Durability (-data-dir, internal/durable): the server recovers the
 // database from DIR at boot (snapshot + journal replay, tolerating the
-// torn tail a crash leaves), journals every applied update (flushed
-// per update, so an acknowledged update survives a kill -9), and
+// torn tail a crash leaves), journals every applied update, and
 // checkpoints — atomically rotating the {snapshot, journal} pair —
 // every -checkpoint-every interval, on SIGINT/SIGTERM, and once more
 // after the listener drains. Changing -shards across restarts
 // re-partitions the store (a generation bump) transparently.
+//
+// The -commit flag picks the update ack contract:
+//
+//	flush  (default) flush per update: an acked update survives a
+//	       process crash (kill -9) but not a power failure
+//	sync   fsync per update: an acked update survives power loss,
+//	       at one fsync per update
+//	group  group commit: concurrent updates are coalesced into shared
+//	       fsyncs by a committer goroutine, and each POST /update or
+//	       /update/batch is acknowledged only after the fsync covering
+//	       its entries returns — the sync guarantee at a fraction of
+//	       the fsyncs. -commit-interval D stretches the coalescing
+//	       window (default 0: the fsync rate itself batches);
+//	       -commit-max-batch N fsyncs early once N entries wait.
+//	none   no per-update flush (bulk loads; checkpoint at the end)
+//
 // The older -load/-journal flags remain for single-file workflows and
 // are mutually exclusive with -data-dir.
 //
@@ -57,6 +72,7 @@ import (
 	"errors"
 	"expvar"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
@@ -82,6 +98,9 @@ var (
 	ckptFlag    = flag.Duration("checkpoint-every", 0, "checkpoint period with -data-dir (0 = only at shutdown)")
 	loadFlag    = flag.String("load", "", "snapshot file to restore at startup (exclusive with -data-dir)")
 	journalFlag = flag.String("journal", "", "append-only update journal; replayed at startup, extended while serving (exclusive with -data-dir)")
+	commitFlag  = flag.String("commit", "flush", "update durability with -data-dir: flush | sync | group | none (see header)")
+	civFlag     = flag.Duration("commit-interval", 0, "group-commit coalescing window before each fsync (0 = fsync-rate batching only)")
+	cmbFlag     = flag.Int("commit-max-batch", 0, "fsync as soon as this many entries wait, skipping the window (0 = default 256)")
 	demoFlag    = flag.Bool("seed-demo", false, "seed 50 random movers for demos")
 	slowFlag    = flag.Duration("slow-query-threshold", 0, "log a structured SLOWQUERY line for queries at least this slow (0 disables)")
 	pprofFlag   = flag.Bool("pprof", true, "serve net/http/pprof under /debug/pprof/")
@@ -102,14 +121,24 @@ func main() {
 		if *loadFlag != "" || *journalFlag != "" || *demoFlag {
 			logger.Fatal("-data-dir is exclusive with -load, -journal and -seed-demo")
 		}
+		policy, err := parseCommitPolicy(*commitFlag)
+		if err != nil {
+			logger.Fatal(err)
+		}
 		eng, err := durable.Open(*dataDirFlag, durable.Config{
-			Shards:   *shardsFlag,
-			Workers:  *workersFlag,
-			Dim:      *dimFlag,
-			Registry: reg,
+			Shards:         *shardsFlag,
+			Workers:        *workersFlag,
+			Dim:            *dimFlag,
+			Registry:       reg,
+			Commit:         policy,
+			CommitInterval: *civFlag,
+			CommitMaxBatch: *cmbFlag,
 		})
 		if err != nil {
 			logger.Fatal(err)
+		}
+		if policy == durable.CommitGroup {
+			logger.Printf("group commit: interval=%s max-batch=%d", civFlag.String(), *cmbFlag)
 		}
 		for i, info := range eng.Recovery() {
 			logger.Printf("shard %d recovery: snapshot=%v replayed=%d skipped=%d torn=%v (%s)",
@@ -206,6 +235,21 @@ func main() {
 		}
 		logger.Printf("durable engine closed")
 	}
+}
+
+// parseCommitPolicy maps the -commit flag to a durable.CommitPolicy.
+func parseCommitPolicy(s string) (durable.CommitPolicy, error) {
+	switch s {
+	case "flush", "":
+		return durable.CommitFlushEach, nil
+	case "sync":
+		return durable.CommitSyncEach, nil
+	case "group":
+		return durable.CommitGroup, nil
+	case "none":
+		return durable.CommitNone, nil
+	}
+	return 0, fmt.Errorf("unknown -commit policy %q (want flush, sync, group, or none)", s)
 }
 
 // openEphemeral builds the non-durable backend the pre-data-dir flags

@@ -152,6 +152,17 @@ type Config struct {
 	Audit bool
 }
 
+// pairKey identifies a cached adjacency difference curve, in stored
+// (left, right) adjacency order.
+type pairKey struct{ a, b uint64 }
+
+// pairDiffEntry is one cached difference curve plus the curve
+// generations it was built from (see Sweeper.gens).
+type pairDiffEntry struct {
+	d          piecewise.PairDiff
+	genA, genB uint64
+}
+
 // Sweeper is the plane-sweep engine.
 type Sweeper struct {
 	now      float64
@@ -164,6 +175,17 @@ type Sweeper struct {
 	onChange func(Change)
 	audit    bool
 	stats    Stats
+
+	// Pair-difference cache: one materialized difference curve per
+	// current adjacency (see piecewise.PairDiff), so re-scheduling the
+	// same pair as the sweep advances allocates nothing. Entries are
+	// released to the pool when their adjacency dissolves (swap, insert
+	// between, removal) and their storage is recycled; gens stamps every
+	// curve id with a generation bumped on any curve change, so a cache
+	// entry built from an outdated curve can never be consulted.
+	diffs    map[pairKey]*pairDiffEntry
+	diffPool []*pairDiffEntry
+	gens     map[uint64]uint64
 }
 
 // Errors returned by the sweeper.
@@ -195,6 +217,51 @@ func NewSweeper(cfg Config) *Sweeper {
 		recert:   eventq.NewHeap(),
 		onChange: cfg.OnChange,
 		audit:    cfg.Audit,
+		diffs:    make(map[pairKey]*pairDiffEntry),
+		gens:     make(map[uint64]uint64),
+	}
+}
+
+// diffSlack is the margin below the first query time from which a pair
+// difference is materialized, chosen to exceed boundTol-scale piece
+// lookup slack and the justBefore nudge at any magnitude, so the
+// same-instant re-queries a swap cascade issues stay covered without a
+// rebuild.
+func diffSlack(t float64) float64 {
+	return 2e-9 + 2*math.Abs(t)*1e-12
+}
+
+// pairDiff returns the cached difference curve of the adjacency (a, b),
+// building or rebuilding it — into recycled storage — when absent,
+// stale (either curve changed since the build) or not covering query
+// times >= at.
+func (s *Sweeper) pairDiff(a, b uint64, at float64) *piecewise.PairDiff {
+	k := pairKey{a, b}
+	ga, gb := s.gens[a], s.gens[b]
+	e := s.diffs[k]
+	if e != nil && e.genA == ga && e.genB == gb && e.d.Covers(at) {
+		return &e.d
+	}
+	if e == nil {
+		if n := len(s.diffPool); n > 0 {
+			e, s.diffPool = s.diffPool[n-1], s.diffPool[:n-1]
+		} else {
+			e = new(pairDiffEntry)
+		}
+		s.diffs[k] = e
+	}
+	e.d.Reset(s.curves[a], s.curves[b], at-diffSlack(at))
+	e.genA, e.genB = ga, gb
+	return &e.d
+}
+
+// releaseDiff returns the cached difference of a dissolved adjacency to
+// the pool for storage reuse.
+func (s *Sweeper) releaseDiff(a, b uint64) {
+	k := pairKey{a, b}
+	if e, ok := s.diffs[k]; ok {
+		delete(s.diffs, k)
+		s.diffPool = append(s.diffPool, e)
 	}
 }
 
@@ -300,16 +367,16 @@ func (s *Sweeper) cmpAt(t float64) order.Cmp {
 // Existing events keyed by a are replaced.
 func (s *Sweeper) schedulePair(a, b uint64, after float64) {
 	s.stats.Reschedules++
-	fa, fb := s.curves[a], s.curves[b]
-	t, coincide, ok := piecewise.FirstMeetingAfter(fa, fb, after, s.horizon)
+	d := s.pairDiff(a, b, after)
+	t, coincide, ok := d.FirstMeetingAfter(after, s.horizon)
 	if ok && t <= s.now+1e-12*math.Max(1, math.Abs(s.now)) {
 		// A meeting at the current instant (found through a justBefore
 		// window during a same-time swap cascade). It is only an event
 		// if the pair still has to cross: if (fa - fb) is already
 		// negative just after, the crossing was completed by an earlier
 		// swap in this batch — look strictly beyond it.
-		if piecewise.SignDiffAfter(fa, fb, t) < 0 {
-			t, coincide, ok = piecewise.FirstMeetingAfter(fa, fb, t, s.horizon)
+		if d.SignAfter(t) < 0 {
+			t, coincide, ok = d.FirstMeetingAfter(t, s.horizon)
 		}
 	}
 	if !ok {
@@ -318,7 +385,7 @@ func (s *Sweeper) schedulePair(a, b uint64, after float64) {
 	}
 	if coincide && t <= after {
 		// Already coinciding: the interesting event is the separation.
-		sep, found := piecewise.CoincidenceEndAfter(fa, fb, after, s.horizon)
+		sep, found := d.CoincidenceEndAfter(after, s.horizon)
 		if !found {
 			s.queue.RemoveByLeft(a)
 			return
@@ -359,15 +426,21 @@ func (s *Sweeper) AddCurve(id uint64, f piecewise.Func) error {
 		return fmt.Errorf("%w: id %d domain [%g,%g], now %g", ErrNotCovered, id, lo, hi, s.now)
 	}
 	s.curves[id] = f
+	s.gens[id]++
 	if err := s.list.Insert(id, s.cmpAt(s.now)); err != nil {
 		delete(s.curves, id)
 		return err
 	}
 	// The insertion splits an adjacency (prev, next): refresh all three.
-	if prev, ok := s.list.Prev(id); ok {
+	prev, hasPrev := s.list.Prev(id)
+	next, hasNext := s.list.Next(id)
+	if hasPrev && hasNext {
+		s.releaseDiff(prev, next)
+	}
+	if hasPrev {
 		s.schedulePair(prev, id, s.now)
 	}
-	if next, ok := s.list.Next(id); ok {
+	if hasNext {
 		s.schedulePair(id, next, s.now)
 	}
 	s.scheduleExpiry(id, f)
@@ -413,10 +486,17 @@ func (s *Sweeper) removeCurve(id uint64, kind ChangeKind) error {
 	}
 	prev, hasPrev := s.list.Prev(id)
 	next, hasNext := s.list.Next(id)
+	if hasPrev {
+		s.releaseDiff(prev, id)
+	}
+	if hasNext {
+		s.releaseDiff(id, next)
+	}
 	if err := s.list.Delete(id); err != nil {
 		return err
 	}
 	delete(s.curves, id)
+	s.gens[id]++
 	s.queue.RemoveByLeft(id)
 	s.expiry.RemoveByLeft(id)
 	s.recert.RemoveByLeft(id)
@@ -449,6 +529,7 @@ func (s *Sweeper) ReplaceCurve(id uint64, f piecewise.Func) error {
 	oldV := s.curves[id].Eval(s.now)
 	newV := f.Eval(s.now)
 	s.curves[id] = f
+	s.gens[id]++
 	scale := math.Max(1, math.Max(math.Abs(oldV), math.Abs(newV)))
 	if math.Abs(newV-oldV) > 1e-9*scale {
 		s.scheduleExpiry(id, f)
@@ -479,6 +560,7 @@ func (s *Sweeper) ReplaceAll(curves map[uint64]piecewise.Func) error {
 	}
 	for id, f := range curves {
 		s.curves[id] = f
+		s.gens[id]++
 		s.scheduleExpiry(id, f)
 	}
 	items := s.list.Items()
@@ -577,8 +659,9 @@ func (s *Sweeper) processEvent(ev eventq.Event) {
 		s.schedulePair(a, b, ev.T)
 		return
 	}
-	sgAfter := piecewise.SignDiffAfter(fa, fb, ev.T)
-	sgBefore := piecewise.SignDiffBefore(fa, fb, ev.T)
+	d := s.pairDiff(a, b, ev.T)
+	sgAfter := d.SignAfter(ev.T)
+	sgBefore := d.SignBefore(ev.T)
 
 	switch {
 	case sgAfter == 0:
@@ -587,7 +670,7 @@ func (s *Sweeper) processEvent(ev eventq.Event) {
 			s.stats.Coincides++
 			s.emit(Change{T: ev.T, Kind: ChangeEqual, A: a, B: b})
 		}
-		if sep, ok := piecewise.CoincidenceEndAfter(fa, fb, ev.T, s.horizon); ok {
+		if sep, ok := d.CoincidenceEndAfter(ev.T, s.horizon); ok {
 			s.queue.Push(eventq.Event{T: math.Max(sep, ev.T), Left: a, Right: b})
 		}
 	case sgBefore == 0:
@@ -614,6 +697,15 @@ func (s *Sweeper) processEvent(ev eventq.Event) {
 // swap completes the order switch of adjacent a, b at time t and
 // refreshes the three affected adjacencies.
 func (s *Sweeper) swap(a, b uint64, t float64) {
+	// All three adjacencies around the pair dissolve: recycle their
+	// cached differences before the order changes.
+	if p, ok := s.list.Prev(a); ok {
+		s.releaseDiff(p, a)
+	}
+	if n, ok := s.list.Next(b); ok {
+		s.releaseDiff(b, n)
+	}
+	s.releaseDiff(a, b)
 	if err := s.list.SwapAdjacent(a, b); err != nil {
 		panic(fmt.Sprintf("core: swap %d,%d: %v", a, b, err))
 	}
@@ -654,6 +746,12 @@ func (s *Sweeper) recertify(id uint64, t float64) error {
 	f := s.curves[id]
 	prev, hasPrev := s.list.Prev(id)
 	next, hasNext := s.list.Next(id)
+	if hasPrev {
+		s.releaseDiff(prev, id)
+	}
+	if hasNext {
+		s.releaseDiff(id, next)
+	}
 	if err := s.list.Delete(id); err != nil {
 		return err
 	}
@@ -669,10 +767,15 @@ func (s *Sweeper) recertify(id uint64, t float64) error {
 	if err := s.list.Insert(id, s.cmpAt(t)); err != nil {
 		return err
 	}
-	if p, ok := s.list.Prev(id); ok {
+	p, hasP := s.list.Prev(id)
+	n, hasN := s.list.Next(id)
+	if hasP && hasN {
+		s.releaseDiff(p, n)
+	}
+	if hasP {
 		s.schedulePair(p, id, justBefore(t))
 	}
-	if n, ok := s.list.Next(id); ok {
+	if hasN {
 		s.schedulePair(id, n, justBefore(t))
 	}
 	s.scheduleRecert(id, f, t)

@@ -65,6 +65,15 @@ type Config struct {
 	Registry *obs.Registry
 	// NoFlushEach disables the per-update journal flush (StoreOptions).
 	NoFlushEach bool
+	// Commit selects the update-path durability policy (StoreOptions);
+	// CommitGroup enables group commit, making Apply/ApplyBatch block
+	// until the fsync covering their entries returns.
+	Commit CommitPolicy
+	// CommitInterval is CommitGroup's coalescing window (StoreOptions).
+	CommitInterval time.Duration
+	// CommitMaxBatch skips the window once this many entries wait
+	// (StoreOptions).
+	CommitMaxBatch int
 }
 
 // rootManifest is the wire form of the engine's root manifest.
@@ -151,7 +160,12 @@ func Open(dir string, cfg Config) (*Engine, error) {
 	// collect them before anything can mistake them for live stores.
 	e.gcGenerations()
 
-	opts := StoreOptions{Dim: man.Dim, Tau0: cfg.Tau0, NoFlushEach: cfg.NoFlushEach}
+	opts := StoreOptions{
+		Dim: man.Dim, Tau0: cfg.Tau0,
+		NoFlushEach: cfg.NoFlushEach, Commit: cfg.Commit,
+		CommitInterval: cfg.CommitInterval, CommitMaxBatch: cfg.CommitMaxBatch,
+		commitMetrics: e.m,
+	}
 	if cfg.Shards != 0 && cfg.Shards != man.Shards {
 		if err := e.reshard(man, cfg, opts); err != nil {
 			return nil, err
@@ -281,6 +295,47 @@ func (e *Engine) gcGenerations() {
 		}
 		_ = e.fs.Remove(sub)
 	}
+}
+
+// Apply routes one update to its shard (via the embedded engine) and,
+// under CommitGroup, blocks until the fsync covering its journal entry
+// returns: a nil return then means applied AND durable. Under the
+// per-update policies the behavior is unchanged — the journal listener
+// does the per-entry flush/fsync and Apply does not block on it.
+func (e *Engine) Apply(u mod.Update) error {
+	i := e.ShardOf(u.O)
+	if err := e.Engine.Apply(u); err != nil {
+		return err
+	}
+	if st := e.stores[i]; st.c != nil {
+		return st.WaitDurable()
+	}
+	return nil
+}
+
+// ApplyBatch ingests a batch (via the embedded engine's sharded batch
+// path) and, under CommitGroup, blocks until every touched shard's
+// journal entries are covered by an fsync. The applied count reflects
+// in-memory application; the error includes any durability failure, so
+// a nil error acks the whole batch as durable.
+func (e *Engine) ApplyBatch(us []mod.Update) (int, error) {
+	n, err := e.Engine.ApplyBatch(us)
+	if n == 0 {
+		return n, err
+	}
+	touched := make([]bool, len(e.stores))
+	for _, u := range us {
+		touched[e.ShardOf(u.O)] = true
+	}
+	var waitErrs []error
+	for i, st := range e.stores {
+		if touched[i] && st.c != nil {
+			if werr := st.WaitDurable(); werr != nil {
+				waitErrs = append(waitErrs, fmt.Errorf("shard %d: durability: %w", i, werr))
+			}
+		}
+	}
+	return n, errors.Join(err, errors.Join(waitErrs...))
 }
 
 // Generation returns the current on-disk generation.

@@ -27,6 +27,14 @@ type engineMetrics struct {
 	recoveryApplied  *obs.Counter   // journal entries replayed at recovery
 	recoverySkipped  *obs.Counter   // replay entries skipped (chronology dups)
 	recoveryTorn     *obs.Counter   // torn journal tails dropped at recovery
+
+	// Group-commit series. The coalescing ratio — entries per fsync,
+	// the number that makes group commit pay — is commitEntries /
+	// commitFsyncs; commitBatch is its distribution.
+	commitFsyncs   *obs.Counter   // successful group-commit fsyncs
+	commitEntries  *obs.Counter   // journal entries those fsyncs covered
+	commitBatch    *obs.Histogram // entries resolved per fsync
+	commitWaitSecs *obs.Histogram // Apply's wait from enqueue to ack
 }
 
 func newEngineMetrics(reg *obs.Registry) *engineMetrics {
@@ -49,6 +57,14 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 			"journal entries skipped during recovery (already in snapshot)"),
 		recoveryTorn: reg.NewCounter("mod_recovery_torn_tails_total",
 			"torn journal tails dropped during recovery"),
+		commitFsyncs: reg.NewCounter("mod_commit_fsyncs_total",
+			"group-commit fsyncs issued (coalescing ratio = entries/fsyncs)"),
+		commitEntries: reg.NewCounter("mod_commit_entries_total",
+			"journal entries made durable by group-commit fsyncs"),
+		commitBatch: reg.NewHistogram("mod_commit_batch_entries",
+			"journal entries covered per group-commit fsync", obs.DefSizeBuckets),
+		commitWaitSecs: reg.NewHistogram("mod_commit_wait_seconds",
+			"update ack latency: journal enqueue to covering fsync", obs.DefLatencyBuckets),
 	}
 }
 

@@ -96,7 +96,32 @@ type StoreOptions struct {
 	// (flush after every applied update) bounds data loss on a process
 	// crash to the single in-flight entry; disabling trades that for
 	// update throughput (the loss bound becomes the bufio buffer).
+	// Shorthand for Commit: CommitNone; ignored when Commit is set.
 	NoFlushEach bool
+	// Commit selects the durability policy of the update path (see
+	// CommitPolicy). The zero value is CommitFlushEach, unless
+	// NoFlushEach selects CommitNone.
+	Commit CommitPolicy
+	// CommitInterval is CommitGroup's coalescing window: how long the
+	// committer waits before each fsync so concurrent appliers can join
+	// the batch. 0 means no artificial wait — entries arriving during an
+	// fsync still ride the next one, which is usually batching enough.
+	CommitInterval time.Duration
+	// CommitMaxBatch skips the coalescing window once this many entries
+	// are already waiting; 0 means a default (256).
+	CommitMaxBatch int
+
+	// commitMetrics, when non-nil, receives the group-commit series
+	// (set by the engine, which owns the registry).
+	commitMetrics *engineMetrics
+}
+
+// policy resolves the effective commit policy.
+func (o StoreOptions) policy() CommitPolicy {
+	if o.Commit == CommitFlushEach && o.NoFlushEach {
+		return CommitNone
+	}
+	return o.Commit
 }
 
 // RecoveryInfo reports what opening a store did.
@@ -141,6 +166,8 @@ type Store struct {
 	manifestSeq uint64   // seq the on-disk manifest commits to
 	walSeq      uint64   // seq of the segment the live journal writes
 	closed      bool
+
+	c *committer // non-nil iff the policy is CommitGroup
 
 	opts     StoreOptions
 	recovery RecoveryInfo
@@ -197,15 +224,23 @@ func openStore(fsys vfs.FS, dir string, opts StoreOptions, adopt *mod.DB) (*Stor
 			return nil, err
 		}
 	}
-	// Journal every subsequently applied update; optionally flush each
-	// entry so an acked update survives a process crash. Listener order
-	// (encode, then flush) is guaranteed by registration order, and
+	// Journal every subsequently applied update. The per-update listener
+	// depends on the commit policy: flush each (bound loss to one entry
+	// on process crash), fsync each (full durability, one fsync per
+	// update), nothing (CommitNone and CommitGroup — the latter fsyncs
+	// from the committer goroutine instead). Listener order (encode,
+	// then flush/sync) is guaranteed by registration order, and
 	// application order by the database's notification serialization.
 	// The journal writes to the segment file directly; checkpoint
-	// rotation redirects it with SwapWriter.
+	// rotation redirects it with SwapWriter/Rotate.
 	s.j = mod.NewJournal(s.db, s.jfile)
-	if !opts.NoFlushEach {
+	switch opts.policy() {
+	case CommitFlushEach:
 		s.db.OnUpdate(func(mod.Update) { _ = s.j.Flush() })
+	case CommitSyncEach:
+		s.db.OnUpdate(func(mod.Update) { _ = s.j.Sync() })
+	case CommitGroup:
+		s.c = newCommitter(s.j, opts.CommitInterval, opts.CommitMaxBatch, opts.commitMetrics)
 	}
 	s.recovery.Duration = time.Since(start)
 	s.gc()
@@ -394,9 +429,17 @@ func (s *Store) Checkpoint() (CheckpointInfo, error) {
 	// to wal-newSeq; the old segment is flushed and fsynced. A flush
 	// error on the old segment is swallowed deliberately: entries it
 	// may have lost were applied before the swap and are therefore in
-	// the snapshot taken next.
+	// the snapshot taken next. Under group commit the rotation also
+	// resolves every waiter whose entry the old segment's final fsync
+	// covered (with its outcome — a failure is never acked, even though
+	// the snapshot below would persist those entries, because a crash
+	// before the manifest commit would lose them).
 	old := s.jfile
-	_ = s.j.SwapWriter(f)
+	if s.c != nil {
+		_ = s.c.rotate(f)
+	} else {
+		_ = s.j.SwapWriter(f)
+	}
 	s.jfile = f
 	s.walSeq = newSeq
 	if old != nil {
@@ -432,10 +475,31 @@ func (s *Store) Checkpoint() (CheckpointInfo, error) {
 // barrier between checkpoints.
 func (s *Store) Sync() error { return s.j.Sync() }
 
+// WaitDurable blocks until every journal entry buffered before the call
+// is durable under the store's commit policy, returning nil exactly
+// when it is. Under CommitGroup this is the ack point: Apply, then
+// WaitDurable; a nil return means the fsync covering the caller's
+// entries succeeded. Under the per-update policies the journal's
+// listener already did the per-entry work, so only the sticky error is
+// surfaced (nil under CommitNone means "accepted", not "on disk" —
+// that policy explicitly waives per-update durability).
+func (s *Store) WaitDurable() error {
+	if err := s.j.Err(); err != nil {
+		return err
+	}
+	if s.c == nil {
+		return nil
+	}
+	return s.c.waitFor(s.j.Seq())
+}
+
 // Close flushes and fsyncs the journal and closes the segment file.
 // The store's database remains readable; further updates are no longer
 // journaled (the journal rejects them once closed).
 func (s *Store) Close() error {
+	if s.c != nil {
+		s.c.shutdown() // final drain: one last fsync for pending waiters
+	}
 	cerr := s.j.Close()
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -37,10 +37,24 @@ type Journal struct {
 	mu     sync.Mutex
 	w      *bufio.Writer
 	syncer SyncWriter // non-nil when the underlying writer can fsync
-	enc    *json.Encoder
 	err    error
 	closed bool
+	seq    uint64 // entries successfully buffered since creation
 }
+
+// encBuf is a pooled encode scratch: updates are serialized into it
+// outside the journal lock, so concurrent appliers pay for JSON encoding
+// in parallel and the lock covers only the buffered byte copy.
+type encBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encBufPool = sync.Pool{New: func() any {
+	b := &encBuf{}
+	b.enc = json.NewEncoder(&b.buf)
+	return b
+}}
 
 // ErrJournalClosed is returned by operations on a closed journal.
 var ErrJournalClosed = errors.New("mod: journal closed")
@@ -49,20 +63,41 @@ var ErrJournalClosed = errors.New("mod: journal closed")
 // is appended to w as one JSON line. Call Close before closing the
 // underlying writer.
 func NewJournal(src UpdateSource, w io.Writer) *Journal {
-	bw := bufio.NewWriter(w)
-	j := &Journal{w: bw, enc: json.NewEncoder(bw)}
+	j := &Journal{w: bufio.NewWriter(w)}
 	if sw, ok := w.(SyncWriter); ok {
 		j.syncer = sw
 	}
 	src.OnUpdate(func(u Update) {
+		// Encode outside the lock into pooled scratch; Encoder.Encode
+		// writes exactly the bytes the previous under-lock encoder did
+		// (one JSON value plus '\n'), so the on-disk format is unchanged.
+		b := encBufPool.Get().(*encBuf)
+		b.buf.Reset()
+		encErr := b.enc.Encode(u)
 		j.mu.Lock()
-		defer j.mu.Unlock()
-		if j.err != nil || j.closed {
-			return
+		if j.err == nil && !j.closed {
+			if encErr != nil {
+				j.err = encErr
+			} else if _, werr := j.w.Write(b.buf.Bytes()); werr != nil {
+				j.err = werr
+			} else {
+				j.seq++
+			}
 		}
-		j.err = j.enc.Encode(u)
+		j.mu.Unlock()
+		encBufPool.Put(b)
 	})
 	return j
+}
+
+// Seq returns the number of entries successfully buffered so far. A
+// Sync that begins after Seq returns n covers at least the first n
+// entries: once it succeeds they are on stable storage. Group commit
+// uses this as the ack watermark.
+func (j *Journal) Seq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
 }
 
 // Flush forces buffered entries to the underlying writer. A flush
@@ -116,23 +151,31 @@ func (j *Journal) syncLocked() error {
 // error of the old writer is still reported so the caller can decide
 // whether the old segment's tail is trustworthy.
 func (j *Journal) SwapWriter(w io.Writer) error {
+	_, err := j.Rotate(w)
+	return err
+}
+
+// Rotate is SwapWriter returning, additionally, the sequence number of
+// the last entry written to the old writer — taken under the same lock
+// as the swap, so group commit can resolve exactly the entries whose
+// durability the old writer's final flush+fsync decided.
+func (j *Journal) Rotate(w io.Writer) (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
-		return ErrJournalClosed
+		return j.seq, ErrJournalClosed
 	}
 	oldErr := j.err
 	if oldErr == nil {
 		oldErr = j.syncLocked()
 	}
 	j.w = bufio.NewWriter(w)
-	j.enc = json.NewEncoder(j.w)
 	j.syncer = nil
 	if sw, ok := w.(SyncWriter); ok {
 		j.syncer = sw
 	}
 	j.err = nil
-	return oldErr
+	return j.seq, oldErr
 }
 
 // Close flushes (and fsyncs, if supported), stops recording further

@@ -361,6 +361,39 @@ func (db *DB) ApplyAll(us ...Update) error {
 	return nil
 }
 
+// ApplyBatch applies updates in order under one lock/listener session:
+// the write lock is taken once for the whole batch and listeners are
+// notified once per applied update after it is released, so per-update
+// lock traffic is paid once per batch and journal listeners see the
+// batch as one contiguous run. Application stops at the first rejected
+// update; the count of applied updates is returned along with the
+// error, and every applied prefix update is delivered to listeners (an
+// error does not roll anything back — exactly as repeated Apply calls
+// behave). Readers block for the duration of the batch apply, which is
+// the batch-ingest trade: size batches for milliseconds, not seconds.
+func (db *DB) ApplyBatch(us []Update) (int, error) {
+	db.notifyMu.Lock()
+	defer db.notifyMu.Unlock()
+	db.mu.Lock()
+	n := 0
+	var err error
+	for i, u := range us {
+		if aerr := db.applyLocked(u); aerr != nil {
+			err = fmt.Errorf("mod: update %d (%s): %w", i, u, aerr)
+			break
+		}
+		n = i + 1
+	}
+	ls := db.listeners
+	db.mu.Unlock()
+	for _, u := range us[:n] {
+		for _, l := range ls {
+			l(u)
+		}
+	}
+	return n, err
+}
+
 // Snapshot returns an independent copy of the database state. Because
 // trajectories are immutable values, the copy shares no mutable state
 // with the original.

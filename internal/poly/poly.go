@@ -96,6 +96,34 @@ func (p Poly) trim() Poly {
 	return out
 }
 
+// trimInPlace is trim without the fresh allocation: the same inf-norm
+// cut, trailing-coefficient strip and interior dust flush, applied to
+// p's own storage. The returned slice aliases p. Values produced are
+// bit-identical to trim's.
+func (p Poly) trimInPlace() Poly {
+	max := 0.0
+	for _, c := range p {
+		if a := math.Abs(c); a > max {
+			max = a
+		}
+	}
+	if max == 0 { //modlint:allow floatcmp -- inf-norm is exactly 0 iff every coefficient is exactly 0
+		return p[:0]
+	}
+	cut := max * relEps
+	n := len(p)
+	for n > 0 && math.Abs(p[n-1]) <= cut {
+		n--
+	}
+	q := p[:n]
+	for i, c := range q {
+		if math.Abs(c) <= cut {
+			q[i] = 0
+		}
+	}
+	return q
+}
+
 // Degree returns the degree of p, or -1 for the zero polynomial.
 func (p Poly) Degree() int { return len(p) - 1 }
 
@@ -169,6 +197,34 @@ func (p Poly) Sub(q Poly) Poly {
 		}
 	}
 	return r.trim()
+}
+
+// SubInto computes p - q into dst's storage, growing it only when its
+// capacity is too small, and returns the canonical (trimmed) result.
+// The value is identical to p.Sub(q) bit for bit — trimming flushes any
+// surviving signed zeros to +0, so storage reuse cannot leak a -0 that
+// Sub's fresh allocation would not produce. The sweep's hot path uses
+// this to recycle difference-polynomial storage across reschedules.
+func SubInto(dst, p, q Poly) Poly {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	if cap(dst) < n {
+		dst = make(Poly, n)
+	}
+	r := dst[:n]
+	for i := range r {
+		var c float64
+		if i < len(p) {
+			c = p[i]
+		}
+		if i < len(q) {
+			c -= q[i]
+		}
+		r[i] = c
+	}
+	return r.trimInPlace()
 }
 
 // Neg returns -p.

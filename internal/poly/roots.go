@@ -57,14 +57,47 @@ func (p Poly) SignAt(t float64) int {
 	return signOf(v, signEps*abs)
 }
 
+// maxStackCoeffs bounds the coefficient count for which the one-sided
+// sign cascades run allocation-free on a stack buffer. Sweep workloads
+// are piecewise quadratic (composed time terms raise the degree
+// modestly); longer polynomials fall back to the allocating loop.
+const maxStackCoeffs = 12
+
+// derivTrimInPlace replaces buf's coefficients with those of the
+// polynomial's derivative, canonicalized exactly as Derivative (which
+// trims), and returns the shortened slice aliasing buf.
+func derivTrimInPlace(buf Poly) Poly {
+	if len(buf) <= 1 {
+		return buf[:0]
+	}
+	for i := 1; i < len(buf); i++ {
+		buf[i-1] = float64(i) * buf[i]
+	}
+	return buf[:len(buf)-1].trimInPlace()
+}
+
 // SignAfter returns the sign of p on an interval (t, t+delta) for all
 // sufficiently small delta > 0. It is the first nonzero sign in the
 // derivative cascade p(t), p'(t), p”(t), ...; all derivatives zero means
 // p is the zero polynomial (sign 0).
 //
 // This is the crossing-vs-tangency decision procedure of the sweep: it is
-// exact up to the SignAt tolerance and involves no epsilon stepping.
+// exact up to the SignAt tolerance and involves no epsilon stepping. For
+// the low degrees that dominate sweep workloads the cascade runs on a
+// stack buffer with zero allocations.
 func (p Poly) SignAfter(t float64) int {
+	if len(p) <= maxStackCoeffs {
+		var arr [maxStackCoeffs]float64
+		buf := Poly(arr[:len(p)])
+		copy(buf, p)
+		for len(buf) > 0 {
+			if s := buf.SignAt(t); s != 0 {
+				return s
+			}
+			buf = derivTrimInPlace(buf)
+		}
+		return 0
+	}
 	q := p
 	for !q.IsZero() {
 		if s := q.SignAt(t); s != 0 {
@@ -78,6 +111,20 @@ func (p Poly) SignAfter(t float64) int {
 // SignBefore returns the sign of p on (t-delta, t) for all sufficiently
 // small delta > 0: the first nonzero of p(t), -p'(t), p”(t), -p”'(t)...
 func (p Poly) SignBefore(t float64) int {
+	if len(p) <= maxStackCoeffs {
+		var arr [maxStackCoeffs]float64
+		buf := Poly(arr[:len(p)])
+		copy(buf, p)
+		flip := 1
+		for len(buf) > 0 {
+			if s := buf.SignAt(t); s != 0 {
+				return s * flip
+			}
+			buf = derivTrimInPlace(buf)
+			flip = -flip
+		}
+		return 0
+	}
 	q := p
 	flip := 1
 	for !q.IsZero() {
@@ -321,12 +368,27 @@ func lowDegreeRootsIn(p Poly, a, b float64) []float64 {
 // order using the numerically-stable quadratic formula. A double root is
 // returned once.
 func quadraticRoots(a, b, c float64) []float64 {
+	r1, r2, n := quadRoots(a, b, c)
+	switch n {
+	case 0:
+		return nil
+	case 1:
+		return []float64{r1}
+	default:
+		return []float64{r1, r2}
+	}
+}
+
+// quadRoots is the value-returning core of quadraticRoots: the roots of
+// a*x^2 + b*x + c in ascending order (n of them, 0..2) with no slice
+// allocation, for the sweep's zero-alloc scheduling path.
+func quadRoots(a, b, c float64) (r1, r2 float64, n int) {
 	//modlint:allow floatcmp -- degree dispatch on pre-trimmed coefficients is exact
 	if a == 0 {
 		if b == 0 { //modlint:allow floatcmp -- degree dispatch on pre-trimmed coefficients is exact
-			return nil
+			return 0, 0, 0
 		}
-		return []float64{-c / b}
+		return -c / b, 0, 1
 	}
 	disc := b*b - 4*a*c
 	// Relative tolerance for the discriminant: treat near-tangency as
@@ -334,10 +396,10 @@ func quadraticRoots(a, b, c float64) []float64 {
 	// rather than two roots separated by numerical noise.
 	tol := relEps * (b*b + 4*math.Abs(a*c))
 	if disc < -tol {
-		return nil
+		return 0, 0, 0
 	}
 	if disc <= tol {
-		return []float64{-b / (2 * a)}
+		return -b / (2 * a), 0, 1
 	}
 	s := math.Sqrt(disc)
 	var q float64
@@ -346,11 +408,11 @@ func quadraticRoots(a, b, c float64) []float64 {
 	} else {
 		q = -0.5 * (b - s)
 	}
-	r1, r2 := q/a, c/q
+	r1, r2 = q/a, c/q
 	if r1 > r2 {
 		r1, r2 = r2, r1
 	}
-	return []float64{r1, r2}
+	return r1, r2, 2
 }
 
 // FirstRootAfter returns the smallest real root of p that is strictly
@@ -362,6 +424,38 @@ func (p Poly) FirstRootAfter(t, hi float64) (float64, bool) {
 		return 0, false
 	}
 	if hi <= t {
+		return 0, false
+	}
+	if p.Degree() <= 2 {
+		// Closed-form fast path, allocation-free: the same candidate
+		// roots, [t-RootTol, hi+RootTol] filter, clamp and RootTol dedup
+		// as RootsIn -> lowDegreeRootsIn, scanned in ascending order for
+		// the first root strictly past t.
+		var r1, r2 float64
+		var n int
+		if p.Degree() == 1 {
+			r1, n = -p[0]/p[1], 1
+		} else {
+			r1, r2, n = quadRoots(p[2], p[1], p[0])
+		}
+		prev, havePrev := 0.0, false
+		for i := 0; i < n; i++ {
+			r := r1
+			if i == 1 {
+				r = r2
+			}
+			if !(r >= t-RootTol && r <= hi+RootTol) {
+				continue
+			}
+			r = math.Min(math.Max(r, t), hi)
+			if havePrev && !(r-prev > RootTol) {
+				continue
+			}
+			if r > t+RootTol {
+				return r, true
+			}
+			prev, havePrev = r, true
+		}
 		return 0, false
 	}
 	roots, ok := p.RootsIn(t, hi)

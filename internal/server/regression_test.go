@@ -47,8 +47,11 @@ func (b *stubBackend) Traj(mod.OID) (trajectory.Trajectory, error) {
 	return trajectory.Trajectory{}, nil
 }
 func (b *stubBackend) Apply(mod.Update) error { return nil }
-func (b *stubBackend) OnUpdate(mod.Listener)  {}
-func (b *stubBackend) Snapshot() *mod.DB      { return mod.NewDB(2, b.liveTau) }
+func (b *stubBackend) ApplyBatch(us []mod.Update) (int, error) {
+	return len(us), nil
+}
+func (b *stubBackend) OnUpdate(mod.Listener) {}
+func (b *stubBackend) Snapshot() *mod.DB     { return mod.NewDB(2, b.liveTau) }
 func (b *stubBackend) KNN(gdist.GDistance, int, float64, float64) (*query.AnswerSet, core.Stats, float64, error) {
 	return b.ans, b.stats, b.ansTau, nil
 }

@@ -64,6 +64,11 @@ type Backend interface {
 	LiveAt(t float64) []mod.OID
 	Traj(o mod.OID) (trajectory.Trajectory, error)
 	Apply(u mod.Update) error
+	// ApplyBatch ingests a batch in one backend round trip (grouped by
+	// shard and applied in parallel by sharded backends). It returns
+	// how many updates were applied; on error the applied count is the
+	// durable prefix per shard, not a rollback.
+	ApplyBatch(us []mod.Update) (int, error)
 	OnUpdate(l mod.Listener)
 	// Snapshot returns a consistent unsharded copy of the full state.
 	Snapshot() *mod.DB
@@ -126,6 +131,7 @@ func NewWithOptions(be Backend, opts Options) *Server {
 	s.handle("GET /objects", s.handleObjects)
 	s.handle("GET /object", s.handleObject)
 	s.handle("POST /update", s.handleUpdate)
+	s.handle("POST /update/batch", s.handleUpdateBatch)
 	s.handle("POST /query/knn", s.handleKNN)
 	s.handle("POST /query/within", s.handleWithin)
 	s.handle("GET /snapshot", s.handleSnapshot)
@@ -154,9 +160,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.handler.ServeHTTP(w, r)
 }
 
-// httpError is the JSON error envelope.
+// httpError is the JSON error envelope. Applied is set by the batch
+// endpoint so a partially applied batch reports how far it got.
 type httpError struct {
-	Error string `json:"error"`
+	Error   string `json:"error"`
+	Applied *int   `json:"applied,omitempty"`
 }
 
 func (s *Server) fail(w http.ResponseWriter, code int, err error) {
@@ -166,6 +174,16 @@ func (s *Server) fail(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(httpError{Error: err.Error()})
+}
+
+// failBatch is fail carrying the partially-applied count.
+func (s *Server) failBatch(w http.ResponseWriter, code int, err error, applied int) {
+	if s.log != nil {
+		s.log.Printf("http %d: %v", code, err)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(httpError{Error: err.Error(), Applied: &applied})
 }
 
 func (s *Server) ok(w http.ResponseWriter, v interface{}) {
@@ -244,6 +262,31 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.ok(w, map[string]interface{}{"applied": u.String(), "tau": s.be.Tau()})
+}
+
+// handleUpdateBatch ingests a JSON array of updates in one request —
+// the batch path that amortizes routing, locking, and (under group
+// commit) fsyncs across the whole batch. The response reports how many
+// updates were applied; on a partial failure the applied prefix stays
+// applied (exactly as repeated POST /update would behave) and the
+// error names the first rejection.
+func (s *Server) handleUpdateBatch(w http.ResponseWriter, r *http.Request) {
+	var us []mod.Update
+	if err := json.NewDecoder(r.Body).Decode(&us); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decode update batch: %w", err))
+		return
+	}
+	s.recordBatchSize(len(us))
+	n, err := s.be.ApplyBatch(us)
+	if err != nil {
+		code := http.StatusConflict
+		if errors.Is(err, mod.ErrBadOperation) || errors.Is(err, mod.ErrDimMismatch) {
+			code = http.StatusBadRequest
+		}
+		s.failBatch(w, code, err, n)
+		return
+	}
+	s.ok(w, map[string]interface{}{"applied": n, "tau": s.be.Tau()})
 }
 
 // knnRequest is the body of /query/knn.

@@ -32,6 +32,7 @@ type metrics struct {
 	querySecs    *obs.HistogramVec // whole fan-out query duration, by kind
 	fanout       *obs.Histogram    // shards swept per query
 	candidates   *obs.Histogram    // merged k-NN candidate-pool size
+	batchSize    *obs.Histogram    // updates per ApplyBatch call
 }
 
 // coordLabel tags the coordinator's final k-NN sweep in per-shard
@@ -65,6 +66,8 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 			"shards swept per query", obs.DefSizeBuckets),
 		candidates: reg.NewHistogram("mod_knn_candidates",
 			"merged candidate-pool size of sharded k-NN queries", obs.DefSizeBuckets),
+		batchSize: reg.NewHistogram("mod_update_batch_size",
+			"updates per ApplyBatch call", obs.DefSizeBuckets),
 	}
 	e.metrics.Store(m)
 }
@@ -88,6 +91,30 @@ func (e *Engine) recordUpdate(shard int, err error) {
 		return
 	}
 	m.updates.With(shardLabel(shard)).Inc()
+}
+
+// recordUpdates counts a batch of n routed updates applied by one
+// shard, plus the rejection that stopped the group, if any.
+func (e *Engine) recordUpdates(shard, n int, err error) {
+	m := e.metrics.Load()
+	if m == nil {
+		return
+	}
+	if n > 0 {
+		m.updates.With(shardLabel(shard)).Add(uint64(n))
+	}
+	if err != nil {
+		m.updateErrors.Inc()
+	}
+}
+
+// recordBatch observes one ApplyBatch call's size.
+func (e *Engine) recordBatch(n int) {
+	m := e.metrics.Load()
+	if m == nil {
+		return
+	}
+	m.batchSize.Observe(float64(n))
 }
 
 // recordSweep folds one sweep's work into the per-shard series; shard

@@ -195,6 +195,51 @@ func (e *Engine) ApplyAll(us ...mod.Update) error {
 	return nil
 }
 
+// ApplyBatch ingests a batch of updates: one pass of the OID router
+// groups them by owning shard (preserving batch order within each
+// group, which preserves per-shard chronology), then the per-shard
+// groups are applied in parallel on the worker pool, each under a
+// single lock/listener session (mod.DB.ApplyBatch). It returns the
+// total number of updates applied across shards and the join of any
+// per-shard errors. Error semantics are per shard: a rejected update
+// stops its own shard's group at that point but does not stop the other
+// shards' groups — callers that need all-or-nothing ordering across
+// shards should use ApplyAll.
+func (e *Engine) ApplyBatch(us []mod.Update) (int, error) {
+	if len(us) == 0 {
+		return 0, nil
+	}
+	e.recordBatch(len(us))
+	if len(e.shards) == 1 {
+		n, err := e.shards[0].ApplyBatch(us)
+		e.recordUpdates(0, n, err)
+		return n, err
+	}
+	groups := make([][]mod.Update, len(e.shards))
+	for _, u := range us {
+		i := e.ShardOf(u.O)
+		groups[i] = append(groups[i], u)
+	}
+	applied := make([]int, len(e.shards))
+	err := e.forEach(func(i int) error {
+		if len(groups[i]) == 0 {
+			return nil
+		}
+		n, aerr := e.shards[i].ApplyBatch(groups[i])
+		applied[i] = n
+		e.recordUpdates(i, n, aerr)
+		if aerr != nil {
+			return fmt.Errorf("shard %d: %w", i, aerr)
+		}
+		return nil
+	})
+	total := 0
+	for _, n := range applied {
+		total += n
+	}
+	return total, err
+}
+
 // Load bulk-loads a pre-existing trajectory into its shard.
 func (e *Engine) Load(o mod.OID, tr trajectory.Trajectory) error {
 	return e.shards[e.ShardOf(o)].Load(o, tr)
