@@ -1,24 +1,35 @@
 // Command modlint runs the repo's static-analysis suite (internal/lint)
-// over the module: floatcmp, lockcopy, goroutinecapture, errdrop — the
-// mechanical form of the numeric-comparison and lock-discipline
-// invariants the plane sweep depends on.
+// over the module: floatcmp, lockcopy, goroutinecapture, errdrop,
+// unlockpath, poolescape, atomicmix, waitforget and syncorder — the
+// mechanical form of the numeric-comparison, lock-discipline and
+// fsync-ordering invariants the engine depends on.
 //
 // Usage:
 //
-//	go run ./cmd/modlint ./...            # whole module
-//	go run ./cmd/modlint ./internal/poly  # one subtree
+//	go run ./cmd/modlint ./...             # whole module
+//	go run ./cmd/modlint ./internal/poly   # one subtree
+//	go run ./cmd/modlint -json ./...       # machine-readable findings
+//	go run ./cmd/modlint -stale ./...      # fail on stale suppressions
 //
-// Exit status: 0 clean, 1 findings, 2 load/type errors. Suppress a
-// finding with a `//modlint:allow <analyzer> -- reason` comment on the
-// same line or the line above.
+// Packages load and analyze in parallel, with per-package results
+// cached on disk keyed by file-content hashes (-cache-dir to move the
+// cache, -no-cache to disable, -jobs to bound parallelism).
+//
+// Exit status: 0 clean, 1 findings (or stale suppressions under
+// -stale), 2 load/type errors. Suppress a finding with a
+// `//modlint:allow <analyzer> -- reason` comment (line or block form)
+// on the same line or the line above; every run audits suppressions
+// and reports any that no longer match a finding.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/lint"
@@ -34,12 +45,48 @@ func fprintf(w io.Writer, format string, a ...interface{}) {
 	_, _ = fmt.Fprintf(w, format, a...)
 }
 
+// jsonReport is the -json output document. Field order and the sorted
+// slices make the encoding byte-stable for a given tree: findings in
+// SortFindings order, stale suppressions by file/line.
+type jsonReport struct {
+	Module   string         `json:"module"`
+	Findings []jsonFinding  `json:"findings"`
+	Stale    []jsonStale    `json:"stale_suppressions"`
+	Stats    jsonStatsBlock `json:"stats"`
+}
+
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+type jsonStale struct {
+	File      string   `json:"file"`
+	Line      int      `json:"line"`
+	Analyzers []string `json:"analyzers"`
+	Rationale string   `json:"rationale,omitempty"`
+}
+
+type jsonStatsBlock struct {
+	Packages    int `json:"packages"`
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("modlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings and the suppression audit as JSON on stdout")
+	noCache := fs.Bool("no-cache", false, "disable the on-disk result cache")
+	cacheDir := fs.String("cache-dir", "", "result cache directory (default: user cache dir)")
+	jobs := fs.Int("jobs", 0, "max concurrent type-check/analyze workers (default: GOMAXPROCS)")
+	failStale := fs.Bool("stale", false, "exit nonzero when stale modlint:allow suppressions exist")
 	fs.Usage = func() {
-		fprintf(stderr, "usage: modlint [-list] [packages]\n")
+		fprintf(stderr, "usage: modlint [-list] [-json] [-no-cache] [-cache-dir dir] [-jobs n] [-stale] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -68,15 +115,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	pkgs, err := lint.LoadModule(root, modPath)
+	res, err := lint.AnalyzeModule(root, modPath, lint.AnalyzeOptions{
+		NoCache:  *noCache,
+		CacheDir: *cacheDir,
+		Jobs:     *jobs,
+	})
 	if err != nil {
 		fprintf(stderr, "modlint: %v\n", err)
 		return 2
 	}
+
 	status := 0
-	findings := 0
 	matched := 0
-	for _, pkg := range pkgs {
+	var findings []lint.Finding
+	var stale []lint.Directive
+	for _, pkg := range res.Pkgs {
 		if len(pkg.TypeErrors) > 0 {
 			for _, e := range pkg.TypeErrors {
 				fprintf(stderr, "modlint: %s: type error: %v\n", pkg.ImportPath, e)
@@ -88,15 +141,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			continue
 		}
 		matched++
-		for _, f := range lint.Run(pkg.Pass, lint.All()) {
-			// Render positions relative to the module root for stable,
-			// clickable output.
-			pos := f.Position
-			if rel, err := filepath.Rel(root, pos.Filename); err == nil {
-				pos.Filename = rel
+		kept, used := lint.ApplySuppressions(pkg.Raw, pkg.Directives)
+		findings = append(findings, kept...)
+		for i, u := range used {
+			if !u {
+				stale = append(stale, pkg.Directives[i])
 			}
-			fprintf(stdout, "%s: [%s] %s\n", pos, f.Analyzer, f.Message)
-			findings++
 		}
 	}
 	if matched == 0 && status == 0 {
@@ -104,11 +154,61 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fprintf(stderr, "modlint: no packages match %v\n", fs.Args())
 		return 2
 	}
-	if findings > 0 {
-		fprintf(stderr, "modlint: %d finding(s)\n", findings)
+	lint.SortFindings(findings)
+	sort.Slice(stale, func(i, j int) bool {
+		if stale[i].Position.Filename != stale[j].Position.Filename {
+			return stale[i].Position.Filename < stale[j].Position.Filename
+		}
+		return stale[i].Position.Line < stale[j].Position.Line
+	})
+
+	if *jsonOut {
+		rep := jsonReport{
+			Module:   modPath,
+			Findings: []jsonFinding{},
+			Stale:    []jsonStale{},
+			Stats: jsonStatsBlock{
+				Packages:    matched,
+				CacheHits:   res.CacheHits,
+				CacheMisses: res.CacheMisses,
+			},
+		}
+		for _, f := range findings {
+			rep.Findings = append(rep.Findings, jsonFinding{
+				File: f.Position.Filename, Line: f.Position.Line, Col: f.Position.Column,
+				Analyzer: f.Analyzer, Message: f.Message,
+			})
+		}
+		for _, d := range stale {
+			rep.Stale = append(rep.Stale, jsonStale{
+				File: d.Position.Filename, Line: d.Position.Line,
+				Analyzers: d.Analyzers, Rationale: d.Rationale,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetEscapeHTML(false)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	} else {
+		for _, f := range findings {
+			fprintf(stdout, "%s:%d:%d: [%s] %s\n",
+				f.Position.Filename, f.Position.Line, f.Position.Column, f.Analyzer, f.Message)
+		}
+	}
+
+	for _, d := range stale {
+		fprintf(stderr, "modlint: stale suppression %s:%d: modlint:allow %s matches no finding\n",
+			d.Position.Filename, d.Position.Line, strings.Join(d.Analyzers, ","))
+	}
+	if len(findings) > 0 {
+		fprintf(stderr, "modlint: %d finding(s)\n", len(findings))
 		if status == 0 {
 			status = 1
 		}
+	}
+	if *failStale && len(stale) > 0 && status == 0 {
+		fprintf(stderr, "modlint: %d stale suppression(s)\n", len(stale))
+		status = 1
 	}
 	return status
 }

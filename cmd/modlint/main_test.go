@@ -1,0 +1,215 @@
+package main
+
+// Driver-level tests: the -json document must be byte-stable for a
+// given tree (golden), the cache must be transparent (cached and
+// uncached runs render identically), and the stale-suppression audit
+// must gate the exit status only under -stale.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module and chdirs into it.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		full := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Chdir(dir)
+	return dir
+}
+
+var fixtureModule = map[string]string{
+	"go.mod": "module fixturemod\n\ngo 1.24\n",
+	"lib/lib.go": `package lib
+
+func Eq(a, b float64) bool {
+	return a == b
+}
+
+func Stale(a, b int) bool {
+	return a == b //modlint:allow floatcmp -- ints are never flagged: this directive is stale
+}
+`,
+}
+
+const goldenJSON = `{
+  "module": "fixturemod",
+  "findings": [
+    {
+      "file": "lib/lib.go",
+      "line": 4,
+      "col": 11,
+      "analyzer": "floatcmp",
+      "message": "exact float comparison a == b; use poly.ApproxEq (or annotate //modlint:allow floatcmp -- <why exact>)"
+    }
+  ],
+  "stale_suppressions": [
+    {
+      "file": "lib/lib.go",
+      "line": 8,
+      "analyzers": [
+        "floatcmp"
+      ],
+      "rationale": "ints are never flagged: this directive is stale"
+    }
+  ],
+  "stats": {
+    "packages": 1,
+    "cache_hits": 0,
+    "cache_misses": 1
+  }
+}
+`
+
+// TestJSONGolden pins the machine-readable output format: CI archives
+// it as an artifact, so drift must be deliberate.
+func TestJSONGolden(t *testing.T) {
+	writeModule(t, fixtureModule)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "-no-cache", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (one finding); stderr:\n%s", code, stderr.String())
+	}
+	if got := stdout.String(); got != goldenJSON {
+		t.Errorf("-json output drifted from golden.\ngot:\n%s\nwant:\n%s", got, goldenJSON)
+	}
+}
+
+// TestCacheTransparent proves a warm cache changes nothing but speed:
+// cold, warm, and uncached renders are byte-identical, and the warm
+// run is all hits.
+func TestCacheTransparent(t *testing.T) {
+	writeModule(t, fixtureModule)
+	cacheDir := t.TempDir()
+	render := func(args ...string) string {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 1 {
+			t.Fatalf("run(%v) exit code = %d, want 1; stderr:\n%s", args, code, stderr.String())
+		}
+		return stdout.String()
+	}
+	uncached := render("-no-cache", "./...")
+	cold := render("-cache-dir", cacheDir, "./...")
+	warm := render("-cache-dir", cacheDir, "./...")
+	if cold != uncached || warm != uncached {
+		t.Errorf("cache changed output.\nuncached:\n%s\ncold:\n%s\nwarm:\n%s", uncached, cold, warm)
+	}
+	var stdout, stderr bytes.Buffer
+	run([]string{"-cache-dir", cacheDir, "-json", "./..."}, &stdout, &stderr)
+	if !strings.Contains(stdout.String(), `"cache_hits": 1`) || !strings.Contains(stdout.String(), `"cache_misses": 0`) {
+		t.Errorf("warm run not served from cache:\n%s", stdout.String())
+	}
+}
+
+// TestCacheInvalidatedByEdit: editing a file must flip its package
+// back to a miss and pick up the new finding set.
+func TestCacheInvalidatedByEdit(t *testing.T) {
+	dir := writeModule(t, fixtureModule)
+	cacheDir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	run([]string{"-cache-dir", cacheDir, "./..."}, &stdout, &stderr)
+
+	fixed := strings.Replace(fixtureModule["lib/lib.go"], "return a == b\n}", "return a < b || a > b\n}", 1)
+	if fixed == fixtureModule["lib/lib.go"] {
+		t.Fatal("test bug: replacement did not apply")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "lib", "lib.go"), []byte(fixed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	code := run([]string{"-cache-dir", cacheDir, "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code after fix = %d, want 0; stdout:\n%s stderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("stale cached finding survived the edit:\n%s", stdout.String())
+	}
+}
+
+// TestCacheInvalidatesDependents: a package's cache key folds in its
+// in-module dependencies' keys, so editing a dependency re-analyzes
+// the importer even though the importer's own files are untouched.
+func TestCacheInvalidatesDependents(t *testing.T) {
+	files := map[string]string{
+		"go.mod": "module fixturemod\n\ngo 1.24\n",
+		"base/base.go": `package base
+
+func Threshold() float64 { return 0.5 }
+`,
+		"app/app.go": `package app
+
+import "fixturemod/base"
+
+func Over(x float64) bool {
+	return x != base.Threshold()
+}
+`,
+	}
+	dir := writeModule(t, files)
+	cacheDir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	run([]string{"-cache-dir", cacheDir, "./..."}, &stdout, &stderr)
+
+	// Change only base; app's files are byte-identical.
+	edited := strings.Replace(files["base/base.go"], "0.5", "0.75", 1)
+	if err := os.WriteFile(filepath.Join(dir, "base", "base.go"), []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	run([]string{"-cache-dir", cacheDir, "-json", "./..."}, &stdout, &stderr)
+	if !strings.Contains(stdout.String(), `"cache_misses": 2`) {
+		t.Errorf("editing base should re-analyze base and app (2 misses):\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), `"analyzer": "floatcmp"`) {
+		t.Errorf("app's finding lost after dependency edit:\n%s", stdout.String())
+	}
+}
+
+// TestStaleGate: stale suppressions are always reported but fail the
+// run only under -stale.
+func TestStaleGate(t *testing.T) {
+	writeModule(t, map[string]string{
+		"go.mod": "module fixturemod\n\ngo 1.24\n",
+		"lib/lib.go": `package lib
+
+func Stale(a, b int) bool {
+	return a == b //modlint:allow floatcmp -- ints are never flagged
+}
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-cache", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("without -stale: exit code = %d, want 0; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "stale suppression") {
+		t.Errorf("stale suppression not reported: %s", stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"-no-cache", "-stale", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("with -stale: exit code = %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+}
+
+// TestBadPatternExitCode: a pattern matching nothing is a usage error,
+// never a vacuous clean pass.
+func TestBadPatternExitCode(t *testing.T) {
+	writeModule(t, fixtureModule)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-cache", "./nosuchdir"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr:\n%s", code, stderr.String())
+	}
+}

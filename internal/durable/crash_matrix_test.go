@@ -141,7 +141,7 @@ func TestCrashMatrixRecoversExactPrefix(t *testing.T) {
 			if err != nil {
 				t.Fatalf("mode=%v k=%d: second recovery failed: %v", mode, k, err)
 			}
-			if rec2.Tau() != 100 { //modlint:allow floatcmp -- tau 100 is exact by construction
+			if rec2.Tau() != 100 {
 				t.Fatalf("mode=%v k=%d: post-recovery update lost (tau %g)", mode, k, rec2.Tau())
 			}
 			if err := rec2.Close(); err != nil {

@@ -43,11 +43,11 @@ func prefixDB(t *testing.T, us []mod.Update, j int) *mod.DB {
 // prefixLen maps a recovered Tau back to the stream prefix length that
 // produces it, or -1 if the tau matches no prefix (a non-prefix state).
 func prefixLen(tau float64, us []mod.Update) int {
-	if tau == -1 { //modlint:allow floatcmp -- tau0 sentinel round-trips exactly
+	if tau == -1 {
 		return 0
 	}
 	for j, u := range us {
-		if u.Tau == tau { //modlint:allow floatcmp -- taus are small integers, exact by construction
+		if u.Tau == tau {
 			return j + 1
 		}
 	}

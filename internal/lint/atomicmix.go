@@ -1,0 +1,133 @@
+package lint
+
+// atomicmix: a variable accessed both through sync/atomic operations
+// and through plain loads/stores.
+//
+// The metrics layer and the shard engine publish counters and swap
+// pointers with atomics; mixing in one plain access anywhere silently
+// re-introduces the race the atomic was bought to prevent — the memory
+// model gives a plain read of an atomically-written word no ordering at
+// all. This check collects every struct field and package-level
+// variable whose address is passed to a sync/atomic function
+// (atomic.AddUint64(&s.n, 1) and friends), then flags every plain
+// access to the same variable in the package. A deliberately
+// non-atomic access (e.g. a read after all writers are joined) must say
+// so with a //modlint:allow atomicmix annotation.
+//
+// The typed atomics (atomic.Uint64 et al.) need no checking — their
+// API admits no plain access — and are the preferred fix.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// AtomicMix is the mixed atomic/plain access analyzer.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flags variables accessed both via sync/atomic and via plain loads/stores",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) []Diagnostic {
+	// Pass 1: variables (struct fields, package-level vars) whose
+	// address feeds a sync/atomic call, and the exact AST nodes of those
+	// atomic operands (excluded from pass 2).
+	atomicVars := map[types.Object]token.Position{}
+	atomicOperands := map[ast.Expr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !isAtomicOpName(fn.Name()) {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			target := ast.Unparen(addr.X)
+			if obj := trackableVar(pass, target); obj != nil {
+				if _, seen := atomicVars[obj]; !seen {
+					atomicVars[obj] = pass.Fset.Position(call.Pos())
+				}
+				atomicOperands[target] = true
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+	// Pass 2: plain accesses to the same variables.
+	var out []Diagnostic
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			e, ok := n.(ast.Expr)
+			if !ok || atomicOperands[e] {
+				return true
+			}
+			switch e.(type) {
+			case *ast.SelectorExpr, *ast.Ident:
+			default:
+				return true
+			}
+			obj := trackableVar(pass, e)
+			if obj == nil {
+				return true
+			}
+			first, isAtomic := atomicVars[obj]
+			if !isAtomic {
+				return true
+			}
+			out = append(out, Diag(e.Pos(),
+				"%s is accessed atomically at %s:%d but plainly here; plain loads/stores race with the atomic ops",
+				types.ExprString(e), filepath.Base(first.Filename), first.Line))
+			return false
+		})
+	}
+	return out
+}
+
+// isAtomicOpName matches the sync/atomic function families that
+// establish atomic access: Add*, Load*, Store*, Swap*, CompareAndSwap*,
+// And*, Or*.
+func isAtomicOpName(name string) bool {
+	for _, p := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// trackableVar resolves e to a variable worth tracking across the
+// package: a struct field or a package-level var. Function locals are
+// excluded — their atomic/plain mixes are almost always separated by a
+// happens-before edge (wg.Wait and the like) the analyzer cannot see.
+func trackableVar(pass *Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		// Qualified package-level var (pkg.Var).
+		if v, ok := pass.Info.Uses[e.Sel].(*types.Var); ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := pass.Info.Uses[e].(*types.Var); ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package lint
+
+import "testing"
+
+func TestAtomicMixPositive(t *testing.T) {
+	checkFixture(t, AtomicMix, `package fixture
+
+import "sync/atomic"
+
+type counters struct {
+	hits uint64
+	name string
+}
+
+var global uint64
+
+func bump(c *counters) {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.AddUint64(&global, 1)
+}
+
+func plainRead(c *counters) uint64 {
+	return c.hits // want "accessed atomically"
+}
+
+func plainWrite(c *counters) {
+	c.hits = 0 // want "accessed atomically"
+}
+
+func plainGlobal() uint64 {
+	return global // want "accessed atomically"
+}
+`)
+}
+
+func TestAtomicMixNegative(t *testing.T) {
+	checkFixture(t, AtomicMix, `package fixture
+
+import "sync/atomic"
+
+type counters struct {
+	hits   atomic.Uint64 // typed atomic: no plain access possible
+	misses uint64        // only ever plain: fine
+	errs   uint64
+}
+
+func bump(c *counters) {
+	c.hits.Add(1)
+	c.misses++
+	atomic.AddUint64(&c.errs, 1)
+}
+
+func atomicRead(c *counters) uint64 {
+	return atomic.LoadUint64(&c.errs)
+}
+
+// localMix: locals are excluded — the atomic/plain split here is
+// separated by a happens-before edge the analyzer cannot see.
+func localMix() uint64 {
+	var n uint64
+	done := make(chan struct{})
+	go func() {
+		atomic.AddUint64(&n, 1)
+		close(done)
+	}()
+	<-done
+	return n
+}
+`)
+}
+
+func TestAtomicMixSuppressed(t *testing.T) {
+	findings := lintFixture(t, AtomicMix, `package fixture
+
+import "sync/atomic"
+
+type counters struct{ hits uint64 }
+
+func bump(c *counters) {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+// snapshot runs after Close has joined every writer.
+func snapshot(c *counters) uint64 {
+	return c.hits //modlint:allow atomicmix -- read after Close joins all writers
+}
+`)
+	if len(findings) != 0 {
+		t.Fatalf("suppressed fixture produced findings: %v", findings)
+	}
+}

@@ -1,0 +1,135 @@
+package lint
+
+// On-disk result cache for the modlint driver. A package's cache key
+// hashes everything its raw findings can depend on: a generation
+// string (bumped when analyzer logic changes), the Go toolchain
+// version (stdlib export data feeds the type-checker), the analyzer
+// roster, the package's import path, the name and content hash of
+// every source file, and — because findings consult the exported types
+// of in-module imports — the keys of those dependencies, recursively.
+// Equal key ⇒ byte-identical raw findings, so a hit skips both the
+// type-check and the analysis for that package.
+//
+// Entries store RAW findings plus the package's suppression
+// directives, with module-root-relative filenames. Suppression and the
+// stale-directive audit are recomputed by the driver on every run —
+// they are whole-run properties (a directive's staleness depends on
+// which packages the invocation selected), so caching them would bake
+// one invocation's view into another's.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// cacheGeneration invalidates every existing cache entry. Bump it
+// whenever analyzer or driver logic changes in a way that can alter
+// findings without touching the analyzed sources.
+const cacheGeneration = "modlint-v2"
+
+// DefaultCacheDir returns the cache location used when the caller does
+// not override it: the user cache dir when available, the system temp
+// dir otherwise.
+func DefaultCacheDir() string {
+	if d, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(d, "modlint")
+	}
+	return filepath.Join(os.TempDir(), "modlint-cache")
+}
+
+// cacheEntry is one package's persisted analysis result.
+type cacheEntry struct {
+	Key        string      `json:"key"`
+	ImportPath string      `json:"import_path"`
+	Findings   []Finding   `json:"findings,omitempty"`
+	Directives []Directive `json:"directives,omitempty"`
+}
+
+// diskCache is a flat directory of <key>.json entries. Writes go
+// through a temp file + rename so a crashed run can never leave a
+// torn entry for a later run to trust.
+type diskCache struct {
+	dir string
+}
+
+func openCache(dir string) (*diskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &diskCache{dir: dir}, nil
+}
+
+func (c *diskCache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// get loads the entry for key, with ok=false on miss or any decode
+// problem (a corrupt entry is indistinguishable from a miss on
+// purpose: the run recomputes and overwrites it).
+func (c *diskCache) get(key string) (*cacheEntry, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil || e.Key != key {
+		return nil, false
+	}
+	return &e, true
+}
+
+// put persists an entry atomically; failures are swallowed — the cache
+// is an accelerator, never a correctness dependency.
+func (c *diskCache) put(e *cacheEntry) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "entry-*.tmp")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(name)
+		return
+	}
+	if os.Rename(name, c.path(e.Key)) != nil {
+		_ = os.Remove(name)
+	}
+}
+
+// hashWriter accumulates length-prefixed fields into a SHA-256 sum so
+// adjacent fields cannot alias ("ab"+"c" vs "a"+"bc").
+type hashWriter struct {
+	h [32]byte
+	b []byte
+}
+
+func newHashWriter() *hashWriter { return &hashWriter{} }
+
+func (w *hashWriter) field(s string) {
+	var lenBuf [8]byte
+	n := len(s)
+	for i := 0; i < 8; i++ {
+		lenBuf[i] = byte(n >> (8 * i))
+	}
+	w.b = append(w.b, lenBuf[:]...)
+	w.b = append(w.b, s...)
+}
+
+func (w *hashWriter) sum() string {
+	w.h = sha256.Sum256(w.b)
+	return hex.EncodeToString(w.h[:])
+}
+
+// hashBytes is the content hash used for individual source files.
+func hashBytes(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,330 @@
+package lint
+
+// cfg.go: a lightweight intra-procedural control-flow graph, just enough
+// for path-sensitive checks like unlockpath. One cfgNode per executed
+// statement (composite statements contribute a head node carrying their
+// condition); edges follow Go's structured control flow: if/else, for
+// (with break/continue, labeled or not), range, switch (with
+// fallthrough), type switch, select, return. Calls that never return
+// (panic, os.Exit, runtime.Goexit, testing's Fatal family) end their
+// path without reaching the synthetic exit node, so checks that care
+// about *normal* exits ignore paths that die by panic.
+//
+// Deliberate simplifications, all conservative for unlockpath (they
+// suppress reports rather than invent them): goto ends its path (the
+// repo has none), and a nested FuncLit's body is not part of the
+// enclosing function's graph (each literal gets its own graph).
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// cfgNode is one step of a function's control flow.
+type cfgNode struct {
+	// stmt is the statement executed at this node (simple statements
+	// only: assignments, calls, defers, returns...). nil for head nodes
+	// and the synthetic exit.
+	stmt ast.Stmt
+	// expr is the expression evaluated at a composite statement's head
+	// (an if/for condition, switch tag, range operand). nil elsewhere.
+	expr ast.Expr
+	// succs are the possible next nodes. Empty on the exit node and on
+	// terminating calls (panic and friends).
+	succs []*cfgNode
+	// exit marks the synthetic normal-exit node: reached by return
+	// statements and by falling off the end of the body.
+	exit bool
+}
+
+// funcCFG is the graph of one function body.
+type funcCFG struct {
+	entry *cfgNode
+	exit  *cfgNode
+	nodes []*cfgNode
+}
+
+// cfgBuilder threads break/continue/fallthrough targets while building
+// back-to-front.
+type cfgBuilder struct {
+	pass  *Pass
+	g     *funcCFG
+	brk   map[string]*cfgNode // "" is the innermost target
+	cont  map[string]*cfgNode
+	fall  *cfgNode // fallthrough target inside a switch clause
+	label string   // pending label for the next loop/switch/select
+}
+
+// buildCFG constructs the graph for one function body.
+func buildCFG(pass *Pass, body *ast.BlockStmt) *funcCFG {
+	g := &funcCFG{}
+	g.exit = &cfgNode{exit: true}
+	g.nodes = append(g.nodes, g.exit)
+	b := &cfgBuilder{pass: pass, g: g, brk: map[string]*cfgNode{}, cont: map[string]*cfgNode{}}
+	g.entry = b.block(body.List, g.exit)
+	return g
+}
+
+// node allocates a statement node flowing to succs.
+func (b *cfgBuilder) node(s ast.Stmt, succs ...*cfgNode) *cfgNode {
+	n := &cfgNode{stmt: s, succs: succs}
+	b.g.nodes = append(b.g.nodes, n)
+	return n
+}
+
+// head allocates a condition/tag node flowing to succs.
+func (b *cfgBuilder) head(e ast.Expr, succs ...*cfgNode) *cfgNode {
+	n := &cfgNode{expr: e, succs: succs}
+	b.g.nodes = append(b.g.nodes, n)
+	return n
+}
+
+// block builds a statement list that continues at next, returning the
+// entry node of the list.
+func (b *cfgBuilder) block(list []ast.Stmt, next *cfgNode) *cfgNode {
+	for i := len(list) - 1; i >= 0; i-- {
+		next = b.stmt(list[i], next)
+	}
+	return next
+}
+
+// withTargets runs f with the break (and optionally continue) target
+// registered under both the anonymous slot and the pending label.
+func (b *cfgBuilder) withTargets(brk, cont *cfgNode, f func()) {
+	label := b.label
+	b.label = ""
+	saveB, saveBL := b.brk[""], b.brk[label]
+	saveC, saveCL := b.cont[""], b.cont[label]
+	b.brk[""] = brk
+	if label != "" {
+		b.brk[label] = brk
+	}
+	if cont != nil {
+		b.cont[""] = cont
+		if label != "" {
+			b.cont[label] = cont
+		}
+	}
+	f()
+	b.brk[""] = saveB
+	if cont != nil {
+		b.cont[""] = saveC
+	}
+	if label != "" {
+		b.brk[label] = saveBL
+		if cont != nil {
+			b.cont[label] = saveCL
+		}
+	}
+}
+
+// stmt builds one statement that continues at next, returning its entry.
+func (b *cfgBuilder) stmt(s ast.Stmt, next *cfgNode) *cfgNode {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.block(s.List, next)
+
+	case *ast.LabeledStmt:
+		b.label = s.Label.Name
+		entry := b.stmt(s.Stmt, next)
+		b.label = ""
+		return entry
+
+	case *ast.ReturnStmt:
+		return b.node(s, b.g.exit)
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		var target *cfgNode
+		switch s.Tok.String() {
+		case "break":
+			target = b.brk[label]
+		case "continue":
+			target = b.cont[label]
+		case "fallthrough":
+			target = b.fall
+		case "goto":
+			target = nil // path ends: conservative, and the repo has no gotos
+		}
+		if target == nil {
+			return b.node(s) // no successors: path ends here
+		}
+		return b.node(s, target)
+
+	case *ast.IfStmt:
+		thenEntry := b.block(s.Body.List, next)
+		elseEntry := next
+		if s.Else != nil {
+			elseEntry = b.stmt(s.Else, next)
+		}
+		entry := b.head(s.Cond, thenEntry, elseEntry)
+		if s.Init != nil {
+			entry = b.stmt(s.Init, entry)
+		}
+		return entry
+
+	case *ast.ForStmt:
+		// head -> body -> post -> head; head -> next iff there is a
+		// condition (for {} only leaves via break/return).
+		head := b.head(s.Cond)
+		if s.Cond != nil {
+			head.succs = append(head.succs, next)
+		}
+		post := head
+		if s.Post != nil {
+			post = b.stmt(s.Post, head)
+		}
+		b.withTargets(next, post, func() {
+			bodyEntry := b.block(s.Body.List, post)
+			head.succs = append([]*cfgNode{bodyEntry}, head.succs...)
+		})
+		entry := head
+		if s.Init != nil {
+			entry = b.stmt(s.Init, head)
+		}
+		return entry
+
+	case *ast.RangeStmt:
+		head := b.head(s.X, next)
+		b.withTargets(next, head, func() {
+			bodyEntry := b.block(s.Body.List, head)
+			head.succs = append([]*cfgNode{bodyEntry}, head.succs...)
+		})
+		return head
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		return b.switchStmt(s, next)
+
+	case *ast.SelectStmt:
+		if len(s.Body.List) == 0 {
+			return b.node(s) // select{} blocks forever
+		}
+		var entries []*cfgNode
+		b.withTargets(next, nil, func() {
+			for _, cc := range s.Body.List {
+				clause := cc.(*ast.CommClause)
+				bodyEntry := b.block(clause.Body, next)
+				if clause.Comm != nil {
+					bodyEntry = b.stmt(clause.Comm, bodyEntry)
+				}
+				entries = append(entries, bodyEntry)
+			}
+		})
+		n := &cfgNode{succs: entries}
+		b.g.nodes = append(b.g.nodes, n)
+		return n
+
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && neverReturns(b.pass, call) {
+			return b.node(s) // panic/os.Exit/Fatal: path ends
+		}
+		return b.node(s, next)
+
+	default:
+		// Assignments, declarations, send, inc/dec, defer, go, empty.
+		return b.node(s, next)
+	}
+}
+
+// switchStmt builds expression and type switches: every clause is a
+// successor of the head; fallthrough chains clause bodies; a missing
+// default adds an edge straight to next.
+func (b *cfgBuilder) switchStmt(s ast.Stmt, next *cfgNode) *cfgNode {
+	var init ast.Stmt
+	var tag ast.Expr
+	var clauses []*ast.CaseClause
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		init, tag = s.Init, s.Tag
+		for _, c := range s.Body.List {
+			clauses = append(clauses, c.(*ast.CaseClause))
+		}
+	case *ast.TypeSwitchStmt:
+		init = s.Init
+		for _, c := range s.Body.List {
+			clauses = append(clauses, c.(*ast.CaseClause))
+		}
+	}
+	head := b.head(tag)
+	b.withTargets(next, nil, func() {
+		// Build back-to-front so fallthrough can target the next clause's
+		// body entry.
+		entries := make([]*cfgNode, len(clauses))
+		var nextBody *cfgNode
+		for i := len(clauses) - 1; i >= 0; i-- {
+			saveFall := b.fall
+			b.fall = nextBody
+			entries[i] = b.block(clauses[i].Body, next)
+			b.fall = saveFall
+			nextBody = entries[i]
+			if clauses[i].List == nil {
+				hasDefault = true
+			}
+		}
+		head.succs = append(head.succs, entries...)
+	})
+	if !hasDefault {
+		head.succs = append(head.succs, next)
+	}
+	entry := head
+	if ts, ok := s.(*ast.TypeSwitchStmt); ok && ts.Assign != nil {
+		entry = b.stmt(ts.Assign, entry)
+	}
+	if init != nil {
+		entry = b.stmt(init, entry)
+	}
+	return entry
+}
+
+// neverReturns reports whether a call terminates the goroutine (or the
+// process): panic, os.Exit, runtime.Goexit, log's and testing's Fatal
+// family. Paths through such calls never reach the function's normal
+// exit.
+func neverReturns(pass *Pass, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := pass.Info.Uses[fun]; ok {
+			if bi, ok := obj.(*types.Builtin); ok {
+				return bi.Name() == "panic"
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			switch fn.FullName() {
+			case "os.Exit", "runtime.Goexit",
+				"log.Fatal", "log.Fatalf", "log.Fatalln",
+				"(*log.Logger).Fatal", "(*log.Logger).Fatalf", "(*log.Logger).Fatalln":
+				return true
+			}
+			// testing's Fatal family runs runtime.Goexit; match by
+			// method name so *testing.T, *B and *F all count.
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil && isTestingRecv(recv.Type()) {
+				switch fn.Name() {
+				case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isTestingRecv reports whether t is a pointer to a type in package
+// testing (T, B, F and their embedded common).
+func isTestingRecv(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "testing" ||
+		strings.HasPrefix(named.Obj().Pkg().Path(), "testing/")
+}

@@ -21,6 +21,21 @@ import (
 // and runs one analyzer over it (suppression comments honored).
 func lintFixture(t *testing.T, a *Analyzer, src string) []Finding {
 	t.Helper()
+	return lintFixtureAt(t, a, "fixture", src)
+}
+
+// lintFixtureAt is lintFixture with an explicit import path, for
+// analyzers gated by package path (syncorder).
+func lintFixtureAt(t *testing.T, a *Analyzer, pkgPath, src string) []Finding {
+	t.Helper()
+	return Run(typeCheckFixture(t, pkgPath, src), []*Analyzer{a})
+}
+
+// typeCheckFixture parses and type-checks src as a single-file package
+// under pkgPath and returns the Pass, for tests that drive the
+// RunRaw/CollectDirectives/ApplySuppressions pipeline directly.
+func typeCheckFixture(t *testing.T, pkgPath, src string) *Pass {
+	t.Helper()
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
 	if err != nil {
@@ -35,11 +50,11 @@ func lintFixture(t *testing.T, a *Analyzer, src string) []Finding {
 		Implicits:  map[ast.Node]types.Object{},
 	}
 	conf := types.Config{Importer: newModuleImporter(fset)}
-	pkg, err := conf.Check("fixture", fset, []*ast.File{f}, info)
+	pkg, err := conf.Check(pkgPath, fset, []*ast.File{f}, info)
 	if err != nil {
 		t.Fatalf("type-check fixture: %v", err)
 	}
-	return Run(&Pass{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}, []*Analyzer{a})
+	return &Pass{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}
 }
 
 var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
@@ -47,7 +62,13 @@ var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
 // checkFixture asserts findings match the fixture's want markers exactly.
 func checkFixture(t *testing.T, a *Analyzer, src string) {
 	t.Helper()
-	findings := lintFixture(t, a, src)
+	checkFixtureAt(t, a, "fixture", src)
+}
+
+// checkFixtureAt is checkFixture with an explicit import path.
+func checkFixtureAt(t *testing.T, a *Analyzer, pkgPath, src string) {
+	t.Helper()
+	findings := lintFixtureAt(t, a, pkgPath, src)
 	wants := map[int][]string{} // line -> expected message substrings
 	for i, line := range strings.Split(src, "\n") {
 		for _, m := range wantRe.FindAllStringSubmatch(line, -1) {

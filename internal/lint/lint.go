@@ -1,28 +1,41 @@
 // Package lint is a small, stdlib-only static-analysis framework plus the
-// repo-specific analyzers that guard the sweep-line invariants. The
+// repo-specific analyzers that guard the engine's invariants. The
 // plane-sweep core (Lemmas 7-8, Theorems 4-5 of the paper) is only correct
-// if two invariant families hold everywhere in the tree:
+// if the numeric comparisons on curve/event times go through epsilon-aware
+// helpers and the concurrent server/watch layers never copy or escape
+// lock-guarded kinetic state; the crash-safe, concurrent engine grown on
+// top (committer goroutines with ack watermarks, pooled scratch buffers,
+// the six-step fsync/rename checkpoint protocol) adds invariant families
+// of its own. One analyzer per family:
 //
-//   - numeric comparisons on curve/event times go through epsilon-aware
-//     helpers (exact float == / != silently breaks the kinetic precedence
-//     relation <=_t when intersection times carry 1e-16-scale dust), and
-//   - the concurrent server/watch layers never copy or escape
-//     lock-guarded kinetic state.
+//	floatcmp          exact float ==/!= on computed values
+//	lockcopy          by-value copies of lock-containing types
+//	goroutinecapture  loop-variable capture in goroutines
+//	errdrop           silently discarded error results
+//	unlockpath        Lock() without Unlock() on some path (per-function CFG)
+//	poolescape        sync.Pool values escaping their Get..Put window
+//	atomicmix         mixed atomic and plain access to one variable
+//	waitforget        WaitGroup Add/Done/Wait imbalance, goroutine errors dropped
+//	syncorder         checkpoint-protocol fsync ordering (durable/vfs only)
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis at a
 // fraction of the surface: an Analyzer inspects one type-checked package
 // (a Pass) and reports Diagnostics. It is built only on go/parser, go/ast
 // and go/types, consistent with the repo's no-external-deps seed.
 //
-// Suppression: a finding may be silenced with a trailing or preceding
-// comment of the form
+// Suppression: a finding may be silenced with a comment of the form
 //
 //	//modlint:allow floatcmp  -- reason
+//	/* modlint:allow floatcmp -- reason */
 //
-// naming one or more comma-separated analyzers. Suppressions are expected
-// to carry a justification ("inputs provably exact" and the like); they
-// are the escape hatch for the exact-zero comparisons the numeric policy
-// explicitly permits.
+// naming one or more comma-separated analyzers (or "all"). The directive
+// covers findings on its own line and the line below; when that line
+// opens a multi-line statement, coverage extends to the statement's last
+// line, so a directive above (or trailing) a wrapped call suppresses
+// findings anywhere inside it. Suppressions are expected to carry a
+// justification ("inputs provably exact" and the like); the driver's
+// stale-suppression audit reports directives that no longer match any
+// finding, so dead escapes cannot accumulate.
 package lint
 
 import (
@@ -39,7 +52,7 @@ type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in
 	// //modlint:allow comments.
 	Name string
-	// Doc is a one-line description shown by `modlint -help`.
+	// Doc is a one-line description shown by `modlint -list`.
 	Doc string
 	// Run inspects the pass and returns findings. Positions must be
 	// valid in pass.Fset.
@@ -84,15 +97,54 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: [%s] %s", f.Position, f.Analyzer, f.Message)
 }
 
+// Directive is one modlint:allow suppression comment.
+type Directive struct {
+	// Position locates the directive comment itself.
+	Position token.Position
+	// FromLine..ToLine is the covered line range in Position.Filename:
+	// the directive's own line(s), the line below, and — when one of
+	// those opens a multi-line statement — through that statement's end.
+	FromLine, ToLine int
+	// Analyzers are the named analyzers (lowercased), possibly "all".
+	Analyzers []string
+	// Rationale is the text after "--", for display in audits.
+	Rationale string
+}
+
+// covers reports whether the directive suppresses analyzer a at pos.
+func (d Directive) covers(a string, pos token.Position) bool {
+	if pos.Filename != d.Position.Filename || pos.Line < d.FromLine || pos.Line > d.ToLine {
+		return false
+	}
+	for _, name := range d.Analyzers {
+		if name == a || name == "all" {
+			return true
+		}
+	}
+	return false
+}
+
 // All returns the repo's analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{FloatCmp, LockCopy, GoroutineCapture, ErrDrop}
+	return []*Analyzer{
+		FloatCmp, LockCopy, GoroutineCapture, ErrDrop,
+		UnlockPath, PoolEscape, AtomicMix, WaitForget, SyncOrder,
+	}
 }
 
 // Run applies the analyzers to one package and returns findings with
 // suppressions applied, sorted by position.
 func Run(pass *Pass, analyzers []*Analyzer) []Finding {
-	allowed := collectAllows(pass)
+	findings := RunRaw(pass, analyzers)
+	kept, _ := ApplySuppressions(findings, CollectDirectives(pass))
+	return kept
+}
+
+// RunRaw applies the analyzers and returns every finding, suppressed or
+// not, sorted by position. The caller pairs it with CollectDirectives
+// and ApplySuppressions; keeping the raw set around is what makes the
+// stale-suppression audit and the result cache possible.
+func RunRaw(pass *Pass, analyzers []*Analyzer) []Finding {
 	var out []Finding
 	for _, a := range analyzers {
 		for _, d := range a.Run(pass) {
@@ -100,15 +152,18 @@ func Run(pass *Pass, analyzers []*Analyzer) []Finding {
 			if name == "" {
 				name = a.Name
 			}
-			pos := pass.Fset.Position(d.Pos)
-			if allowed.allows(name, pos) {
-				continue
-			}
-			out = append(out, Finding{Position: pos, Analyzer: name, Message: d.Message})
+			out = append(out, Finding{Position: pass.Fset.Position(d.Pos), Analyzer: name, Message: d.Message})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].Position, out[j].Position
+	SortFindings(out)
+	return out
+}
+
+// SortFindings orders findings by file, line, column, analyzer, message
+// — the stable order every output mode uses.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i].Position, fs[j].Position
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
 		}
@@ -118,63 +173,119 @@ func Run(pass *Pass, analyzers []*Analyzer) []Finding {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return out[i].Analyzer < out[j].Analyzer
+		if fs[i].Analyzer != fs[j].Analyzer {
+			return fs[i].Analyzer < fs[j].Analyzer
+		}
+		return fs[i].Message < fs[j].Message
 	})
-	return out
 }
 
-// allowSet records, per file and line, which analyzers are suppressed.
-type allowSet map[string]map[int]map[string]bool // filename -> line -> analyzer
-
-// allows reports whether a finding at pos is suppressed by a comment on
-// the same line or on the line directly above.
-func (s allowSet) allows(analyzer string, pos token.Position) bool {
-	lines := s[pos.Filename]
-	if lines == nil {
-		return false
-	}
-	for _, ln := range [2]int{pos.Line, pos.Line - 1} {
-		if m := lines[ln]; m != nil && (m[analyzer] || m["all"]) {
-			return true
+// ApplySuppressions filters findings through the directives, returning
+// the kept findings and, aligned with dirs, whether each directive
+// matched at least one finding (the input to the stale audit).
+func ApplySuppressions(findings []Finding, dirs []Directive) (kept []Finding, used []bool) {
+	used = make([]bool, len(dirs))
+	for _, f := range findings {
+		suppressed := false
+		for i, d := range dirs {
+			if d.covers(f.Analyzer, f.Position) {
+				used[i] = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
 		}
 	}
-	return false
+	return kept, used
 }
 
-const allowPrefix = "//modlint:allow"
+const allowLineDirective = "//modlint:allow"
 
-// collectAllows scans all comments of the pass for allow directives.
-func collectAllows(pass *Pass) allowSet {
-	out := allowSet{}
+// CollectDirectives scans the pass's comments for modlint:allow
+// directives, in both line-comment and block-comment form, computing
+// each directive's covered line range (own line, line below, extended
+// through a multi-line statement opened on either).
+func CollectDirectives(pass *Pass) []Directive {
+	var out []Directive
 	for _, f := range pass.Files {
+		spans := statementSpans(pass.Fset, f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				body, ok := directiveBody(c.Text)
 				if !ok {
 					continue
 				}
-				// Directive body ends at an optional "--" rationale.
-				if i := strings.Index(rest, "--"); i >= 0 {
-					rest = rest[:i]
-				}
-				pos := pass.Fset.Position(c.Pos())
-				lines := out[pos.Filename]
-				if lines == nil {
-					lines = map[int]map[string]bool{}
-					out[pos.Filename] = lines
-				}
-				m := lines[pos.Line]
-				if m == nil {
-					m = map[string]bool{}
-					lines[pos.Line] = m
-				}
-				for _, name := range strings.Split(rest, ",") {
-					if name = strings.TrimSpace(name); name != "" {
-						m[name] = true
+				d := parseDirective(body)
+				d.Position = pass.Fset.Position(c.Pos())
+				endLine := pass.Fset.Position(c.End()).Line
+				d.FromLine = d.Position.Line
+				d.ToLine = endLine + 1
+				for _, l := range [2]int{d.FromLine, endLine + 1} {
+					if end := spans[l]; end > d.ToLine {
+						d.ToLine = end
 					}
 				}
+				out = append(out, d)
 			}
 		}
 	}
 	return out
+}
+
+// directiveBody extracts the directive text after "modlint:allow" from
+// a line or block comment, or ok=false.
+func directiveBody(text string) (string, bool) {
+	if rest, ok := strings.CutPrefix(text, allowLineDirective); ok {
+		return rest, true
+	}
+	if inner, ok := strings.CutPrefix(text, "/*"); ok {
+		inner = strings.TrimSuffix(inner, "*/")
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(inner), "modlint:allow"); ok {
+			return rest, true
+		}
+	}
+	return "", false
+}
+
+// parseDirective splits "floatcmp, errdrop -- reason" into names and
+// rationale.
+func parseDirective(rest string) Directive {
+	var d Directive
+	if i := strings.Index(rest, "--"); i >= 0 {
+		d.Rationale = strings.TrimSpace(rest[i+2:])
+		rest = rest[:i]
+	}
+	for _, name := range strings.Split(rest, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			d.Analyzers = append(d.Analyzers, name)
+		}
+	}
+	return d
+}
+
+// statementSpans maps, per starting line, the last line of the longest
+// simple statement (or declaration group / field) opening there — the
+// data the multi-line directive coverage rule needs. Only statements
+// without nested bodies extend coverage: a directive on an if/for/func
+// line must not blanket everything inside the body.
+func statementSpans(fset *token.FileSet, f *ast.File) map[int]int {
+	spans := map[int]int{}
+	note := func(n ast.Node) {
+		from := fset.Position(n.Pos()).Line
+		to := fset.Position(n.End()).Line
+		if to > spans[from] {
+			spans[from] = to
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.AssignStmt, *ast.ExprStmt, *ast.ReturnStmt, *ast.DeclStmt,
+			*ast.SendStmt, *ast.IncDecStmt, *ast.GoStmt, *ast.DeferStmt,
+			*ast.GenDecl, *ast.ValueSpec, *ast.Field:
+			note(n)
+		}
+		return true
+	})
+	return spans
 }

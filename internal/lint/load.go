@@ -1,11 +1,33 @@
 package lint
 
-// A deliberately small module loader: modlint must not depend on
+// The modlint driver: a deliberately small module loader plus a
+// parallel, cached analysis pipeline. modlint must not depend on
 // golang.org/x/tools, so packages are discovered by walking the module
-// tree, parsed with go/parser, and type-checked in dependency order with
-// go/types. Imports inside the module resolve to the freshly checked
-// packages; standard-library imports resolve through go/importer (compiled
+// tree, parsed with go/parser, and type-checked with go/types; imports
+// inside the module resolve to freshly checked packages and
+// standard-library imports resolve through go/importer (compiled
 // export data when available, source otherwise).
+//
+// The pipeline:
+//
+//  1. Discover package directories and parse every file concurrently
+//     (token.FileSet and go/parser are safe for concurrent use). File
+//     bytes are read once and feed both the parser and the cache key.
+//  2. Compute each package's cache key in dependency order (a key
+//     covers the package's own files plus its in-module deps' keys —
+//     see cache.go) and probe the on-disk cache.
+//  3. Type-check only what a cache miss needs: the misses themselves
+//     plus their transitive in-module dependencies. Packages
+//     type-check concurrently as their dependencies complete, bounded
+//     by Jobs; a cache hit whose result no miss depends on is never
+//     parsed into types at all.
+//  4. Run the analyzer suite over each miss (in the same worker that
+//     type-checked it) and persist raw findings + directives.
+//
+// Raw findings and suppression directives come back per package with
+// module-root-relative filenames; the caller applies suppressions and
+// the stale-directive audit over whatever package subset the
+// invocation selected.
 
 import (
 	"fmt"
@@ -16,21 +38,55 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
-// Package is one loaded, type-checked package ready for analysis.
-type Package struct {
+// AnalyzeOptions configures one AnalyzeModule run.
+type AnalyzeOptions struct {
+	// Analyzers is the suite to run; nil means All().
+	Analyzers []*Analyzer
+	// CacheDir is the on-disk cache location; empty means
+	// DefaultCacheDir().
+	CacheDir string
+	// NoCache disables the result cache entirely (no reads, no writes).
+	NoCache bool
+	// Jobs bounds concurrent parse/type-check workers; <=0 means
+	// GOMAXPROCS.
+	Jobs int
+}
+
+// PackageResult is one package's analysis outcome.
+type PackageResult struct {
 	// ImportPath is the module-relative import path; external test
 	// packages carry a trailing "_test".
 	ImportPath string
 	Dir        string
-	Pass       *Pass
+	// Raw holds every finding, suppressed or not, with filenames
+	// relative to the module root. The caller pairs it with Directives
+	// via ApplySuppressions.
+	Raw []Finding
+	// Directives are the package's modlint:allow comments, filenames
+	// relative to the module root.
+	Directives []Directive
 	// TypeErrors holds type-checker soft failures. Analysis still runs
-	// (go/types recovers well), but callers should surface them.
+	// (go/types recovers well), but callers should surface them; a
+	// package with type errors is never cached.
 	TypeErrors []error
+	// Cached reports whether Raw/Directives came from the cache.
+	Cached bool
+}
+
+// ModuleResult is the outcome of analyzing a whole module.
+type ModuleResult struct {
+	Root    string
+	ModPath string
+	// Pkgs is sorted by import path.
+	Pkgs                   []*PackageResult
+	CacheHits, CacheMisses int
 }
 
 // FindModuleRoot walks up from dir to the nearest go.mod, returning the
@@ -72,79 +128,198 @@ func parseModulePath(gomod string) string {
 	return ""
 }
 
-// LoadModule parses and type-checks every package under root (module path
-// modPath), returning packages in dependency order. In-package test files
-// are included with their package; external _test packages are loaded as
-// separate packages checked last.
-func LoadModule(root, modPath string) ([]*Package, error) {
+// srcFile is one parsed source file plus the content hash the cache
+// key needs.
+type srcFile struct {
+	rel  string // module-root-relative, slash-separated
+	ast  *ast.File
+	hash string
+}
+
+// rawPkg is one discovered package before type-checking.
+type rawPkg struct {
+	importPath string
+	dir        string
+	files      []srcFile
+	imports    map[string]bool
+	external   bool // external test package (name ends in _test)
+	key        string
+
+	// Filled by the pipeline.
+	result   *PackageResult
+	done     chan struct{} // closed when type-checked (or failed)
+	pass     *Pass         // set on successful type-check
+	typeErrs []error       // type-checker soft failures
+	hard     error         // type-check produced no package at all
+}
+
+// AnalyzeModule runs the analyzer suite over every package under root,
+// reusing cached results where the key matches.
+func AnalyzeModule(root, modPath string, opts AnalyzeOptions) (*ModuleResult, error) {
+	analyzers := opts.Analyzers
+	if analyzers == nil {
+		analyzers = All()
+	}
+	jobs := opts.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+
 	fset := token.NewFileSet()
-	dirs, err := goSourceDirs(root)
+	raws, byPath, err := discoverPackages(fset, root, modPath, jobs)
 	if err != nil {
 		return nil, err
 	}
-
-	type rawPkg struct {
-		importPath string
-		dir        string
-		files      []*ast.File
-		imports    map[string]bool
-		external   bool // external test package (name ends in _test)
+	order, err := topoOrder(raws, byPath)
+	if err != nil {
+		return nil, err
 	}
-	var raws []*rawPkg
-	byPath := map[string]*rawPkg{}
+	computeKeys(order, byPath, analyzers)
 
-	for _, dir := range dirs {
-		entries, err := os.ReadDir(dir)
-		if err != nil {
-			return nil, err
+	var cache *diskCache
+	if !opts.NoCache {
+		dir := opts.CacheDir
+		if dir == "" {
+			dir = DefaultCacheDir()
 		}
-		rel, err := filepath.Rel(root, dir)
-		if err != nil {
-			return nil, err
-		}
-		importPath := modPath
-		if rel != "." {
-			importPath = modPath + "/" + filepath.ToSlash(rel)
-		}
-		// Group files by package name: the primary package (plus its
-		// in-package tests) and at most one external test package.
-		groups := map[string][]*ast.File{}
-		for _, e := range entries {
-			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+		// A cache that cannot open degrades to a cold run.
+		cache, _ = openCache(dir)
+	}
+
+	res := &ModuleResult{Root: root, ModPath: modPath}
+	for _, rp := range order {
+		if cache != nil {
+			if e, ok := cache.get(rp.key); ok {
+				rp.result = &PackageResult{
+					ImportPath: rp.importPath, Dir: rp.dir,
+					Raw: e.Findings, Directives: e.Directives, Cached: true,
+				}
+				res.CacheHits++
 				continue
 			}
-			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
-			if err != nil {
-				return nil, fmt.Errorf("lint: parse %s: %w", e.Name(), err)
-			}
-			groups[f.Name.Name] = append(groups[f.Name.Name], f)
 		}
-		for name, files := range groups {
-			rp := &rawPkg{dir: dir, files: files, imports: map[string]bool{}}
-			if strings.HasSuffix(name, "_test") {
-				rp.importPath = importPath + "_test"
-				rp.external = true
-			} else {
-				rp.importPath = importPath
-			}
-			for _, f := range files {
-				for _, imp := range f.Imports {
-					p, err := strconv.Unquote(imp.Path.Value)
-					if err == nil {
-						rp.imports[p] = true
-					}
-				}
-			}
+		res.CacheMisses++
+	}
+
+	// Type-check set: misses plus their transitive in-module deps.
+	required := requiredSet(order, byPath)
+	checkAndAnalyze(fset, root, required, byPath, analyzers, jobs, cache)
+
+	for _, rp := range order {
+		if rp.hard != nil {
+			return nil, fmt.Errorf("lint: type-check %s failed: %v", rp.importPath, rp.hard)
+		}
+		if rp.result != nil {
+			res.Pkgs = append(res.Pkgs, rp.result)
+		}
+	}
+	sort.Slice(res.Pkgs, func(i, j int) bool { return res.Pkgs[i].ImportPath < res.Pkgs[j].ImportPath })
+	return res, nil
+}
+
+// discoverPackages walks the module tree and parses every package's
+// files, jobs directories at a time.
+func discoverPackages(fset *token.FileSet, root, modPath string, jobs int) ([]*rawPkg, map[string]*rawPkg, error) {
+	dirs, err := goSourceDirs(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	perDir := make([][]*rawPkg, len(dirs))
+	errs := make([]error, len(dirs))
+	sem := make(chan struct{}, jobs)
+	var wg sync.WaitGroup
+	for i, dir := range dirs {
+		wg.Add(1)
+		go func(i int, dir string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			perDir[i], errs[i] = parseDir(fset, root, modPath, dir)
+		}(i, dir)
+	}
+	wg.Wait()
+	var raws []*rawPkg
+	byPath := map[string]*rawPkg{}
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, rp := range perDir[i] {
 			raws = append(raws, rp)
 			if !rp.external {
 				byPath[rp.importPath] = rp
 			}
 		}
 	}
-
-	// Topologically order the in-module packages; external test packages
-	// go last (nothing can import them).
 	sort.Slice(raws, func(i, j int) bool { return raws[i].importPath < raws[j].importPath })
+	return raws, byPath, nil
+}
+
+// parseDir reads and parses one directory's .go files, grouping them by
+// package name: the primary package (with its in-package tests) and at
+// most one external _test package.
+func parseDir(fset *token.FileSet, root, modPath, dir string) ([]*rawPkg, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := modPath
+	if rel != "." {
+		importPath = modPath + "/" + filepath.ToSlash(rel)
+	}
+	groups := map[string][]srcFile{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		full := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, full, data, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", e.Name(), err)
+		}
+		relFile := filepath.ToSlash(filepath.Join(filepath.FromSlash(relOrDot(rel)), e.Name()))
+		groups[f.Name.Name] = append(groups[f.Name.Name], srcFile{rel: relFile, ast: f, hash: hashBytes(data)})
+	}
+	var out []*rawPkg
+	for name, files := range groups {
+		sort.Slice(files, func(i, j int) bool { return files[i].rel < files[j].rel })
+		rp := &rawPkg{dir: dir, files: files, imports: map[string]bool{}, done: make(chan struct{})}
+		if strings.HasSuffix(name, "_test") {
+			rp.importPath = importPath + "_test"
+			rp.external = true
+		} else {
+			rp.importPath = importPath
+		}
+		for _, sf := range files {
+			for _, imp := range sf.ast.Imports {
+				if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+					rp.imports[p] = true
+				}
+			}
+		}
+		out = append(out, rp)
+	}
+	return out, nil
+}
+
+func relOrDot(rel string) string {
+	if rel == "." {
+		return ""
+	}
+	return rel
+}
+
+// topoOrder sorts packages so every in-module dependency precedes its
+// importers; external test packages go last (nothing can import them).
+func topoOrder(raws []*rawPkg, byPath map[string]*rawPkg) ([]*rawPkg, error) {
 	var order []*rawPkg
 	state := map[*rawPkg]int{} // 0 unvisited, 1 visiting, 2 done
 	var visit func(rp *rawPkg) error
@@ -156,16 +331,9 @@ func LoadModule(root, modPath string) ([]*Package, error) {
 			return nil
 		}
 		state[rp] = 1
-		deps := make([]string, 0, len(rp.imports))
-		for p := range rp.imports {
-			deps = append(deps, p)
-		}
-		sort.Strings(deps)
-		for _, p := range deps {
-			if dep, ok := byPath[p]; ok && dep != rp {
-				if err := visit(dep); err != nil {
-					return err
-				}
+		for _, dep := range inModuleDeps(rp, byPath) {
+			if err := visit(dep); err != nil {
+				return err
 			}
 		}
 		state[rp] = 2
@@ -184,34 +352,161 @@ func LoadModule(root, modPath string) ([]*Package, error) {
 			order = append(order, rp)
 		}
 	}
+	return order, nil
+}
 
-	imp := newModuleImporter(fset)
-	var out []*Package
-	for _, rp := range order {
-		pkg := &Package{ImportPath: rp.importPath, Dir: rp.dir}
-		info := &types.Info{
-			Types:      map[ast.Expr]types.TypeAndValue{},
-			Defs:       map[*ast.Ident]types.Object{},
-			Uses:       map[*ast.Ident]types.Object{},
-			Selections: map[*ast.SelectorExpr]*types.Selection{},
-			Scopes:     map[ast.Node]*types.Scope{},
-			Implicits:  map[ast.Node]types.Object{},
-		}
-		conf := types.Config{
-			Importer: imp,
-			Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
-		}
-		tpkg, _ := conf.Check(rp.importPath, fset, rp.files, info)
-		if tpkg == nil {
-			return nil, fmt.Errorf("lint: type-check %s failed: %v", rp.importPath, firstErr(pkg.TypeErrors))
-		}
-		pkg.Pass = &Pass{Fset: fset, Files: rp.files, Pkg: tpkg, Info: info}
-		if !rp.external {
-			imp.module[rp.importPath] = tpkg
-		}
-		out = append(out, pkg)
+// inModuleDeps returns rp's in-module dependencies in sorted order.
+func inModuleDeps(rp *rawPkg, byPath map[string]*rawPkg) []*rawPkg {
+	paths := make([]string, 0, len(rp.imports))
+	for p := range rp.imports {
+		paths = append(paths, p)
 	}
-	return out, nil
+	sort.Strings(paths)
+	var deps []*rawPkg
+	for _, p := range paths {
+		if dep, ok := byPath[p]; ok && dep != rp {
+			deps = append(deps, dep)
+		}
+	}
+	return deps
+}
+
+// computeKeys fills each package's cache key; order must be
+// topological so dependency keys exist when needed.
+func computeKeys(order []*rawPkg, byPath map[string]*rawPkg, analyzers []*Analyzer) {
+	for _, rp := range order {
+		w := newHashWriter()
+		w.field(cacheGeneration)
+		w.field(runtime.Version())
+		for _, a := range analyzers {
+			w.field(a.Name)
+		}
+		w.field(rp.importPath)
+		for _, sf := range rp.files {
+			w.field(sf.rel)
+			w.field(sf.hash)
+		}
+		for _, dep := range inModuleDeps(rp, byPath) {
+			w.field(dep.key)
+		}
+		rp.key = w.sum()
+	}
+}
+
+// requiredSet computes the packages that must be type-checked: every
+// cache miss plus the transitive in-module dependencies its types
+// come from.
+func requiredSet(order []*rawPkg, byPath map[string]*rawPkg) map[*rawPkg]bool {
+	required := map[*rawPkg]bool{}
+	var need func(rp *rawPkg)
+	need = func(rp *rawPkg) {
+		if required[rp] {
+			return
+		}
+		required[rp] = true
+		for _, dep := range inModuleDeps(rp, byPath) {
+			need(dep)
+		}
+	}
+	for _, rp := range order {
+		if rp.result == nil { // cache miss
+			need(rp)
+		}
+	}
+	return required
+}
+
+// checkAndAnalyze type-checks the required packages concurrently —
+// each as soon as its dependencies finish, at most jobs at a time —
+// and runs the analyzers over the cache misses in the same worker.
+func checkAndAnalyze(fset *token.FileSet, root string, required map[*rawPkg]bool,
+	byPath map[string]*rawPkg, analyzers []*Analyzer, jobs int, cache *diskCache) {
+	imp := newModuleImporter(fset)
+	sem := make(chan struct{}, jobs)
+	var wg sync.WaitGroup
+	for rp := range required {
+		wg.Add(1)
+		go func(rp *rawPkg) {
+			defer wg.Done()
+			defer close(rp.done)
+			for _, dep := range inModuleDeps(rp, byPath) {
+				<-dep.done
+			}
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			checkOne(fset, imp, rp)
+			if rp.pass == nil || rp.result != nil {
+				return // hard failure, or a hit that was only needed for types
+			}
+			rp.result = analyzeOne(root, rp, analyzers)
+			if cache != nil && len(rp.result.TypeErrors) == 0 {
+				cache.put(&cacheEntry{
+					Key: rp.key, ImportPath: rp.importPath,
+					Findings: rp.result.Raw, Directives: rp.result.Directives,
+				})
+			}
+		}(rp)
+	}
+	wg.Wait()
+}
+
+// checkOne type-checks one package and publishes it to the importer.
+func checkOne(fset *token.FileSet, imp *moduleImporter, rp *rawPkg) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var softErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { softErrs = append(softErrs, err) },
+	}
+	files := make([]*ast.File, len(rp.files))
+	for i, sf := range rp.files {
+		files[i] = sf.ast
+	}
+	tpkg, _ := conf.Check(rp.importPath, fset, files, info)
+	if tpkg == nil {
+		rp.hard = firstErr(softErrs)
+		if rp.hard == nil {
+			rp.hard = fmt.Errorf("no package produced")
+		}
+		return
+	}
+	rp.pass = &Pass{Fset: fset, Files: files, Pkg: tpkg, Info: info}
+	rp.typeErrs = softErrs
+	if !rp.external {
+		imp.publish(rp.importPath, tpkg)
+	}
+}
+
+// analyzeOne runs the suite over one type-checked package and
+// normalizes positions to module-root-relative paths.
+func analyzeOne(root string, rp *rawPkg, analyzers []*Analyzer) *PackageResult {
+	res := &PackageResult{ImportPath: rp.importPath, Dir: rp.dir, TypeErrors: rp.typeErrs}
+	res.Raw = RunRaw(rp.pass, analyzers)
+	for i := range res.Raw {
+		res.Raw[i].Position.Filename = rootRel(root, res.Raw[i].Position.Filename)
+	}
+	res.Directives = CollectDirectives(rp.pass)
+	for i := range res.Directives {
+		res.Directives[i].Position.Filename = rootRel(root, res.Directives[i].Position.Filename)
+	}
+	return res
+}
+
+// rootRel rewrites an absolute filename to a slash-separated
+// module-root-relative one (left untouched if outside the root).
+func rootRel(root, filename string) string {
+	rel, err := filepath.Rel(root, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filename
+	}
+	return filepath.ToSlash(rel)
 }
 
 func firstErr(errs []error) error {
@@ -257,8 +552,12 @@ func goSourceDirs(root string) ([]string, error) {
 }
 
 // moduleImporter resolves module-internal paths to freshly checked
-// packages and everything else through the standard importers.
+// packages and everything else through the standard importers. All
+// methods are safe for concurrent use: the driver type-checks
+// packages in parallel, and go/types calls Import from those
+// concurrent checks.
 type moduleImporter struct {
+	mu     sync.Mutex
 	module map[string]*types.Package
 	gc     types.Importer
 	src    types.Importer
@@ -274,8 +573,19 @@ func newModuleImporter(fset *token.FileSet) *moduleImporter {
 	}
 }
 
-// Import implements types.Importer.
+// publish registers a freshly checked in-module package.
+func (m *moduleImporter) publish(path string, pkg *types.Package) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.module[path] = pkg
+}
+
+// Import implements types.Importer. The single lock serializes the
+// underlying gc/source importers, which are not safe for concurrent
+// use; module-internal lookups ride the same lock.
 func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if p, ok := m.module[path]; ok {
 		return p, nil
 	}

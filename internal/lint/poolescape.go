@@ -1,0 +1,248 @@
+package lint
+
+// poolescape: a sync.Pool.Get value that escapes the function that got
+// it, or is touched after being Put back.
+//
+// The zero-alloc hot paths (the journal's pooled encode scratch, the
+// sweep's pooled difference curves) only stay correct if a pooled value
+// is private to one Get..Put window: once Put returns it, another
+// goroutine's Get may own the same object, so a retained reference is a
+// data race whose symptom is corrupted journal bytes or a wrong curve —
+// not a crash. The race detector only catches it when two owners
+// actually collide; this check catches the pattern.
+//
+// Tracked: variables bound directly from pool.Get() (possibly through a
+// type assertion). Reported:
+//
+//   - returning the value (or anything containing it),
+//   - storing it into a field, element, pointed-to location or global,
+//     unless the stored expression has basic type (a value copy),
+//   - sending it on a channel,
+//   - handing it to a goroutine,
+//   - any use lexically after a non-deferred pool.Put(v).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolEscape is the pooled-value escape analyzer.
+var PoolEscape = &Analyzer{
+	Name: "poolescape",
+	Doc:  "flags sync.Pool.Get values that escape their function or are used after Put",
+	Run:  runPoolEscape,
+}
+
+func runPoolEscape(pass *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			}
+			if body != nil {
+				out = append(out, checkPoolBindings(pass, body)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// poolBinding is one `v := pool.Get()` in a function.
+type poolBinding struct {
+	obj  types.Object
+	name string
+}
+
+// checkPoolBindings finds Get-bindings made directly in body (not in
+// nested literals — those are found by the caller's walk) and checks
+// every use of each bound object anywhere under body, nested literals
+// included: a closure retaining the value past Put is exactly the bug.
+func checkPoolBindings(pass *Pass, body *ast.BlockStmt) []Diagnostic {
+	var bindings []poolBinding
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isPoolGet(pass, rhs) {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id]
+			}
+			if obj != nil {
+				bindings = append(bindings, poolBinding{obj: obj, name: id.Name})
+			}
+		}
+		return true
+	})
+	var out []Diagnostic
+	for _, b := range bindings {
+		out = append(out, checkPoolUse(pass, body, b)...)
+	}
+	return out
+}
+
+// isPoolGet reports whether e is (*sync.Pool).Get(), possibly wrapped
+// in a type assertion or parens.
+func isPoolGet(pass *Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(pass, call)
+	return fn != nil && fn.FullName() == "(*sync.Pool).Get"
+}
+
+// checkPoolUse applies the escape and use-after-Put rules for one
+// binding.
+func checkPoolUse(pass *Pass, body *ast.BlockStmt, b poolBinding) []Diagnostic {
+	uses := func(n ast.Node) bool { return referencesObj(pass, n, b.obj) }
+
+	// The earliest non-deferred Put(v): uses past it are reported.
+	putEnd := token.Pos(0)
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.FullName() != "(*sync.Pool).Put" {
+			return true
+		}
+		if len(call.Args) != 1 || !uses(call.Args[0]) {
+			return true
+		}
+		for _, anc := range stack {
+			if _, ok := anc.(*ast.DeferStmt); ok {
+				return true // deferred Put runs at exit; later uses are fine
+			}
+		}
+		if putEnd == 0 || call.End() < putEnd {
+			putEnd = call.End()
+		}
+		return true
+	})
+
+	var out []Diagnostic
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		out = append(out, Diag(pos, format, args...))
+	}
+	// Return statements of the binding function only (a nested literal's
+	// return leaves the literal, not the pool window).
+	ownReturns(body, func(ret *ast.ReturnStmt) {
+		for _, res := range ret.Results {
+			if uses(res) {
+				report(res.Pos(), "pooled value %s escapes via return; pool ownership ends at Put", b.name)
+			}
+		}
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) || !uses(rhs) {
+					continue
+				}
+				if !escapingLHS(pass, n.Lhs[i]) {
+					continue
+				}
+				if t := pass.TypeOf(rhs); t != nil {
+					if _, basic := t.Underlying().(*types.Basic); basic {
+						continue // a scalar copied out of the pooled value is safe
+					}
+				}
+				report(rhs.Pos(), "pooled value %s is stored into %s and outlives its Get..Put window",
+					b.name, types.ExprString(n.Lhs[i]))
+			}
+		case *ast.SendStmt:
+			if uses(n.Value) {
+				report(n.Value.Pos(), "pooled value %s is sent on a channel; the receiver outlives Put", b.name)
+			}
+		case *ast.GoStmt:
+			if uses(n.Call) {
+				report(n.Call.Pos(), "pooled value %s is captured by a goroutine; it may run after Put", b.name)
+			}
+		case *ast.Ident:
+			if putEnd != 0 && n.Pos() > putEnd && pass.Info.Uses[n] == b.obj {
+				report(n.Pos(), "pooled value %s is used after Put; another goroutine's Get may own it now", b.name)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ownReturns visits the return statements belonging to body itself,
+// skipping nested function literals.
+func ownReturns(body *ast.BlockStmt, visit func(*ast.ReturnStmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			visit(ret)
+		}
+		return true
+	})
+}
+
+// escapingLHS reports whether assigning to lhs stores beyond the local
+// frame: a field, an element, a pointed-to location, or a package-level
+// variable.
+func escapingLHS(pass *Pass, lhs ast.Expr) bool {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		obj := pass.Info.Uses[lhs]
+		if obj == nil {
+			obj = pass.Info.Defs[lhs]
+		}
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true // package-level variable
+		}
+	}
+	return false
+}
+
+// referencesObj reports whether any identifier under n resolves to obj.
+func referencesObj(pass *Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := x.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}

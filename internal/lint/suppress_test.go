@@ -1,0 +1,123 @@
+package lint
+
+// Tests for the suppression scanner itself: block-comment directives,
+// multi-line statement coverage, and the used[] vector that feeds the
+// driver's stale-suppression audit.
+
+import "testing"
+
+func TestSuppressBlockComment(t *testing.T) {
+	findings := lintFixture(t, FloatCmp, `package fixture
+
+func trailing(a, b float64) bool {
+	return a == b /* modlint:allow floatcmp -- fixture: exact by construction */
+}
+
+func above(a float64) bool {
+	/* modlint:allow floatcmp -- fixture: IEEE sentinel compare */
+	return a != 0
+}
+`)
+	if len(findings) != 0 {
+		t.Fatalf("block-comment directives not honored: %v", findings)
+	}
+}
+
+// TestSuppressMultiLineStatement: a directive attached to the opening
+// line of a wrapped statement must cover findings on its continuation
+// lines.
+func TestSuppressMultiLineStatement(t *testing.T) {
+	findings := lintFixture(t, FloatCmp, `package fixture
+
+func any3(a, b, c, d float64) bool {
+	//modlint:allow floatcmp -- fixture: all three compares are exact sentinels
+	eq := a == b ||
+		a == c ||
+		a == d
+	return eq
+}
+`)
+	if len(findings) != 0 {
+		t.Fatalf("multi-line statement coverage failed: %v", findings)
+	}
+}
+
+// TestSuppressMultiLineDoesNotBlanketBlocks: a directive on an if/for
+// opening line must NOT swallow findings inside the block's body —
+// only simple statements extend coverage.
+func TestSuppressMultiLineDoesNotBlanketBlocks(t *testing.T) {
+	findings := lintFixture(t, FloatCmp, `package fixture
+
+func guarded(a, b float64) bool {
+	//modlint:allow floatcmp -- covers only the if header below
+	if a == b {
+		return b != 0 // must still be reported
+	}
+	return false
+}
+`)
+	if len(findings) != 1 {
+		t.Fatalf("want exactly the body finding to survive, got %v", findings)
+	}
+	if findings[0].Position.Line != 6 {
+		t.Fatalf("surviving finding at line %d, want 6: %v", findings[0].Position.Line, findings[0])
+	}
+}
+
+func TestSuppressAllKeyword(t *testing.T) {
+	findings := lintFixture(t, FloatCmp, `package fixture
+
+func anything(a, b float64) bool {
+	return a == b //modlint:allow all -- fixture: blanket escape
+}
+`)
+	if len(findings) != 0 {
+		t.Fatalf("'all' directive not honored: %v", findings)
+	}
+}
+
+func TestSuppressWrongAnalyzerDoesNotApply(t *testing.T) {
+	findings := lintFixture(t, FloatCmp, `package fixture
+
+func mismatch(a, b float64) bool {
+	return a == b //modlint:allow errdrop -- names the wrong analyzer
+}
+`)
+	if len(findings) != 1 {
+		t.Fatalf("directive for a different analyzer must not suppress: %v", findings)
+	}
+}
+
+// TestSuppressUsedVector: ApplySuppressions reports which directives
+// matched a finding; unmatched ones are the stale-audit input.
+func TestSuppressUsedVector(t *testing.T) {
+	src := `package fixture
+
+func live(a, b float64) bool {
+	return a == b //modlint:allow floatcmp -- matches a real finding
+}
+
+func stale(a, b int) bool {
+	return a == b //modlint:allow floatcmp -- ints: nothing to suppress
+}
+`
+	pass := typeCheckFixture(t, "fixture", src)
+	raw := RunRaw(pass, []*Analyzer{FloatCmp})
+	dirs := CollectDirectives(pass)
+	if len(dirs) != 2 {
+		t.Fatalf("want 2 directives, got %d: %v", len(dirs), dirs)
+	}
+	kept, used := ApplySuppressions(raw, dirs)
+	if len(kept) != 0 {
+		t.Fatalf("float finding should be suppressed, got %v", kept)
+	}
+	if !used[0] {
+		t.Errorf("directive at line %d matched a finding but is marked stale", dirs[0].Position.Line)
+	}
+	if used[1] {
+		t.Errorf("directive at line %d matched nothing but is marked used", dirs[1].Position.Line)
+	}
+	if dirs[1].Rationale != "ints: nothing to suppress" {
+		t.Errorf("rationale parsed as %q", dirs[1].Rationale)
+	}
+}

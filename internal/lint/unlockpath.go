@@ -1,0 +1,253 @@
+package lint
+
+// unlockpath: a sync.Mutex/RWMutex Lock() whose matching Unlock() is
+// missing on some control-flow path to the function's normal exit.
+//
+// The engine holds 40+ non-deferred Lock() sites on hot paths (the
+// journal append, the committer loop, the watch fan-out) where `defer`
+// would either cost a closure per call or hold the lock across I/O the
+// protocol wants outside it. Each of those sites is a hand-checked
+// promise that every branch unlocks; this analyzer mechanizes the check
+// with the per-function CFG from cfg.go. A path that ends in panic,
+// os.Exit or testing's Fatal family is not an exit — the issue is
+// specifically a *panic-free* early return leaving the lock held, which
+// deadlocks the next contender instead of crashing loudly.
+//
+// Matching is by receiver expression (types.ExprString) and mode:
+// mu.Lock pairs with mu.Unlock, mu.RLock with mu.RUnlock. A deferred
+// unlock — `defer mu.Unlock()` or a deferred closure whose body
+// unlocks — releases every path that executes the defer. Helpers that
+// intentionally return holding the lock must carry a
+// //modlint:allow unlockpath annotation saying who unlocks.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// UnlockPath is the lock-release path analyzer.
+var UnlockPath = &Analyzer{
+	Name: "unlockpath",
+	Doc:  "flags Lock() calls with a path to return that never calls the matching Unlock()",
+	Run:  runUnlockPath,
+}
+
+// lockKey identifies one mutex in one function: receiver expression
+// text plus read/write mode.
+type lockKey struct {
+	recv string
+	read bool
+}
+
+// lockFacts are the per-node lock effects.
+type lockFacts struct {
+	locks, unlocks, deferred []lockKey
+}
+
+func runUnlockPath(pass *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			}
+			if body != nil {
+				out = append(out, checkFuncLocks(pass, body)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkFuncLocks analyzes one function body. Nested function literals
+// are skipped here (ast.Inspect in the caller visits them separately);
+// only deferred closures contribute, as deferred unlocks.
+func checkFuncLocks(pass *Pass, body *ast.BlockStmt) []Diagnostic {
+	g := buildCFG(pass, body)
+	facts := make(map[*cfgNode]*lockFacts, len(g.nodes))
+	hasLock := false
+	for _, n := range g.nodes {
+		f := nodeLockFacts(pass, n)
+		if f != nil {
+			facts[n] = f
+			if len(f.locks) > 0 {
+				hasLock = true
+			}
+		}
+	}
+	if !hasLock {
+		return nil
+	}
+	var out []Diagnostic
+	for _, n := range g.nodes {
+		f := facts[n]
+		if f == nil {
+			continue
+		}
+		for _, k := range f.locks {
+			if pos, leaks := pathLeaks(g, n, k, facts); leaks {
+				lock, unlock := "Lock", "Unlock"
+				if k.read {
+					lock, unlock = "RLock", "RUnlock"
+				}
+				out = append(out, Diag(pos,
+					"%s.%s() is not released on every path: a return is reachable without %s.%s()",
+					k.recv, lock, k.recv, unlock))
+			}
+		}
+	}
+	return out
+}
+
+// pathLeaks DFSes from the lock node's successors; reaching the normal
+// exit before an unlock (direct or deferred) of k is a leak. Returns
+// the lock call's position for reporting.
+func pathLeaks(g *funcCFG, lockNode *cfgNode, k lockKey, facts map[*cfgNode]*lockFacts) (pos token.Pos, leaks bool) {
+	pos = nodePos(lockNode)
+	seen := map[*cfgNode]bool{}
+	stack := append([]*cfgNode{}, lockNode.succs...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if n.exit {
+			return pos, true
+		}
+		if f := facts[n]; f != nil {
+			if containsKey(f.unlocks, k) || containsKey(f.deferred, k) {
+				continue // this path releases; stop exploring it
+			}
+			if containsKey(f.locks, k) {
+				continue // re-lock: a double-lock is not this check's report
+			}
+		}
+		stack = append(stack, n.succs...)
+	}
+	return pos, false
+}
+
+func containsKey(ks []lockKey, k lockKey) bool {
+	for _, x := range ks {
+		if x == k {
+			return true
+		}
+	}
+	return false
+}
+
+// nodePos returns a reportable position for a node.
+func nodePos(n *cfgNode) token.Pos {
+	if n.stmt != nil {
+		return n.stmt.Pos()
+	}
+	if n.expr != nil {
+		return n.expr.Pos()
+	}
+	return token.NoPos
+}
+
+// nodeLockFacts extracts the lock effects of one node: Lock/Unlock
+// calls in the node's own expressions (not inside nested function
+// literals), plus deferred unlocks including `defer func() { ...
+// mu.Unlock() ... }()`.
+func nodeLockFacts(pass *Pass, n *cfgNode) *lockFacts {
+	var f lockFacts
+	add := func(call *ast.CallExpr) {
+		if k, kind, ok := mutexCall(pass, call); ok {
+			switch kind {
+			case lockCall:
+				f.locks = append(f.locks, k)
+			case unlockCall:
+				f.unlocks = append(f.unlocks, k)
+			}
+		}
+	}
+	if d, ok := n.stmt.(*ast.DeferStmt); ok {
+		// A deferred unlock (direct or via closure body) releases every
+		// path downstream of the defer statement.
+		scanCalls(d.Call, func(call *ast.CallExpr) {
+			if k, kind, ok := mutexCall(pass, call); ok && kind == unlockCall {
+				f.deferred = append(f.deferred, k)
+			}
+		}, true)
+		if len(f.deferred) == 0 {
+			return nil
+		}
+		return &f
+	}
+	var root ast.Node
+	switch {
+	case n.stmt != nil:
+		root = n.stmt
+	case n.expr != nil:
+		root = n.expr
+	default:
+		return nil
+	}
+	scanCalls(root, add, false)
+	if len(f.locks) == 0 && len(f.unlocks) == 0 {
+		return nil
+	}
+	return &f
+}
+
+// scanCalls visits every call under root. Nested function literals are
+// skipped unless intoLits is set (deferred closures run at exit, so
+// their unlocks count; a plain closure's body belongs to its own CFG).
+func scanCalls(root ast.Node, visit func(*ast.CallExpr), intoLits bool) {
+	ast.Inspect(root, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok && !intoLits {
+			return false
+		}
+		if call, ok := x.(*ast.CallExpr); ok {
+			visit(call)
+		}
+		return true
+	})
+}
+
+type mutexCallKind int
+
+const (
+	lockCall mutexCallKind = iota
+	unlockCall
+)
+
+// mutexCall classifies a call as a sync mutex Lock/Unlock (write mode)
+// or RLock/RUnlock (read mode), keyed by the receiver expression.
+// Resolution goes through the type checker, so promoted methods of an
+// embedded mutex match too, while unrelated Lock methods do not.
+func mutexCall(pass *Pass, call *ast.CallExpr) (lockKey, mutexCallKind, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, 0, false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return lockKey{}, 0, false
+	}
+	var kind mutexCallKind
+	var read bool
+	switch fn.FullName() {
+	case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock":
+		kind = lockCall
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock":
+		kind = unlockCall
+	case "(*sync.RWMutex).RLock":
+		kind, read = lockCall, true
+	case "(*sync.RWMutex).RUnlock":
+		kind, read = unlockCall, true
+	default:
+		return lockKey{}, 0, false
+	}
+	return lockKey{recv: types.ExprString(sel.X), read: read}, kind, true
+}

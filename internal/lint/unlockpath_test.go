@@ -1,0 +1,154 @@
+package lint
+
+import "testing"
+
+// Positive cases: early returns, branches and loops that leak a held
+// lock on some path to a normal exit.
+func TestUnlockPathPositive(t *testing.T) {
+	checkFixture(t, UnlockPath, `package fixture
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func earlyReturn(b *box) int {
+	b.mu.Lock() // want "not released on every path"
+	if b.n > 0 {
+		return b.n // leaks: no unlock on this branch
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+func branchOnly(b *box) {
+	b.mu.Lock() // want "not released on every path"
+	if b.n > 0 {
+		b.mu.Unlock()
+	}
+	// fallthrough exit with the lock held when n <= 0
+}
+
+func readLeak(b *box) int {
+	b.rw.RLock() // want "RUnlock"
+	if b.n < 0 {
+		return -1
+	}
+	b.rw.RUnlock()
+	return b.n
+}
+
+func switchLeak(b *box, k int) {
+	b.mu.Lock() // want "not released on every path"
+	switch k {
+	case 0:
+		b.mu.Unlock()
+	case 1:
+		b.mu.Unlock()
+	default:
+		return // leaks
+	}
+}
+`)
+}
+
+// Negative cases: every idiom the engine actually uses must stay
+// silent — defer, deferred closures, unlock-then-return on every
+// branch, cond-wait loops, and re-lock cycles inside a loop body.
+func TestUnlockPathNegative(t *testing.T) {
+	checkFixture(t, UnlockPath, `package fixture
+
+import "sync"
+
+type box struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	cond *sync.Cond
+	want, resolved int
+	closed bool
+	n    int
+}
+
+func deferred(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+func deferredClosure(b *box) int {
+	b.mu.Lock()
+	defer func() {
+		b.n++
+		b.mu.Unlock()
+	}()
+	return b.n
+}
+
+func allBranches(b *box) int {
+	b.mu.Lock()
+	if b.n > 0 {
+		b.mu.Unlock()
+		return 1
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+func committerLoop(b *box) {
+	for {
+		b.mu.Lock()
+		for !b.closed && b.want <= b.resolved {
+			b.cond.Wait()
+		}
+		if b.want <= b.resolved {
+			b.mu.Unlock()
+			return
+		}
+		b.mu.Unlock()
+
+		b.mu.Lock()
+		b.resolved = b.want
+		b.mu.Unlock()
+	}
+}
+
+func readSide(b *box) int {
+	b.rw.RLock()
+	n := b.n
+	b.rw.RUnlock()
+	return n
+}
+
+func panicPathIsNotAnExit(b *box) {
+	b.mu.Lock()
+	if b.n < 0 {
+		panic("negative") // dies loudly; not a silent leak
+	}
+	b.mu.Unlock()
+}
+`)
+}
+
+func TestUnlockPathSuppressed(t *testing.T) {
+	findings := lintFixture(t, UnlockPath, `package fixture
+
+import "sync"
+
+type guard struct{ mu sync.Mutex }
+
+// acquire intentionally returns holding the lock; release unlocks.
+func (g *guard) acquire() {
+	g.mu.Lock() //modlint:allow unlockpath -- lock helper: the caller pairs it with release()
+}
+
+func (g *guard) release() {
+	g.mu.Unlock()
+}
+`)
+	if len(findings) != 0 {
+		t.Fatalf("suppressed fixture produced findings: %v", findings)
+	}
+}

@@ -1,0 +1,211 @@
+package lint
+
+// waitforget: sync.WaitGroup bookkeeping that cannot balance, and
+// goroutines whose error result vanishes.
+//
+// The shard fan-out and the workload replayers coordinate worker pools
+// with function-local WaitGroups; the failure modes are all silent. An
+// Add with no Done on any path hangs Wait forever (the committer
+// shutdown path would deadlock); an Add with no Wait turns the group
+// into dead weight and usually means the join was forgotten; and
+// `go f()` where f returns an error is a goroutine whose failure is
+// unobservable by construction — the errgroup pattern (collect into a
+// channel or an error slot guarded by the group) is the fix.
+//
+// Scope is deliberately intra-procedural: the rules fire only for
+// WaitGroups declared in the function being checked and never passed
+// out of it. A WaitGroup field whose Add and Done live in different
+// methods is a lifecycle the analyzer cannot see and stays silent.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WaitForget is the WaitGroup/goroutine-error analyzer.
+var WaitForget = &Analyzer{
+	Name: "waitforget",
+	Doc:  "flags WaitGroup.Add without Done/Wait pairing and goroutines whose error result is dropped",
+	Run:  runWaitForget,
+}
+
+func runWaitForget(pass *Pass) []Diagnostic {
+	var out []Diagnostic
+	errType := types.Universe.Lookup("error").Type()
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					out = append(out, checkWaitGroups(pass, n.Body)...)
+				}
+			case *ast.GoStmt:
+				if t := pass.TypeOf(n.Call); t != nil && tupleHasError(t, errType) {
+					out = append(out, Diag(n.Pos(),
+						"goroutine discards the error result of %s; collect it errgroup-style (channel or guarded slot)",
+						calleeName(pass, n.Call)))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// tupleHasError reports whether a call's result type includes error.
+func tupleHasError(t types.Type, errType types.Type) bool {
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if types.Identical(tup.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errType)
+}
+
+// wgUsage tallies one WaitGroup's method calls within a function.
+type wgUsage struct {
+	obj     types.Object // the WaitGroup variable (function-local only)
+	adds    []ast.Expr   // Add call positions
+	dones   int
+	waits   int
+	escaped bool // address passed out, stored, or returned
+}
+
+// checkWaitGroups applies the Add/Done/Wait pairing rules to
+// WaitGroups declared in body. The whole subtree, nested literals
+// included, is scanned: the matching Done conventionally lives in the
+// spawned goroutine's closure.
+func checkWaitGroups(pass *Pass, body *ast.BlockStmt) []Diagnostic {
+	usage := map[types.Object]*wgUsage{}
+	track := func(obj types.Object) *wgUsage {
+		u := usage[obj]
+		if u == nil {
+			u = &wgUsage{obj: obj}
+			usage[obj] = u
+		}
+		return u
+	}
+	// Locals of type sync.WaitGroup (or *sync.WaitGroup) declared here.
+	declared := map[types.Object]bool{}
+	for id, obj := range pass.Info.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || id.Pos() < body.Pos() || id.End() > body.End() {
+			continue
+		}
+		if isWaitGroupType(v.Type()) {
+			declared[v] = true
+		}
+	}
+	if len(declared) == 0 {
+		return nil
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass, n); fn != nil {
+				switch fn.FullName() {
+				case "(*sync.WaitGroup).Add":
+					if obj := wgReceiver(pass, n); obj != nil && declared[obj] {
+						track(obj).adds = append(track(obj).adds, n.Fun)
+					}
+					return true
+				case "(*sync.WaitGroup).Done":
+					if obj := wgReceiver(pass, n); obj != nil && declared[obj] {
+						track(obj).dones++
+					}
+					return true
+				case "(*sync.WaitGroup).Wait":
+					if obj := wgReceiver(pass, n); obj != nil && declared[obj] {
+						track(obj).waits++
+					}
+					return true
+				}
+			}
+			// Any other call receiving the WaitGroup (by address or
+			// method value) makes its lifecycle non-local.
+			for _, arg := range n.Args {
+				if obj := waitGroupRef(pass, arg); obj != nil && declared[obj] {
+					track(obj).escaped = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if obj := waitGroupRef(pass, rhs); obj != nil && declared[obj] {
+					// Storing &wg (aliasing) escapes; wg := declarations
+					// and var wg do not pass through here with a ref RHS.
+					track(obj).escaped = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if obj := waitGroupRef(pass, res); obj != nil && declared[obj] {
+					track(obj).escaped = true
+				}
+			}
+		}
+		return true
+	})
+	var out []Diagnostic
+	for _, u := range usage {
+		if u.escaped || len(u.adds) == 0 {
+			continue
+		}
+		if u.dones == 0 {
+			for _, add := range u.adds {
+				out = append(out, Diag(add.Pos(),
+					"%s.Add with no %s.Done anywhere in this function: Wait will hang forever",
+					u.obj.Name(), u.obj.Name()))
+			}
+			continue
+		}
+		if u.waits == 0 {
+			out = append(out, Diag(u.adds[0].Pos(),
+				"WaitGroup %s is never waited on in this function: the goroutines it counts are never joined",
+				u.obj.Name()))
+		}
+	}
+	return out
+}
+
+// isWaitGroupType matches sync.WaitGroup and *sync.WaitGroup.
+func isWaitGroupType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}
+
+// wgReceiver resolves the receiver variable of a WaitGroup method call
+// when it is a plain identifier (possibly behind & or parens).
+func wgReceiver(pass *Pass, call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return waitGroupRef(pass, sel.X)
+}
+
+// waitGroupRef resolves e to a WaitGroup-typed variable: wg, &wg, or a
+// method value wg.Done.
+func waitGroupRef(pass *Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.UnaryExpr:
+		return waitGroupRef(pass, e.X)
+	case *ast.SelectorExpr:
+		// Method value (wg.Done passed as a func): the receiver escapes
+		// knowledge of pairing just as passing &wg does.
+		return waitGroupRef(pass, e.X)
+	case *ast.Ident:
+		if v, ok := pass.Info.Uses[e].(*types.Var); ok && isWaitGroupType(v.Type()) {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package lint
+
+import "testing"
+
+func TestWaitForgetPositive(t *testing.T) {
+	checkFixture(t, WaitForget, `package fixture
+
+import "sync"
+
+func addNoDone(work []func()) {
+	var wg sync.WaitGroup
+	for _, f := range work {
+		wg.Add(1) // want "no wg.Done"
+		go f()
+	}
+	wg.Wait()
+}
+
+func addNoWait(work []func()) {
+	var wg sync.WaitGroup
+	for _, f := range work {
+		wg.Add(1) // want "never waited on"
+		f := f
+		go func() {
+			defer wg.Done()
+			f()
+		}()
+	}
+}
+
+func fetch() error { return nil }
+
+func dropErr() {
+	go fetch() // want "discards the error result"
+}
+
+func dropErrMulti() {
+	f := func() (int, error) { return 0, nil }
+	go f() // want "discards the error result"
+}
+`)
+}
+
+func TestWaitForgetNegative(t *testing.T) {
+	checkFixture(t, WaitForget, `package fixture
+
+import "sync"
+
+// balanced is the shard fan-out shape: Add before spawn, deferred
+// Done inside, Wait at the join.
+func balanced(work []func()) {
+	var wg sync.WaitGroup
+	for _, f := range work {
+		wg.Add(1)
+		f := f
+		go func() {
+			defer wg.Done()
+			f()
+		}()
+	}
+	wg.Wait()
+}
+
+// escaped: the group's lifecycle leaves the function; stay silent.
+func escaped(spawn func(*sync.WaitGroup)) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	spawn(&wg)
+	wg.Wait()
+}
+
+// methodValue: passing wg.Done as a callback is also an escape.
+func methodValue(after func(func())) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	after(wg.Done)
+	wg.Wait()
+}
+
+// errCollected: goroutine error is routed into a channel, not dropped.
+func errCollected(f func() error) error {
+	errc := make(chan error, 1)
+	go func() { errc <- f() }()
+	return <-errc
+}
+`)
+}
+
+func TestWaitForgetSuppressed(t *testing.T) {
+	findings := lintFixture(t, WaitForget, `package fixture
+
+func ping() error { return nil }
+
+func fireAndForget() {
+	go ping() //modlint:allow waitforget -- best-effort wakeup: failure is retried by the next tick
+}
+`)
+	if len(findings) != 0 {
+		t.Fatalf("suppressed fixture produced findings: %v", findings)
+	}
+}
