@@ -1,0 +1,142 @@
+package main
+
+// e13 — subscription scaling (internal/sub): per-update acked latency
+// as the number of concurrent subscriptions grows. A fixed set of 200
+// "hot" subscriptions watches the region the update storm touches; the
+// scaling axis adds S cold within-subscriptions far outside it. The
+// interest index routes each update only to the subscriptions whose
+// support it can change, so the acked latency (Apply + registry Sync —
+// every affected subscription's delta emitted) must stay flat as S
+// grows: the acceptance figure is 100k-subscription latency within 2x
+// of the 1k figure. The committed baseline is
+// bench/subscription_scaling.json; CI gates -quick runs against it.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/mod"
+	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/sub"
+)
+
+func e13() error {
+	fmt.Println("== E13: subscription scaling (internal/sub interest routing) ==")
+	colds := []int{1000, 100000}
+	updates := 1500
+	if *quickFlag {
+		colds = []int{1000, 10000}
+		updates = 400
+	}
+	const (
+		hotSubs  = 200
+		nObjects = 256
+		horizon  = 500.0
+		coldRing = 5000.0 // far outside every reachable motion segment
+	)
+	names := []string{"acked-base", "acked-scale"}
+
+	var rows [][]string
+	var ups []float64
+	for ci, cold := range colds {
+		rng := rand.New(rand.NewSource(*seedFlag + 13))
+		vec := func(s float64) geom.Vec {
+			return geom.Of(s*(rng.Float64()-0.5), s*(rng.Float64()-0.5))
+		}
+		eng, err := shard.New(shard.Config{Shards: 4, Workers: 4, Dim: 2, Tau0: -1})
+		if err != nil {
+			return err
+		}
+		tau := 0.0
+		for i := 1; i <= nObjects; i++ {
+			tau += 1e-3
+			if err := eng.Apply(mod.New(mod.OID(i), tau, vec(4), vec(40))); err != nil {
+				return err
+			}
+		}
+		reg := sub.NewRegistry(eng, sub.Config{})
+
+		// Hot subscriptions: centers inside the storm region, drained
+		// after every acked update like a live fan-out tier would.
+		hot := make([]*sub.Stream, 0, hotSubs)
+		for i := 0; i < hotSubs; i++ {
+			var q sub.Query
+			if i%2 == 0 {
+				q = sub.Query{Kind: sub.KNN, K: 1 + rng.Intn(4), Point: vec(40), Hi: horizon}
+			} else {
+				q = sub.Query{Kind: sub.Within, Radius: 5 + 10*rng.Float64(), Point: vec(40), Hi: horizon}
+			}
+			st, err := reg.Subscribe(q)
+			if err != nil {
+				return err
+			}
+			hot = append(hot, st)
+		}
+		// Cold subscriptions: a ring of small within-regions no hot
+		// trajectory can reach before the horizon. Distinct centers, so
+		// none shares a materialization with another.
+		start := time.Now()
+		for i := 0; i < cold; i++ {
+			a := 2 * math.Pi * float64(i) / float64(cold)
+			c := geom.Of(coldRing*math.Cos(a), coldRing*math.Sin(a))
+			if _, err := reg.Subscribe(sub.Query{Kind: sub.Within, Radius: 1, Point: c, Hi: horizon}); err != nil {
+				return err
+			}
+		}
+		subscribeS := time.Since(start).Seconds()
+
+		// The storm stays inside the hot region: chdir only, against
+		// objects seeded there, over a short wall of virtual time.
+		lat := obs.NewRegistry().NewHistogram("bench_acked_seconds", "", obs.DefLatencyBuckets)
+		drain := func() {
+			for _, st := range hot {
+				for {
+					if _, ok := st.Pop(); !ok {
+						break
+					}
+				}
+			}
+		}
+		start = time.Now()
+		for i := 0; i < updates; i++ {
+			tau += 1e-3
+			u := mod.ChDir(mod.OID(rng.Intn(nObjects)+1), tau, vec(4))
+			t0 := time.Now()
+			if err := eng.Apply(u); err != nil {
+				return err
+			}
+			reg.Sync()
+			lat.Observe(time.Since(t0).Seconds())
+			drain()
+		}
+		ackedS := time.Since(start).Seconds()
+		reg.Close()
+
+		perSec := float64(updates) / ackedS
+		ups = append(ups, perSec)
+		speedup := 0.0
+		if ci > 0 {
+			speedup = perSec / ups[0]
+		}
+		latSum := lat.Summary()
+		emitBench(benchRecord{Exp: "e13", Name: names[ci], P: 4,
+			N: hotSubs + cold, Seconds: ackedS, UpdatesPerSec: perSec,
+			Speedup: speedup, Latency: &latSum})
+		rows = append(rows, []string{
+			fmt.Sprint(hotSubs + cold),
+			fmt.Sprintf("%.3g", subscribeS),
+			fmt.Sprintf("%.1f", latSum.P50*1e6),
+			fmt.Sprintf("%.1f", latSum.P99*1e6),
+			fmt.Sprintf("%.0f", perSec),
+		})
+	}
+	table("subs\tsubscribe s\tacked p50 µs\tacked p99 µs\tacked updates/s", rows)
+	ratio := ups[0] / ups[1]
+	fmt.Printf("acked latency at %d subs = %.2fx the %d-sub figure (acceptance: within 2x)\n",
+		hotSubs+colds[1], ratio, hotSubs+colds[0])
+	return nil
+}

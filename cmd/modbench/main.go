@@ -11,9 +11,10 @@
 //	modbench -crashcheck http://HOST:PORT [-acked acked.jsonl]
 //
 // Experiments that measure machine-scaling (e10, the internal/shard
-// fan-out), durability cost (e11, internal/durable) or update-path
+// fan-out), durability cost (e11, internal/durable), update-path
 // throughput (e12, batched ingestion + group commit + the zero-alloc
-// sweep hot path) additionally emit
+// sweep hot path) or subscription scaling (e13, internal/sub interest
+// routing under a growing subscriber population) additionally emit
 // one `BENCH {...}` JSON line per measurement on stdout; -json collects
 // all BENCH records into a file (the artifact CI uploads and
 // EXPERIMENTS.md records). The -drive/-crashcheck modes are the two
@@ -117,7 +118,7 @@ func main() {
 	}
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e10", "e11", "e12"} {
+		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e10", "e11", "e12", "e13"} {
 			want[e] = true
 		}
 	} else {
@@ -144,6 +145,7 @@ func main() {
 	run("e10", e10)
 	run("e11", e11)
 	run("e12", e12)
+	run("e13", e13)
 	if *jsonFlag != "" {
 		if err := writeBenchJSON(*jsonFlag); err != nil {
 			log.Fatalf("write %s: %v", *jsonFlag, err)

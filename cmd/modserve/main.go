@@ -7,7 +7,14 @@
 //	modserve [-addr :8723] [-dim 2] [-shards 4] [-seed-demo]
 //	         [-data-dir DIR] [-checkpoint-every 30s]
 //	         [-load snapshot.json] [-journal wal.jsonl]
-//	         [-slow-query-threshold 50ms] [-pprof=true]
+//	         [-slow-query-threshold 50ms] [-watch-heartbeat 15s] [-pprof=true]
+//
+// POST /watch/knn and /watch/within serve continuing queries as SSE
+// delta streams off the materialized-subscription registry
+// (internal/sub): one shared incremental evaluation per distinct query,
+// updates routed through a spatial interest index, per-client bounded
+// queues with coalescing and slow-consumer eviction. -watch-heartbeat
+// sets the idle keep-alive comment interval.
 //
 // With -shards P > 1 the database is hash-partitioned by OID across P
 // independent shards (internal/shard): updates route to their shard and
@@ -103,6 +110,7 @@ var (
 	cmbFlag     = flag.Int("commit-max-batch", 0, "fsync as soon as this many entries wait, skipping the window (0 = default 256)")
 	demoFlag    = flag.Bool("seed-demo", false, "seed 50 random movers for demos")
 	slowFlag    = flag.Duration("slow-query-threshold", 0, "log a structured SLOWQUERY line for queries at least this slow (0 disables)")
+	beatFlag    = flag.Duration("watch-heartbeat", 0, "interval between ': heartbeat' comments on idle /watch SSE streams (0 = 15s default, negative disables)")
 	pprofFlag   = flag.Bool("pprof", true, "serve net/http/pprof under /debug/pprof/")
 )
 
@@ -161,6 +169,7 @@ func main() {
 		Logger:             logger,
 		Metrics:            reg,
 		SlowQueryThreshold: *slowFlag,
+		WatchHeartbeat:     *beatFlag,
 	})
 
 	mux := http.NewServeMux()

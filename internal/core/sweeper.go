@@ -280,6 +280,20 @@ func (s *Sweeper) Stats() Stats { return s.stats }
 // QueueLen returns the current number of pending intersection events.
 func (s *Sweeper) QueueLen() int { return s.queue.Len() }
 
+// NextEventTime peeks the time of the earliest pending event without
+// advancing the sweep. Between now and that instant the precedence
+// order — and therefore every answer derived from it — is provably
+// constant (events are the only points where adjacent curves cross),
+// which is what lets a subscription registry leave an untouched
+// subscription parked until its next event is due.
+func (s *Sweeper) NextEventTime() (float64, bool) {
+	ev, ok := s.queue.Peek()
+	if !ok {
+		return 0, false
+	}
+	return ev.T, true
+}
+
 // Curve returns the curve registered under id.
 func (s *Sweeper) Curve(id uint64) (piecewise.Func, bool) {
 	f, ok := s.curves[id]

@@ -399,7 +399,9 @@ func (e *Engine) Sync() error {
 
 // Close flushes and closes every store. The in-memory engine stays
 // queryable, but updates are no longer journaled; a final Checkpoint
-// before Close is the graceful-shutdown sequence.
+// before Close is the graceful-shutdown sequence. Any live
+// subscription streams are terminated first (sub.ErrClosed), so no
+// subscriber outlives the durability guarantee of its deltas.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -407,6 +409,7 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	e.closed = true
+	e.CloseSubscriptions()
 	var errs []error
 	for i, st := range e.stores {
 		if err := st.Close(); err != nil {

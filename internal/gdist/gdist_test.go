@@ -110,6 +110,16 @@ func TestPointSq(t *testing.T) {
 	if got := f.Eval(3); math.Abs(got-25) > 1e-9 { // (3,4) -> 25
 		t.Errorf("f(3) = %g, want 25", got)
 	}
+	// A non-origin point: the stationary query trajectory is anchored at
+	// -Inf, which used to zero its coordinates (0*Inf = NaN intercepts)
+	// and silently turn every PointSq into distance-to-origin.
+	g, err := PointSq{Point: geom.Of(3, 8)}.Curve(o, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Eval(3); math.Abs(got-16) > 1e-9 { // (3,4) vs (3,8) -> 16
+		t.Errorf("offset f(3) = %g, want 16", got)
+	}
 }
 
 func TestAxisSqAndCoordinate(t *testing.T) {

@@ -302,6 +302,43 @@ func (e *Engine) insertObject(o mod.OID, tr trajectory.Trajectory, from float64)
 	return nil
 }
 
+// InsertObject registers an object's authoritative trajectory
+// mid-window, inserting its curves from time `from` on — the pool-growth
+// path of a subscription engine: an object that becomes relevant to a
+// maintained query (it moves toward the query region) joins the sweep
+// with its full recorded trajectory, so the curves it contributes are
+// exactly the ones a fresh evaluation over the whole database would
+// build (gdist curves depend only on the trajectory's pieces, not on
+// the clip start). The sweep must already be at `from` (call RunTo
+// first); objects whose lifetime misses [from, hi] are rejected.
+func (e *Engine) InsertObject(o mod.OID, tr trajectory.Trajectory, from float64) error {
+	if uint64(o) > oidMask {
+		return fmt.Errorf("%w: %s", ErrBadOID, o)
+	}
+	if from < e.sw.Now() {
+		return fmt.Errorf("query: insert at %g before sweep time %g", from, e.sw.Now())
+	}
+	if !tr.IsDefined() || tr.End() <= from || tr.Start() >= e.hi {
+		return fmt.Errorf("query: %s's lifetime misses [%g,%g]", o, from, e.hi)
+	}
+	if err := e.RunTo(from); err != nil {
+		return err
+	}
+	e.trajs[o] = tr
+	return e.insertObject(o, tr, from)
+}
+
+// NextEventTime peeks the earliest instant at which the engine has work
+// scheduled: a pending creation or a kinetic event in the sweep. Until
+// then every evaluator's current answer is constant.
+func (e *Engine) NextEventTime() (float64, bool) {
+	t, ok := e.sw.NextEventTime()
+	if len(e.pending) > 0 && (!ok || e.pending[0].at < t) {
+		return e.pending[0].at, true
+	}
+	return t, ok
+}
+
 // RunTo advances the sweep to time t, performing queued insertions at
 // their creation instants along the way.
 func (e *Engine) RunTo(t float64) error {

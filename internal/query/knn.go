@@ -104,10 +104,32 @@ func (q *KNN) Finish(t float64) { q.ans.Finish(t) }
 // Answer returns the accumulated answer set.
 func (q *KNN) Answer() *AnswerSet { return q.ans }
 
-// Current returns the k-NN set at the current sweep time, ascending.
+// Current returns the k-NN set at the current sweep time, in rank order
+// (nearest first — the precedence order of the sweep).
 func (q *KNN) Current() []mod.OID {
 	if q.e == nil {
 		return nil
 	}
 	return q.firstK()
+}
+
+// AppendCurrent appends the current k-NN set, in rank order, to dst and
+// returns the extended slice — the allocation-free variant of Current
+// for callers that diff answers on every update (pass dst[:0] to reuse
+// the buffer; steady state allocates nothing once dst's capacity
+// reaches K).
+func (q *KNN) AppendCurrent(dst []mod.OID) []mod.OID {
+	if q.e == nil {
+		return dst
+	}
+	n := 0
+	q.e.sw.Walk(func(id uint64) bool {
+		if !IsConstID(id) {
+			o, _ := UnpackObj(id)
+			dst = append(dst, o)
+			n++
+		}
+		return n < q.K
+	})
+	return dst
 }

@@ -140,6 +140,18 @@ func (q *Within) Current() []mod.OID {
 	return out
 }
 
+// AppendCurrent appends the current answer set, ascending, to dst and
+// returns the extended slice — the allocation-free variant of Current
+// (pass dst[:0] to reuse the buffer across updates).
+func (q *Within) AppendCurrent(dst []mod.OID) []mod.OID {
+	base := len(dst)
+	for o := range q.cur {
+		dst = append(dst, o)
+	}
+	sortOIDs(dst[base:])
+	return dst
+}
+
 // sortOIDs sorts ascending (tiny helper shared by evaluators).
 func sortOIDs(os []mod.OID) {
 	for i := 1; i < len(os); i++ {

@@ -26,6 +26,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/shard"
+	"repro/internal/sub"
 	"repro/internal/trajectory"
 )
 
@@ -36,6 +37,9 @@ type stubBackend struct {
 	ansTau  float64
 	ans     *query.AnswerSet
 	stats   core.Stats
+
+	subOnce sync.Once
+	subReg  *sub.Registry
 }
 
 func (b *stubBackend) Dim() int                 { return 2 }
@@ -57,6 +61,12 @@ func (b *stubBackend) KNN(gdist.GDistance, int, float64, float64) (*query.Answer
 }
 func (b *stubBackend) Within(gdist.GDistance, float64, float64, float64) (*query.AnswerSet, core.Stats, float64, error) {
 	return b.ans, b.stats, b.ansTau, nil
+}
+func (b *stubBackend) Subscriptions() *sub.Registry {
+	// The stub is itself a sub.Source; the registry is unused by these
+	// tests beyond the server's eager creation.
+	b.subOnce.Do(func() { b.subReg = sub.NewRegistry(b, sub.Config{}) })
+	return b.subReg
 }
 
 // TestLargeOIDRoundTrip: an OID above 2^48 accepted by POST /update must

@@ -20,7 +20,8 @@
 //	POST /query/within            {"radius":..,"lo":..,"hi":..,"point":[..]}
 //	GET  /snapshot                full JSON snapshot (mod.SaveJSON format)
 //	GET  /metrics                 Prometheus exposition (with Options.Metrics)
-//	POST /watch/knn               SSE stream of a live continuing k-NN query
+//	POST /watch/knn               SSE delta stream of a continuing k-NN query
+//	POST /watch/within            SSE delta stream of a continuing within query
 //
 // With Options.Metrics set, every request is accounted per endpoint and
 // status, query latency is observed into merge-able histograms, and
@@ -37,7 +38,6 @@ import (
 	"math"
 	"net/http"
 	"strings"
-	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -46,6 +46,7 @@ import (
 	"repro/internal/mod"
 	"repro/internal/obs"
 	"repro/internal/query"
+	"repro/internal/sub"
 	"repro/internal/trajectory"
 )
 
@@ -81,6 +82,13 @@ type Backend interface {
 	// classify against the returned tau.
 	KNN(f gdist.GDistance, k int, lo, hi float64) (*query.AnswerSet, core.Stats, float64, error)
 	Within(f gdist.GDistance, c float64, lo, hi float64) (*query.AnswerSet, core.Stats, float64, error)
+	// Subscriptions returns the backend's materialized-subscription
+	// registry — the engine behind the /watch endpoints. The registry
+	// maintains every continuing query incrementally off the update
+	// feed and routes deltas only to affected subscriptions, so the
+	// server carries one shared evaluation per distinct query instead
+	// of one sweep session per connected client.
+	Subscriptions() *sub.Registry
 }
 
 // Options configures a Server beyond its backend.
@@ -94,6 +102,11 @@ type Options struct {
 	// SlowQueryThreshold, when positive, logs a structured SLOWQUERY
 	// line for every /query request at least this slow.
 	SlowQueryThreshold time.Duration
+	// WatchHeartbeat is the interval between ": heartbeat" comment
+	// lines on idle /watch SSE streams, keeping proxies and clients
+	// from timing the connection out. 0 means the 15s default; a
+	// negative value disables heartbeats.
+	WatchHeartbeat time.Duration
 }
 
 // Server wraps a Backend with HTTP handlers. Queries run on snapshots,
@@ -107,9 +120,7 @@ type Server struct {
 	routes      map[string]bool // fixed paths, for bounded endpoint labels
 	httpMetrics *httpMetrics    // nil when uninstrumented
 	slowQuery   time.Duration
-
-	watchMu  sync.Mutex
-	watchers map[*watcher]struct{}
+	heartbeat   time.Duration
 }
 
 // New builds a server over be (wrap a plain *mod.DB with
@@ -125,7 +136,10 @@ func NewWithOptions(be Backend, opts Options) *Server {
 		be: be, mux: http.NewServeMux(), log: opts.Logger,
 		routes:    make(map[string]bool),
 		slowQuery: opts.SlowQueryThreshold,
-		watchers:  make(map[*watcher]struct{}),
+		heartbeat: opts.WatchHeartbeat,
+	}
+	if s.heartbeat == 0 {
+		s.heartbeat = defaultWatchHeartbeat
 	}
 	s.handle("GET /healthz", s.handleHealth)
 	s.handle("GET /objects", s.handleObjects)
@@ -135,7 +149,12 @@ func NewWithOptions(be Backend, opts Options) *Server {
 	s.handle("POST /query/knn", s.handleKNN)
 	s.handle("POST /query/within", s.handleWithin)
 	s.handle("GET /snapshot", s.handleSnapshot)
-	s.registerWatchers()
+	s.handle("POST /watch/knn", s.handleWatchKNN)
+	s.handle("POST /watch/within", s.handleWatchWithin)
+	// Create the subscription registry up front so its metric series
+	// (instrumented by the backend's own Instrument call) are live
+	// before the first /watch request.
+	s.be.Subscriptions()
 	s.handler = s.mux
 	if opts.Metrics != nil {
 		s.routes["/metrics"] = true

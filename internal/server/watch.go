@@ -1,171 +1,91 @@
 package server
 
-// Live continuing queries over HTTP: POST /watch/knn opens a
-// server-sent-events stream that reports the k-NN answer whenever it
-// changes, maintained eagerly by a plane-sweep session that ingests the
-// database's update feed (the paper's continuing-query evaluation, pushed
-// to a network client).
+// Live continuing queries over HTTP: POST /watch/knn and
+// POST /watch/within open server-sent-events streams of answer deltas,
+// served from the backend's materialized-subscription registry
+// (internal/sub). The registry maintains one shared incremental
+// evaluation per distinct query and routes each database update only to
+// the subscriptions it can affect, so a watch costs the server a
+// bounded delivery queue, not a private plane-sweep session.
+//
+// Wire protocol: each SSE record carries the delta's sequence number as
+// its "id:" line (monotonic per stream, so clients can detect gaps and
+// resubscribe) and a JSON body:
+//
+//	id: 7
+//	data: {"t":12.5,"add":["o3"],"remove":["o1"],"order":["o3","o2"]}
+//
+// The first record is always a resync (the full answer at subscription
+// time); a record with "resync" replaces the client's state instead of
+// patching it — the server coalesces to one when a slow client lets its
+// queue overflow. "order" is the full k-NN rank order whenever
+// membership or rank changed (within answers are unordered and never
+// carry it). A record with "done" is terminal: horizon reached, or
+// "error" says why the watch ended. Idle streams carry ": heartbeat"
+// comment lines every Options.WatchHeartbeat so proxies keep the
+// connection alive.
 
 import (
-	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"math"
 	"net/http"
-	"sync"
+	"time"
 
-	"repro/internal/gdist"
 	"repro/internal/geom"
 	"repro/internal/mod"
-	"repro/internal/query"
+	"repro/internal/sub"
 )
 
-// watchRequest is the body of /watch/knn.
+// defaultWatchHeartbeat keeps idle SSE connections alive through
+// proxies with conservative idle timeouts.
+const defaultWatchHeartbeat = 15 * time.Second
+
+// watchRequest is the body of /watch/knn and /watch/within (K for the
+// former, Radius for the latter).
 type watchRequest struct {
-	K int `json:"k"`
+	K      int     `json:"k,omitempty"`
+	Radius float64 `json:"radius,omitempty"`
 	// Hi bounds the watch; 0 means watch indefinitely (bounded by the
-	// server's maxWatchHorizon).
+	// registry's maximum horizon).
 	Hi    float64   `json:"hi"`
 	Point []float64 `json:"point"`
 }
 
-// watchEvent is one SSE payload.
+// watchEvent is one SSE payload: a delta against the client's current
+// answer set (or a full replacement when Resync is set).
 type watchEvent struct {
-	T       float64  `json:"t"`
-	Nearest []string `json:"nearest"`
-	Done    bool     `json:"done,omitempty"`
-	Error   string   `json:"error,omitempty"`
+	T      float64  `json:"t"`
+	Add    []string `json:"add,omitempty"`
+	Remove []string `json:"remove,omitempty"`
+	// Order is the complete k-NN rank order after this delta; within
+	// watches never set it.
+	Order  []string `json:"order,omitempty"`
+	Resync bool     `json:"resync,omitempty"`
+	Done   bool     `json:"done,omitempty"`
+	Error  string   `json:"error,omitempty"`
 }
 
-// maxWatchHorizon bounds open-ended watches.
-const maxWatchHorizon = 1e9
-
-// watcher is one live continuing-query session.
-type watcher struct {
-	mu   sync.Mutex
-	sess *query.Session
-	knn  *query.KNN
-	hi   float64
-	last string
-	ch   chan watchEvent
-	dead bool
-	// final is the terminal event, delivered by the stream reader after
-	// the channel closes — never through the lossy non-blocking emit, so
-	// a slow client always sees it (see finish).
-	final *watchEvent
-}
-
-// registerWatchers wires the update fan-out; called from New.
-func (s *Server) registerWatchers() {
-	s.handle("POST /watch/knn", s.handleWatchKNN)
-	s.be.OnUpdate(func(u mod.Update) {
-		s.watchMu.Lock()
-		ws := make([]*watcher, 0, len(s.watchers))
-		for w := range s.watchers {
-			ws = append(ws, w)
-		}
-		s.watchMu.Unlock()
-		for _, w := range ws {
-			w.apply(u)
-		}
-	})
-}
-
-// apply feeds one database update into the watcher's session.
-func (w *watcher) apply(u mod.Update) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.dead {
-		return
+func oidNames(os []mod.OID) []string {
+	if len(os) == 0 {
+		return nil
 	}
-	if u.Tau >= w.hi {
-		w.finish(watchEvent{T: w.hi, Done: true})
-		return
+	out := make([]string, len(os))
+	for i, o := range os {
+		out[i] = o.String()
 	}
-	if err := w.sess.Apply(u); err != nil {
-		w.finish(watchEvent{T: u.Tau, Error: err.Error(), Done: true})
-		return
-	}
-	w.report(u.Tau)
+	return out
 }
 
-// report emits an event when the current answer changed.
-func (w *watcher) report(t float64) {
-	cur := w.knn.Current()
-	names := make([]string, len(cur))
-	for i, o := range cur {
-		names[i] = o.String()
-	}
-	key := fmt.Sprint(names)
-	if key == w.last {
-		return
-	}
-	w.last = key
-	w.emit(watchEvent{T: t, Nearest: names})
-}
-
-// finish ends the stream with the terminal event ev. The event is NOT
-// sent through the lossy emit: with a full buffer a non-blocking send
-// drops it, and the client would see its stream close without ever
-// learning the watch completed. Instead it is parked in w.final and
-// the channel is closed; the reader drains the buffer and then
-// delivers it, guaranteeing the done record arrives exactly once.
-func (w *watcher) finish(ev watchEvent) {
-	if w.dead {
-		return
-	}
-	w.dead = true
-	w.final = &ev
-	close(w.ch)
-}
-
-// emit sends without blocking the update path; a slow client loses
-// intermediate events but always gets the latest state next (and the
-// terminal event is delivered separately — see finish).
-func (w *watcher) emit(ev watchEvent) {
-	select {
-	case w.ch <- ev:
-	default:
-	}
-}
-
-// takeFinal returns the parked terminal event, if any.
-func (w *watcher) takeFinal() *watchEvent {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.final
-}
-
-// markDead stops further session feeding (client gone or write error).
-func (w *watcher) markDead() {
-	w.mu.Lock()
-	w.dead = true
-	w.mu.Unlock()
-}
-
-// stream pumps buffered events into enc until the watch ends, then
-// delivers the terminal event; it returns when the stream is done or
-// ctx is cancelled. enc reports whether the write succeeded.
-func (w *watcher) stream(ctx context.Context, enc func(watchEvent) bool) {
-	for {
-		select {
-		case <-ctx.Done():
-			w.markDead()
-			return
-		case ev, open := <-w.ch:
-			if !open {
-				// Buffer drained; the terminal event is delivered here,
-				// not via emit, so a full buffer can't drop it.
-				if fin := w.takeFinal(); fin != nil {
-					enc(*fin)
-				}
-				return
-			}
-			if !enc(ev) {
-				w.markDead()
-				return
-			}
-		}
+func deltaEvent(d sub.Delta) watchEvent {
+	return watchEvent{
+		T:      d.T,
+		Add:    oidNames(d.Add),
+		Remove: oidNames(d.Remove),
+		Order:  oidNames(d.Order),
+		Resync: d.Resync,
+		Done:   d.Done,
+		Error:  d.Err,
 	}
 }
 
@@ -175,38 +95,42 @@ func (s *Server) handleWatchKNN(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("decode watch: %w", err))
 		return
 	}
-	if len(req.Point) != s.be.Dim() {
-		s.fail(w, http.StatusBadRequest,
-			fmt.Errorf("point has %d components, database dim %d", len(req.Point), s.be.Dim()))
+	s.serveWatch(w, r, sub.Query{
+		Kind:  sub.KNN,
+		K:     req.K,
+		Point: geom.Vec(req.Point),
+		Hi:    req.Hi,
+	})
+}
+
+func (s *Server) handleWatchWithin(w http.ResponseWriter, r *http.Request) {
+	var req watchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decode watch: %w", err))
 		return
 	}
-	hi := req.Hi
-	if hi == 0 { //modlint:allow floatcmp -- unset-field sentinel: absent JSON "hi" decodes to exactly 0
-		hi = maxWatchHorizon
-	}
-	lo := math.Nextafter(s.be.Tau(), math.Inf(1))
-	if hi <= lo {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("watch horizon %g not after now %g", hi, lo))
-		return
-	}
-	knn := query.NewKNN(req.K)
-	// The session sweeps a full consistent snapshot (continuing queries
-	// are global; a sharded backend merges one on demand) and is then fed
-	// the live update stream via the backend's listener hook.
-	sess, err := query.NewSession(s.be.Snapshot(), gdist.PointSq{Point: geom.Vec(req.Point)}, lo, hi, knn)
+	s.serveWatch(w, r, sub.Query{
+		Kind:   sub.Within,
+		Radius: req.Radius,
+		Point:  geom.Vec(req.Point),
+		Hi:     req.Hi,
+	})
+}
+
+// serveWatch subscribes to q and pumps the stream's deltas to the
+// client as SSE records until the watch completes, the client goes
+// away, or the registry evicts the stream for falling behind.
+func (s *Server) serveWatch(w http.ResponseWriter, r *http.Request, q sub.Query) {
+	st, err := s.be.Subscriptions().Subscribe(q)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		code := http.StatusBadRequest
+		if errors.Is(err, sub.ErrClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		s.fail(w, code, err)
 		return
 	}
-	wt := &watcher{sess: sess, knn: knn, hi: hi, ch: make(chan watchEvent, 64)}
-	s.watchMu.Lock()
-	s.watchers[wt] = struct{}{}
-	s.watchMu.Unlock()
-	defer func() {
-		s.watchMu.Lock()
-		delete(s.watchers, wt)
-		s.watchMu.Unlock()
-	}()
+	defer st.Cancel()
 
 	// The metrics middleware wraps w; walk the Unwrap chain for the
 	// real flusher.
@@ -219,22 +143,76 @@ func (s *Server) handleWatchKNN(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
-	// Initial answer, reported at the database's current time (lo is a
-	// nudge past it, which would render as an ulp-noise timestamp).
-	wt.mu.Lock()
-	wt.report(s.be.Tau())
-	wt.mu.Unlock()
-
-	enc := func(ev watchEvent) bool {
+	send := func(seq uint64, ev watchEvent) bool {
 		data, err := json.Marshal(ev)
 		if err != nil {
 			return false
 		}
-		if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+		if _, err := fmt.Fprintf(w, "id: %d\ndata: %s\n\n", seq, data); err != nil {
 			return false
 		}
 		flusher.Flush()
 		return true
 	}
-	wt.stream(r.Context(), enc)
+
+	// The initial full answer, as a resync record at the subscription's
+	// sequence number; every later delta carries a larger id.
+	lastSeq := st.InitialSeq()
+	t0, initial := st.Initial()
+	init := watchEvent{T: t0, Add: oidNames(initial), Resync: true}
+	if q.Kind == sub.KNN {
+		init.Order = init.Add
+	}
+	if !send(lastSeq, init) {
+		return
+	}
+
+	// drain pops queued deltas into the response; it reports false when
+	// a write fails (client gone).
+	drain := func() bool {
+		for {
+			d, ok := st.Pop()
+			if !ok {
+				return true
+			}
+			lastSeq = d.Seq
+			if !send(d.Seq, deltaEvent(d)) {
+				return false
+			}
+		}
+	}
+
+	var beat <-chan time.Time
+	if s.heartbeat > 0 {
+		tick := time.NewTicker(s.heartbeat)
+		defer tick.Stop()
+		beat = tick.C
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-beat:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-st.Ready():
+			if !drain() {
+				return
+			}
+		case <-st.Done():
+			// Deliver the queued tail (a horizon completion ends with a
+			// done-marked delta in the queue), then surface an abnormal
+			// termination — eviction, registry shutdown — as a terminal
+			// error record so the client never sees a silent close.
+			if !drain() {
+				return
+			}
+			if err := st.Err(); err != nil {
+				send(lastSeq+1, watchEvent{T: s.be.Tau(), Done: true, Error: err.Error()})
+			}
+			return
+		}
+	}
 }

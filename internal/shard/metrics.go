@@ -70,6 +70,17 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 			"updates per ApplyBatch call", obs.DefSizeBuckets),
 	}
 	e.metrics.Store(m)
+
+	// The subscription registry instruments into the same obs registry.
+	// It is created lazily (Subscriptions), so remember reg for a later
+	// creation and instrument an already-live registry now.
+	e.subMu.Lock()
+	e.subObs = reg
+	r := e.subReg
+	e.subMu.Unlock()
+	if r != nil {
+		r.Instrument(reg)
+	}
 }
 
 // shardLabel renders a shard index for the per-shard series.

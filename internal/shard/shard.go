@@ -31,9 +31,12 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/mod"
+	"repro/internal/obs"
+	"repro/internal/sub"
 	"repro/internal/trajectory"
 )
 
@@ -60,6 +63,12 @@ type Engine struct {
 	// metrics is the optional observability hook (see Instrument in
 	// metrics.go); nil means uninstrumented.
 	metrics atomic.Pointer[metrics]
+
+	// subMu guards the lazily created materialized-subscription
+	// registry and the obs registry it should instrument into.
+	subMu  sync.Mutex
+	subReg *sub.Registry
+	subObs *obs.Registry
 }
 
 func (c Config) normalized() Config {
@@ -342,4 +351,36 @@ func maxTau(snaps []*mod.DB) float64 {
 		}
 	}
 	return t
+}
+
+// Subscriptions returns the engine's materialized-subscription registry
+// (internal/sub), creating it on first use. The registry ingests the
+// engine's update feed and maintains every continuing query
+// incrementally, so the cost of an update is proportional to the
+// subscriptions it can affect, not to the subscription count. One
+// registry serves all shards: per-shard update streams are
+// chronological, and the registry tolerates the bounded cross-shard
+// interleaving a listener fan-in produces.
+func (e *Engine) Subscriptions() *sub.Registry {
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	if e.subReg == nil {
+		e.subReg = sub.NewRegistry(e, sub.Config{})
+		if e.subObs != nil {
+			e.subReg.Instrument(e.subObs)
+		}
+	}
+	return e.subReg
+}
+
+// CloseSubscriptions shuts the subscription registry down, terminating
+// every stream with sub.ErrClosed. Safe to call when no registry was
+// ever created, and idempotent.
+func (e *Engine) CloseSubscriptions() {
+	e.subMu.Lock()
+	r := e.subReg
+	e.subMu.Unlock()
+	if r != nil {
+		r.Close()
+	}
 }

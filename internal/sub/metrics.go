@@ -1,0 +1,106 @@
+package sub
+
+// Observability wiring, following the shard engine's pattern: an
+// uninstrumented registry pays one atomic pointer load per record
+// point. All families are plain (unlabeled) so every series renders a
+// sample line even before traffic arrives.
+
+import (
+	"repro/internal/obs"
+)
+
+type metrics struct {
+	active    *obs.Gauge // live materialized subscriptions
+	streams   *obs.Gauge // attached subscriber streams
+	routed    *obs.Counter
+	deltas    *obs.Counter
+	wakeups   *obs.Counter
+	refreshes *obs.Counter
+	resyncs   *obs.Counter
+	coalesces *obs.Counter
+	evictions *obs.Counter
+	fanout    *obs.Histogram // subscriptions touched per routed update
+	poolSize  *obs.Histogram // objects per subscription pool at (re)build
+}
+
+// Instrument registers the registry's metrics in reg and starts
+// recording. Call once, before traffic.
+func (r *Registry) Instrument(reg *obs.Registry) {
+	m := &metrics{
+		active: reg.NewGauge("sub_active",
+			"live materialized subscriptions (shared across subscribers)"),
+		streams: reg.NewGauge("sub_streams",
+			"attached subscriber streams"),
+		routed: reg.NewCounter("sub_updates_routed_total",
+			"updates examined by the subscription registry"),
+		deltas: reg.NewCounter("sub_deltas_total",
+			"answer deltas emitted across all subscriptions"),
+		wakeups: reg.NewCounter("sub_wakeups_total",
+			"parked subscriptions advanced through a due kinetic event"),
+		refreshes: reg.NewCounter("sub_pool_refreshes_total",
+			"k-NN candidate pools rebuilt after a sufficiency violation"),
+		resyncs: reg.NewCounter("sub_resyncs_total",
+			"subscriptions rebuilt from a fresh snapshot (stale updates)"),
+		coalesces: reg.NewCounter("sub_coalesces_total",
+			"delta queues collapsed into a resync record (slow consumer)"),
+		evictions: reg.NewCounter("sub_evictions_total",
+			"subscriber streams evicted for never draining"),
+		fanout: reg.NewHistogram("sub_fanout_width",
+			"subscriptions touched per routed update", obs.DefSizeBuckets),
+		poolSize: reg.NewHistogram("sub_pool_objects",
+			"objects in a subscription's candidate pool at (re)build", obs.DefSizeBuckets),
+	}
+	r.metrics.Store(m)
+}
+
+func (r *Registry) recordRoute(fanout int) {
+	m := r.metrics.Load()
+	if m == nil {
+		return
+	}
+	m.routed.Inc()
+	m.fanout.Observe(float64(fanout))
+}
+
+func (r *Registry) recordDelta(coalesced, evicted int) {
+	m := r.metrics.Load()
+	if m == nil {
+		return
+	}
+	m.deltas.Inc()
+	if coalesced > 0 {
+		m.coalesces.Add(uint64(coalesced))
+	}
+	if evicted > 0 {
+		m.evictions.Add(uint64(evicted))
+	}
+}
+
+func (r *Registry) recordWakeup() {
+	if m := r.metrics.Load(); m != nil {
+		m.wakeups.Inc()
+	}
+}
+
+func (r *Registry) recordBuild(poolLen int, refresh, resync bool) {
+	m := r.metrics.Load()
+	if m == nil {
+		return
+	}
+	m.poolSize.Observe(float64(poolLen))
+	if refresh {
+		m.refreshes.Inc()
+	}
+	if resync {
+		m.resyncs.Inc()
+	}
+}
+
+func (r *Registry) recordCounts(subs, streams int) {
+	m := r.metrics.Load()
+	if m == nil {
+		return
+	}
+	m.active.Set(float64(subs))
+	m.streams.Set(float64(streams))
+}

@@ -1,0 +1,293 @@
+// Package sub is the materialized-subscription engine for future and
+// continuing queries: register a k-NN or within query once and receive
+// its initial answer plus a stream of deltas (add/remove/reorder with
+// timestamps) as the database evolves under new/terminate/chdir.
+//
+// This is the serving-layer realization of the paper's Section 5
+// maintenance results. Each subscription owns one small plane-sweep
+// engine (query.Engine) over a *candidate pool* — the objects whose
+// trajectories can reach the query region — rather than the whole
+// database, and a registry routes each update only to the subscriptions
+// whose support it can change:
+//
+//   - a spatial interest index (rtree.RectTree over candidate-ball
+//     bounding boxes) matches an update's motion segment against
+//     subscription regions, so per-update cost is proportional to the
+//     number of affected subscriptions, not the subscriber count;
+//   - a wake heap keyed by each subscription's next kinetic event time
+//     (core.Sweeper.NextEventTime) parks untouched subscriptions: their
+//     answers are provably constant between events, so they pay nothing
+//     while other objects churn;
+//   - k-NN pools carry a constant sentinel curve at the pool radius;
+//     the sweep itself schedules the "k-th neighbor left the pool"
+//     event, and the registry refreshes the pool (doubling discipline)
+//     exactly when sufficiency is violated.
+//
+// Exactness: pool curves are built from the authoritative trajectories
+// (gdist curve coefficients are independent of the clip start), so a
+// subscription's current answer is bitwise the answer a fresh
+// full-database session reports at the same instant — the property the
+// differential harness pins across P=1 and P=4 backends.
+//
+// Delivery is per-subscriber: bounded queues, coalescing to a resync
+// record on overflow, and slow-consumer eviction, so one stalled client
+// never stalls the update path or its sibling subscribers.
+package sub
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/mod"
+	"repro/internal/trajectory"
+)
+
+// Kind selects the maintained query type.
+type Kind int
+
+const (
+	// KNN maintains the k nearest neighbors of a fixed point.
+	KNN Kind = iota + 1
+	// Within maintains the set of objects within Radius of a fixed point.
+	Within
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KNN:
+		return "knn"
+	case Within:
+		return "within"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Query describes one continuing query.
+type Query struct {
+	Kind Kind
+	// K is the neighbor count (KNN only).
+	K int
+	// Radius is the plain (not squared) distance threshold (Within only).
+	Radius float64
+	// Point is the query center.
+	Point geom.Vec
+	// Hi is the absolute end of the watch window; 0 means "until the
+	// registry's MaxHorizon".
+	Hi float64
+}
+
+// Errors surfaced by the registry.
+var (
+	// ErrClosed is returned by Subscribe after Close.
+	ErrClosed = errors.New("sub: registry closed")
+	// ErrHorizon is returned when the requested window ends at or before
+	// the database's current time.
+	ErrHorizon = errors.New("sub: horizon not after now")
+	// ErrSlowConsumer is a stream's terminal error when it was evicted
+	// for not draining its delta queue.
+	ErrSlowConsumer = errors.New("sub: slow consumer evicted")
+	// ErrCanceled is a stream's terminal error after Cancel.
+	ErrCanceled = errors.New("sub: subscription canceled")
+)
+
+// normalized resolves the unset-horizon sentinel against the registry
+// configuration and defensively copies the point.
+func (q Query) normalized(cfg Config) Query {
+	if q.Hi == 0 { //modlint:allow floatcmp -- unset-field sentinel: absent horizon decodes to exactly 0
+		q.Hi = cfg.MaxHorizon
+	}
+	q.Point = q.Point.Clone()
+	return q
+}
+
+// validate rejects malformed queries: NaN/Inf point components poison
+// every distance comparison in the sweep, so they are refused up front.
+func (q Query) validate(dim int, maxHorizon float64) error {
+	switch q.Kind {
+	case KNN:
+		if q.K < 1 {
+			return fmt.Errorf("sub: k-NN needs k >= 1, got %d", q.K)
+		}
+	case Within:
+		if math.IsNaN(q.Radius) || math.IsInf(q.Radius, 0) || q.Radius < 0 {
+			return fmt.Errorf("sub: within needs a finite radius >= 0, got %g", q.Radius)
+		}
+	default:
+		return fmt.Errorf("sub: unknown query kind %d", int(q.Kind))
+	}
+	if q.Point.Dim() != dim {
+		return fmt.Errorf("sub: point has %d components, database dim %d", q.Point.Dim(), dim)
+	}
+	for i, x := range q.Point {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("sub: point component %d is %g", i, x)
+		}
+	}
+	if math.IsNaN(q.Hi) || math.IsInf(q.Hi, 0) || q.Hi < 0 {
+		return fmt.Errorf("sub: horizon must be a finite time >= 0, got %g", q.Hi)
+	}
+	if q.Hi > maxHorizon {
+		return fmt.Errorf("sub: horizon %g beyond registry max %g", q.Hi, maxHorizon)
+	}
+	return nil
+}
+
+// key is the subscription-sharing identity: two Subscribe calls with
+// bitwise-identical queries attach to one materialized subscription.
+func (q Query) key() string {
+	var b strings.Builder
+	b.WriteString(q.Kind.String())
+	b.WriteByte('/')
+	if q.Kind == KNN {
+		b.WriteString(strconv.Itoa(q.K))
+	} else {
+		b.WriteString(strconv.FormatUint(math.Float64bits(q.Radius), 16))
+	}
+	b.WriteByte('/')
+	b.WriteString(strconv.FormatUint(math.Float64bits(q.Hi), 16))
+	for _, x := range q.Point {
+		b.WriteByte('/')
+		b.WriteString(strconv.FormatUint(math.Float64bits(x), 16))
+	}
+	return b.String()
+}
+
+// Delta is one incremental answer change, stamped with the instant it
+// took effect. Seq increases by one per delta on the subscription; a
+// client that observes a gap (after queue coalescing) receives a Resync
+// record carrying the full answer instead of an incremental step.
+type Delta struct {
+	// T is the time the change took effect (an update or kinetic event
+	// instant, or the horizon for Done).
+	T float64
+	// Seq is the subscription's delta sequence number.
+	Seq uint64
+	// Add lists objects that entered the answer, ascending.
+	Add []mod.OID
+	// Remove lists objects that left the answer, ascending.
+	Remove []mod.OID
+	// Order is the full ranked answer (nearest first) whenever the k-NN
+	// ranking changed — including pure reorders with empty Add/Remove.
+	// Empty for within subscriptions.
+	Order []mod.OID
+	// Resync marks a full-state record: Add (and Order for k-NN) carry
+	// the complete answer; the client replaces its state.
+	Resync bool
+	// Done marks the terminal record (horizon reached, or Err set).
+	Done bool
+	// Err is the terminal error, if the subscription failed or the
+	// stream was evicted.
+	Err string
+}
+
+// Source is the database a registry maintains subscriptions over; it is
+// implemented by shard.Engine (and, through embedding, durable.Engine).
+type Source interface {
+	Dim() int
+	Tau() float64
+	Snapshot() *mod.DB
+	Traj(o mod.OID) (trajectory.Trajectory, error)
+	OnUpdate(l mod.Listener)
+}
+
+// Config tunes a registry.
+type Config struct {
+	// MaxHorizon bounds open-ended subscriptions (Hi == 0). Default 1e9.
+	MaxHorizon float64
+	// QueueCap bounds each subscriber's delta queue; an overflowing
+	// queue coalesces into one resync record. Default 64.
+	QueueCap int
+	// MaxCoalesce is how many consecutive resync-coalesces (with no
+	// intervening drain) a subscriber survives before eviction.
+	// Default 64.
+	MaxCoalesce int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxHorizon <= 0 {
+		c.MaxHorizon = 1e9
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.MaxCoalesce <= 0 {
+		c.MaxCoalesce = 64
+	}
+	return c
+}
+
+// relEps and absEps inflate candidate-ball acceptance tests so float
+// rounding in the segment-distance computation can never exclude an
+// object whose curve the sweep would judge to reach the region.
+const (
+	relEps = 1e-9
+	absEps = 1e-12
+)
+
+// inflate widens a squared-radius threshold for pool-membership tests.
+func inflate(r2 float64) float64 { return r2*(1+relEps) + absEps }
+
+// segMinDist2 returns the minimum of |p(t) - c|^2 over the motion
+// segment p(t) = pos + (t-t0)*vel for t in [t0, t1]: the quadratic in
+// dt = t-t0 is minimized at the clamped vertex.
+func segMinDist2(pos, vel, c geom.Vec, t0, t1 float64) float64 {
+	// d(dt) = |D + dt*vel|^2, D = pos - c.
+	var dd, dv, vv float64
+	for i := range pos {
+		di := pos[i] - c[i]
+		dd += di * di
+		dv += di * vel[i]
+		vv += vel[i] * vel[i]
+	}
+	L := t1 - t0
+	if vv == 0 { //modlint:allow floatcmp -- stationary piece: exact zero velocity has a constant distance
+		return dd
+	}
+	dt := -dv / vv
+	if dt < 0 {
+		dt = 0
+	} else if dt > L {
+		dt = L
+	}
+	return dd + 2*dv*dt + vv*dt*dt
+}
+
+// trajReaches reports whether tr's motion during [from, hi] can come
+// within the (inflated) squared radius r2 of center c. Only pieces
+// overlapping the window matter; r2 = +Inf always reaches.
+func trajReaches(tr trajectory.Trajectory, c geom.Vec, r2, from, hi float64) bool {
+	if math.IsInf(r2, 1) {
+		return true
+	}
+	thr := inflate(r2)
+	for _, pc := range tr.Pieces() {
+		t0 := math.Max(from, pc.Start)
+		t1 := math.Min(hi, pc.End)
+		if t1 < t0 {
+			continue
+		}
+		if segMinDist2(pc.At(t0), pc.A, c, t0, t1) <= thr {
+			return true
+		}
+	}
+	return false
+}
+
+// oidsEqual compares two OID slices element-wise without allocating.
+func oidsEqual(a, b []mod.OID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

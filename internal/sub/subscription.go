@@ -1,0 +1,130 @@
+package sub
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/mod"
+	"repro/internal/query"
+)
+
+// subscription is one materialized continuing query: a small plane-sweep
+// engine over the query's candidate pool, the current answer, and the
+// attached subscriber streams. All fields are owned by the registry's
+// pump goroutine; streams are the only concurrency boundary.
+type subscription struct {
+	sid    uint64 // registry-assigned, stable for the subscription's life
+	boxID  uint64 // current interest-tree registration (0 when global)
+	key    string
+	q      Query    // normalized
+	center geom.Vec // == q.Point
+	lastT  float64  // time of the last emitted delta (or the build time)
+
+	eng    *query.Engine
+	knn    *query.KNN
+	within *query.Within
+
+	// poolR2 is the squared candidate-ball radius: for k-NN a doubling
+	// margin over the k-th neighbor distance (+Inf when the pool must be
+	// the whole database), for within exactly Radius². sentinel is the
+	// pool-radius constant curve's id in the sweep (k-NN, finite pools).
+	poolR2   float64
+	sentinel uint64
+
+	tracked map[mod.OID]struct{} // objects inserted into eng
+	cur     []mod.OID            // current answer (k-NN: rank order; within: ascending)
+	scratch []mod.OID
+	seq     uint64
+
+	// Thrash guard: a second refresh at the same database time forces
+	// the pool to +Inf instead of looping on a too-tight radius.
+	lastRefreshTau float64
+	refreshedHere  bool
+
+	streams    []*Stream
+	wakeGen    uint64 // invalidates parked wake-heap entries
+	routeEpoch uint64 // dedup stamp during routing
+	done       bool
+}
+
+// answer reconciles s.cur with the evaluator's current answer and
+// returns (add, remove, order, changed). add/remove are ascending;
+// order is the full new ranking for k-NN (nil for within, and nil when
+// only membership semantics apply). The no-change path allocates
+// nothing: the fresh answer lands in s.scratch and is compared in
+// place.
+func (s *subscription) answer() (add, remove, order []mod.OID, changed bool) {
+	s.scratch = s.scratch[:0]
+	if s.knn != nil {
+		s.scratch = s.knn.AppendCurrent(s.scratch)
+	} else {
+		s.scratch = s.within.AppendCurrent(s.scratch)
+	}
+	if oidsEqual(s.cur, s.scratch) {
+		return nil, nil, nil, false
+	}
+	oldSorted := append([]mod.OID(nil), s.cur...)
+	newSorted := append([]mod.OID(nil), s.scratch...)
+	if s.knn != nil {
+		sortOIDsAsc(oldSorted)
+		sortOIDsAsc(newSorted)
+		order = append([]mod.OID(nil), s.scratch...)
+	}
+	// Merge walk over the ascending views.
+	i, j := 0, 0
+	for i < len(oldSorted) || j < len(newSorted) {
+		switch {
+		case i == len(oldSorted):
+			add = append(add, newSorted[j])
+			j++
+		case j == len(newSorted):
+			remove = append(remove, oldSorted[i])
+			i++
+		case oldSorted[i] == newSorted[j]:
+			i++
+			j++
+		case oldSorted[i] < newSorted[j]:
+			remove = append(remove, oldSorted[i])
+			i++
+		default:
+			add = append(add, newSorted[j])
+			j++
+		}
+	}
+	s.cur, s.scratch = s.scratch, s.cur
+	return add, remove, order, true
+}
+
+// poolInsufficient reports whether the sentinel outranks the k-th
+// nearest object: fewer than k objects are inside the candidate ball,
+// so the true answer may include objects outside the pool and it must
+// be rebuilt. Ties with the k-th object count as insufficient
+// (conservative).
+func (s *subscription) poolInsufficient() bool {
+	if s.knn == nil || math.IsInf(s.poolR2, 1) {
+		return false
+	}
+	n := 0
+	insufficient := false
+	s.eng.Sweeper().Walk(func(id uint64) bool {
+		if query.IsConstID(id) {
+			if id == s.sentinel {
+				insufficient = n < s.q.K
+				return false
+			}
+			return true
+		}
+		n++
+		return n < s.q.K
+	})
+	return insufficient
+}
+
+// sortOIDsAsc sorts ascending (insertion sort: answers are small).
+func sortOIDsAsc(os []mod.OID) {
+	for i := 1; i < len(os); i++ {
+		for j := i; j > 0 && os[j] < os[j-1]; j-- {
+			os[j], os[j-1] = os[j-1], os[j]
+		}
+	}
+}

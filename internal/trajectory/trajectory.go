@@ -299,10 +299,15 @@ func (tr Trajectory) Coordinate(i int) (piecewise.Func, error) {
 	pieces := make([]piecewise.Piece, len(tr.pieces))
 	for k, pc := range tr.pieces {
 		// x_i(t) = A_i*(t - Start) + B_i = A_i*t + (B_i - A_i*Start)
+		b := pc.B[i]
+		//modlint:allow floatcmp -- zero velocity is exact (geom.New zeros); 0*Start is NaN for stationary pieces anchored at -Inf
+		if pc.A[i] != 0 {
+			b -= pc.A[i] * pc.Start
+		}
 		pieces[k] = piecewise.Piece{
 			Start: pc.Start,
 			End:   pc.End,
-			P:     poly.Linear(pc.A[i], pc.B[i]-pc.A[i]*pc.Start),
+			P:     poly.Linear(pc.A[i], b),
 		}
 	}
 	return piecewise.New(pieces...)
