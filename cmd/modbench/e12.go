@@ -17,6 +17,8 @@ package main
 //     numbers into the bench artifact.
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"testing"
@@ -152,7 +154,73 @@ func e12() error {
 		Batch: batch, Seconds: grpT, UpdatesPerSec: ups(ackedCount, grpT),
 		Speedup: syncT / grpT})
 
-	// --- 3. sweep hot-path allocations ---
+	// --- 3. journal codec micro-benchmark: JSON vs binary ---
+	// One full encode+decode cycle of the update stream per codec, the
+	// work every journaled update pays once on the write path and once
+	// at recovery. The binary codec (length-prefixed frames, varint
+	// OIDs, raw IEEE-754 float bits, per-record CRC32C) replaces the
+	// per-record json.Marshal/Unmarshal that profiled as the journal
+	// bottleneck — and unlike JSON it round-trips ±Inf and denormals.
+	cus := crashStream(*seedFlag+9, count)
+	const codecReps = 5
+	codecBench := func(encode func([]mod.Update) ([]byte, error), decode func([]byte) (int, error)) (float64, int, error) {
+		var data []byte
+		var err error
+		start := time.Now()
+		for r := 0; r < codecReps; r++ {
+			if data, err = encode(cus); err != nil {
+				return 0, 0, err
+			}
+			applied, derr := decode(data)
+			if derr != nil {
+				return 0, 0, derr
+			}
+			if applied != len(cus) {
+				return 0, 0, fmt.Errorf("codec decode applied %d/%d", applied, len(cus))
+			}
+		}
+		return time.Since(start).Seconds() / codecReps, len(data), nil
+	}
+	jsonCodecT, jsonBytes, err := codecBench(
+		func(us []mod.Update) ([]byte, error) {
+			var buf bytes.Buffer
+			enc := json.NewEncoder(&buf)
+			for _, u := range us {
+				if err := enc.Encode(u); err != nil {
+					return nil, err
+				}
+			}
+			return buf.Bytes(), nil
+		},
+		func(data []byte) (int, error) {
+			st, err := mod.ReplayTolerant(mod.NewDB(2, 0), bytes.NewReader(data))
+			return st.Applied, err
+		})
+	if err != nil {
+		return err
+	}
+	binCodecT, binBytes, err := codecBench(
+		func(us []mod.Update) ([]byte, error) {
+			buf := mod.BinaryJournalHeader()
+			for _, u := range us {
+				buf = mod.AppendUpdateRecord(buf, u)
+			}
+			return buf, nil
+		},
+		func(data []byte) (int, error) {
+			st, err := mod.ReplayTolerantBinary(mod.NewDB(2, 0), bytes.NewReader(data))
+			return st.Applied, err
+		})
+	if err != nil {
+		return err
+	}
+	emitBench(benchRecord{Exp: "e12", Name: "codec-json", N: count, Bytes: jsonBytes,
+		Seconds: jsonCodecT, UpdatesPerSec: ups(count, jsonCodecT)})
+	emitBench(benchRecord{Exp: "e12", Name: "codec-binary", N: count, Bytes: binBytes,
+		Seconds: binCodecT, UpdatesPerSec: ups(count, binCodecT),
+		Speedup: jsonCodecT / binCodecT})
+
+	// --- 4. sweep hot-path allocations ---
 	const horizon = 1 << 14
 	const movers = 64
 	mkSweeper := func() (*core.Sweeper, error) {
@@ -217,7 +285,13 @@ func e12() error {
 			fmt.Sprintf("%.0f", ups(ackedCount, syncT)), "1.00x"},
 		{"acked (durable)", fmt.Sprintf("group commit, batch %d", batch), fmt.Sprintf("%.3g", grpT),
 			fmt.Sprintf("%.0f", ups(ackedCount, grpT)), fmt.Sprintf("%.2fx", syncT/grpT)},
+		{"journal codec", "JSON encode+decode", fmt.Sprintf("%.3g", jsonCodecT),
+			fmt.Sprintf("%.0f", ups(count, jsonCodecT)), "1.00x"},
+		{"journal codec", "binary encode+decode", fmt.Sprintf("%.3g", binCodecT),
+			fmt.Sprintf("%.0f", ups(count, binCodecT)), fmt.Sprintf("%.2fx", jsonCodecT/binCodecT)},
 	})
+	fmt.Printf("codec size: JSON %d bytes, binary %d bytes (%.2fx smaller)\n",
+		jsonBytes, binBytes, float64(jsonBytes)/float64(binBytes))
 	fmt.Printf("sweep hot path: AdvanceTo %.3g allocs/op (%.3g µs/op), ReplaceCurve %.3g allocs/op\n",
 		advAllocs, advPerOp*1e6, repAllocs)
 	return nil

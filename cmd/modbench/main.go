@@ -589,17 +589,28 @@ func e10() error {
 	var baseQ float64
 	var baseAns string
 	for _, p := range []int{1, 2, 4, 8} {
-		// Fresh copy per P: FromDB adopts the DB at P=1, and the replay
-		// mutates whichever DB backs the engine.
-		eng, err := shard.FromDB(base.Snapshot(), shard.Config{Shards: p, Workers: p})
-		if err != nil {
-			return err
+		// Ingest is a few milliseconds of wall clock, so a single-shot
+		// timing is scheduler noise; take the best of reps like the query
+		// side does. Each rep needs a fresh engine (FromDB adopts the DB
+		// at P=1, and the replay mutates whichever DB backs the engine);
+		// every rep replays the same stream, so any of the resulting
+		// engines serves the query phase.
+		var eng *shard.Engine
+		ingest := math.Inf(1)
+		for r := 0; r < reps; r++ {
+			e, err := shard.FromDB(base.Snapshot(), shard.Config{Shards: p, Workers: p})
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			if err := workload.ReplayConcurrent(us, p, e.ShardOf, e.Apply); err != nil {
+				return err
+			}
+			if el := time.Since(start).Seconds(); el < ingest {
+				ingest = el
+			}
+			eng = e
 		}
-		start := time.Now()
-		if err := workload.ReplayConcurrent(us, p, eng.ShardOf, eng.Apply); err != nil {
-			return err
-		}
-		ingest := time.Since(start).Seconds()
 		bestQ := math.Inf(1)
 		var ans *query.AnswerSet
 		var events int

@@ -25,6 +25,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
@@ -99,17 +100,27 @@ entering <lo> <hi> <min> <max> | collide <r> <lo> <hi> | save <file> | open <fil
 			return err
 		}
 		defer f.Close()
+		// A .bin suffix selects the compact binary snapshot codec; it
+		// round-trips every float bit-exactly (±Inf taus, denormals).
+		if strings.HasSuffix(args[0], ".bin") {
+			return db.SaveBinary(f)
+		}
 		return db.SaveJSON(f)
 	case "open":
 		if len(args) != 1 {
 			return fmt.Errorf("usage: open <file>")
 		}
-		f, err := os.Open(args[0])
+		data, err := os.ReadFile(args[0])
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		loaded, err := mod.LoadJSON(f)
+		// Sniff the codec: binary snapshots start with "MODS".
+		var loaded *mod.DB
+		if bytes.HasPrefix(data, mod.SnapshotMagic()) {
+			loaded, err = mod.LoadBinary(bytes.NewReader(data))
+		} else {
+			loaded, err = mod.LoadJSON(bytes.NewReader(data))
+		}
 		if err != nil {
 			return err
 		}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	modserve [-addr :8723] [-dim 2] [-shards 4] [-seed-demo]
-//	         [-data-dir DIR] [-checkpoint-every 30s]
+//	         [-data-dir DIR] [-checkpoint-every 30s] [-format binary|json]
 //	         [-load snapshot.json] [-journal wal.jsonl]
 //	         [-slow-query-threshold 50ms] [-watch-heartbeat 15s] [-pprof=true]
 //
@@ -45,8 +45,18 @@
 //	       -commit-max-batch N fsyncs early once N entries wait.
 //	none   no per-update flush (bulk loads; checkpoint at the end)
 //
+// The -format flag picks the codec for NEW journal segments and
+// snapshots: "binary" (default) is the compact length-prefixed,
+// CRC-framed raw-IEEE-754 format of internal/mod — it round-trips
+// every float (±Inf taus, denormals) bit-exactly and costs a fraction
+// of the JSON encode time; "json" keeps the legacy line-delimited JSON.
+// Existing files are always read by their own codec (sniffed per
+// file), so flipping the flag on a live data dir is safe: the next
+// checkpoint migrates the live {snapshot, journal} pair.
+//
 // The older -load/-journal flags remain for single-file workflows and
-// are mutually exclusive with -data-dir.
+// are mutually exclusive with -data-dir; both sniff the file format
+// on read and honor -format for files they create.
 //
 // Observability (internal/obs):
 //
@@ -75,6 +85,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"expvar"
@@ -106,6 +117,7 @@ var (
 	loadFlag    = flag.String("load", "", "snapshot file to restore at startup (exclusive with -data-dir)")
 	journalFlag = flag.String("journal", "", "append-only update journal; replayed at startup, extended while serving (exclusive with -data-dir)")
 	commitFlag  = flag.String("commit", "flush", "update durability with -data-dir: flush | sync | group | none (see header)")
+	formatFlag  = flag.String("format", "binary", "codec for new journal/snapshot files: binary | json (existing files are sniffed)")
 	civFlag     = flag.Duration("commit-interval", 0, "group-commit coalescing window before each fsync (0 = fsync-rate batching only)")
 	cmbFlag     = flag.Int("commit-max-batch", 0, "fsync as soon as this many entries wait, skipping the window (0 = default 256)")
 	demoFlag    = flag.Bool("seed-demo", false, "seed 50 random movers for demos")
@@ -133,6 +145,10 @@ func main() {
 		if err != nil {
 			logger.Fatal(err)
 		}
+		format, err := parseFormat(*formatFlag)
+		if err != nil {
+			logger.Fatal(err)
+		}
 		eng, err := durable.Open(*dataDirFlag, durable.Config{
 			Shards:         *shardsFlag,
 			Workers:        *workersFlag,
@@ -141,6 +157,7 @@ func main() {
 			Commit:         policy,
 			CommitInterval: *civFlag,
 			CommitMaxBatch: *cmbFlag,
+			Format:         format,
 		})
 		if err != nil {
 			logger.Fatal(err)
@@ -261,6 +278,16 @@ func parseCommitPolicy(s string) (durable.CommitPolicy, error) {
 	return 0, fmt.Errorf("unknown -commit policy %q (want flush, sync, group, or none)", s)
 }
 
+func parseFormat(s string) (durable.Format, error) {
+	switch s {
+	case "binary", "":
+		return durable.FormatBinary, nil
+	case "json":
+		return durable.FormatJSON, nil
+	}
+	return 0, fmt.Errorf("unknown -format %q (want binary or json)", s)
+}
+
 // openEphemeral builds the non-durable backend the pre-data-dir flags
 // describe: optional snapshot restore, optional single-file journal
 // replay + append, optional demo seed.
@@ -268,12 +295,18 @@ func openEphemeral(logger *log.Logger) *shard.Engine {
 	var db *mod.DB
 	switch {
 	case *loadFlag != "":
-		f, err := os.Open(*loadFlag)
+		data, err := os.ReadFile(*loadFlag)
 		if err != nil {
 			logger.Fatal(err)
 		}
-		loaded, err := mod.LoadJSON(f)
-		_ = f.Close()
+		// Sniff the codec: binary snapshots start with the "MODS" magic,
+		// anything else is the JSON snapshot format.
+		var loaded *mod.DB
+		if bytes.HasPrefix(data, mod.SnapshotMagic()) {
+			loaded, err = mod.LoadBinary(bytes.NewReader(data))
+		} else {
+			loaded, err = mod.LoadJSON(bytes.NewReader(data))
+		}
 		if err != nil {
 			logger.Fatal(err)
 		}
@@ -292,11 +325,19 @@ func openEphemeral(logger *log.Logger) *shard.Engine {
 	}
 	// Replay any existing journal into the unsharded view first
 	// (tolerantly, so a snapshot that already includes a prefix of it is
-	// fine); the engine partitions the fully-restored state.
+	// fine); the engine partitions the fully-restored state. The codec
+	// is sniffed per file ("MODJ" magic = binary), and -format decides
+	// what a journal created by this run is written as.
+	jbinary := *formatFlag != "json"
 	if *journalFlag != "" {
-		if f, err := os.Open(*journalFlag); err == nil {
-			st, rerr := mod.ReplayTolerant(db, f)
-			_ = f.Close()
+		if data, err := os.ReadFile(*journalFlag); err == nil && len(data) > 0 {
+			var st mod.ReplayStats
+			var rerr error
+			if jbinary = bytes.HasPrefix(data, mod.JournalMagic()); jbinary {
+				st, rerr = mod.ReplayTolerantBinary(db, bytes.NewReader(data))
+			} else {
+				st, rerr = mod.ReplayTolerant(db, bytes.NewReader(data))
+			}
 			if rerr != nil {
 				logger.Fatalf("journal replay: %v", rerr)
 			}
@@ -318,7 +359,19 @@ func openEphemeral(logger *log.Logger) *shard.Engine {
 		if err != nil {
 			logger.Fatal(err)
 		}
-		j := mod.NewJournal(eng, jf)
+		var j *mod.Journal
+		if jbinary {
+			// A fresh (empty) binary journal needs its header before
+			// the first record; an existing one already carries it.
+			if fi, serr := jf.Stat(); serr == nil && fi.Size() == 0 {
+				if _, werr := jf.Write(mod.BinaryJournalHeader()); werr != nil {
+					logger.Fatal(werr)
+				}
+			}
+			j = mod.NewJournalBinary(eng, jf)
+		} else {
+			j = mod.NewJournal(eng, jf)
+		}
 		eng.OnUpdate(func(mod.Update) {
 			if err := j.Flush(); err != nil {
 				logger.Printf("journal flush: %v", err)

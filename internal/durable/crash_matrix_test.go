@@ -46,8 +46,16 @@ type scriptResult struct {
 // process issues no further operations.
 func runScript(t *testing.T, dir string, inj *errfs.FS, us []mod.Update) scriptResult {
 	t.Helper()
+	return runScriptCfg(t, dir, inj, us, matrixConfig(inj))
+}
+
+// runScriptCfg is runScript under an explicit engine configuration
+// (the migration matrix crashes runs configured for the legacy JSON
+// format; cfg.FS must be inj).
+func runScriptCfg(t *testing.T, dir string, inj *errfs.FS, us []mod.Update, cfg durable.Config) scriptResult {
+	t.Helper()
 	var res scriptResult
-	eng, err := durable.Open(dir, matrixConfig(inj))
+	eng, err := durable.Open(dir, cfg)
 	if err != nil {
 		if !inj.Crashed() {
 			t.Fatalf("open failed without a crash: %v", err)

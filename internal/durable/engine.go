@@ -74,6 +74,11 @@ type Config struct {
 	// CommitMaxBatch skips the window once this many entries wait
 	// (StoreOptions).
 	CommitMaxBatch int
+	// Format selects the codec for new journal segments and snapshots
+	// (StoreOptions); zero is FormatBinary. Existing files open by
+	// their own codec, so switching formats on a live data dir is safe
+	// and migrates one checkpoint at a time.
+	Format Format
 }
 
 // rootManifest is the wire form of the engine's root manifest.
@@ -164,6 +169,7 @@ func Open(dir string, cfg Config) (*Engine, error) {
 		Dim: man.Dim, Tau0: cfg.Tau0,
 		NoFlushEach: cfg.NoFlushEach, Commit: cfg.Commit,
 		CommitInterval: cfg.CommitInterval, CommitMaxBatch: cfg.CommitMaxBatch,
+		Format:        cfg.Format,
 		commitMetrics: e.m,
 	}
 	if cfg.Shards != 0 && cfg.Shards != man.Shards {

@@ -1,0 +1,131 @@
+package durable_test
+
+// The migration matrix: a store written under the legacy JSON format is
+// crashed at every mutating filesystem operation, then recovered by a
+// binary-default engine. Recovery must be format-blind — every on-disk
+// file opens by its own codec, so the binary engine recovers the exact
+// state a JSON engine would — and the first checkpoint after the switch
+// rewrites the live snapshot+journal pair in the binary format, one
+// shard at a time, with no flag day and no rewrite of history.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/durable"
+	"repro/internal/errfs"
+	"repro/internal/mod"
+	"repro/internal/vfs"
+)
+
+func jsonMatrixConfig(fs vfs.FS) durable.Config {
+	c := matrixConfig(fs)
+	c.Format = durable.FormatJSON
+	return c
+}
+
+// liveFormats walks the data dir and reports which codec suffixes the
+// live (manifest-referenced, i.e. all surviving post-GC) segment and
+// snapshot files carry.
+func liveFormats(t *testing.T, dir string) (jsonFiles, binFiles []string) {
+	t.Helper()
+	err := filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		switch {
+		case strings.HasSuffix(p, ".jsonl"), strings.HasSuffix(p, ".json"):
+			jsonFiles = append(jsonFiles, p)
+		case strings.HasSuffix(p, ".wal"), strings.HasSuffix(p, ".bin"):
+			binFiles = append(binFiles, p)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jsonFiles, binFiles
+}
+
+func TestCrashMatrixJSONToBinaryMigration(t *testing.T) {
+	us := stream10()
+
+	// Probe: count the JSON-format script's operations.
+	probe := errfs.New(vfs.OS{}, 0, errfs.FailOp)
+	probeDir := filepath.Join(t.TempDir(), "data")
+	probeRes := runScriptCfg(t, probeDir, probe, us, jsonMatrixConfig(probe))
+	total := probe.Ops()
+	if probeRes.confirmed != len(us) || probe.Crashed() {
+		t.Fatalf("clean probe run confirmed %d/%d updates", probeRes.confirmed, len(us))
+	}
+	if jf, _ := liveFormats(t, probeDir); len(jf) == 0 {
+		t.Fatal("JSON-format probe run left no JSON files — format option inert?")
+	}
+	t.Logf("sweeping %d crash points", total)
+
+	for k := 1; k <= total; k++ {
+		dir := filepath.Join(t.TempDir(), "data")
+		inj := errfs.New(vfs.OS{}, k, errfs.FailOp)
+		res := runScriptCfg(t, dir, inj, us, jsonMatrixConfig(inj))
+		if !inj.Crashed() {
+			t.Fatalf("k=%d: injection never fired (%d ops)", k, inj.Ops())
+		}
+
+		// Reference recovery under the legacy JSON configuration.
+		ref, err := durable.Open(dir, jsonMatrixConfig(vfs.OS{}))
+		if err != nil {
+			t.Fatalf("k=%d: JSON recovery failed: %v\ntrace:\n%s", k, err, traceOf(inj))
+		}
+		refDB := ref.Snapshot()
+		if err := ref.Close(); err != nil {
+			t.Fatalf("k=%d: close JSON recovery: %v", k, err)
+		}
+		j := prefixLen(refDB.Tau(), us)
+		if j < res.confirmed || j > res.attempted || !refDB.StateEqual(prefixDB(t, us, j)) {
+			t.Fatalf("k=%d: JSON recovery not a valid prefix (tau %g, confirmed %d, attempted %d)",
+				k, refDB.Tau(), res.confirmed, res.attempted)
+		}
+
+		// The binary-default engine must recover the identical state
+		// from the JSON-written (and crash-damaged, then healed) files.
+		bin, err := durable.Open(dir, matrixConfig(vfs.OS{}))
+		if err != nil {
+			t.Fatalf("k=%d: binary-default recovery failed: %v\ntrace:\n%s", k, err, traceOf(inj))
+		}
+		if !bin.Snapshot().StateEqual(refDB) {
+			t.Fatalf("k=%d: binary-default recovery differs from JSON recovery", k)
+		}
+
+		// One update plus a checkpoint migrates the live pair.
+		if err := bin.Apply(mod.New(99, 100, us[0].A, us[0].B)); err != nil {
+			t.Fatalf("k=%d: apply after migration open: %v", k, err)
+		}
+		if _, err := bin.Checkpoint(); err != nil {
+			t.Fatalf("k=%d: migrating checkpoint: %v", k, err)
+		}
+		if err := bin.Close(); err != nil {
+			t.Fatalf("k=%d: close after migration: %v", k, err)
+		}
+		jf, bf := liveFormats(t, dir)
+		if len(jf) != 0 {
+			t.Fatalf("k=%d: JSON files survive the migrating checkpoint: %v", k, jf)
+		}
+		if len(bf) == 0 {
+			t.Fatalf("k=%d: no binary files after the migrating checkpoint", k)
+		}
+
+		// And the migrated store recovers.
+		rec, err := durable.Open(dir, matrixConfig(vfs.OS{}))
+		if err != nil {
+			t.Fatalf("k=%d: post-migration recovery failed: %v", k, err)
+		}
+		if rec.Tau() != 100 {
+			t.Fatalf("k=%d: post-migration tau %g, want 100", k, rec.Tau())
+		}
+		if err := rec.Close(); err != nil {
+			t.Fatalf("k=%d: final close: %v", k, err)
+		}
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path"
 	"sort"
@@ -60,16 +61,72 @@ const manifestName = "MANIFEST"
 
 // storeManifest is the wire form of a store's manifest.
 type storeManifest struct {
-	Version  int     `json:"version"`
-	Seq      uint64  `json:"seq"`
-	Snapshot string  `json:"snapshot,omitempty"`
-	Journal  string  `json:"journal"`
-	Dim      int     `json:"dim"`
-	Tau0     float64 `json:"tau0"`
+	Version  int    `json:"version"`
+	Seq      uint64 `json:"seq"`
+	Snapshot string `json:"snapshot,omitempty"`
+	Journal  string `json:"journal"`
+	Dim      int    `json:"dim"`
+	// Tau0 is omitted when it is -Inf (the common "accept any first
+	// update" seed): JSON cannot represent -Inf, and encoding it used to
+	// make initFresh fail for exactly that seed. Absent means -Inf.
+	Tau0 *float64 `json:"tau0,omitempty"`
 }
 
-func walName(seq uint64) string  { return fmt.Sprintf("wal-%07d.jsonl", seq) }
-func snapName(seq uint64) string { return fmt.Sprintf("snap-%07d.json", seq) }
+// tau0Of reads the manifest's initial time, resolving the omitted-field
+// sentinel.
+func (m storeManifest) tau0Of() float64 {
+	if m.Tau0 == nil {
+		return math.Inf(-1)
+	}
+	return *m.Tau0
+}
+
+// tau0Ptr builds the manifest form of an initial time.
+func tau0Ptr(t float64) *float64 {
+	if math.IsInf(t, -1) {
+		return nil
+	}
+	return &t
+}
+
+// Format selects the codec of newly written journal segments and
+// snapshots. Either format is always READ correctly — recovery detects
+// each file's codec from its name, so stores migrate segment by
+// segment: reopening a JSON store with the binary format keeps
+// appending JSON to the recovered tail segment and switches to binary
+// at the next rotation.
+type Format int
+
+const (
+	// FormatBinary is the compact raw-bits codec (mod.SaveBinary /
+	// binary journal records): every float round-trips bit-exactly,
+	// including the ±Inf values JSON rejects, and records carry CRCs.
+	// The default.
+	FormatBinary Format = iota
+	// FormatJSON is the legacy human-readable codec (mod.SaveJSON /
+	// JSON-lines journal).
+	FormatJSON
+)
+
+func walName(seq uint64, f Format) string {
+	if f == FormatJSON {
+		return fmt.Sprintf("wal-%07d.jsonl", seq)
+	}
+	return fmt.Sprintf("wal-%07d.wal", seq)
+}
+
+func snapName(seq uint64, f Format) string {
+	if f == FormatJSON {
+		return fmt.Sprintf("snap-%07d.json", seq)
+	}
+	return fmt.Sprintf("snap-%07d.bin", seq)
+}
+
+// isBinaryName reports whether a wal/snap file name carries the binary
+// codec, by suffix.
+func isBinaryName(name string) bool {
+	return strings.HasSuffix(name, ".wal") || strings.HasSuffix(name, ".bin")
+}
 
 // parseSeq extracts the sequence number of a wal-/snap- file name, or
 // ok=false for anything else (tmp files, the manifest, foreign files).
@@ -110,6 +167,10 @@ type StoreOptions struct {
 	// CommitMaxBatch skips the coalescing window once this many entries
 	// are already waiting; 0 means a default (256).
 	CommitMaxBatch int
+	// Format selects the codec for new journal segments and snapshots;
+	// the zero value is FormatBinary. Existing files are read by their
+	// own codec regardless.
+	Format Format
 
 	// commitMetrics, when non-nil, receives the group-commit series
 	// (set by the engine, which owns the registry).
@@ -165,6 +226,7 @@ type Store struct {
 	jfile       vfs.File // current segment's handle (journal writes to it)
 	manifestSeq uint64   // seq the on-disk manifest commits to
 	walSeq      uint64   // seq of the segment the live journal writes
+	walBinary   bool     // codec of the live segment (may lag opts.Format until rotation)
 	closed      bool
 
 	c *committer // non-nil iff the policy is CommitGroup
@@ -232,8 +294,14 @@ func openStore(fsys vfs.FS, dir string, opts StoreOptions, adopt *mod.DB) (*Stor
 	// then flush/sync) is guaranteed by registration order, and
 	// application order by the database's notification serialization.
 	// The journal writes to the segment file directly; checkpoint
-	// rotation redirects it with SwapWriter/Rotate.
-	s.j = mod.NewJournal(s.db, s.jfile)
+	// rotation redirects it with SwapWriter/Rotate. The journal's record
+	// format follows the live segment's codec — for a recovered legacy
+	// JSON tail that means JSON until the next rotation switches it.
+	if s.walBinary {
+		s.j = mod.NewJournalBinary(s.db, s.jfile)
+	} else {
+		s.j = mod.NewJournal(s.db, s.jfile)
+	}
 	switch opts.policy() {
 	case CommitFlushEach:
 		//modlint:allow syncorder -- listener must not block updates; a sticky journal error is surfaced by WaitDurable/JournalErr
@@ -257,18 +325,32 @@ func (s *Store) initFresh() error {
 	if dim <= 0 {
 		return fmt.Errorf("durable: fresh store %s needs a positive dimension, got %d", s.dir, dim)
 	}
+	if math.IsNaN(s.opts.Tau0) || math.IsInf(s.opts.Tau0, 1) {
+		return fmt.Errorf("durable: fresh store %s: initial time %g is not representable", s.dir, s.opts.Tau0)
+	}
 	if s.db == nil {
 		s.db = mod.NewDB(dim, s.opts.Tau0)
 	}
-	f, err := s.fs.Create(path.Join(s.dir, walName(1)))
+	jname := walName(1, s.opts.Format)
+	f, err := s.fs.Create(path.Join(s.dir, jname))
 	if err != nil {
 		return fmt.Errorf("durable: create journal: %w", err)
+	}
+	if s.opts.Format == FormatBinary {
+		// The segment header goes in before any entry can arrive (the
+		// journal is wired up only after initFresh returns). A crash
+		// leaving it partial is handled on recovery: a tail torn inside
+		// the header truncates to zero and the header is rewritten.
+		if _, err := f.Write(mod.BinaryJournalHeader()); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("durable: write journal header: %w", err)
+		}
 	}
 	if err := s.fs.SyncDir(s.dir); err != nil {
 		_ = f.Close()
 		return fmt.Errorf("durable: sync dir: %w", err)
 	}
-	man := storeManifest{Version: 1, Seq: 1, Journal: walName(1), Dim: dim, Tau0: s.opts.Tau0}
+	man := storeManifest{Version: 1, Seq: 1, Journal: jname, Dim: dim, Tau0: tau0Ptr(s.opts.Tau0)}
 	if err := writeStoreManifest(s.fs, path.Join(s.dir, manifestName), man); err != nil {
 		_ = f.Close()
 		return err
@@ -276,6 +358,7 @@ func (s *Store) initFresh() error {
 	s.jfile = f
 	s.manifestSeq = 1
 	s.walSeq = 1
+	s.walBinary = s.opts.Format == FormatBinary
 	return nil
 }
 
@@ -295,7 +378,13 @@ func (s *Store) recover(man storeManifest) error {
 		if err != nil {
 			return fmt.Errorf("durable: open snapshot: %w", err)
 		}
-		db, lerr := mod.LoadJSON(r)
+		var db *mod.DB
+		var lerr error
+		if isBinaryName(man.Snapshot) {
+			db, lerr = mod.LoadBinary(r)
+		} else {
+			db, lerr = mod.LoadJSON(r)
+		}
 		cerr := r.Close()
 		if lerr != nil {
 			return fmt.Errorf("durable: snapshot %s: %w", man.Snapshot, lerr)
@@ -309,7 +398,7 @@ func (s *Store) recover(man storeManifest) error {
 		s.db = db
 		s.recovery.SnapshotLoaded = true
 	} else {
-		s.db = mod.NewDB(man.Dim, man.Tau0)
+		s.db = mod.NewDB(man.Dim, man.tau0Of())
 	}
 	segs, err := s.segmentsFrom(man.Seq)
 	if err != nil {
@@ -318,27 +407,40 @@ func (s *Store) recover(man storeManifest) error {
 	if len(segs) == 0 {
 		// The manifest's segment is created (and the directory synced)
 		// before the manifest commits to it, so this is reachable only
-		// by outside interference; heal by starting a fresh segment.
-		segs = []uint64{man.Seq}
-		f, cerr := s.fs.Create(path.Join(s.dir, walName(man.Seq)))
+		// by outside interference; heal by recreating the segment the
+		// manifest names, in that name's codec.
+		segs = []walSegment{{seq: man.Seq, name: man.Journal}}
+		f, cerr := s.fs.Create(path.Join(s.dir, man.Journal))
 		if cerr != nil {
 			return fmt.Errorf("durable: recreate journal: %w", cerr)
 		}
+		if isBinaryName(man.Journal) {
+			if _, werr := f.Write(mod.BinaryJournalHeader()); werr != nil {
+				_ = f.Close()
+				return fmt.Errorf("durable: write journal header: %w", werr)
+			}
+		}
 		_ = f.Close()
 	}
-	for i, seq := range segs {
-		name := walName(seq)
-		r, oerr := s.fs.Open(path.Join(s.dir, name))
+	for i, seg := range segs {
+		bin := isBinaryName(seg.name)
+		r, oerr := s.fs.Open(path.Join(s.dir, seg.name))
 		if errors.Is(oerr, os.ErrNotExist) && i > 0 {
 			continue // gap beyond the manifest segment: nothing to replay
 		}
 		if oerr != nil {
-			return fmt.Errorf("durable: open journal %s: %w", name, oerr)
+			return fmt.Errorf("durable: open journal %s: %w", seg.name, oerr)
 		}
-		st, rerr := mod.ReplayTolerant(s.db, r)
+		var st mod.ReplayStats
+		var rerr error
+		if bin {
+			st, rerr = mod.ReplayTolerantBinary(s.db, r)
+		} else {
+			st, rerr = mod.ReplayTolerant(s.db, r)
+		}
 		_ = r.Close()
 		if rerr != nil {
-			return fmt.Errorf("durable: replay %s: %w", name, rerr)
+			return fmt.Errorf("durable: replay %s: %w", seg.name, rerr)
 		}
 		s.recovery.Segments++
 		s.recovery.Replay.Applied += st.Applied
@@ -349,36 +451,68 @@ func (s *Store) recover(man storeManifest) error {
 		}
 		if i == len(segs)-1 {
 			if st.TornTail {
-				if terr := s.fs.Truncate(path.Join(s.dir, name), st.GoodBytes); terr != nil {
-					return fmt.Errorf("durable: truncate torn tail of %s: %w", name, terr)
+				if terr := s.fs.Truncate(path.Join(s.dir, seg.name), st.GoodBytes); terr != nil {
+					return fmt.Errorf("durable: truncate torn tail of %s: %w", seg.name, terr)
 				}
 			}
-			f, aerr := s.fs.Append(path.Join(s.dir, name))
+			f, aerr := s.fs.Append(path.Join(s.dir, seg.name))
 			if aerr != nil {
-				return fmt.Errorf("durable: reopen journal %s: %w", name, aerr)
+				return fmt.Errorf("durable: reopen journal %s: %w", seg.name, aerr)
+			}
+			if bin && st.GoodBytes == 0 {
+				// The crash happened before (or inside) the segment's
+				// 5-byte header: the file is empty now (any torn header
+				// bytes were truncated above), so write the header the
+				// appended records need.
+				if _, werr := f.Write(mod.BinaryJournalHeader()); werr != nil {
+					_ = f.Close()
+					return fmt.Errorf("durable: rewrite journal header: %w", werr)
+				}
 			}
 			s.jfile = f
-			s.walSeq = seq
+			s.walSeq = seg.seq
+			s.walBinary = bin
 		}
 	}
 	s.manifestSeq = man.Seq
 	return nil
 }
 
-// segmentsFrom lists existing journal segment seqs >= from, ascending.
-func (s *Store) segmentsFrom(from uint64) ([]uint64, error) {
+// walSegment names one on-disk journal segment; the name's suffix
+// carries its codec.
+type walSegment struct {
+	seq  uint64
+	name string
+}
+
+// segmentsFrom lists existing journal segments with seq >= from,
+// ascending, across both codecs. The same seq in both codecs cannot
+// arise from any crash of this code (a segment is created in exactly
+// one codec and seqs only grow), so it is outside interference and an
+// error.
+func (s *Store) segmentsFrom(from uint64) ([]walSegment, error) {
 	names, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("durable: list %s: %w", s.dir, err)
 	}
-	var seqs []uint64
+	var segs []walSegment
+	seen := make(map[uint64]string)
 	for _, n := range names {
-		if seq, ok := parseSeq(n, "wal-", ".jsonl"); ok && seq >= from {
-			seqs = append(seqs, seq)
+		seq, ok := parseSeq(n, "wal-", ".jsonl")
+		if !ok {
+			seq, ok = parseSeq(n, "wal-", ".wal")
 		}
+		if !ok || seq < from {
+			continue
+		}
+		if prev, dup := seen[seq]; dup {
+			return nil, fmt.Errorf("durable: journal segment %d exists as both %s and %s", seq, prev, n)
+		}
+		seen[seq] = n
+		segs = append(segs, walSegment{seq: seq, name: n})
 	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-	return seqs, nil
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	return segs, nil
 }
 
 // DB returns the live database. Updates applied to it are journaled.
@@ -415,15 +549,26 @@ func (s *Store) Checkpoint() (CheckpointInfo, error) {
 		return CheckpointInfo{}, errors.New("durable: store closed")
 	}
 	newSeq := s.walSeq + 1
+	binary := s.opts.Format == FormatBinary
+	newWal := walName(newSeq, s.opts.Format)
 
-	// 1. Fresh segment, durable before any entry can land in it.
-	f, err := s.fs.Create(path.Join(s.dir, walName(newSeq)))
+	// 1. Fresh segment, durable before any entry can land in it. A
+	// binary segment gets its header now, while the live journal still
+	// writes to the old segment — no entry can interleave before it.
+	f, err := s.fs.Create(path.Join(s.dir, newWal))
 	if err != nil {
 		return CheckpointInfo{}, fmt.Errorf("durable: checkpoint: create segment: %w", err)
 	}
+	if binary {
+		if _, err := f.Write(mod.BinaryJournalHeader()); err != nil {
+			_ = f.Close()
+			_ = s.fs.Remove(path.Join(s.dir, newWal))
+			return CheckpointInfo{}, fmt.Errorf("durable: checkpoint: write segment header: %w", err)
+		}
+	}
 	if err := s.fs.SyncDir(s.dir); err != nil {
 		_ = f.Close()
-		_ = s.fs.Remove(path.Join(s.dir, walName(newSeq)))
+		_ = s.fs.Remove(path.Join(s.dir, newWal))
 		return CheckpointInfo{}, fmt.Errorf("durable: checkpoint: sync dir: %w", err)
 	}
 
@@ -438,30 +583,39 @@ func (s *Store) Checkpoint() (CheckpointInfo, error) {
 	// before the manifest commit would lose them).
 	old := s.jfile
 	if s.c != nil {
-		_ = s.c.rotate(f) //modlint:allow syncorder -- old-segment flush loss is covered by the snapshot taken next; waiters get the outcome via resolve
+		_ = s.c.rotate(f, binary) //modlint:allow syncorder -- old-segment flush loss is covered by the snapshot taken next; waiters get the outcome via resolve
 	} else {
-		_ = s.j.SwapWriter(f) //modlint:allow syncorder -- old-segment flush loss is covered by the snapshot taken next
+		_, _ = s.j.RotateBinary(f, binary) //modlint:allow syncorder -- old-segment flush loss is covered by the snapshot taken next
 	}
 	s.jfile = f
 	s.walSeq = newSeq
+	s.walBinary = binary
 	if old != nil {
 		_ = old.Close()
 	}
 
 	// 3+4. Snapshot after the swap, persist atomically.
 	var buf bytes.Buffer
-	if err := s.db.Snapshot().SaveJSON(&buf); err != nil {
-		return CheckpointInfo{}, fmt.Errorf("durable: checkpoint: encode snapshot: %w", err)
+	snap := s.db.Snapshot()
+	var encErr error
+	if binary {
+		encErr = snap.SaveBinary(&buf)
+	} else {
+		encErr = snap.SaveJSON(&buf)
 	}
-	if err := vfs.WriteFileAtomic(s.fs, path.Join(s.dir, snapName(newSeq)), buf.Bytes()); err != nil {
+	if encErr != nil {
+		return CheckpointInfo{}, fmt.Errorf("durable: checkpoint: encode snapshot: %w", encErr)
+	}
+	newSnap := snapName(newSeq, s.opts.Format)
+	if err := vfs.WriteFileAtomic(s.fs, path.Join(s.dir, newSnap), buf.Bytes()); err != nil {
 		return CheckpointInfo{}, fmt.Errorf("durable: checkpoint: write snapshot: %w", err)
 	}
 
 	// 5. Commit.
 	man := storeManifest{
 		Version: 1, Seq: newSeq,
-		Snapshot: snapName(newSeq), Journal: walName(newSeq),
-		Dim: s.db.Dim(), Tau0: s.opts.Tau0,
+		Snapshot: newSnap, Journal: newWal,
+		Dim: s.db.Dim(), Tau0: tau0Ptr(s.opts.Tau0),
 	}
 	if err := writeStoreManifest(s.fs, path.Join(s.dir, manifestName), man); err != nil {
 		return CheckpointInfo{}, err
@@ -546,7 +700,11 @@ func (s *Store) gcLocked() {
 		case n == man.Snapshot || n == man.Journal || n == manifestName:
 			// live
 		default:
-			if seq, ok := parseSeq(n, "wal-", ".jsonl"); ok {
+			seq, isWal := parseSeq(n, "wal-", ".jsonl")
+			if !isWal {
+				seq, isWal = parseSeq(n, "wal-", ".wal")
+			}
+			if isWal {
 				// Newer segments than the manifest's hold updates the
 				// manifest pair does not cover — never collect those.
 				if seq < man.Seq {
@@ -554,7 +712,11 @@ func (s *Store) gcLocked() {
 				}
 				continue
 			}
-			if _, ok := parseSeq(n, "snap-", ".json"); ok {
+			_, isSnap := parseSeq(n, "snap-", ".json")
+			if !isSnap {
+				_, isSnap = parseSeq(n, "snap-", ".bin")
+			}
+			if isSnap {
 				// Snapshots other than the manifest's are either
 				// superseded or orphans of a failed checkpoint; the
 				// manifest pair plus newer segments re-derive them.

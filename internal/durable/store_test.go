@@ -155,7 +155,7 @@ func TestStoreTornTailReopenAppend(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Tear the final record: chop 3 bytes off the segment.
-	wal := filepath.Join(dir, "wal-0000001.jsonl")
+	wal := filepath.Join(dir, "wal-0000001.wal")
 	fi, err := os.Stat(wal)
 	if err != nil {
 		t.Fatal(err)

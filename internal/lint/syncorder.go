@@ -43,10 +43,15 @@ var SyncOrder = &Analyzer{
 	Run:  runSyncOrder,
 }
 
-// syncOrderApplies gates the analyzer to the durability packages.
+// syncOrderApplies gates the analyzer to the durability packages:
+// internal/mod is included because the journal writer (JSON and binary
+// framing) lives there — a dropped Flush/Rotate error on the journal
+// is exactly the ack-without-durability bug the analyzer exists for.
 func syncOrderApplies(pkgPath string) bool {
 	pkgPath = strings.TrimSuffix(pkgPath, "_test")
-	return strings.HasSuffix(pkgPath, "internal/durable") || strings.HasSuffix(pkgPath, "internal/vfs")
+	return strings.HasSuffix(pkgPath, "internal/durable") ||
+		strings.HasSuffix(pkgPath, "internal/vfs") ||
+		strings.HasSuffix(pkgPath, "internal/mod")
 }
 
 // syncWriteNames are the calls that put bytes into a file that a later
@@ -59,7 +64,7 @@ var syncWriteNames = map[string]bool{
 // discarded (rule 3).
 var syncDropNames = map[string]bool{
 	"Sync": true, "SyncDir": true, "Flush": true, "Rotate": true,
-	"rotate": true, "SwapWriter": true,
+	"RotateBinary": true, "rotate": true, "SwapWriter": true,
 }
 
 func runSyncOrder(pass *Pass) []Diagnostic {

@@ -18,8 +18,14 @@ import (
 
 // jsonDB is the wire form of a database snapshot.
 type jsonDB struct {
-	Dim     int          `json:"dim"`
-	Tau     float64      `json:"tau"`
+	Dim int `json:"dim"`
+	// Tau is omitted when the database still sits at its -Inf seed time
+	// (NewDB(dim, math.Inf(-1)), the state LoadJSON itself starts from):
+	// JSON cannot represent -Inf, and encoding it as a number used to
+	// make snapshotting any fresh or restored-empty database fail with
+	// "json: unsupported value: -Inf". Same sentinel convention as the
+	// open-ended piece End below.
+	Tau     *float64     `json:"tau,omitempty"`
 	Objects []jsonObject `json:"objects"`
 	Log     []jsonUpdate `json:"log,omitempty"`
 }
@@ -86,7 +92,15 @@ func fromJSONUpdate(j jsonUpdate) (Update, error) {
 // SaveJSON writes a snapshot of the database to w.
 func (db *DB) SaveJSON(w io.Writer) error {
 	db.mu.RLock()
-	out := jsonDB{Dim: db.dim, Tau: db.tau}
+	out := jsonDB{Dim: db.dim}
+	if !math.IsInf(db.tau, -1) {
+		if math.IsNaN(db.tau) || math.IsInf(db.tau, 1) {
+			db.mu.RUnlock()
+			return fmt.Errorf("mod: cannot encode tau %g as JSON", db.tau)
+		}
+		tau := db.tau
+		out.Tau = &tau
+	}
 	oids := make([]OID, 0, len(db.objs))
 	for o := range db.objs {
 		oids = append(oids, o)
@@ -147,17 +161,25 @@ func LoadJSON(r io.Reader) (*DB, error) {
 			return nil, err
 		}
 	}
-	for _, ju := range in.Log {
+	log := make([]Update, 0, len(in.Log))
+	for i, ju := range in.Log {
 		u, err := fromJSONUpdate(ju)
 		if err != nil {
 			return nil, err
 		}
-		db.mu.Lock()
-		db.log = append(db.log, u)
-		db.mu.Unlock()
+		if err := validateLoadedUpdate(u, in.Dim); err != nil {
+			return nil, fmt.Errorf("mod: snapshot log entry %d: %w", i, err)
+		}
+		log = append(log, u)
+	}
+	tau := math.Inf(-1)
+	if in.Tau != nil {
+		tau = *in.Tau
 	}
 	db.mu.Lock()
-	db.tau = in.Tau
+	db.log = log
+	db.tau = tau
+	db.epoch.Add(1)
 	db.mu.Unlock()
 	return db, nil
 }

@@ -1,0 +1,68 @@
+package mod
+
+// Regression tests for the float-edge persistence bugs: SaveJSON used
+// to fail with "json: unsupported value: -Inf" on any database still at
+// its -Inf seed tau (every fresh store), and LoadJSON appended log
+// updates without validating their vectors against the snapshot
+// dimension, so a hand-edited or corrupted snapshot could smuggle a
+// mis-dimensioned update into the log that Apply would have rejected.
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSaveJSONNegInfTau(t *testing.T) {
+	fresh := NewDB(2, math.Inf(-1))
+	var buf bytes.Buffer
+	if err := fresh.SaveJSON(&buf); err != nil {
+		t.Fatalf("SaveJSON of fresh -Inf db: %v", err)
+	}
+	got, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got.Tau(), -1) || !got.StateEqual(fresh) {
+		t.Fatalf("round-trip tau %g, want -Inf", got.Tau())
+	}
+	// The sentinel is the absent field, same convention as piece End.
+	buf.Reset()
+	must(t, fresh.SaveJSON(&buf))
+	if strings.Contains(buf.String(), `"tau"`) {
+		t.Errorf("-Inf tau encoded explicitly: %s", buf.String())
+	}
+	// A database with real history still writes its tau.
+	db := buildSampleDB(t)
+	buf.Reset()
+	must(t, db.SaveJSON(&buf))
+	if !strings.Contains(buf.String(), `"tau": 7`) {
+		t.Errorf("finite tau missing from snapshot: %s", buf.String())
+	}
+}
+
+func TestLoadJSONValidatesLogEntries(t *testing.T) {
+	const prefix = `{"dim":2,"tau":1,"objects":[{"oid":1,"pieces":[{"start":0,"a":[1,0],"b":[0,0]}]}],"log":[`
+	bad := map[string]string{
+		"new with 1-d a":   `{"kind":"new","oid":1,"tau":0,"a":[1],"b":[0,0]}`,
+		"new with 3-d b":   `{"kind":"new","oid":1,"tau":0,"a":[1,0],"b":[0,0,0]}`,
+		"new missing b":    `{"kind":"new","oid":1,"tau":0,"a":[1,0]}`,
+		"chdir with 1-d a": `{"kind":"chdir","oid":1,"tau":1,"a":[1]}`,
+		"chdir missing a":  `{"kind":"chdir","oid":1,"tau":1}`,
+		"overflow tau":     `{"kind":"terminate","oid":1,"tau":1e999}`,
+		"overflow b coeff": `{"kind":"new","oid":1,"tau":0,"a":[1,0],"b":[1e999,0]}`,
+	}
+	for name, entry := range bad {
+		if _, err := LoadJSON(strings.NewReader(prefix + entry + "]}")); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Leniency pin: fields an update kind does not use are NOT
+	// validated — a live system may journal a chdir carrying a stray b,
+	// and recovery must not reject history Apply accepted.
+	lenient := `{"kind":"chdir","oid":1,"tau":1,"a":[1,0],"b":[9]}`
+	if _, err := LoadJSON(strings.NewReader(prefix + lenient + "]}")); err != nil {
+		t.Errorf("stray unused field rejected: %v", err)
+	}
+}

@@ -1,0 +1,113 @@
+package mod
+
+// FuzzReplayTolerantBinary hardens binary-journal recovery exactly as
+// FuzzReplayTolerant hardens the JSON path: arbitrary bytes must never
+// panic, accounting must be internally consistent, and GoodBytes must
+// always be a truncate-and-append boundary. On top of the replay
+// invariants, every state reachable by replay must survive a binary
+// snapshot round-trip StateEqual — the codec's whole contract is that
+// raw IEEE-754 bits (±Inf taus, denormal coefficients) come back
+// bit-identical, with no JSON-style non-finite failures.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// binJournal frames updates into a well-formed binary segment.
+func binJournal(us ...Update) []byte {
+	b := BinaryJournalHeader()
+	for _, u := range us {
+		b = AppendUpdateRecord(b, u)
+	}
+	return b
+}
+
+func FuzzReplayTolerantBinary(f *testing.F) {
+	valid := binJournal(
+		New(1, 1, geom.Of(1, 0), geom.Of(0, 0)),
+		ChDir(1, 2, geom.Of(0, 1)),
+		New(2, 3, geom.Of(0, 0), geom.Of(5, 5)),
+		Terminate(2, 4),
+	)
+	denorm := binJournal(
+		New(1, 1, geom.Of(5e-324, -5e-324), geom.Of(math.MaxFloat64, 1e-308)),
+		ChDir(1, 2, geom.Of(math.Copysign(0, -1), 2)),
+	)
+	// Non-finite coefficients are representable on the wire but
+	// rejected at Apply: replay must count them as skipped, not die.
+	nonfinite := binJournal(
+		New(1, 1, geom.Of(math.Inf(1), 0), geom.Of(0, 0)),
+		New(2, 2, geom.Of(1, 0), geom.Of(0, math.Inf(-1))),
+		New(3, 3, geom.Of(1, 0), geom.Of(0, 0)),
+	)
+	seeds := [][]byte{
+		valid,
+		valid[:len(valid)-3], // torn tail mid-record
+		valid[:3],            // torn header
+		denorm,
+		nonfinite,
+		binJournal(),                    // header only
+		{},                              // empty segment
+		append([]byte{}, "JUNKdata"...), // wrong magic
+		append(binJournal(New(1, 5, geom.Of(1, 0), geom.Of(0, 0))),
+			binJournal(New(2, 3, geom.Of(1, 0), geom.Of(0, 0)))[BinaryJournalHeaderLen:]...), // chronology skip
+		append(append([]byte{}, valid...), 0xff, 0xff, 0xff, 0xff, 0x7f), // huge length varint tail
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db := NewDB(2, -1)
+		st, err := ReplayTolerantBinary(db, bytes.NewReader(data))
+		if got := len(db.Log()); got != st.Applied {
+			t.Fatalf("Applied=%d but db log has %d entries", st.Applied, got)
+		}
+		if st.Applied < 0 || st.Skipped < 0 || st.TailBytes < 0 {
+			t.Fatalf("negative accounting: %+v", st)
+		}
+		if st.GoodBytes < 0 || st.GoodBytes > int64(len(data)) {
+			t.Fatalf("GoodBytes=%d outside [0,%d]", st.GoodBytes, len(data))
+		}
+		if st.TornTail && err != nil {
+			t.Fatalf("both torn tail and error: %+v, %v", st, err)
+		}
+		if st.TornTail && st.TailBytes == 0 {
+			t.Fatalf("torn tail with no tail bytes: %+v", st)
+		}
+		// The good prefix is a clean journal: same accounting, no torn
+		// tail, no error — the durable store truncates there and appends.
+		db2 := NewDB(2, -1)
+		st2, err2 := ReplayTolerantBinary(db2, bytes.NewReader(data[:st.GoodBytes]))
+		if err2 != nil {
+			t.Fatalf("good prefix errored: %v (original: %+v, %v)", err2, st, err)
+		}
+		if st2.TornTail {
+			t.Fatalf("good prefix has a torn tail (original: %+v)", st)
+		}
+		if st2.Applied != st.Applied || st2.Skipped != st.Skipped {
+			t.Fatalf("good prefix accounting %d/%d differs from original %d/%d",
+				st2.Applied, st2.Skipped, st.Applied, st.Skipped)
+		}
+		if !db.StateEqual(db2) {
+			t.Fatal("good prefix replays to different state")
+		}
+		// Snapshot round-trip: any replay-reachable state (always
+		// finite — Apply gates non-finite input) must come back
+		// StateEqual through the binary snapshot codec.
+		var snap bytes.Buffer
+		if serr := db.SaveBinary(&snap); serr != nil {
+			t.Fatalf("SaveBinary of replayed state: %v", serr)
+		}
+		db3, lerr := LoadBinary(bytes.NewReader(snap.Bytes()))
+		if lerr != nil {
+			t.Fatalf("LoadBinary of own snapshot: %v", lerr)
+		}
+		if !db3.StateEqual(db) {
+			t.Fatal("binary snapshot round-trip is not StateEqual")
+		}
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // UpdateSource is anything that can feed applied updates to a listener:
@@ -40,14 +41,21 @@ type Journal struct {
 	err    error
 	closed bool
 	seq    uint64 // entries successfully buffered since creation
+	// binary is the current segment's record format. Written only under
+	// mu (creation, rotation); atomic so the listener can pick an
+	// encoding optimistically before taking the lock.
+	binary atomic.Bool
 }
 
 // encBuf is a pooled encode scratch: updates are serialized into it
-// outside the journal lock, so concurrent appliers pay for JSON encoding
-// in parallel and the lock covers only the buffered byte copy.
+// outside the journal lock, so concurrent appliers pay for encoding in
+// parallel and the lock covers only the buffered byte copy. buf/enc
+// serve the JSON format, bin the binary one; a journal uses whichever
+// matches its current segment.
 type encBuf struct {
 	buf bytes.Buffer
 	enc *json.Encoder
+	bin []byte
 }
 
 var encBufPool = sync.Pool{New: func() any {
@@ -63,22 +71,57 @@ var ErrJournalClosed = errors.New("mod: journal closed")
 // is appended to w as one JSON line. Call Close before closing the
 // underlying writer.
 func NewJournal(src UpdateSource, w io.Writer) *Journal {
+	return newJournal(src, w, false)
+}
+
+// NewJournalBinary wires a journal to src in the binary record format
+// (see binary.go): every applied update is appended as one framed,
+// checksummed record. The caller owns the segment header — write
+// BinaryJournalHeader() to a fresh file before any update can arrive
+// (the durable store does this when it creates a segment).
+func NewJournalBinary(src UpdateSource, w io.Writer) *Journal {
+	return newJournal(src, w, true)
+}
+
+func newJournal(src UpdateSource, w io.Writer, bin bool) *Journal {
 	j := &Journal{w: bufio.NewWriter(w)}
+	j.binary.Store(bin)
 	if sw, ok := w.(SyncWriter); ok {
 		j.syncer = sw
 	}
-	src.OnUpdate(func(u Update) {
-		// Encode outside the lock into pooled scratch; Encoder.Encode
-		// writes exactly the bytes the previous under-lock encoder did
-		// (one JSON value plus '\n'), so the on-disk format is unchanged.
-		b := encBufPool.Get().(*encBuf)
+	encode := func(b *encBuf, u Update, bin bool) ([]byte, error) {
+		if bin {
+			b.bin = AppendUpdateRecord(b.bin[:0], u)
+			return b.bin, nil
+		}
+		// Encoder.Encode writes exactly the bytes the original
+		// under-lock encoder did (one JSON value plus '\n'), so the
+		// on-disk JSON format is unchanged.
 		b.buf.Reset()
-		encErr := b.enc.Encode(u)
+		if err := b.enc.Encode(u); err != nil {
+			return nil, err
+		}
+		return b.buf.Bytes(), nil
+	}
+	src.OnUpdate(func(u Update) {
+		// Encode outside the lock into pooled scratch, so concurrent
+		// appliers pay for encoding in parallel and the lock covers only
+		// the buffered byte copy. The format is re-checked under the
+		// lock: a rotation may have switched it between the optimistic
+		// encode and the write, in which case the entry is re-encoded in
+		// the new segment's format (rare — rotations happen once per
+		// checkpoint).
+		b := encBufPool.Get().(*encBuf)
+		bin := j.binary.Load()
+		payload, encErr := encode(b, u, bin)
 		j.mu.Lock()
 		if j.err == nil && !j.closed {
+			if now := j.binary.Load(); now != bin {
+				payload, encErr = encode(b, u, now)
+			}
 			if encErr != nil {
 				j.err = encErr
-			} else if _, werr := j.w.Write(b.buf.Bytes()); werr != nil {
+			} else if _, werr := j.w.Write(payload); werr != nil {
 				j.err = werr
 			} else {
 				j.seq++
@@ -151,15 +194,25 @@ func (j *Journal) syncLocked() error {
 // error of the old writer is still reported so the caller can decide
 // whether the old segment's tail is trustworthy.
 func (j *Journal) SwapWriter(w io.Writer) error {
-	_, err := j.Rotate(w)
+	_, err := j.Rotate(w) //modlint:allow syncorder -- the blank is the sequence number; the error is returned
 	return err
 }
 
 // Rotate is SwapWriter returning, additionally, the sequence number of
 // the last entry written to the old writer — taken under the same lock
 // as the swap, so group commit can resolve exactly the entries whose
-// durability the old writer's final flush+fsync decided.
+// durability the old writer's final flush+fsync decided. The record
+// format is preserved; use RotateBinary to switch it.
 func (j *Journal) Rotate(w io.Writer) (uint64, error) {
+	return j.RotateBinary(w, j.binary.Load())
+}
+
+// RotateBinary is Rotate with an explicit record format for the new
+// writer: the swap happens at an entry boundary, so the old segment is
+// purely one format and the new segment purely the other. This is how
+// a store whose recovery reopened a legacy JSON segment migrates to
+// the binary format at its next checkpoint.
+func (j *Journal) RotateBinary(w io.Writer, bin bool) (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
@@ -174,6 +227,7 @@ func (j *Journal) Rotate(w io.Writer) (uint64, error) {
 	if sw, ok := w.(SyncWriter); ok {
 		j.syncer = sw
 	}
+	j.binary.Store(bin)
 	j.err = nil
 	return j.seq, oldErr
 }

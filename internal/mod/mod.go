@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/geom"
 	"repro/internal/trajectory"
@@ -136,6 +137,13 @@ type DB struct {
 	// opposite order — a journal written that way replays u2 first and
 	// the chronology check silently drops u1 on recovery.
 	notifyMu sync.Mutex
+
+	// epoch counts state mutations; it is bumped under mu after each
+	// one. snap caches the epoch snapshot readers share (see
+	// EpochSnapshot in snap.go); snapMu serializes its rebuilds.
+	epoch  atomic.Uint64
+	snap   atomic.Pointer[Snap]
+	snapMu sync.Mutex
 }
 
 // NewDB creates an empty MOD for objects in R^dim with last-update time
@@ -270,6 +278,23 @@ func (db *DB) applyLocked(u Update) error {
 	if !(u.Tau > db.tau) {
 		return fmt.Errorf("%w: tau=%g, last=%g", ErrChronology, u.Tau, db.tau)
 	}
+	// The fields the update's kind uses must be finite: a trajectory
+	// coefficient of NaN or ±Inf poisons every distance computation
+	// downstream. JSON bodies cannot even express these, but the binary
+	// wire path can, so the gate lives here where every path converges.
+	switch u.Kind {
+	case KindNew:
+		if err := vecFinite(u.A); err != nil {
+			return fmt.Errorf("%w: new(%s) velocity: %v", ErrBadOperation, u.O, err)
+		}
+		if err := vecFinite(u.B); err != nil {
+			return fmt.Errorf("%w: new(%s) position: %v", ErrBadOperation, u.O, err)
+		}
+	case KindChDir:
+		if err := vecFinite(u.A); err != nil {
+			return fmt.Errorf("%w: chdir(%s) velocity: %v", ErrBadOperation, u.O, err)
+		}
+	}
 	switch u.Kind {
 	case KindNew:
 		if _, ok := db.objs[u.O]; ok {
@@ -315,6 +340,17 @@ func (db *DB) applyLocked(u Update) error {
 	}
 	db.tau = u.Tau
 	db.log = append(db.log, u)
+	db.epoch.Add(1)
+	return nil
+}
+
+// vecFinite rejects vectors with NaN or infinite components.
+func vecFinite(v geom.Vec) error {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("non-finite component %g", x)
+		}
+	}
 	return nil
 }
 
@@ -348,6 +384,7 @@ func (db *DB) Load(o OID, tr trajectory.Trajectory) error {
 	if t > db.tau {
 		db.tau = t
 	}
+	db.epoch.Add(1)
 	return nil
 }
 

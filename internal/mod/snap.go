@@ -1,0 +1,98 @@
+package mod
+
+// Copy-on-write epoch snapshots: the lock-free read path for query
+// fan-out. Every mutation bumps the database's epoch counter; the first
+// reader after a mutation pays one O(n) map copy under the read lock
+// and publishes it, and every subsequent reader of the same epoch gets
+// that immutable view with two atomic loads and no lock at all. Under a
+// query-heavy load the per-query cost drops from "copy the object map
+// AND the whole update log under the shard lock" (what Snapshot does)
+// to a pointer read, so past-query fan-out no longer contends with the
+// writer for the shard lock.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trajectory"
+)
+
+// Snap is an immutable point-in-time view of a database: the object
+// map, dimension and tau as of one epoch. It shares the trajectory map
+// with every other holder of the same epoch's snapshot — safe because
+// nothing ever mutates a published Snap (trajectories are immutable
+// values and the map itself is never written after publication).
+type Snap struct {
+	dim   int
+	tau   float64
+	epoch uint64
+	objs  map[OID]trajectory.Trajectory
+}
+
+// Dim returns the spatial dimension.
+func (s *Snap) Dim() int { return s.dim }
+
+// Tau returns the last-update time the snapshot was taken at.
+func (s *Snap) Tau() float64 { return s.tau }
+
+// Epoch returns the database epoch the snapshot reflects.
+func (s *Snap) Epoch() uint64 { return s.epoch }
+
+// Len returns the number of objects in the snapshot.
+func (s *Snap) Len() int { return len(s.objs) }
+
+// Traj returns the trajectory of object o as of the snapshot.
+func (s *Snap) Traj(o OID) (trajectory.Trajectory, error) {
+	tr, ok := s.objs[o]
+	if !ok {
+		return trajectory.Trajectory{}, fmt.Errorf("%w: %s", ErrNotFound, o)
+	}
+	return tr, nil
+}
+
+// Objects returns the snapshot's OIDs in ascending order.
+func (s *Snap) Objects() []OID {
+	out := make([]OID, 0, len(s.objs))
+	for o := range s.objs {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Trajectories returns the snapshot's object map. The map is SHARED
+// with every holder of this snapshot and must be treated as read-only;
+// callers that need to mutate must copy. This is the zero-copy seed
+// path for query sweeps (query.TrajSource).
+func (s *Snap) Trajectories() map[OID]trajectory.Trajectory { return s.objs }
+
+// EpochSnapshot returns an immutable snapshot of the current epoch.
+// The fast path is lock-free: if the cached snapshot is current, it is
+// returned after two atomic loads. Otherwise one reader rebuilds the
+// cache under the read lock (rebuilds are serialized on snapMu so a
+// write burst costs one copy, not one per waiting reader) and
+// publishes it for everyone.
+//
+// The epoch counter is bumped under the write lock after each
+// mutation, so a cached snapshot whose epoch equals the current epoch
+// is exactly the state every mutation so far produced; returning it
+// while a writer is mid-apply linearizes the read before that write.
+func (db *DB) EpochSnapshot() *Snap {
+	if s := db.snap.Load(); s != nil && s.epoch == db.epoch.Load() {
+		return s
+	}
+	db.snapMu.Lock()
+	defer db.snapMu.Unlock()
+	if s := db.snap.Load(); s != nil && s.epoch == db.epoch.Load() {
+		return s
+	}
+	db.mu.RLock()
+	objs := make(map[OID]trajectory.Trajectory, len(db.objs))
+	for o, tr := range db.objs {
+		objs[o] = tr
+	}
+	s := &Snap{dim: db.dim, tau: db.tau, epoch: db.epoch.Load(), objs: objs}
+	db.mu.RUnlock()
+	db.snap.Store(s)
+	return s
+}

@@ -8,19 +8,28 @@ import (
 	"repro/internal/trajectory"
 )
 
+// TrajSource is any point-in-time view of a moving object database
+// that can hand the sweep its trajectory set: a *mod.DB (which copies
+// the map under its read lock) or a *mod.Snap (an immutable epoch
+// snapshot sharing its map lock-free). Query drivers only ever seed
+// from the view, so this is the whole surface they need.
+type TrajSource interface {
+	Trajectories() map[mod.OID]trajectory.Trajectory
+}
+
 // RunPast evaluates one or more queries over historical data: the window
 // [lo, hi] lies entirely before the database's last-update time, so every
 // trajectory (with all its recorded turns) is final and the sweep runs
 // start to finish without external updates — Theorem 4's O((m+N) log N)
 // regime. Creations and terminations recorded inside the window are
 // replayed as insertion/expiry events.
-func RunPast(db *mod.DB, f gdist.GDistance, lo, hi float64, evs ...Evaluator) (core.Stats, error) {
+func RunPast(db TrajSource, f gdist.GDistance, lo, hi float64, evs ...Evaluator) (core.Stats, error) {
 	return RunPastTerms(db, f, lo, hi, nil, evs...)
 }
 
 // RunPastTerms is RunPast with explicit polynomial time terms (the FO(f)
 // queries that use f(z, p(t)) for non-identity p).
-func RunPastTerms(db *mod.DB, f gdist.GDistance, lo, hi float64, terms []poly.Poly, evs ...Evaluator) (core.Stats, error) {
+func RunPastTerms(db TrajSource, f gdist.GDistance, lo, hi float64, terms []poly.Poly, evs ...Evaluator) (core.Stats, error) {
 	e, err := NewEngine(EngineConfig{F: f, Lo: lo, Hi: hi, TimeTerms: terms})
 	if err != nil {
 		return core.Stats{}, err

@@ -16,9 +16,12 @@
 //	GET  /objects                 OIDs, tau, live count
 //	GET  /object?oid=1            one trajectory (pieces + constraint syntax)
 //	POST /update                  {"kind":"new|terminate|chdir","oid":..,"tau":..,"a":[..],"b":[..]}
+//	POST /update/batch            JSON array of updates, or the binary batch
+//	                              codec with Content-Type application/x-mod-updates
 //	POST /query/knn               {"k":..,"lo":..,"hi":..,"point":[..]}
 //	POST /query/within            {"radius":..,"lo":..,"hi":..,"point":[..]}
-//	GET  /snapshot                full JSON snapshot (mod.SaveJSON format)
+//	GET  /snapshot                full JSON snapshot (mod.SaveJSON format);
+//	                              ?format=binary for the compact binary snapshot
 //	GET  /metrics                 Prometheus exposition (with Options.Metrics)
 //	POST /watch/knn               SSE delta stream of a continuing k-NN query
 //	POST /watch/within            SSE delta stream of a continuing within query
@@ -206,8 +209,39 @@ func (s *Server) failBatch(w http.ResponseWriter, code int, err error, applied i
 }
 
 func (s *Server) ok(w http.ResponseWriter, v interface{}) {
+	// Encode before touching the ResponseWriter: json.Marshal rejects
+	// values a handler let through (notably non-finite floats), and an
+	// encoder writing straight to w would fail AFTER the 200 header was
+	// sent, handing the client a truncated body with a success status.
+	// Buffering turns an encode failure into a clean 500.
+	data, err := json.Marshal(v)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, fmt.Errorf("encode response: %w", err))
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(append(data, '\n'))
+}
+
+// finite rejects NaN/±Inf request parameters before they reach the
+// engine: a non-finite window bound or query point either derails the
+// sweep or produces an answer JSON cannot encode. Mirrors the /watch
+// body validation (sub.Query normalization).
+func finite(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%s is %g, want finite", name, v)
+	}
+	return nil
+}
+
+// finiteVec is finite over a point's components.
+func finiteVec(name string, v []float64) error {
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("%s[%d] is %g, want finite", name, i, x)
+		}
+	}
+	return nil
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -291,7 +325,18 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 // error names the first rejection.
 func (s *Server) handleUpdateBatch(w http.ResponseWriter, r *http.Request) {
 	var us []mod.Update
-	if err := json.NewDecoder(r.Body).Decode(&us); err != nil {
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, mod.BinaryUpdatesContentType) {
+		// Binary batch: the compact framed codec (see internal/mod
+		// binary format docs). Decoding is strict — a frame or CRC
+		// error rejects the whole batch before anything is applied,
+		// unlike a torn journal tail, because an HTTP body has no
+		// "crash mid-write" excuse.
+		var err error
+		if us, err = mod.DecodeUpdatesBinary(r.Body); err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("decode binary update batch: %w", err))
+			return
+		}
+	} else if err := json.NewDecoder(r.Body).Decode(&us); err != nil {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("decode update batch: %w", err))
 		return
 	}
@@ -384,6 +429,12 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("point has %d components, database dim %d", len(req.Point), s.be.Dim()))
 		return
 	}
+	for _, err := range []error{finite("lo", req.Lo), finite("hi", req.Hi), finiteVec("point", req.Point)} {
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+	}
 	start := time.Now()
 	ans, st, tau, err := s.be.KNN(gdist.PointSq{Point: geom.Vec(req.Point)}, req.K, req.Lo, req.Hi)
 	if err != nil {
@@ -424,6 +475,12 @@ func (s *Server) handleWithin(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, errors.New("negative radius"))
 		return
 	}
+	for _, err := range []error{finite("lo", req.Lo), finite("hi", req.Hi), finite("radius", req.Radius), finiteVec("point", req.Point)} {
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+	}
 	start := time.Now()
 	ans, st, tau, err := s.be.Within(gdist.PointSq{Point: geom.Vec(req.Point)}, req.Radius*req.Radius, req.Lo, req.Hi)
 	if err != nil {
@@ -439,6 +496,13 @@ func (s *Server) handleWithin(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "binary" {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := s.be.Snapshot().SaveBinary(w); err != nil && s.log != nil {
+			s.log.Printf("snapshot: %v", err)
+		}
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := s.be.Snapshot().SaveJSON(w); err != nil && s.log != nil {
 		s.log.Printf("snapshot: %v", err)

@@ -332,21 +332,25 @@ func (e *Engine) Snapshot() *mod.DB {
 	return merged
 }
 
-// snapshots captures one consistent per-shard view for a fan-out query.
-func (e *Engine) snapshots() []*mod.DB {
-	out := make([]*mod.DB, len(e.shards))
+// snapshots captures one consistent per-shard view for a fan-out
+// query. These are MVCC epoch snapshots (mod.DB.EpochSnapshot): after
+// the first query of an epoch the per-shard cost is two atomic loads —
+// no shard lock, no map copy, no log copy — so query fan-out never
+// contends with the sweeper/writer for the shard lock.
+func (e *Engine) snapshots() []*mod.Snap {
+	out := make([]*mod.Snap, len(e.shards))
 	for i, db := range e.shards {
-		out[i] = db.Snapshot()
+		out[i] = db.EpochSnapshot()
 	}
 	return out
 }
 
 // maxTau is the aggregate last-update time of a set of per-shard
 // snapshots — the tau a query over those snapshots is answered as of.
-func maxTau(snaps []*mod.DB) float64 {
+func maxTau(snaps []*mod.Snap) float64 {
 	t := snaps[0].Tau()
-	for _, db := range snaps[1:] {
-		if st := db.Tau(); st > t {
+	for _, s := range snaps[1:] {
+		if st := s.Tau(); st > t {
 			t = st
 		}
 	}
