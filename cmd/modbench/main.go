@@ -118,7 +118,7 @@ func main() {
 	}
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e10", "e11", "e12", "e13"} {
+		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e10", "e11", "e12", "e13", "e14"} {
 			want[e] = true
 		}
 	} else {
@@ -146,6 +146,7 @@ func main() {
 	run("e11", e11)
 	run("e12", e12)
 	run("e13", e13)
+	run("e14", e14)
 	if *jsonFlag != "" {
 		if err := writeBenchJSON(*jsonFlag); err != nil {
 			log.Fatalf("write %s: %v", *jsonFlag, err)

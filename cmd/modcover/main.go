@@ -1,0 +1,188 @@
+// Command modcover is the per-package coverage ratchet: it reads a Go
+// coverprofile (go test -coverprofile), computes statement coverage per
+// package, and gates it against the committed floor file
+// (bench/coverage_floors.json) the same way the bench regression gate
+// works — generous slack, so only genuine losses trip it, but a test
+// deletion or a big untested subsystem cannot land silently.
+//
+// Usage:
+//
+//	go test -shuffle=on -coverprofile=cover.out ./...
+//	go run ./cmd/modcover -profile cover.out -floors bench/coverage_floors.json
+//
+// Passing -write regenerates the floor file from the measured coverage
+// minus the slack (use after intentionally adding packages or tests).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var (
+	profileFlag = flag.String("profile", "cover.out", "coverprofile to read")
+	floorsFlag  = flag.String("floors", "bench/coverage_floors.json", "floor file to check (or write)")
+	writeFlag   = flag.Bool("write", false, "write floors = measured - slack instead of checking")
+)
+
+// floorSlack is how many percentage points below the measured coverage
+// a written floor sits: wide enough that shuffled runs and small
+// refactors don't flap the gate, tight enough that losing a test file
+// trips it.
+const floorSlack = 2.0
+
+type floorDoc struct {
+	Slack  float64            `json:"slack"`
+	Floors map[string]float64 `json:"floors"`
+}
+
+// pkgCov accumulates statement counts for one package.
+type pkgCov struct {
+	total, covered int
+}
+
+func (c pkgCov) percent() float64 {
+	if c.total == 0 {
+		return 100
+	}
+	return 100 * float64(c.covered) / float64(c.total)
+}
+
+// parseProfile reads a coverprofile into per-package statement counts.
+// Lines look like "repro/internal/bead/kernel.go:12.2,14.3 2 1":
+// file:range numStatements hitCount.
+func parseProfile(p string) (map[string]pkgCov, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]pkgCov)
+	sc := bufio.NewScanner(f)
+	buf := make([]byte, 0, 1024*1024)
+	sc.Buffer(buf, len(buf))
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "mode:") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: want 3 fields, got %q", p, line, text)
+		}
+		file, _, ok := strings.Cut(fields[0], ":")
+		if !ok {
+			return nil, fmt.Errorf("%s:%d: no file:range in %q", p, line, fields[0])
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: statement count %q: %v", p, line, fields[1], err)
+		}
+		hits, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: hit count %q: %v", p, line, fields[2], err)
+		}
+		pkg := path.Dir(file)
+		c := out[pkg]
+		c.total += stmts
+		if hits > 0 {
+			c.covered += stmts
+		}
+		out[pkg] = c
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("modcover: ")
+	flag.Parse()
+
+	cov, err := parseProfile(*profileFlag)
+	if err != nil {
+		log.Fatalf("parse profile: %v", err)
+	}
+	if len(cov) == 0 {
+		log.Fatalf("profile %s has no coverage blocks", *profileFlag)
+	}
+
+	if *writeFlag {
+		doc := floorDoc{Slack: floorSlack, Floors: make(map[string]float64, len(cov))}
+		for pkg, c := range cov {
+			doc.Floors[pkg] = math.Max(0, math.Floor((c.percent()-floorSlack)*10)/10)
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			log.Fatalf("encode floors: %v", err)
+		}
+		if err := os.WriteFile(*floorsFlag, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("write floors: %v", err)
+		}
+		for _, pkg := range sortedKeys(cov) {
+			fmt.Printf("  %-40s %6.1f%%  floor %5.1f%%\n", pkg, cov[pkg].percent(), doc.Floors[pkg])
+		}
+		fmt.Printf("wrote %d package floors to %s (slack %.1f points)\n", len(cov), *floorsFlag, floorSlack)
+		return
+	}
+
+	data, err := os.ReadFile(*floorsFlag)
+	if err != nil {
+		log.Fatalf("floors: %v (run with -write to create)", err)
+	}
+	var doc floorDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		log.Fatalf("floors %s: %v", *floorsFlag, err)
+	}
+
+	failures := 0
+	fmt.Printf("== coverage gate vs %s ==\n", *floorsFlag)
+	for _, pkg := range sortedKeys(doc.Floors) {
+		floor := doc.Floors[pkg]
+		c, ok := cov[pkg]
+		if !ok {
+			fmt.Printf("  %-40s MISSING (floor %.1f%%) — package gone from the profile\n", pkg, floor)
+			failures++
+			continue
+		}
+		got := c.percent()
+		status := "ok"
+		if got < floor {
+			status = "BELOW FLOOR"
+			failures++
+		}
+		fmt.Printf("  %-40s %6.1f%%  floor %5.1f%%  %s\n", pkg, got, floor, status)
+	}
+	for _, pkg := range sortedKeys(cov) {
+		if _, ok := doc.Floors[pkg]; !ok {
+			fmt.Printf("  %-40s %6.1f%%  (new package, no floor — rerun with -write to ratchet it in)\n",
+				pkg, cov[pkg].percent())
+		}
+	}
+	if failures > 0 {
+		log.Fatalf("%d package(s) under their coverage floor", failures)
+	}
+	fmt.Printf("all %d package floors hold\n", len(doc.Floors))
+}

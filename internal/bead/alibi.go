@@ -1,0 +1,142 @@
+package bead
+
+// The two exact queries. Both reduce every question to bead-chain
+// windows handed to the closed-form kernel (kernel.go): the alibi query
+// walks the two tracks' chains with a two-pointer merge so only
+// time-overlapping bead pairs are examined, and PossiblyWithin runs
+// each bead of a single track against a static query ball.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Result is the outcome of an exact alibi query.
+type Result struct {
+	// Possible reports whether the two objects could have met inside
+	// the query window. False is a proof of alibi: no consistent pair
+	// of movements brings them to the same point at the same time.
+	Possible bool
+	// At is the earliest instant a meeting is possible. Only
+	// meaningful when Possible.
+	At float64
+	// Checked counts the bead-pair windows the decision examined —
+	// surfaced so tests can pin the merge-walk's pruning behavior.
+	Checked int
+}
+
+func checkWindow(lo, hi float64) error {
+	if math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsNaN(hi) || math.IsInf(hi, 0) {
+		return fmt.Errorf("bead: non-finite query window [%g, %g]", lo, hi)
+	}
+	if lo > hi {
+		return fmt.Errorf("bead: inverted query window [%g, %g]", lo, hi)
+	}
+	return nil
+}
+
+// Alibi decides exactly whether the objects of tracks a and b could
+// have been at the same point at the same time during [lo, hi]. The
+// decision is closed-form — no sampling, no tolerance beyond the
+// kernel's relative epsilon on boundary contact.
+//
+// The walk visits bead pairs in nondecreasing window-start order
+// (within one track consecutive beads share their boundary instant,
+// so advancing the earlier-ending chain never moves a window start
+// backward). The first feasible window therefore yields the globally
+// earliest meeting time, and the walk stops there.
+func Alibi(a, b *Track, lo, hi float64) (Result, error) {
+	if a == nil || b == nil {
+		return Result{}, fmt.Errorf("bead: nil track")
+	}
+	if a.Dim() != b.Dim() {
+		return Result{}, fmt.Errorf("bead: dimension mismatch %d vs %d", a.Dim(), b.Dim())
+	}
+	if err := checkWindow(lo, hi); err != nil {
+		return Result{}, err
+	}
+	as, bs := a.segments(), b.segments()
+	res := Result{}
+	i, j := 0, 0
+	for i < len(as) && j < len(bs) {
+		sa, sb := as[i], bs[j]
+		w0 := math.Max(math.Max(sa.t0, sb.t0), lo)
+		if w0 > hi {
+			break // every later pair starts even later
+		}
+		w1 := math.Min(math.Min(sa.t1, sb.t1), hi)
+		if w0 <= w1 {
+			res.Checked++
+			cons := make([]ball, 0, len(sa.cons)+len(sb.cons))
+			cons = append(cons, sa.cons...)
+			cons = append(cons, sb.cons...)
+			if t0, _, ok := feasibleInterval(cons, w0, w1); ok {
+				res.Possible = true
+				res.At = t0
+				return res, nil
+			}
+		}
+		// Advance the chain whose bead ends first; on a tie both ended
+		// at the same instant and either order visits the same pairs.
+		if sa.t1 <= sb.t1 {
+			i++
+		} else {
+			j++
+		}
+	}
+	return res, nil
+}
+
+// Interval is a closed time interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// PossiblyWithin returns the exact set of instants in [lo, hi] at which
+// the track's object could have been within dist of q, as a sorted list
+// of disjoint closed intervals. Within each bead the feasible set is a
+// single interval (the distance condition is one more ball constraint,
+// and the system stays jointly convex); intervals meeting at a bead
+// boundary are merged.
+func (tr *Track) PossiblyWithin(q geom.Vec, dist, lo, hi float64) ([]Interval, error) {
+	if q.Dim() != tr.dim {
+		return nil, fmt.Errorf("bead: query point dim %d, track dim %d", q.Dim(), tr.dim)
+	}
+	for _, c := range q {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return nil, fmt.Errorf("bead: non-finite query coordinate %g", c)
+		}
+	}
+	if math.IsNaN(dist) || math.IsInf(dist, 0) || dist < 0 {
+		return nil, fmt.Errorf("bead: bad query distance %g", dist)
+	}
+	if err := checkWindow(lo, hi); err != nil {
+		return nil, err
+	}
+	qb := ball{c: q.Clone(), ra: 0, rb: dist}
+	var out []Interval
+	for _, s := range tr.segments() {
+		w0 := math.Max(s.t0, lo)
+		w1 := math.Min(s.t1, hi)
+		if !(w0 <= w1) {
+			continue
+		}
+		cons := make([]ball, 0, len(s.cons)+1)
+		cons = append(cons, s.cons...)
+		cons = append(cons, qb)
+		a, b, ok := feasibleInterval(cons, w0, w1)
+		if !ok {
+			continue
+		}
+		if n := len(out); n > 0 && a <= out[n-1].Hi+1e-12*math.Max(1, math.Abs(a)) {
+			if b > out[n-1].Hi {
+				out[n-1].Hi = b
+			}
+			continue
+		}
+		out = append(out, Interval{Lo: a, Hi: b})
+	}
+	return out, nil
+}

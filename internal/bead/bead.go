@@ -1,0 +1,183 @@
+// Package bead is the uncertainty layer over sampled trajectories: the
+// space-time prism ("bead") model of Othman/Kuijpers/Grimson's alibi
+// query, built on the observation that a real position feed is a list
+// of timestamped samples, not a continuous curve. Between two
+// consecutive samples (t1, x1) and (t2, x2) of an object whose speed
+// never exceeds v, the object's possible positions at time t form the
+// intersection of two balls
+//
+//	‖x − x1‖ ≤ v·(t − t1)   and   ‖x − x2‖ ≤ v·(t2 − t),
+//
+// the classical bead (a double cone in space-time). After the last
+// sample of a live object only the first constraint remains — the
+// "cap", a cone opening toward the future. A Track is the chain of
+// beads its samples induce; the package answers two questions about
+// tracks exactly, by closed-form analysis of the ball systems rather
+// than by sampling:
+//
+//   - Alibi(a, b, lo, hi): could objects a and b have met during
+//     [lo, hi]? (Is there a time t and a point x inside both beads?)
+//   - Track.PossiblyWithin(q, r, lo, hi): when could the object have
+//     been within distance r of the point q?
+//
+// The decision procedure lives in kernel.go; oracle.go carries a
+// deliberately-dumb certified approximation used by the differential
+// harness to cross-check it.
+package bead
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/trajectory"
+)
+
+// Sample is one timestamped position observation.
+type Sample struct {
+	T float64
+	X geom.Vec
+}
+
+// Track is a chronological sample list plus the object's declared
+// maximum speed. If live, the track's uncertainty extends past the last
+// sample (the cap bead); a terminated track ends at its final sample.
+type Track struct {
+	dim     int
+	samples []Sample
+	vmax    float64
+	live    bool
+}
+
+// NewTrack builds a track from samples in strictly increasing time
+// order. vmax is the declared maximum speed; a recorded leg that
+// requires a higher average speed than vmax is treated as evidence the
+// declaration was conservative, and that leg's bead uses the required
+// speed instead (so the recorded motion itself is always possible).
+func NewTrack(vmax float64, live bool, samples []Sample) (*Track, error) {
+	if math.IsNaN(vmax) || math.IsInf(vmax, 0) || vmax < 0 {
+		return nil, fmt.Errorf("bead: bad vmax %g", vmax)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("bead: track needs at least one sample")
+	}
+	dim := samples[0].X.Dim()
+	if dim == 0 {
+		return nil, fmt.Errorf("bead: zero-dimensional sample")
+	}
+	for i, s := range samples {
+		if math.IsNaN(s.T) || math.IsInf(s.T, 0) {
+			return nil, fmt.Errorf("bead: sample %d has non-finite time %g", i, s.T)
+		}
+		if s.X.Dim() != dim {
+			return nil, fmt.Errorf("bead: sample %d has dim %d, track dim %d", i, s.X.Dim(), dim)
+		}
+		for _, c := range s.X {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				return nil, fmt.Errorf("bead: sample %d has non-finite coordinate %g", i, c)
+			}
+		}
+		if i > 0 && !(s.T > samples[i-1].T) {
+			return nil, fmt.Errorf("bead: sample times not strictly increasing at %d (%g after %g)",
+				i, s.T, samples[i-1].T)
+		}
+	}
+	cp := make([]Sample, len(samples))
+	copy(cp, samples)
+	return &Track{dim: dim, samples: cp, vmax: vmax, live: live}, nil
+}
+
+// FromTrajectory reinterprets an exact piecewise-linear trajectory as a
+// sampled track: the knots (piece starts, plus the termination instant)
+// become the samples, and everything between them is uncertainty
+// governed by vmax. A non-terminated trajectory yields a live track.
+func FromTrajectory(tr trajectory.Trajectory, vmax float64) (*Track, error) {
+	pieces := tr.Pieces()
+	if len(pieces) == 0 {
+		return nil, fmt.Errorf("bead: empty trajectory")
+	}
+	samples := make([]Sample, 0, len(pieces)+1)
+	for _, pc := range pieces {
+		samples = append(samples, Sample{T: pc.Start, X: pc.At(pc.Start)})
+	}
+	live := !tr.IsTerminated()
+	if !live {
+		last := pieces[len(pieces)-1]
+		if last.End > samples[len(samples)-1].T {
+			samples = append(samples, Sample{T: last.End, X: last.At(last.End)})
+		}
+	}
+	return NewTrack(vmax, live, samples)
+}
+
+// Dim returns the track's spatial dimension.
+func (tr *Track) Dim() int { return tr.dim }
+
+// Vmax returns the track's declared maximum speed.
+func (tr *Track) Vmax() float64 { return tr.vmax }
+
+// Samples returns a copy of the track's samples.
+func (tr *Track) Samples() []Sample {
+	out := make([]Sample, len(tr.samples))
+	copy(out, tr.samples)
+	return out
+}
+
+// Start returns the first sample time — before it the object does not
+// exist and intersects nothing.
+func (tr *Track) Start() float64 { return tr.samples[0].T }
+
+// End returns the last sample time for a terminated track and +Inf for
+// a live one (the cap is unbounded).
+func (tr *Track) End() float64 {
+	if tr.live {
+		return math.Inf(1)
+	}
+	return tr.samples[len(tr.samples)-1].T
+}
+
+// segment is one bead of the chain: a time extent and the ball
+// constraints that confine the object inside it. Chain beads carry two
+// balls (growing from the earlier sample, shrinking toward the later
+// one); the cap carries only the growing one.
+type segment struct {
+	t0, t1 float64
+	cons   []ball
+}
+
+// segments lays the track out as its bead chain, in time order. A
+// single-sample live track is just a cap; a single-sample terminated
+// track is a degenerate segment pinning the object to one instant.
+func (tr *Track) segments() []segment {
+	n := len(tr.samples)
+	segs := make([]segment, 0, n)
+	for i := 0; i+1 < n; i++ {
+		a, b := tr.samples[i], tr.samples[i+1]
+		v := tr.vmax
+		// Effective speed: the recorded leg must stay reachable.
+		if req := b.X.Dist(a.X) / (b.T - a.T); req > v {
+			v = req
+		}
+		segs = append(segs, segment{
+			t0: a.T, t1: b.T,
+			cons: []ball{
+				{c: a.X, ra: v, rb: -v * a.T},
+				{c: b.X, ra: -v, rb: v * b.T},
+			},
+		})
+	}
+	last := tr.samples[n-1]
+	if tr.live {
+		segs = append(segs, segment{
+			t0: last.T, t1: math.Inf(1),
+			cons: []ball{{c: last.X, ra: tr.vmax, rb: -tr.vmax * last.T}},
+		})
+	} else if n == 1 {
+		// Terminated immediately: the object existed exactly at last.T.
+		segs = append(segs, segment{
+			t0: last.T, t1: last.T,
+			cons: []ball{{c: last.X, ra: 0, rb: 0}},
+		})
+	}
+	return segs
+}

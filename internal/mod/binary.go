@@ -20,12 +20,14 @@ package mod
 //
 // Snapshot layout (SaveBinary/LoadBinary):
 //
-//	magic "MODS" | version byte (1) | body | crc32c(body) LE32
+//	magic "MODS" | version byte (2) | body | crc32c(body) LE32
 //	body = uvarint dim | tau bits LE64
 //	     | uvarint #objects | object...   (ascending OID)
 //	     | uvarint #log     | payload...  (update payloads, unframed)
+//	     | uvarint #bounds  | bound...    (version >= 2; ascending OID)
 //	object = uvarint oid | uvarint #pieces | piece...
 //	piece  = start bits LE64 | end bits LE64 | dim A bits | dim B bits
+//	bound  = uvarint oid | vmax bits LE64
 //
 // Wire batch layout (EncodeUpdatesBinary/DecodeUpdatesBinary, the
 // POST /update/batch binary body):
@@ -51,8 +53,16 @@ import (
 	"repro/internal/trajectory"
 )
 
-// binaryVersion is the current version byte of all three binary layouts.
+// binaryVersion is the current version byte of the journal and wire
+// layouts. Adding the speed-bound update kind (payload layout unchanged,
+// one more kind byte value) did not bump it: new readers accept the new
+// kind, and the framing is identical.
 const binaryVersion = 1
+
+// snapVersion is the current version byte of the snapshot layout.
+// Version 2 appends a speed-bounds section after the log; LoadBinary
+// still reads version-1 snapshots (no bounds section) unchanged.
+const snapVersion = 2
 
 // BinaryJournalHeaderLen is the size of the header a binary journal
 // segment starts with (magic + version).
@@ -186,7 +196,7 @@ func decodeUpdatePayload(p []byte) (Update, error) {
 	if err != nil {
 		return Update{}, err
 	}
-	if kind > byte(KindChDir) {
+	if kind > byte(KindBound) {
 		return Update{}, fmt.Errorf("mod: unknown binary update kind %d", kind)
 	}
 	oid, err := c.uvarint()
@@ -366,9 +376,23 @@ func (db *DB) SaveBinary(w io.Writer) error {
 	for _, u := range db.log {
 		body = appendUpdatePayload(body, u)
 	}
+	// Version-2 trailer: declared speed bounds, ascending OID.
+	nBounds := 0
+	for _, o := range oids {
+		if _, ok := db.bounds[o]; ok {
+			nBounds++
+		}
+	}
+	body = binary.AppendUvarint(body, uint64(nBounds))
+	for _, o := range oids {
+		if v, ok := db.bounds[o]; ok {
+			body = binary.AppendUvarint(body, uint64(o))
+			body = appendFloat(body, v)
+		}
+	}
 	db.mu.RUnlock()
 	out := make([]byte, 0, BinaryJournalHeaderLen+len(body)+4)
-	out = append(out, snapMagic[0], snapMagic[1], snapMagic[2], snapMagic[3], binaryVersion)
+	out = append(out, snapMagic[0], snapMagic[1], snapMagic[2], snapMagic[3], snapVersion)
 	out = append(out, body...)
 	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(body, crcTable))
 	_, err := w.Write(out)
@@ -391,8 +415,9 @@ func LoadBinary(r io.Reader) (*DB, error) {
 	if [4]byte(raw[:4]) != snapMagic {
 		return nil, fmt.Errorf("mod: not a binary snapshot (magic %q)", raw[:4])
 	}
-	if raw[4] != binaryVersion {
-		return nil, fmt.Errorf("mod: binary snapshot version %d, this build reads %d", raw[4], binaryVersion)
+	version := raw[4]
+	if version < 1 || version > snapVersion {
+		return nil, fmt.Errorf("mod: binary snapshot version %d, this build reads 1..%d", version, snapVersion)
 	}
 	body := raw[BinaryJournalHeaderLen : len(raw)-4]
 	wantSum := binary.LittleEndian.Uint32(raw[len(raw)-4:])
@@ -475,6 +500,32 @@ func LoadBinary(r io.Reader) (*DB, error) {
 		}
 		log = append(log, u)
 	}
+	if version >= 2 {
+		nBounds, err := c.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("mod: binary snapshot bound count: %w", err)
+		}
+		if nBounds > uint64(len(c.p))/9 { // each bound is ≥ 1 varint byte + 8 float bytes
+			return nil, fmt.Errorf("mod: binary snapshot bounds: %w", errTruncated)
+		}
+		for i := uint64(0); i < nBounds; i++ {
+			oid, err := c.uvarint()
+			if err != nil {
+				return nil, fmt.Errorf("mod: binary snapshot bound %d: %w", i, err)
+			}
+			v, err := c.float()
+			if err != nil {
+				return nil, fmt.Errorf("mod: binary snapshot bound %d: %w", i, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return nil, fmt.Errorf("mod: binary snapshot bound for object %d: bad vmax %g", oid, v)
+			}
+			if !db.Contains(OID(oid)) {
+				return nil, fmt.Errorf("mod: binary snapshot bound for unknown object %d", oid)
+			}
+			db.bounds[OID(oid)] = v
+		}
+	}
 	if len(c.p) != 0 {
 		return nil, fmt.Errorf("mod: binary snapshot has %d trailing bytes", len(c.p))
 	}
@@ -493,7 +544,7 @@ func decodeLogUpdate(c *binCursor) (Update, error) {
 	if err != nil {
 		return Update{}, err
 	}
-	if kind > byte(KindChDir) {
+	if kind > byte(KindBound) {
 		return Update{}, fmt.Errorf("mod: unknown binary update kind %d", kind)
 	}
 	oid, err := c.uvarint()
@@ -558,6 +609,18 @@ func validateLoadedUpdate(u Update, dim int) error {
 	case KindChDir:
 		return checkVec("A", u.A)
 	case KindTerminate:
+		return nil
+	case KindBound:
+		if len(u.A) != 1 {
+			return fmt.Errorf("%w: bound(%s) wants a single [vmax], got %d values",
+				ErrBadOperation, u.O, len(u.A))
+		}
+		if math.IsNaN(u.A[0]) || math.IsInf(u.A[0], 0) || u.A[0] < 0 {
+			return fmt.Errorf("%w: bound(%s) bad vmax %g", ErrBadOperation, u.O, u.A[0])
+		}
+		if u.B.Dim() != 0 {
+			return fmt.Errorf("%w: bound(%s) carries a position", ErrBadOperation, u.O)
+		}
 		return nil
 	default:
 		return fmt.Errorf("%w: kind %d", ErrBadOperation, u.Kind)

@@ -27,7 +27,16 @@ type jsonDB struct {
 	// open-ended piece End below.
 	Tau     *float64     `json:"tau,omitempty"`
 	Objects []jsonObject `json:"objects"`
-	Log     []jsonUpdate `json:"log,omitempty"`
+	// Bounds lists declared per-object max speeds (KindBound), ascending
+	// by OID. Absent on snapshots written before the uncertainty layer
+	// existed — LoadJSON treats a missing list as "no bounds declared".
+	Bounds []jsonBound  `json:"bounds,omitempty"`
+	Log    []jsonUpdate `json:"log,omitempty"`
+}
+
+type jsonBound struct {
+	OID  uint64  `json:"oid"`
+	Vmax float64 `json:"vmax"`
 }
 
 type jsonObject struct {
@@ -83,6 +92,8 @@ func fromJSONUpdate(j jsonUpdate) (Update, error) {
 		u.Kind = KindTerminate
 	case "chdir":
 		u.Kind = KindChDir
+	case "bound":
+		u.Kind = KindBound
 	default:
 		return Update{}, fmt.Errorf("mod: unknown update kind %q", j.Kind)
 	}
@@ -118,6 +129,11 @@ func (db *DB) SaveJSON(w io.Writer) error {
 			jo.Pieces = append(jo.Pieces, jp)
 		}
 		out.Objects = append(out.Objects, jo)
+	}
+	for _, o := range oids {
+		if v, ok := db.bounds[o]; ok {
+			out.Bounds = append(out.Bounds, jsonBound{OID: uint64(o), Vmax: v})
+		}
 	}
 	for _, u := range db.log {
 		out.Log = append(out.Log, toJSONUpdate(u))
@@ -160,6 +176,15 @@ func LoadJSON(r io.Reader) (*DB, error) {
 		if err := db.Load(OID(jo.OID), tr); err != nil {
 			return nil, err
 		}
+	}
+	for _, jb := range in.Bounds {
+		if math.IsNaN(jb.Vmax) || math.IsInf(jb.Vmax, 0) || jb.Vmax < 0 {
+			return nil, fmt.Errorf("mod: bound for object %d: bad vmax %g", jb.OID, jb.Vmax)
+		}
+		if !db.Contains(OID(jb.OID)) {
+			return nil, fmt.Errorf("mod: bound for unknown object %d", jb.OID)
+		}
+		db.bounds[OID(jb.OID)] = jb.Vmax
 	}
 	log := make([]Update, 0, len(in.Log))
 	for i, ju := range in.Log {

@@ -44,12 +44,35 @@ func FuzzReplayTolerantBinary(f *testing.F) {
 		New(2, 2, geom.Of(1, 0), geom.Of(0, math.Inf(-1))),
 		New(3, 3, geom.Of(1, 0), geom.Of(0, 0)),
 	)
+	// Speed-bound records: a valid bound on a live object, a bound on an
+	// unknown object (skipped at Apply), malformed vmax payloads (empty A,
+	// negative, NaN — skipped, never fatal), and a bound surviving next to
+	// the sampled motion it annotates.
+	bounds := binJournal(
+		New(1, 1, geom.Of(1, 0), geom.Of(0, 0)),
+		Bound(1, 2, 2.5),
+		Bound(7, 3, 1),   // unknown object: skipped
+		Bound(1, 4, 0),   // zero bound is legal (stationary declaration)
+		Bound(1, 4.5, 5), // bounds may be revised
+		ChDir(1, 5, geom.Of(0, 1)),
+	)
+	badBounds := binJournal(
+		New(1, 1, geom.Of(1, 0), geom.Of(0, 0)),
+		Update{Kind: KindBound, O: 1, Tau: 2},                               // no vmax value
+		Update{Kind: KindBound, O: 1, Tau: 3, A: geom.Of(-1)},               // negative
+		Update{Kind: KindBound, O: 1, Tau: 4, A: geom.Of(math.NaN())},       // non-finite
+		Update{Kind: KindBound, O: 1, Tau: 5, A: geom.Of(1), B: geom.Of(0)}, // stray position
+		Update{Kind: KindBound, O: 1, Tau: 6, A: geom.Of(5e-324, math.Pi)},  // wrong arity
+	)
 	seeds := [][]byte{
 		valid,
 		valid[:len(valid)-3], // torn tail mid-record
 		valid[:3],            // torn header
 		denorm,
 		nonfinite,
+		bounds,
+		bounds[:len(bounds)-5], // torn tail mid-bound-record
+		badBounds,
 		binJournal(),                    // header only
 		{},                              // empty segment
 		append([]byte{}, "JUNKdata"...), // wrong magic

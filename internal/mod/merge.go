@@ -22,9 +22,10 @@ func Merge(dbs ...*DB) (*DB, error) {
 		return nil, fmt.Errorf("%w: merge of zero databases", ErrBadOperation)
 	}
 	out := &DB{
-		dim:  dbs[0].Dim(),
-		objs: make(map[OID]trajectory.Trajectory),
-		tau:  dbs[0].Tau(),
+		dim:    dbs[0].Dim(),
+		objs:   make(map[OID]trajectory.Trajectory),
+		bounds: make(map[OID]float64),
+		tau:    dbs[0].Tau(),
 	}
 	for i, db := range dbs {
 		db.mu.RLock()
@@ -38,6 +39,9 @@ func Merge(dbs ...*DB) (*DB, error) {
 				return nil, fmt.Errorf("%w: %s present in more than one shard (shard %d)", ErrExists, o, i)
 			}
 			out.objs[o] = tr
+		}
+		for o, v := range db.bounds {
+			out.bounds[o] = v
 		}
 		if db.tau > out.tau {
 			out.tau = db.tau
@@ -64,7 +68,12 @@ func (db *DB) Partition(p int, route func(OID) int) ([]*DB, error) {
 	defer db.mu.RUnlock()
 	parts := make([]*DB, p)
 	for i := range parts {
-		parts[i] = &DB{dim: db.dim, objs: make(map[OID]trajectory.Trajectory), tau: db.tau}
+		parts[i] = &DB{
+			dim:    db.dim,
+			objs:   make(map[OID]trajectory.Trajectory),
+			bounds: make(map[OID]float64),
+			tau:    db.tau,
+		}
 	}
 	for o, tr := range db.objs {
 		i := route(o)
@@ -72,6 +81,13 @@ func (db *DB) Partition(p int, route func(OID) int) ([]*DB, error) {
 			return nil, fmt.Errorf("%w: route(%s) = %d outside [0,%d)", ErrBadOperation, o, i, p)
 		}
 		parts[i].objs[o] = tr
+	}
+	for o, v := range db.bounds {
+		i := route(o)
+		if i < 0 || i >= p {
+			return nil, fmt.Errorf("%w: route(%s) = %d outside [0,%d)", ErrBadOperation, o, i, p)
+		}
+		parts[i].bounds[o] = v
 	}
 	for _, u := range db.log {
 		i := route(u.O)

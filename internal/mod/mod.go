@@ -63,6 +63,13 @@ const (
 	KindTerminate
 	// KindChDir changes direction/speed: chdir(o, tau, A).
 	KindChDir
+	// KindBound declares (or revises) an object's maximum speed:
+	// bound(o, tau, vmax). The value rides in A as a 1-vector so the
+	// wire/journal payload layout is unchanged. Speed bounds feed the
+	// uncertainty layer (internal/bead): between recorded samples the
+	// object could have been anywhere inside the space-time bead the
+	// bound allows, and the alibi query reasons over exactly that set.
+	KindBound
 )
 
 // String implements fmt.Stringer.
@@ -74,6 +81,8 @@ func (k UpdateKind) String() string {
 		return "terminate"
 	case KindChDir:
 		return "chdir"
+	case KindBound:
+		return "bound"
 	default:
 		return "unknown"
 	}
@@ -103,6 +112,13 @@ func ChDir(o OID, tau float64, a geom.Vec) Update {
 	return Update{Kind: KindChDir, O: o, Tau: tau, A: a}
 }
 
+// Bound builds a speed-bound update: from tau on (and retroactively —
+// the bound describes the object's physical capability, not a state
+// change), o is declared to never move faster than vmax.
+func Bound(o OID, tau, vmax float64) Update {
+	return Update{Kind: KindBound, O: o, Tau: tau, A: geom.Vec{vmax}}
+}
+
 // String renders the update in the paper's notation.
 func (u Update) String() string {
 	switch u.Kind {
@@ -112,6 +128,11 @@ func (u Update) String() string {
 		return fmt.Sprintf("terminate(%s, %g)", u.O, u.Tau)
 	case KindChDir:
 		return fmt.Sprintf("chdir(%s, %g, %s)", u.O, u.Tau, u.A)
+	case KindBound:
+		if len(u.A) == 1 {
+			return fmt.Sprintf("bound(%s, %g, %g)", u.O, u.Tau, u.A[0])
+		}
+		return fmt.Sprintf("bound(%s, %g, ?)", u.O, u.Tau)
 	default:
 		return "update(?)"
 	}
@@ -124,9 +145,13 @@ type Listener func(Update)
 
 // DB is a moving object database (O, T, tau).
 type DB struct {
-	mu        sync.RWMutex
-	dim       int
-	objs      map[OID]trajectory.Trajectory
+	mu   sync.RWMutex
+	dim  int
+	objs map[OID]trajectory.Trajectory
+	// bounds holds declared per-object max speeds (KindBound). An
+	// object without an entry has no declared bound; the uncertainty
+	// layer then needs a caller-supplied default to reason about it.
+	bounds    map[OID]float64
 	tau       float64
 	log       []Update
 	listeners []Listener
@@ -153,9 +178,10 @@ func NewDB(dim int, tau0 float64) *DB {
 		panic("mod: dimension must be positive")
 	}
 	return &DB{
-		dim:  dim,
-		objs: make(map[OID]trajectory.Trajectory),
-		tau:  tau0,
+		dim:    dim,
+		objs:   make(map[OID]trajectory.Trajectory),
+		bounds: make(map[OID]float64),
+		tau:    tau0,
 	}
 }
 
@@ -294,6 +320,10 @@ func (db *DB) applyLocked(u Update) error {
 		if err := vecFinite(u.A); err != nil {
 			return fmt.Errorf("%w: chdir(%s) velocity: %v", ErrBadOperation, u.O, err)
 		}
+	case KindBound:
+		if err := vecFinite(u.A); err != nil {
+			return fmt.Errorf("%w: bound(%s) vmax: %v", ErrBadOperation, u.O, err)
+		}
 	}
 	switch u.Kind {
 	case KindNew:
@@ -335,6 +365,24 @@ func (db *DB) applyLocked(u Update) error {
 			return err
 		}
 		db.objs[u.O] = nt
+	case KindBound:
+		if _, ok := db.objs[u.O]; !ok {
+			return fmt.Errorf("%w: %s", ErrNotFound, u.O)
+		}
+		if len(u.A) != 1 {
+			return fmt.Errorf("%w: bound(%s) wants a single [vmax], got %d values",
+				ErrBadOperation, u.O, len(u.A))
+		}
+		if u.B.Dim() != 0 {
+			return fmt.Errorf("%w: bound(%s) carries a position", ErrBadOperation, u.O)
+		}
+		if u.A[0] < 0 {
+			return fmt.Errorf("%w: bound(%s) vmax %g < 0", ErrBadOperation, u.O, u.A[0])
+		}
+		if db.bounds == nil {
+			db.bounds = make(map[OID]float64)
+		}
+		db.bounds[u.O] = u.A[0]
 	default:
 		return fmt.Errorf("%w: kind %d", ErrBadOperation, u.Kind)
 	}
@@ -352,6 +400,25 @@ func vecFinite(v geom.Vec) error {
 		}
 	}
 	return nil
+}
+
+// SpeedBound returns o's declared maximum speed, if any.
+func (db *DB) SpeedBound(o OID) (float64, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	v, ok := db.bounds[o]
+	return v, ok
+}
+
+// SpeedBounds returns a copy of the declared per-object speed bounds.
+func (db *DB) SpeedBounds() map[OID]float64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make(map[OID]float64, len(db.bounds))
+	for o, v := range db.bounds {
+		out[o] = v
+	}
+	return out
 }
 
 // Load inserts a pre-existing trajectory directly, bypassing the
@@ -443,7 +510,11 @@ func (db *DB) Snapshot() *DB {
 	}
 	log := make([]Update, len(db.log))
 	copy(log, db.log)
-	return &DB{dim: db.dim, objs: objs, tau: db.tau, log: log}
+	bounds := make(map[OID]float64, len(db.bounds))
+	for o, v := range db.bounds {
+		bounds[o] = v
+	}
+	return &DB{dim: db.dim, objs: objs, bounds: bounds, tau: db.tau, log: log}
 }
 
 // StateEqual reports whether two databases hold identical state: same
@@ -463,6 +534,18 @@ func (db *DB) StateEqual(other *DB) bool {
 	}
 	if a.tau != b.tau { //modlint:allow floatcmp -- recovery must restore tau bit-exactly
 		return false
+	}
+	if len(a.bounds) != len(b.bounds) {
+		return false
+	}
+	for o, va := range a.bounds {
+		vb, ok := b.bounds[o]
+		if !ok {
+			return false
+		}
+		if va != vb { //modlint:allow floatcmp -- recovery must restore speed bounds bit-exactly
+			return false
+		}
 	}
 	for o, ta := range a.objs {
 		tb, ok := b.objs[o]

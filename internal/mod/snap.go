@@ -23,10 +23,11 @@ import (
 // nothing ever mutates a published Snap (trajectories are immutable
 // values and the map itself is never written after publication).
 type Snap struct {
-	dim   int
-	tau   float64
-	epoch uint64
-	objs  map[OID]trajectory.Trajectory
+	dim    int
+	tau    float64
+	epoch  uint64
+	objs   map[OID]trajectory.Trajectory
+	bounds map[OID]float64
 }
 
 // Dim returns the spatial dimension.
@@ -66,6 +67,12 @@ func (s *Snap) Objects() []OID {
 // path for query sweeps (query.TrajSource).
 func (s *Snap) Trajectories() map[OID]trajectory.Trajectory { return s.objs }
 
+// SpeedBound returns o's declared maximum speed as of the snapshot.
+func (s *Snap) SpeedBound(o OID) (float64, bool) {
+	v, ok := s.bounds[o]
+	return v, ok
+}
+
 // EpochSnapshot returns an immutable snapshot of the current epoch.
 // The fast path is lock-free: if the cached snapshot is current, it is
 // returned after two atomic loads. Otherwise one reader rebuilds the
@@ -91,7 +98,11 @@ func (db *DB) EpochSnapshot() *Snap {
 	for o, tr := range db.objs {
 		objs[o] = tr
 	}
-	s := &Snap{dim: db.dim, tau: db.tau, epoch: db.epoch.Load(), objs: objs}
+	bounds := make(map[OID]float64, len(db.bounds))
+	for o, v := range db.bounds {
+		bounds[o] = v
+	}
+	s := &Snap{dim: db.dim, tau: db.tau, epoch: db.epoch.Load(), objs: objs, bounds: bounds}
 	db.mu.RUnlock()
 	db.snap.Store(s)
 	return s

@@ -1,0 +1,100 @@
+package query
+
+// Uncertainty-aware queries: the query layer's entry points into the
+// bead model (internal/bead). An exact trajectory in the MOD is the
+// record of what the database was TOLD; the bead layer treats its
+// knots as samples and asks what the object could have done between
+// them, bounded by its declared maximum speed (mod.KindBound). These
+// wrappers adapt a database view to bead tracks and phrase the two
+// uncertainty queries in MOD vocabulary.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bead"
+	"repro/internal/geom"
+	"repro/internal/mod"
+	"repro/internal/trajectory"
+)
+
+// UncertainSource is any point-in-time view that can hand out an
+// object's recorded trajectory together with its declared speed bound:
+// a *mod.DB or a *mod.Snap.
+type UncertainSource interface {
+	Dim() int
+	Objects() []mod.OID
+	Traj(o mod.OID) (trajectory.Trajectory, error)
+	SpeedBound(o mod.OID) (float64, bool)
+}
+
+// TrackOf builds the bead track of one object. defaultVmax is used for
+// objects without a declared bound; pass a negative value to require a
+// declaration (objects without one then fail, by name, rather than
+// silently getting infinite or magic uncertainty).
+func TrackOf(src UncertainSource, o mod.OID, defaultVmax float64) (*bead.Track, error) {
+	tr, err := src.Traj(o)
+	if err != nil {
+		return nil, err
+	}
+	vmax, ok := src.SpeedBound(o)
+	if !ok {
+		if defaultVmax < 0 || math.IsNaN(defaultVmax) {
+			return nil, fmt.Errorf("query: object %d has no declared speed bound and no default was given", o)
+		}
+		vmax = defaultVmax
+	}
+	return bead.FromTrajectory(tr, vmax)
+}
+
+// Alibi decides whether objects o1 and o2 could have met during
+// [lo, hi], given their recorded motion and speed bounds. The answer is
+// exact (closed-form bead intersection, not sampling): Possible=false
+// is a proof of alibi.
+func Alibi(src UncertainSource, o1, o2 mod.OID, lo, hi, defaultVmax float64) (bead.Result, error) {
+	if o1 == o2 {
+		return bead.Result{}, fmt.Errorf("query: alibi of object %d against itself", o1)
+	}
+	t1, err := TrackOf(src, o1, defaultVmax)
+	if err != nil {
+		return bead.Result{}, err
+	}
+	t2, err := TrackOf(src, o2, defaultVmax)
+	if err != nil {
+		return bead.Result{}, err
+	}
+	return bead.Alibi(t1, t2, lo, hi)
+}
+
+// PossiblyWithin answers "which objects could have been within dist of
+// the point q at some instant in [lo, hi]?" across every object of the
+// view, as an AnswerSet of per-object time intervals. It is the
+// uncertainty-aware counterpart of the exact threshold query: the exact
+// Within asks about recorded positions, this asks about every movement
+// consistent with the record and the speed bounds.
+func PossiblyWithin(src UncertainSource, q geom.Vec, dist, lo, hi, defaultVmax float64) (*AnswerSet, error) {
+	if q.Dim() != src.Dim() {
+		return nil, fmt.Errorf("query: point dim %d, database dim %d", q.Dim(), src.Dim())
+	}
+	ans := NewAnswerSet()
+	for _, o := range src.Objects() {
+		tr, err := TrackOf(src, o, defaultVmax)
+		if err != nil {
+			return nil, err
+		}
+		ivs, err := tr.PossiblyWithin(q, dist, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		for _, iv := range ivs {
+			if iv.Hi > iv.Lo {
+				ans.Enter(o, iv.Lo)
+				ans.Leave(o, iv.Hi)
+			} else {
+				ans.Point(o, iv.Lo)
+			}
+		}
+	}
+	ans.Finish(hi)
+	return ans, nil
+}

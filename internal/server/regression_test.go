@@ -19,6 +19,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bead"
 	"repro/internal/core"
 	"repro/internal/gdist"
 	"repro/internal/geom"
@@ -61,6 +62,12 @@ func (b *stubBackend) KNN(gdist.GDistance, int, float64, float64) (*query.Answer
 }
 func (b *stubBackend) Within(gdist.GDistance, float64, float64, float64) (*query.AnswerSet, core.Stats, float64, error) {
 	return b.ans, b.stats, b.ansTau, nil
+}
+func (b *stubBackend) Alibi(_, _ mod.OID, _, _, _ float64) (bead.Result, float64, error) {
+	return bead.Result{}, b.ansTau, nil
+}
+func (b *stubBackend) PossiblyWithin(geom.Vec, float64, float64, float64, float64) (*query.AnswerSet, float64, error) {
+	return b.ans, b.ansTau, nil
 }
 func (b *stubBackend) Subscriptions() *sub.Registry {
 	// The stub is itself a sub.Source; the registry is unused by these

@@ -20,6 +20,14 @@
 //	                              codec with Content-Type application/x-mod-updates
 //	POST /query/knn               {"k":..,"lo":..,"hi":..,"point":[..]}
 //	POST /query/within            {"radius":..,"lo":..,"hi":..,"point":[..]}
+//	POST /query/alibi             {"o1":..,"o2":..,"lo":..,"hi":..,"vmax":..} —
+//	                              could the two objects have met in [lo,hi],
+//	                              given their samples and speed bounds?
+//	POST /query/possibly-within   {"radius":..,"lo":..,"hi":..,"point":[..],"vmax":..} —
+//	                              which objects could have come within radius
+//	                              of point? ("vmax" is the default speed bound
+//	                              for objects without a declared one; omit it
+//	                              to require declarations.)
 //	GET  /snapshot                full JSON snapshot (mod.SaveJSON format);
 //	                              ?format=binary for the compact binary snapshot
 //	GET  /metrics                 Prometheus exposition (with Options.Metrics)
@@ -43,6 +51,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/bead"
 	"repro/internal/core"
 	"repro/internal/gdist"
 	"repro/internal/geom"
@@ -85,6 +94,15 @@ type Backend interface {
 	// classify against the returned tau.
 	KNN(f gdist.GDistance, k int, lo, hi float64) (*query.AnswerSet, core.Stats, float64, error)
 	Within(f gdist.GDistance, c float64, lo, hi float64) (*query.AnswerSet, core.Stats, float64, error)
+	// Alibi and PossiblyWithin are the uncertainty queries over the
+	// bead model (internal/bead): they reason about every movement
+	// consistent with the recorded samples and the per-object speed
+	// bounds (mod.KindBound), not just the recorded motion itself.
+	// defaultVmax applies to objects without a declared bound; negative
+	// means "require a declaration". Like KNN/Within they return the
+	// tau of the snapshot the answer was computed over.
+	Alibi(o1, o2 mod.OID, lo, hi, defaultVmax float64) (bead.Result, float64, error)
+	PossiblyWithin(q geom.Vec, dist, lo, hi, defaultVmax float64) (*query.AnswerSet, float64, error)
 	// Subscriptions returns the backend's materialized-subscription
 	// registry — the engine behind the /watch endpoints. The registry
 	// maintains every continuing query incrementally off the update
@@ -151,6 +169,8 @@ func NewWithOptions(be Backend, opts Options) *Server {
 	s.handle("POST /update/batch", s.handleUpdateBatch)
 	s.handle("POST /query/knn", s.handleKNN)
 	s.handle("POST /query/within", s.handleWithin)
+	s.handle("POST /query/alibi", s.handleAlibi)
+	s.handle("POST /query/possibly-within", s.handlePossiblyWithin)
 	s.handle("GET /snapshot", s.handleSnapshot)
 	s.handle("POST /watch/knn", s.handleWatchKNN)
 	s.handle("POST /watch/within", s.handleWatchWithin)
@@ -493,6 +513,130 @@ func (s *Server) handleWithin(w http.ResponseWriter, r *http.Request) {
 		Events: st.Events, Tau: tau, Class: cls.String(),
 	})
 	s.ok(w, toAnswerJSON(ans, cls, tau, st.Events))
+}
+
+// alibiRequest is the body of /query/alibi. Vmax is the default speed
+// bound for objects without a declared one (mod.KindBound); omitting it
+// requires every involved object to carry a declaration.
+type alibiRequest struct {
+	O1   mod.OID  `json:"o1"`
+	O2   mod.OID  `json:"o2"`
+	Lo   float64  `json:"lo"`
+	Hi   float64  `json:"hi"`
+	Vmax *float64 `json:"vmax"`
+}
+
+// alibiJSON is the wire form of a bead.Result: a certificate, not an
+// interval set — Possible=false is a proof the two objects could not
+// have met anywhere in the window.
+type alibiJSON struct {
+	Possible bool     `json:"possible"`
+	At       *float64 `json:"at,omitempty"` // earliest possible meeting
+	Checked  int      `json:"checked"`      // bead-pair windows examined
+	Tau      float64  `json:"tau"`
+	Class    string   `json:"class"`
+}
+
+// defaultVmax maps the optional wire field to the backend's sentinel
+// convention (negative = require declarations) and validates it.
+func defaultVmax(v *float64) (float64, error) {
+	if v == nil {
+		return -1, nil
+	}
+	if err := finite("vmax", *v); err != nil {
+		return 0, err
+	}
+	if *v < 0 {
+		return 0, fmt.Errorf("vmax is %g, want >= 0", *v)
+	}
+	return *v, nil
+}
+
+func (s *Server) handleAlibi(w http.ResponseWriter, r *http.Request) {
+	var req alibiRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decode query: %w", err))
+		return
+	}
+	for _, err := range []error{finite("lo", req.Lo), finite("hi", req.Hi)} {
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	vmax, err := defaultVmax(req.Vmax)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	start := time.Now()
+	res, tau, err := s.be.Alibi(req.O1, req.O2, req.Lo, req.Hi, vmax)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	cls, _ := query.Classify(req.Lo, req.Hi, tau)
+	out := alibiJSON{Possible: res.Possible, Checked: res.Checked, Tau: tau, Class: cls.String()}
+	if res.Possible {
+		at := res.At
+		out.At = &at
+	}
+	s.logSlowQuery(time.Since(start), slowQueryRecord{
+		Endpoint: "/query/alibi", Lo: req.Lo, Hi: req.Hi,
+		Tau: tau, Class: cls.String(),
+	})
+	s.ok(w, out)
+}
+
+// possiblyWithinRequest is the body of /query/possibly-within.
+type possiblyWithinRequest struct {
+	Radius float64   `json:"radius"`
+	Lo     float64   `json:"lo"`
+	Hi     float64   `json:"hi"`
+	Point  []float64 `json:"point"`
+	Vmax   *float64  `json:"vmax"`
+}
+
+func (s *Server) handlePossiblyWithin(w http.ResponseWriter, r *http.Request) {
+	var req possiblyWithinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decode query: %w", err))
+		return
+	}
+	if len(req.Point) != s.be.Dim() {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("point has %d components, database dim %d", len(req.Point), s.be.Dim()))
+		return
+	}
+	if req.Radius < 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("negative radius"))
+		return
+	}
+	for _, err := range []error{finite("lo", req.Lo), finite("hi", req.Hi), finite("radius", req.Radius), finiteVec("point", req.Point)} {
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	vmax, err := defaultVmax(req.Vmax)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	start := time.Now()
+	ans, tau, err := s.be.PossiblyWithin(geom.Vec(req.Point), req.Radius, req.Lo, req.Hi, vmax)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	cls, _ := query.Classify(req.Lo, req.Hi, tau)
+	s.logSlowQuery(time.Since(start), slowQueryRecord{
+		Endpoint: "/query/possibly-within", Lo: req.Lo, Hi: req.Hi, Radius: req.Radius,
+		Tau: tau, Class: cls.String(),
+	})
+	// The uncertainty query is not a sweep, so there is no event count;
+	// the envelope stays the same shape as /query/within with Events=0.
+	s.ok(w, toAnswerJSON(ans, cls, tau, 0))
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {

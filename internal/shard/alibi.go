@@ -1,0 +1,74 @@
+package shard
+
+// Uncertainty queries across shards. Alibi touches exactly two objects,
+// so it is not a sweep fan-out at all: the coordinator fetches each
+// object's track from its owning shard's epoch snapshot and runs the
+// closed-form decision once. PossiblyWithin is embarrassingly parallel
+// in the usual way — each object's possibility intervals depend only on
+// its own track, so the per-shard answers merge by disjoint union like
+// Within. Both report the snapshot set's tau, keeping the server's
+// window-classification discipline intact under concurrent updates.
+
+import (
+	"time"
+
+	"repro/internal/bead"
+	"repro/internal/geom"
+	"repro/internal/mod"
+	"repro/internal/query"
+)
+
+// Alibi decides whether objects o1 and o2 could have met during
+// [lo, hi] (see query.Alibi). defaultVmax applies to objects without a
+// declared speed bound; pass a negative value to require declarations.
+// The returned tau is the snapshot set's last-update time.
+func (e *Engine) Alibi(o1, o2 mod.OID, lo, hi, defaultVmax float64) (bead.Result, float64, error) {
+	start := time.Now()
+	snaps := e.snapshots()
+	tau := maxTau(snaps)
+	if o1 == o2 {
+		// Same validation the single-source path applies, kept here
+		// because the two-snapshot fetch below would happily race an
+		// object against itself.
+		_, err := query.Alibi(snaps[e.ShardOf(o1)], o1, o2, lo, hi, defaultVmax)
+		return bead.Result{}, tau, err
+	}
+	t1, err := query.TrackOf(snaps[e.ShardOf(o1)], o1, defaultVmax)
+	if err != nil {
+		return bead.Result{}, tau, err
+	}
+	t2, err := query.TrackOf(snaps[e.ShardOf(o2)], o2, defaultVmax)
+	if err != nil {
+		return bead.Result{}, tau, err
+	}
+	res, err := bead.Alibi(t1, t2, lo, hi)
+	if err != nil {
+		return bead.Result{}, tau, err
+	}
+	e.recordQuery("alibi", len(e.shards), time.Since(start))
+	return res, tau, nil
+}
+
+// PossiblyWithin fans the uncertainty range query out across the
+// shards and merges the disjoint per-shard answers. The returned tau is
+// the snapshot set's last-update time.
+func (e *Engine) PossiblyWithin(q geom.Vec, dist, lo, hi, defaultVmax float64) (*query.AnswerSet, float64, error) {
+	start := time.Now()
+	snaps := e.snapshots()
+	tau := maxTau(snaps)
+	parts := make([]*query.AnswerSet, len(snaps))
+	err := e.forEach(func(i int) error {
+		ans, perr := query.PossiblyWithin(snaps[i], q, dist, lo, hi, defaultVmax)
+		if perr != nil {
+			return perr
+		}
+		parts[i] = ans
+		return nil
+	})
+	if err != nil {
+		return nil, tau, err
+	}
+	ans := query.MergeDisjoint(parts...)
+	e.recordQuery("possibly-within", len(e.shards), time.Since(start))
+	return ans, tau, nil
+}

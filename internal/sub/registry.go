@@ -398,6 +398,14 @@ func (r *Registry) route(u mod.Update) {
 	}
 	r.snapDirty = true
 	r.processWakes(u.Tau)
+	if u.Kind == mod.KindBound {
+		// Speed-bound declarations feed the uncertainty layer only; the
+		// authoritative trajectories — and therefore every continuing
+		// query's answer — are unchanged. Routing one into a pool engine
+		// would be rejected as an unknown kind and force a full resync.
+		r.recordRoute(0)
+		return
+	}
 	if len(r.subs) == 0 {
 		r.recordRoute(0)
 		return
