@@ -13,8 +13,10 @@
 // Experiments that measure machine-scaling (e10, the internal/shard
 // fan-out), durability cost (e11, internal/durable), update-path
 // throughput (e12, batched ingestion + group commit + the zero-alloc
-// sweep hot path) or subscription scaling (e13, internal/sub interest
-// routing under a growing subscriber population) additionally emit
+// sweep hot path), subscription scaling (e13, internal/sub interest
+// routing under a growing subscriber population), the alibi deciders
+// (e14) or the uncertainty broad phase (e15, internal/query.BeadIndex
+// vs the full bead scan, answers compared bit-for-bit) additionally emit
 // one `BENCH {...}` JSON line per measurement on stdout; -json collects
 // all BENCH records into a file (the artifact CI uploads and
 // EXPERIMENTS.md records). The -drive/-crashcheck modes are the two
@@ -118,7 +120,7 @@ func main() {
 	}
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e10", "e11", "e12", "e13", "e14"} {
+		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e10", "e11", "e12", "e13", "e14", "e15"} {
 			want[e] = true
 		}
 	} else {
@@ -147,6 +149,7 @@ func main() {
 	run("e12", e12)
 	run("e13", e13)
 	run("e14", e14)
+	run("e15", e15)
 	if *jsonFlag != "" {
 		if err := writeBenchJSON(*jsonFlag); err != nil {
 			log.Fatalf("write %s: %v", *jsonFlag, err)

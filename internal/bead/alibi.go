@@ -25,6 +25,60 @@ type Result struct {
 	// Checked counts the bead-pair windows the decision examined —
 	// surfaced so tests can pin the merge-walk's pruning behavior.
 	Checked int
+	// Pruned counts the examined windows rejected by the cheap
+	// bounding-ball distance test without invoking the kernel. Always
+	// Pruned <= Checked; the answer never depends on it.
+	Pruned int
+}
+
+// pruneMargin scales the broad-phase rejection slack: a window (or a
+// whole candidate, in the query-layer index) is discarded only when
+// infeasibility holds by a margin three orders of magnitude wider than
+// the kernel's boundary-acceptance tolerance (relEps), so a pruned
+// window can never be one the kernel would have accepted at a boundary.
+const pruneMargin = 1e-6
+
+// windowDisjoint reports whether the ball system ca ∪ cb is provably
+// infeasible throughout [w0, w1] by radius arithmetic alone: some ball
+// stays empty for the whole window (its linear radius is negative at
+// both ends), or some cross pair's centers sit farther apart than the
+// sum of the radii ever reaches inside the window. Only cross pairs are
+// tested — balls within one group belong to the same bead, and their
+// joint feasibility is the kernel's business. Every comparison carries
+// pruneMargin × (problem scale) of slack: a point the kernel would
+// accept satisfies ‖x−c‖ ≤ r + relEps·scale per ball, and summing two
+// such inequalities still violates the margin tested here, so a
+// "disjoint" verdict is a proof the kernel would find the window
+// infeasible too.
+func windowDisjoint(ca, cb []ball, w0, w1 float64) bool {
+	scale := consScale(ca, w0, w1)
+	if s := consScale(cb, w0, w1); s > scale {
+		scale = s
+	}
+	margin := pruneMargin * scale
+	reach := func(b ball) float64 {
+		return math.Max(b.rad(w0), b.rad(w1)) // linear: max sits at an endpoint
+	}
+	for _, b := range ca {
+		if reach(b) < -margin {
+			return true
+		}
+	}
+	for _, b := range cb {
+		if reach(b) < -margin {
+			return true
+		}
+	}
+	for _, ba := range ca {
+		ra := math.Max(0, reach(ba))
+		for _, bb := range cb {
+			rb := math.Max(0, reach(bb))
+			if ba.c.Dist(bb.c) > ra+rb+margin {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 func checkWindow(lo, hi float64) error {
@@ -69,13 +123,22 @@ func Alibi(a, b *Track, lo, hi float64) (Result, error) {
 		w1 := math.Min(math.Min(sa.t1, sb.t1), hi)
 		if w0 <= w1 {
 			res.Checked++
-			cons := make([]ball, 0, len(sa.cons)+len(sb.cons))
-			cons = append(cons, sa.cons...)
-			cons = append(cons, sb.cons...)
-			if t0, _, ok := feasibleInterval(cons, w0, w1); ok {
-				res.Possible = true
-				res.At = t0
-				return res, nil
+			// Bounding-ball pre-reject: most bead pairs of far-apart
+			// tracks die here, before the kernel's candidate enumeration.
+			// A pruned window is provably infeasible (windowDisjoint's
+			// margin dominates the kernel's tolerance), so skipping it
+			// cannot change the earliest-meeting answer.
+			if windowDisjoint(sa.cons, sb.cons, w0, w1) {
+				res.Pruned++
+			} else {
+				cons := make([]ball, 0, len(sa.cons)+len(sb.cons))
+				cons = append(cons, sa.cons...)
+				cons = append(cons, sb.cons...)
+				if t0, _, ok := feasibleInterval(cons, w0, w1); ok {
+					res.Possible = true
+					res.At = t0
+					return res, nil
+				}
 			}
 		}
 		// Advance the chain whose bead ends first; on a tie both ended
@@ -94,6 +157,15 @@ type Interval struct {
 	Lo, Hi float64
 }
 
+// PWStats counts the work one possibly-within evaluation did: windows
+// overlapping the query interval, how many the bounding-ball pre-test
+// rejected, and how many reached the closed-form kernel.
+type PWStats struct {
+	Windows int
+	Pruned  int
+	Kernel  int
+}
+
 // PossiblyWithin returns the exact set of instants in [lo, hi] at which
 // the track's object could have been within dist of q, as a sorted list
 // of disjoint closed intervals. Within each bead the feasible set is a
@@ -101,21 +173,32 @@ type Interval struct {
 // and the system stays jointly convex); intervals meeting at a bead
 // boundary are merged.
 func (tr *Track) PossiblyWithin(q geom.Vec, dist, lo, hi float64) ([]Interval, error) {
+	ivs, _, err := tr.PossiblyWithinStats(q, dist, lo, hi)
+	return ivs, err
+}
+
+// PossiblyWithinStats is PossiblyWithin plus the work counters the
+// observability layer records. The answer is identical: the pre-test
+// only discards windows that are provably infeasible by a margin wider
+// than the kernel's own tolerance.
+func (tr *Track) PossiblyWithinStats(q geom.Vec, dist, lo, hi float64) ([]Interval, PWStats, error) {
+	var st PWStats
 	if q.Dim() != tr.dim {
-		return nil, fmt.Errorf("bead: query point dim %d, track dim %d", q.Dim(), tr.dim)
+		return nil, st, fmt.Errorf("bead: query point dim %d, track dim %d", q.Dim(), tr.dim)
 	}
 	for _, c := range q {
 		if math.IsNaN(c) || math.IsInf(c, 0) {
-			return nil, fmt.Errorf("bead: non-finite query coordinate %g", c)
+			return nil, st, fmt.Errorf("bead: non-finite query coordinate %g", c)
 		}
 	}
 	if math.IsNaN(dist) || math.IsInf(dist, 0) || dist < 0 {
-		return nil, fmt.Errorf("bead: bad query distance %g", dist)
+		return nil, st, fmt.Errorf("bead: bad query distance %g", dist)
 	}
 	if err := checkWindow(lo, hi); err != nil {
-		return nil, err
+		return nil, st, err
 	}
 	qb := ball{c: q.Clone(), ra: 0, rb: dist}
+	qcons := []ball{qb}
 	var out []Interval
 	for _, s := range tr.segments() {
 		w0 := math.Max(s.t0, lo)
@@ -123,6 +206,12 @@ func (tr *Track) PossiblyWithin(q geom.Vec, dist, lo, hi float64) ([]Interval, e
 		if !(w0 <= w1) {
 			continue
 		}
+		st.Windows++
+		if windowDisjoint(s.cons, qcons, w0, w1) {
+			st.Pruned++
+			continue
+		}
+		st.Kernel++
 		cons := make([]ball, 0, len(s.cons)+1)
 		cons = append(cons, s.cons...)
 		cons = append(cons, qb)
@@ -138,5 +227,5 @@ func (tr *Track) PossiblyWithin(q geom.Vec, dist, lo, hi float64) ([]Interval, e
 		}
 		out = append(out, Interval{Lo: a, Hi: b})
 	}
-	return out, nil
+	return out, st, nil
 }

@@ -181,3 +181,114 @@ func (tr *Track) segments() []segment {
 	}
 	return segs
 }
+
+// SegBox is the conservative space-time bounding box of one chain bead:
+// at every instant of [T0, T1], every position consistent with the bead
+// lies inside [Min, Max]. The box is the midpoint ball's: summing the
+// bead's two constraints ‖x−x1‖ ≤ v·(t−t1) and ‖x−x2‖ ≤ v·(t2−t) gives
+// ‖x − (x1+x2)/2‖ ≤ v·(t2−t1)/2 for every feasible (t, x). The box is
+// inflated by a margin three orders of magnitude above the kernel's
+// boundary tolerance, so a box miss is a proof the kernel would reject
+// the window too (see boxPad).
+type SegBox struct {
+	T0, T1   float64
+	Min, Max geom.Vec
+}
+
+// boxPad is the conservative inflation broad-phase geometry carries on
+// the track side; query-side geometry adds its own, relative to its own
+// coordinate scale (see internal/query). The kernel accepts boundary
+// contact within relEps × (joint problem scale), and the joint scale is
+// bounded by the sum of the two sides' scales, so the combined
+// inflation — pruneMargin = 1000 × relEps per side — always dominates
+// the kernel's slack.
+func boxPad(scale float64) float64 { return pruneMargin * (1 + scale) }
+
+// maxAbs returns the largest coordinate magnitude of v.
+func maxAbs(v geom.Vec) float64 {
+	m := 0.0
+	for _, c := range v {
+		if a := math.Abs(c); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// ChainBoxes returns one SegBox per chain bead, in time order. A live
+// track's cap is unbounded and deliberately not boxed — Cap exposes it
+// for a closed-form side test. A single-sample terminated track yields
+// one degenerate box pinning the object to its only recorded instant.
+func (tr *Track) ChainBoxes() []SegBox {
+	n := len(tr.samples)
+	out := make([]SegBox, 0, n)
+	box := func(t0, t1 float64, mid geom.Vec, pad float64) SegBox {
+		min := make(geom.Vec, tr.dim)
+		max := make(geom.Vec, tr.dim)
+		for d := 0; d < tr.dim; d++ {
+			min[d] = mid[d] - pad
+			max[d] = mid[d] + pad
+		}
+		return SegBox{T0: t0, T1: t1, Min: min, Max: max}
+	}
+	for i := 0; i+1 < n; i++ {
+		a, b := tr.samples[i], tr.samples[i+1]
+		v := tr.vmax
+		// Effective speed, exactly as segments() computes it: the
+		// recorded leg must stay reachable.
+		if req := b.X.Dist(a.X) / (b.T - a.T); req > v {
+			v = req
+		}
+		reach := v * (b.T - a.T)
+		mid := a.X.Add(b.X).Scale(0.5)
+		out = append(out, box(a.T, b.T, mid, reach/2+boxPad(maxAbs(mid)+reach)))
+	}
+	if !tr.live && n == 1 {
+		last := tr.samples[0]
+		out = append(out, box(last.T, last.T, last.X, boxPad(maxAbs(last.X))))
+	}
+	return out
+}
+
+// Cap is a live track's trailing bead: from time T on, the object can
+// be anywhere within V·(t−T) of C. Its space-time extent is unbounded,
+// so the broad phase keeps caps out of the box index and tests them in
+// closed form instead: the cap can reach a query ball (center q, radius
+// dist) within [lo, hi] only if hi ≥ T and ‖q−C‖ ≤ dist + V·(hi−T),
+// up to the same conservative margins the boxes carry.
+type Cap struct {
+	T float64
+	C geom.Vec
+	V float64
+}
+
+// Cap returns the live cap, if the track has one.
+func (tr *Track) Cap() (Cap, bool) {
+	if !tr.live {
+		return Cap{}, false
+	}
+	last := tr.samples[len(tr.samples)-1]
+	return Cap{T: last.T, C: last.X, V: tr.vmax}, true
+}
+
+// Pad is the conservative inflation a broad phase must add around
+// geometry of the given coordinate scale for a miss to be a proof the
+// exact kernel would reject the pair too. Track-side boxes already
+// carry it (ChainBoxes); query-side geometry applies it to its own
+// scale.
+func Pad(scale float64) float64 { return boxPad(scale) }
+
+// Reaches reports whether the cap could place its object within dist of
+// q at some instant of [lo, hi], conservatively (false is a proof, true
+// means "run the kernel"). The cap's reachable set at time t is the
+// ball of radius V·(t−T) around C, largest at t = hi; before T the
+// object is covered by the chain boxes instead, and a window entirely
+// before T cannot see the cap.
+func (c Cap) Reaches(q geom.Vec, dist, lo, hi float64) bool {
+	if hi < c.T {
+		return false
+	}
+	reach := dist + c.V*(hi-c.T)
+	margin := Pad(maxAbs(c.C)+c.V*(hi-c.T)) + Pad(maxAbs(q)+dist)
+	return q.Dist(c.C) <= reach+margin
+}

@@ -151,7 +151,18 @@ type DB struct {
 	// bounds holds declared per-object max speeds (KindBound). An
 	// object without an entry has no declared bound; the uncertainty
 	// layer then needs a caller-supplied default to reason about it.
-	bounds    map[OID]float64
+	bounds map[OID]float64
+	// gens stamps each object with a per-object generation counter,
+	// bumped on every update (of any kind) that names the object and on
+	// bulk load. Derived caches keyed by object state — the bead track
+	// cache in internal/query — compare a snapshot's stamp against the
+	// one they built from, so "did this object change since I looked?"
+	// is one integer compare instead of a trajectory diff. Objects
+	// created by paths that predate the stamp (Partition's struct
+	// literals) implicitly sit at generation 0 until their next update;
+	// that is consistent, because a stamp only has to CHANGE when the
+	// object does.
+	gens      map[OID]uint64
 	tau       float64
 	log       []Update
 	listeners []Listener
@@ -181,6 +192,7 @@ func NewDB(dim int, tau0 float64) *DB {
 		dim:    dim,
 		objs:   make(map[OID]trajectory.Trajectory),
 		bounds: make(map[OID]float64),
+		gens:   make(map[OID]uint64),
 		tau:    tau0,
 	}
 }
@@ -388,6 +400,10 @@ func (db *DB) applyLocked(u Update) error {
 	}
 	db.tau = u.Tau
 	db.log = append(db.log, u)
+	if db.gens == nil {
+		db.gens = make(map[OID]uint64)
+	}
+	db.gens[u.O]++
 	db.epoch.Add(1)
 	return nil
 }
@@ -421,6 +437,15 @@ func (db *DB) SpeedBounds() map[OID]float64 {
 	return out
 }
 
+// Gen returns o's generation stamp. The stamp changes whenever the
+// object does (any update kind, including speed-bound declarations);
+// 0 means the object has not changed since the database was assembled.
+func (db *DB) Gen(o OID) uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.gens[o]
+}
+
 // Load inserts a pre-existing trajectory directly, bypassing the
 // chronological update discipline — the bulk-loading path for historical
 // data (past-query workloads, imports). Definition 2 requires every turn
@@ -451,6 +476,10 @@ func (db *DB) Load(o OID, tr trajectory.Trajectory) error {
 	if t > db.tau {
 		db.tau = t
 	}
+	if db.gens == nil {
+		db.gens = make(map[OID]uint64)
+	}
+	db.gens[o]++
 	db.epoch.Add(1)
 	return nil
 }
@@ -514,7 +543,11 @@ func (db *DB) Snapshot() *DB {
 	for o, v := range db.bounds {
 		bounds[o] = v
 	}
-	return &DB{dim: db.dim, objs: objs, bounds: bounds, tau: db.tau, log: log}
+	gens := make(map[OID]uint64, len(db.gens))
+	for o, g := range db.gens {
+		gens[o] = g
+	}
+	return &DB{dim: db.dim, objs: objs, bounds: bounds, gens: gens, tau: db.tau, log: log}
 }
 
 // StateEqual reports whether two databases hold identical state: same

@@ -28,6 +28,7 @@ type Snap struct {
 	epoch  uint64
 	objs   map[OID]trajectory.Trajectory
 	bounds map[OID]float64
+	gens   map[OID]uint64
 }
 
 // Dim returns the spatial dimension.
@@ -73,6 +74,12 @@ func (s *Snap) SpeedBound(o OID) (float64, bool) {
 	return v, ok
 }
 
+// Gen returns o's generation stamp as of the snapshot (see DB.Gen).
+// Caches derived from an older snapshot compare stamps to find exactly
+// the objects that changed in between; an object absent from the stamp
+// map reads as generation 0, which is consistent with DB.Gen.
+func (s *Snap) Gen(o OID) uint64 { return s.gens[o] }
+
 // EpochSnapshot returns an immutable snapshot of the current epoch.
 // The fast path is lock-free: if the cached snapshot is current, it is
 // returned after two atomic loads. Otherwise one reader rebuilds the
@@ -102,7 +109,11 @@ func (db *DB) EpochSnapshot() *Snap {
 	for o, v := range db.bounds {
 		bounds[o] = v
 	}
-	s := &Snap{dim: db.dim, tau: db.tau, epoch: db.epoch.Load(), objs: objs, bounds: bounds}
+	gens := make(map[OID]uint64, len(db.gens))
+	for o, g := range db.gens {
+		gens[o] = g
+	}
+	s := &Snap{dim: db.dim, tau: db.tau, epoch: db.epoch.Load(), objs: objs, bounds: bounds, gens: gens}
 	db.mu.RUnlock()
 	db.snap.Store(s)
 	return s

@@ -9,8 +9,10 @@ package query
 // uncertainty queries in MOD vocabulary.
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/bead"
 	"repro/internal/geom"
@@ -28,6 +30,58 @@ type UncertainSource interface {
 	SpeedBound(o mod.OID) (float64, bool)
 }
 
+// ErrNoSpeedBound is the sentinel behind NoSpeedBoundError; match it
+// with errors.Is.
+var ErrNoSpeedBound = errors.New("query: no declared speed bound and no default was given")
+
+// NoSpeedBoundError reports every object an uncertainty query could not
+// reason about: no declared speed bound (mod.KindBound) and no
+// non-negative default supplied. Queries pre-validate the whole object
+// set in one cheap pass, so the error names ALL offending objects — the
+// caller can declare bounds for the full list instead of discovering
+// them one failed query at a time.
+type NoSpeedBoundError struct {
+	Objects []mod.OID
+}
+
+func (e *NoSpeedBoundError) Error() string {
+	names := make([]string, len(e.Objects))
+	for i, o := range e.Objects {
+		names[i] = fmt.Sprintf("%d", o)
+	}
+	return fmt.Sprintf("query: %d object(s) have no declared speed bound and no default was given: %s",
+		len(e.Objects), strings.Join(names, ", "))
+}
+
+// Unwrap lets errors.Is(err, ErrNoSpeedBound) match.
+func (e *NoSpeedBoundError) Unwrap() error { return ErrNoSpeedBound }
+
+// needsDeclarations reports whether defaultVmax fails to cover
+// undeclared objects (negative = declarations required, NaN = nonsense).
+func needsDeclarations(defaultVmax float64) bool {
+	return defaultVmax < 0 || math.IsNaN(defaultVmax)
+}
+
+// ValidateSpeedBounds checks in one pass that every object of the view
+// has a usable speed bound, returning a NoSpeedBoundError naming every
+// object that lacks one. With a usable default nothing can be missing
+// and the pass is skipped.
+func ValidateSpeedBounds(src UncertainSource, defaultVmax float64) error {
+	if !needsDeclarations(defaultVmax) {
+		return nil
+	}
+	var missing []mod.OID
+	for _, o := range src.Objects() {
+		if _, ok := src.SpeedBound(o); !ok {
+			missing = append(missing, o)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	return &NoSpeedBoundError{Objects: missing}
+}
+
 // TrackOf builds the bead track of one object. defaultVmax is used for
 // objects without a declared bound; pass a negative value to require a
 // declaration (objects without one then fail, by name, rather than
@@ -39,8 +93,8 @@ func TrackOf(src UncertainSource, o mod.OID, defaultVmax float64) (*bead.Track, 
 	}
 	vmax, ok := src.SpeedBound(o)
 	if !ok {
-		if defaultVmax < 0 || math.IsNaN(defaultVmax) {
-			return nil, fmt.Errorf("query: object %d has no declared speed bound and no default was given", o)
+		if needsDeclarations(defaultVmax) {
+			return nil, &NoSpeedBoundError{Objects: []mod.OID{o}}
 		}
 		vmax = defaultVmax
 	}
@@ -75,6 +129,9 @@ func Alibi(src UncertainSource, o1, o2 mod.OID, lo, hi, defaultVmax float64) (be
 func PossiblyWithin(src UncertainSource, q geom.Vec, dist, lo, hi, defaultVmax float64) (*AnswerSet, error) {
 	if q.Dim() != src.Dim() {
 		return nil, fmt.Errorf("query: point dim %d, database dim %d", q.Dim(), src.Dim())
+	}
+	if err := ValidateSpeedBounds(src, defaultVmax); err != nil {
+		return nil, err
 	}
 	ans := NewAnswerSet()
 	for _, o := range src.Objects() {

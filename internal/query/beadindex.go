@@ -1,0 +1,413 @@
+package query
+
+// BeadIndex is the uncertainty layer's broad phase: a gen-stamped cache
+// of bead tracks plus a space-time R-tree over their chain-bead
+// bounding boxes, so PossiblyWithin collects candidates by box
+// intersection instead of running the kernel against every chain, and
+// Alibi reuses cached tracks instead of rebuilding them per query.
+//
+// Consistency model: the index is synchronized lazily against the
+// *mod.Snap a query runs on. The fast path compares the snap's epoch to
+// the last-synced epoch; on mismatch a diff pass walks the snapshot and
+// rebuilds exactly the entries whose per-object generation stamp
+// (mod.Snap.Gen) changed — an entry built at gen g is valid for every
+// snapshot that still reports gen g for its object. Entries whose track
+// was built from the query's defaultVmax additionally remember the
+// default they used, so changing the default invalidates them and
+// nothing else. The update listener only sets a dirty bit; all real
+// work happens on the query path, against an immutable snapshot, so
+// cached answers are exactly what the scan path would compute on the
+// same snap.
+//
+// Candidate collection is conservative by construction: every chain
+// bead's box is inflated by bead.Pad on the track side, the query ball
+// adds bead.Pad on its side, and the two pads together dominate the
+// kernel's boundary tolerance (see bead.SegBox). Live caps are
+// unbounded in space-time and would poison R-tree arithmetic, so they
+// live in a side list tested in closed form (bead.Cap.Reaches). A
+// missed candidate is therefore a proof the kernel would have returned
+// no intervals — the index answers are bit-identical to the scan's.
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+
+	"repro/internal/bead"
+	"repro/internal/geom"
+	"repro/internal/mod"
+	"repro/internal/rtree"
+)
+
+// beadEntry is one object's cached track and its registrations in the
+// broad-phase structures.
+type beadEntry struct {
+	gen      uint64
+	declared bool   // speed bound came from the object, not the default
+	vmaxBits uint64 // bits of the vmax the track was built with
+	track    *bead.Track
+	err      error // track construction failed; surfaced on query
+	boxIDs   []uint64
+	capIdx   int // index into caps, -1 if none
+}
+
+// capRef ties a live cap in the side list back to its owner.
+type capRef struct {
+	o mod.OID
+	c bead.Cap
+}
+
+// BeadStats describes the work one broad-phase query did, for metrics.
+type BeadStats struct {
+	Population int // objects in the snapshot
+	Candidates int // objects the broad phase passed to the kernel path
+	Windows    int // bead windows examined across all candidates
+	Pruned     int // windows rejected by the cheap bounding-ball test
+	Kernel     int // windows that reached the closed-form kernel
+}
+
+// BeadIndex caches bead tracks and indexes their chain boxes for one
+// database (one shard). Safe for concurrent use; the mutex covers
+// synchronization and candidate collection, while kernel evaluation
+// runs outside it on immutable tracks.
+type BeadIndex struct {
+	mu    sync.Mutex
+	dim   int
+	built bool
+	dirty bool // an update was applied since the last sync
+
+	syncedEpoch uint64
+	defBits     uint64 // bits of the defaultVmax entries were built with
+	undeclared  int    // entries whose track depends on the default
+	errs        int    // entries whose track construction failed
+
+	entries map[mod.OID]*beadEntry
+	tree    *rtree.RectTree // dim spatial axes + one time axis
+	owner   map[uint64]mod.OID
+	nextBox uint64
+	dead    int // tombstoned boxes still physically in the tree
+	caps    []capRef
+}
+
+// NewBeadIndex returns an index bound to db and registers an update
+// listener that marks it dirty. The listener does no other work: the
+// index is rebuilt incrementally on the next query, against that
+// query's snapshot.
+func NewBeadIndex(db *mod.DB) *BeadIndex {
+	ix := &BeadIndex{
+		dim:     db.Dim(),
+		entries: make(map[mod.OID]*beadEntry),
+		tree:    rtree.NewRectTree(db.Dim()+1, rtree.DefaultFanout),
+		owner:   make(map[uint64]mod.OID),
+	}
+	db.OnUpdate(func(mod.Update) {
+		ix.mu.Lock()
+		ix.dirty = true
+		ix.mu.Unlock()
+	})
+	return ix
+}
+
+// maxAbsVec returns the largest coordinate magnitude of v.
+func maxAbsVec(v geom.Vec) float64 {
+	m := 0.0
+	for _, c := range v {
+		if a := math.Abs(c); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// boxRect lifts a spatial SegBox into the tree's space-time geometry:
+// axes 0..dim-1 are space, axis dim is time.
+func (ix *BeadIndex) boxRect(b bead.SegBox) rtree.Rect {
+	lo := make(geom.Vec, ix.dim+1)
+	hi := make(geom.Vec, ix.dim+1)
+	copy(lo, b.Min)
+	copy(hi, b.Max)
+	lo[ix.dim] = b.T0
+	hi[ix.dim] = b.T1
+	return rtree.Rect{Min: lo, Max: hi}
+}
+
+// sync brings the index up to date with snap. Called with mu held.
+func (ix *BeadIndex) sync(snap *mod.Snap, defaultVmax float64) {
+	defBits := math.Float64bits(defaultVmax)
+	if ix.built && !ix.dirty && ix.syncedEpoch == snap.Epoch() &&
+		(ix.undeclared == 0 || ix.defBits == defBits) {
+		return
+	}
+	// Post-snapshot updates set dirty again through the listener and
+	// bump the epoch, so clearing it against this snap is safe.
+	ix.dirty = false
+	if !ix.built {
+		ix.bulkBuild(snap, defaultVmax)
+	} else {
+		ix.diffSync(snap, defaultVmax)
+	}
+	ix.built = true
+	ix.syncedEpoch = snap.Epoch()
+	ix.defBits = defBits
+}
+
+// bulkBuild constructs every entry and STR-packs the box tree in one
+// pass — the first-sync path, far cheaper than n incremental inserts.
+func (ix *BeadIndex) bulkBuild(snap *mod.Snap, defaultVmax float64) {
+	var items []rtree.RectItem
+	for o := range snap.Trajectories() {
+		items = ix.addEntry(snap, o, defaultVmax, items)
+	}
+	t, err := rtree.BulkRects(items, ix.dim+1, rtree.DefaultFanout)
+	if err != nil {
+		// Geometry is produced by this file with the right dimension; a
+		// failure means corruption, and degrading to a partial index
+		// would silently drop answers.
+		panic("query: bead index bulk build: " + err.Error())
+	}
+	ix.tree = t
+	ix.dead = 0
+}
+
+// diffSync retires and rebuilds exactly the entries whose object
+// changed since they were built (gen mismatch), appeared, disappeared,
+// or depended on a default speed bound that differs from this query's.
+func (ix *BeadIndex) diffSync(snap *mod.Snap, defaultVmax float64) {
+	defBits := math.Float64bits(defaultVmax)
+	objs := snap.Trajectories()
+	for o := range objs {
+		e := ix.entries[o]
+		if e != nil && e.gen == snap.Gen(o) && (e.declared || e.vmaxBits == defBits) {
+			continue
+		}
+		if e != nil {
+			ix.retire(o, e)
+		}
+		_ = ix.insertEntry(snap, o, defaultVmax)
+	}
+	for o, e := range ix.entries {
+		if _, ok := objs[o]; !ok {
+			ix.retire(o, e)
+		}
+	}
+	ix.maybeRebuild()
+}
+
+// addEntry caches o's track and appends its chain boxes to items,
+// registering ownership; used by bulkBuild (and, via insertEntry, by
+// diffSync, which inserts the returned boxes instead).
+func (ix *BeadIndex) addEntry(snap *mod.Snap, o mod.OID, defaultVmax float64, items []rtree.RectItem) []rtree.RectItem {
+	e := &beadEntry{gen: snap.Gen(o), capIdx: -1}
+	vmax, ok := snap.SpeedBound(o)
+	e.declared = ok
+	if !ok {
+		if needsDeclarations(defaultVmax) {
+			e.vmaxBits = math.Float64bits(defaultVmax)
+			e.err = &NoSpeedBoundError{Objects: []mod.OID{o}}
+			ix.errs++
+			ix.undeclared++
+			ix.entries[o] = e
+			return items
+		}
+		vmax = defaultVmax
+		ix.undeclared++
+	}
+	e.vmaxBits = math.Float64bits(vmax)
+	tr, err := snap.Traj(o)
+	if err == nil {
+		e.track, err = bead.FromTrajectory(tr, vmax)
+	}
+	if err != nil {
+		// Keep the entry so queries surface the same error the scan path
+		// would; silently skipping would turn it into a false negative.
+		e.err = err
+		ix.errs++
+		ix.entries[o] = e
+		return items
+	}
+	for _, b := range e.track.ChainBoxes() {
+		ix.nextBox++
+		ix.owner[ix.nextBox] = o
+		e.boxIDs = append(e.boxIDs, ix.nextBox)
+		items = append(items, rtree.RectItem{ID: ix.nextBox, R: ix.boxRect(b)})
+	}
+	if c, ok := e.track.Cap(); ok {
+		e.capIdx = len(ix.caps)
+		ix.caps = append(ix.caps, capRef{o: o, c: c})
+	}
+	ix.entries[o] = e
+	return items
+}
+
+// insertEntry is addEntry for the incremental path: the new boxes go
+// straight into the live tree.
+func (ix *BeadIndex) insertEntry(snap *mod.Snap, o mod.OID, defaultVmax float64) *beadEntry {
+	items := ix.addEntry(snap, o, defaultVmax, nil)
+	for _, it := range items {
+		if err := ix.tree.Insert(it); err != nil {
+			panic("query: bead index insert: " + err.Error())
+		}
+	}
+	return ix.entries[o]
+}
+
+// retire drops o's entry: box ownership is severed (the boxes become
+// tombstones, compacted by maybeRebuild), the cap is swap-removed, and
+// the bookkeeping counters are rolled back. Called with mu held.
+func (ix *BeadIndex) retire(o mod.OID, e *beadEntry) {
+	for _, id := range e.boxIDs {
+		delete(ix.owner, id)
+		ix.dead++
+	}
+	if e.capIdx >= 0 {
+		last := len(ix.caps) - 1
+		moved := ix.caps[last]
+		ix.caps[e.capIdx] = moved
+		ix.caps = ix.caps[:last]
+		if e.capIdx != last {
+			ix.entries[moved.o].capIdx = e.capIdx
+		}
+	}
+	if !e.declared {
+		ix.undeclared--
+	}
+	if e.err != nil {
+		ix.errs--
+	}
+	delete(ix.entries, o)
+}
+
+// maybeRebuild compacts tombstoned boxes away with a fresh STR pack
+// once they outnumber the live ones. Called with mu held.
+func (ix *BeadIndex) maybeRebuild() {
+	if ix.dead <= 64 || ix.dead <= len(ix.owner) {
+		return
+	}
+	items := make([]rtree.RectItem, 0, len(ix.owner))
+	for _, e := range ix.entries {
+		if e.track == nil {
+			continue
+		}
+		for i, b := range e.track.ChainBoxes() {
+			items = append(items, rtree.RectItem{ID: e.boxIDs[i], R: ix.boxRect(b)})
+		}
+	}
+	t, err := rtree.BulkRects(items, ix.dim+1, rtree.DefaultFanout)
+	if err != nil {
+		panic("query: bead index rebuild: " + err.Error())
+	}
+	ix.tree = t
+	ix.dead = 0
+}
+
+// candidates returns, ascending and deduplicated, every object whose
+// bead chain or cap could intersect the ball (q, dist) during [lo, hi].
+// Called with mu held; allocates a fresh slice because concurrent
+// queries share the index.
+func (ix *BeadIndex) candidates(q geom.Vec, dist, lo, hi float64) []mod.OID {
+	pad := dist + bead.Pad(maxAbsVec(q)+dist)
+	rlo := make(geom.Vec, ix.dim+1)
+	rhi := make(geom.Vec, ix.dim+1)
+	for d := 0; d < ix.dim; d++ {
+		rlo[d] = q[d] - pad
+		rhi[d] = q[d] + pad
+	}
+	rlo[ix.dim] = lo
+	rhi[ix.dim] = hi
+	var out []mod.OID
+	ix.tree.VisitRect(rtree.Rect{Min: rlo, Max: rhi}, func(it rtree.RectItem) bool {
+		if o, ok := ix.owner[it.ID]; ok {
+			out = append(out, o)
+		}
+		return true
+	})
+	for _, cr := range ix.caps {
+		if cr.c.Reaches(q, dist, lo, hi) {
+			out = append(out, cr.o)
+		}
+	}
+	slices.Sort(out)
+	return slices.Compact(out)
+}
+
+// firstErr returns the lowest-OID cached construction error — the same
+// error, for the same object, the ascending scan would hit first.
+// Called with mu held.
+func (ix *BeadIndex) firstErr(snap *mod.Snap) error {
+	for _, o := range snap.Objects() {
+		if e := ix.entries[o]; e != nil && e.err != nil {
+			return e.err
+		}
+	}
+	return nil
+}
+
+// PossiblyWithin answers the possibly-within query through the broad
+// phase: identical results to query.PossiblyWithin on the same snap,
+// plus work statistics. Candidates are collected under the index lock;
+// the kernel then runs lock-free over the immutable cached tracks, in
+// ascending OID order like the scan.
+func (ix *BeadIndex) PossiblyWithin(snap *mod.Snap, q geom.Vec, dist, lo, hi, defaultVmax float64) (*AnswerSet, BeadStats, error) {
+	var st BeadStats
+	if q.Dim() != snap.Dim() {
+		return nil, st, fmt.Errorf("query: point dim %d, database dim %d", q.Dim(), snap.Dim())
+	}
+	if err := ValidateSpeedBounds(snap, defaultVmax); err != nil {
+		return nil, st, err
+	}
+	ix.mu.Lock()
+	ix.sync(snap, defaultVmax)
+	if ix.errs > 0 {
+		err := ix.firstErr(snap)
+		ix.mu.Unlock()
+		return nil, st, err
+	}
+	cands := ix.candidates(q, dist, lo, hi)
+	tracks := make([]*bead.Track, len(cands))
+	for i, o := range cands {
+		tracks[i] = ix.entries[o].track
+	}
+	st.Population = snap.Len()
+	ix.mu.Unlock()
+
+	st.Candidates = len(cands)
+	ans := NewAnswerSet()
+	for i, o := range cands {
+		ivs, pw, err := tracks[i].PossiblyWithinStats(q, dist, lo, hi)
+		if err != nil {
+			return nil, st, err
+		}
+		st.Windows += pw.Windows
+		st.Pruned += pw.Pruned
+		st.Kernel += pw.Kernel
+		for _, iv := range ivs {
+			if iv.Hi > iv.Lo {
+				ans.Enter(o, iv.Lo)
+				ans.Leave(o, iv.Hi)
+			} else {
+				ans.Point(o, iv.Lo)
+			}
+		}
+	}
+	ans.Finish(hi)
+	return ans, st, nil
+}
+
+// TrackOf returns o's cached bead track as of snap, building or
+// refreshing the cache as needed — the alibi query's fast path. Objects
+// the index has no valid entry for fall back to the uncached TrackOf,
+// which produces the scan path's exact error.
+func (ix *BeadIndex) TrackOf(snap *mod.Snap, o mod.OID, defaultVmax float64) (*bead.Track, error) {
+	ix.mu.Lock()
+	ix.sync(snap, defaultVmax)
+	e := ix.entries[o]
+	ix.mu.Unlock()
+	if e != nil {
+		if e.err != nil {
+			return nil, e.err
+		}
+		return e.track, nil
+	}
+	return TrackOf(snap, o, defaultVmax)
+}

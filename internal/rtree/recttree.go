@@ -10,6 +10,7 @@ package rtree
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/geom"
@@ -288,4 +289,80 @@ func (t *RectTree) SearchSegment(a, b geom.Vec) []RectItem {
 	})
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// VisitRect calls fn for every stored box intersecting r (closed-box
+// overlap: touching counts), in tree order. Returning false from fn
+// stops the traversal early. The traversal itself performs no
+// allocation — this is the broad-phase query shape of the uncertainty
+// index (internal/query), where the query box is a ball's bounding box
+// crossed with a time window.
+func (t *RectTree) VisitRect(r Rect, fn func(RectItem) bool) {
+	if t.n > 0 {
+		visitRect(t.root, r, fn)
+	}
+}
+
+func visitRect(n *rnode, r Rect, fn func(RectItem) bool) bool {
+	if !n.rect.intersects(r) {
+		return true
+	}
+	if n.leaf {
+		for _, it := range n.items {
+			if it.R.intersects(r) && !fn(it) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !visitRect(c, r, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchRectAppend appends every stored box intersecting r to dst and
+// returns the extended slice, with the appended run sorted by ID — the
+// recycled-storage counterpart of VisitRect.
+func (t *RectTree) SearchRectAppend(r Rect, dst []RectItem) []RectItem {
+	if t.n == 0 {
+		return dst
+	}
+	n := len(dst)
+	dst = appendRect(t.root, r, dst)
+	slices.SortFunc(dst[n:], func(a, b RectItem) int {
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
+	return dst
+}
+
+// SearchRect returns the boxes intersecting r, in ID order.
+func (t *RectTree) SearchRect(r Rect) []RectItem {
+	return t.SearchRectAppend(r, nil)
+}
+
+func appendRect(n *rnode, r Rect, dst []RectItem) []RectItem {
+	if !n.rect.intersects(r) {
+		return dst
+	}
+	if n.leaf {
+		for _, it := range n.items {
+			if it.R.intersects(r) {
+				dst = append(dst, it)
+			}
+		}
+		return dst
+	}
+	for _, c := range n.children {
+		dst = appendRect(c, r, dst)
+	}
+	return dst
 }

@@ -1,0 +1,61 @@
+package rtree
+
+// Zero-alloc rect-query surface: SearchRectAppend must recycle the
+// caller's storage (leave the prefix alone, sort only the appended
+// run), the empty tree must be a no-op, and construction must
+// normalize degenerate fanouts instead of building unsplittable nodes.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSearchRectAppendRecyclesStorage(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const dim = 3
+	items := make([]RectItem, 300)
+	for i := range items {
+		items[i] = RectItem{ID: uint64(i), R: randRect(rng, dim)}
+	}
+	tree, err := BulkRects(items, dim, 0) // fanout 0 → DefaultFanout
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.max != DefaultFanout {
+		t.Fatalf("fanout 0 normalized to %d, want DefaultFanout=%d", tree.max, DefaultFanout)
+	}
+	sentinel := RectItem{ID: 999999}
+	dst := []RectItem{sentinel}
+	for q := 0; q < 30; q++ {
+		r := randRect(rng, dim)
+		want := tree.SearchRect(r)
+		dst = tree.SearchRectAppend(r, dst[:1])
+		if dst[0].ID != sentinel.ID {
+			t.Fatalf("query %d: prefix clobbered: %+v", q, dst[0])
+		}
+		got := dst[1:]
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d hits appended, SearchRect found %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("query %d hit %d: ID %d, want %d (appended run must be ID-sorted)",
+					q, i, got[i].ID, want[i].ID)
+			}
+		}
+	}
+
+	empty := NewRectTree(dim, 2) // fanout 2 also normalizes
+	if empty.max != DefaultFanout {
+		t.Fatalf("fanout 2 normalized to %d, want %d", empty.max, DefaultFanout)
+	}
+	if out := empty.SearchRectAppend(randRect(rng, dim), dst[:1]); len(out) != 1 || out[0].ID != sentinel.ID {
+		t.Fatalf("empty tree: dst changed to %+v", out)
+	}
+
+	// Bulk load rejects mixed dimensions before touching the tree.
+	bad := []RectItem{{ID: 1, R: randRect(rng, dim)}, {ID: 2, R: randRect(rng, dim+1)}}
+	if _, err := BulkRects(bad, dim, 0); err == nil {
+		t.Fatal("dim-mismatched bulk load: want error")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/geom"
@@ -314,60 +315,151 @@ func (n *node) widestAxis() int {
 	return axis
 }
 
+// sortItemsByID orders a result run by ID. slices.SortFunc with a
+// non-capturing comparator keeps the append-into search variants free
+// of per-call sort allocations (sort.Slice's interface boxing).
+func sortItemsByID(s []Item) {
+	slices.SortFunc(s, func(a, b Item) int {
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
+}
+
 // SearchRange returns all points inside the rect, in ID order.
 func (t *Tree) SearchRange(r Rect) []Item {
-	var out []Item
-	var walk func(n *node)
-	walk = func(n *node) {
-		if t.n == 0 || !n.rect.intersects(r) {
-			return
-		}
-		if n.leaf {
-			for _, it := range n.items {
-				if r.contains(it.P) {
-					out = append(out, it)
-				}
-			}
-			return
-		}
-		for _, c := range n.children {
-			walk(c)
-		}
+	return t.SearchRangeAppend(r, nil)
+}
+
+// SearchRangeAppend appends every point inside the rect to dst and
+// returns the extended slice, with the appended run sorted by ID — the
+// recycled-storage variant of SearchRange: a caller that keeps its
+// result slice between queries allocates only when a query outgrows it.
+func (t *Tree) SearchRangeAppend(r Rect, dst []Item) []Item {
+	if t.n == 0 {
+		return dst
 	}
+	n := len(dst)
+	dst = appendRange(t.root, r, dst)
+	sortItemsByID(dst[n:])
+	return dst
+}
+
+// VisitRange calls fn for every point inside the rect, in tree order
+// (no ID ordering). Returning false from fn stops the traversal early.
+// The traversal itself performs no allocation.
+func (t *Tree) VisitRange(r Rect, fn func(Item) bool) {
 	if t.n > 0 {
-		walk(t.root)
+		visitRange(t.root, r, fn)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+}
+
+func appendRange(n *node, r Rect, dst []Item) []Item {
+	if !n.rect.intersects(r) {
+		return dst
+	}
+	if n.leaf {
+		for _, it := range n.items {
+			if r.contains(it.P) {
+				dst = append(dst, it)
+			}
+		}
+		return dst
+	}
+	for _, c := range n.children {
+		dst = appendRange(c, r, dst)
+	}
+	return dst
+}
+
+func visitRange(n *node, r Rect, fn func(Item) bool) bool {
+	if !n.rect.intersects(r) {
+		return true
+	}
+	if n.leaf {
+		for _, it := range n.items {
+			if r.contains(it.P) && !fn(it) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !visitRange(c, r, fn) {
+			return false
+		}
+	}
+	return true
 }
 
 // SearchRadius returns all points within Euclidean distance rad of
 // center, in ID order.
 func (t *Tree) SearchRadius(center geom.Vec, rad float64) []Item {
-	r2 := rad * rad
-	var out []Item
-	var walk func(n *node)
-	walk = func(n *node) {
-		if n.rect.dist2(center) > r2 {
-			return
-		}
-		if n.leaf {
-			for _, it := range n.items {
-				if it.P.Dist2(center) <= r2 {
-					out = append(out, it)
-				}
-			}
-			return
-		}
-		for _, c := range n.children {
-			walk(c)
-		}
+	return t.SearchRadiusAppend(center, rad, nil)
+}
+
+// SearchRadiusAppend appends all points within rad of center to dst and
+// returns the extended slice, with the appended run sorted by ID (see
+// SearchRangeAppend).
+func (t *Tree) SearchRadiusAppend(center geom.Vec, rad float64, dst []Item) []Item {
+	if t.n == 0 {
+		return dst
 	}
+	n := len(dst)
+	dst = appendRadius(t.root, center, rad*rad, dst)
+	sortItemsByID(dst[n:])
+	return dst
+}
+
+// VisitRadius calls fn for every point within rad of center, in tree
+// order. Returning false from fn stops the traversal early. The
+// traversal itself performs no allocation.
+func (t *Tree) VisitRadius(center geom.Vec, rad float64, fn func(Item) bool) {
 	if t.n > 0 {
-		walk(t.root)
+		visitRadius(t.root, center, rad*rad, fn)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+}
+
+func appendRadius(n *node, center geom.Vec, r2 float64, dst []Item) []Item {
+	if n.rect.dist2(center) > r2 {
+		return dst
+	}
+	if n.leaf {
+		for _, it := range n.items {
+			if it.P.Dist2(center) <= r2 {
+				dst = append(dst, it)
+			}
+		}
+		return dst
+	}
+	for _, c := range n.children {
+		dst = appendRadius(c, center, r2, dst)
+	}
+	return dst
+}
+
+func visitRadius(n *node, center geom.Vec, r2 float64, fn func(Item) bool) bool {
+	if n.rect.dist2(center) > r2 {
+		return true
+	}
+	if n.leaf {
+		for _, it := range n.items {
+			if it.P.Dist2(center) <= r2 && !fn(it) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !visitRadius(c, center, r2, fn) {
+			return false
+		}
+	}
+	return true
 }
 
 // nnEntry is a best-first queue element: a node or an item.

@@ -1,0 +1,80 @@
+package rtree
+
+// Early-stop contract of the point-tree visitors: returning false from
+// the callback must abort the traversal — including unwinding through
+// interior levels — because internal/sub uses it to cap fan-out work.
+// Also pins fanout normalization and the stability of ID-sorted runs
+// under duplicate IDs.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestPointVisitorsEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	tree := New(2, 2) // fanout 2 normalizes, and the tree grows interior levels
+	if tree.max != DefaultFanout {
+		t.Fatalf("fanout 2 normalized to %d, want %d", tree.max, DefaultFanout)
+	}
+	n := 500
+	for i := 0; i < n; i++ {
+		p := geom.Of(rng.Float64()*100, rng.Float64()*100)
+		if err := tree.Insert(Item{ID: uint64(i), P: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := Rect{Min: geom.Of(-1, -1), Max: geom.Of(101, 101)}
+
+	seen := 0
+	tree.VisitRange(all, func(Item) bool { seen++; return seen < 7 })
+	if seen != 7 {
+		t.Fatalf("VisitRange visited %d items after stopping at 7", seen)
+	}
+	seen = 0
+	tree.VisitRadius(geom.Of(50, 50), 1000, func(Item) bool { seen++; return seen < 7 })
+	if seen != 7 {
+		t.Fatalf("VisitRadius visited %d items after stopping at 7", seen)
+	}
+	// Exhaustive visits agree with the search variants.
+	seen = 0
+	tree.VisitRange(all, func(Item) bool { seen++; return true })
+	if seen != n {
+		t.Fatalf("VisitRange saw %d of %d items", seen, n)
+	}
+	seen = 0
+	tree.VisitRadius(geom.Of(50, 50), 1000, func(Item) bool { seen++; return true })
+	if seen != n {
+		t.Fatalf("VisitRadius saw %d of %d items", seen, n)
+	}
+
+	// Duplicate IDs are allowed in a result run; the sort must not
+	// drop or reorder them into an invalid sequence.
+	dup := New(2, 0)
+	for i := 0; i < 6; i++ {
+		if err := dup.Insert(Item{ID: uint64(i % 2), P: geom.Of(float64(i), 0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := dup.SearchRange(Rect{Min: geom.Of(-1, -1), Max: geom.Of(10, 1)})
+	if len(got) != 6 {
+		t.Fatalf("duplicate-ID search returned %d of 6 items", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].ID > got[i].ID {
+			t.Fatalf("run not ID-sorted at %d: %d after %d", i, got[i].ID, got[i-1].ID)
+		}
+	}
+
+	// Bulk-loading zero boxes yields a working empty tree.
+	empty, err := BulkRects(nil, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Fatalf("empty bulk load has Len %d", empty.Len())
+	}
+	empty.VisitRect(all, func(RectItem) bool { t.Fatal("visit on empty tree"); return false })
+}

@@ -533,6 +533,7 @@ type alibiJSON struct {
 	Possible bool     `json:"possible"`
 	At       *float64 `json:"at,omitempty"` // earliest possible meeting
 	Checked  int      `json:"checked"`      // bead-pair windows examined
+	Pruned   int      `json:"pruned"`       // of those, rejected without the kernel
 	Tau      float64  `json:"tau"`
 	Class    string   `json:"class"`
 }
@@ -576,7 +577,7 @@ func (s *Server) handleAlibi(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cls, _ := query.Classify(req.Lo, req.Hi, tau)
-	out := alibiJSON{Possible: res.Possible, Checked: res.Checked, Tau: tau, Class: cls.String()}
+	out := alibiJSON{Possible: res.Possible, Checked: res.Checked, Pruned: res.Pruned, Tau: tau, Class: cls.String()}
 	if res.Possible {
 		at := res.At
 		out.At = &at

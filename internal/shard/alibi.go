@@ -8,8 +8,17 @@ package shard
 // its own track, so the per-shard answers merge by disjoint union like
 // Within. Both report the snapshot set's tau, keeping the server's
 // window-classification discipline intact under concurrent updates.
+//
+// With the broad phase enabled (the default; see bead.go), both queries
+// go through the per-shard BeadIndex: Alibi reuses cached tracks
+// instead of rebuilding sample chains per query, and PossiblyWithin
+// collects candidates from the space-time box R-tree instead of running
+// the kernel against every chain. The index path is bit-identical to
+// the scan — the broad phase only skips work it can prove fruitless.
 
 import (
+	"math"
+	"slices"
 	"time"
 
 	"repro/internal/bead"
@@ -33,11 +42,21 @@ func (e *Engine) Alibi(o1, o2 mod.OID, lo, hi, defaultVmax float64) (bead.Result
 		_, err := query.Alibi(snaps[e.ShardOf(o1)], o1, o2, lo, hi, defaultVmax)
 		return bead.Result{}, tau, err
 	}
-	t1, err := query.TrackOf(snaps[e.ShardOf(o1)], o1, defaultVmax)
+	trackOf := func(o mod.OID) (*bead.Track, error) {
+		return query.TrackOf(snaps[e.ShardOf(o)], o, defaultVmax)
+	}
+	if e.beadEnabled() {
+		ixs := e.beadIndexes()
+		trackOf = func(o mod.OID) (*bead.Track, error) {
+			i := e.ShardOf(o)
+			return ixs[i].TrackOf(snaps[i], o, defaultVmax)
+		}
+	}
+	t1, err := trackOf(o1)
 	if err != nil {
 		return bead.Result{}, tau, err
 	}
-	t2, err := query.TrackOf(snaps[e.ShardOf(o2)], o2, defaultVmax)
+	t2, err := trackOf(o2)
 	if err != nil {
 		return bead.Result{}, tau, err
 	}
@@ -45,8 +64,34 @@ func (e *Engine) Alibi(o1, o2 mod.OID, lo, hi, defaultVmax float64) (bead.Result
 	if err != nil {
 		return bead.Result{}, tau, err
 	}
-	e.recordQuery("alibi", len(e.shards), time.Since(start))
+	dur := time.Since(start)
+	e.recordQuery("alibi", len(e.shards), dur)
+	e.recordBeadAlibi(res, dur)
 	return res, tau, nil
+}
+
+// validateSpeedBounds is the coordinator's pre-pass for uncertainty
+// queries that require declared bounds: it collects the undeclared
+// objects of EVERY shard into one ascending NoSpeedBoundError, so the
+// error names the same complete object set regardless of the partition
+// count or which shard's fan-out task would have failed first.
+func (e *Engine) validateSpeedBounds(snaps []*mod.Snap, defaultVmax float64) error {
+	if defaultVmax >= 0 && !math.IsNaN(defaultVmax) {
+		return nil
+	}
+	var missing []mod.OID
+	for _, s := range snaps {
+		for _, o := range s.Objects() {
+			if _, ok := s.SpeedBound(o); !ok {
+				missing = append(missing, o)
+			}
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	slices.Sort(missing)
+	return &query.NoSpeedBoundError{Objects: missing}
 }
 
 // PossiblyWithin fans the uncertainty range query out across the
@@ -56,8 +101,25 @@ func (e *Engine) PossiblyWithin(q geom.Vec, dist, lo, hi, defaultVmax float64) (
 	start := time.Now()
 	snaps := e.snapshots()
 	tau := maxTau(snaps)
+	if err := e.validateSpeedBounds(snaps, defaultVmax); err != nil {
+		return nil, tau, err
+	}
+	useIx := e.beadEnabled()
+	var ixs []*query.BeadIndex
+	if useIx {
+		ixs = e.beadIndexes()
+	}
 	parts := make([]*query.AnswerSet, len(snaps))
+	stats := make([]query.BeadStats, len(snaps))
 	err := e.forEach(func(i int) error {
+		if useIx {
+			ans, st, perr := ixs[i].PossiblyWithin(snaps[i], q, dist, lo, hi, defaultVmax)
+			if perr != nil {
+				return perr
+			}
+			parts[i], stats[i] = ans, st
+			return nil
+		}
 		ans, perr := query.PossiblyWithin(snaps[i], q, dist, lo, hi, defaultVmax)
 		if perr != nil {
 			return perr
@@ -69,6 +131,18 @@ func (e *Engine) PossiblyWithin(q geom.Vec, dist, lo, hi, defaultVmax float64) (
 		return nil, tau, err
 	}
 	ans := query.MergeDisjoint(parts...)
-	e.recordQuery("possibly-within", len(e.shards), time.Since(start))
+	dur := time.Since(start)
+	e.recordQuery("possibly-within", len(e.shards), dur)
+	if useIx {
+		var total query.BeadStats
+		for _, st := range stats {
+			total.Population += st.Population
+			total.Candidates += st.Candidates
+			total.Windows += st.Windows
+			total.Pruned += st.Pruned
+			total.Kernel += st.Kernel
+		}
+		e.recordBeadPW(total, dur)
+	}
 	return ans, tau, nil
 }

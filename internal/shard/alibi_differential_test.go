@@ -11,8 +11,9 @@ package shard
 // margin 1000x wider than the kernel's tolerance) and says Unresolved
 // otherwise, so a disagreement is never a knife-edge rounding artifact.
 // Scenarios with an unresolved oracle verdict are skipped and counted;
-// everything else must agree exactly, across both shard counts, for
-// both the alibi decision and per-object possibly-within membership.
+// everything else must agree exactly — across both shard counts AND
+// with the bead broad phase forced on and off — for both the alibi
+// decision and per-object possibly-within membership.
 // A divergence is shrunk by truncating the update tail and printed with
 // its seed for replay.
 //
@@ -131,55 +132,64 @@ func runAlibiScenario(sc alibiScenario, ps []int) (string, int, error) {
 	orc := bead.NewOracle()
 	skipped := 0
 
-	// Exact answers per shard count, compared cross-P afterwards.
+	// Exact answers per (shard count, broad-phase mode) combination,
+	// compared pairwise afterwards. Running each engine with the bead
+	// broad phase forced on AND off makes the scan path a true in-process
+	// control for the index path, on top of whatever MOD_BEAD_BROADPHASE
+	// selects for the rest of the suite.
 	type pAnswers struct {
+		label string
 		alibi []bead.Result
 		pw    *query.AnswerSet
 	}
-	answers := make([]pAnswers, 0, len(ps))
+	answers := make([]pAnswers, 0, 2*len(ps))
 	for _, p := range ps {
-		eng, err := FromDB(db.Snapshot(), Config{Shards: p, Workers: p})
-		if err != nil {
-			return "", skipped, err
-		}
-		var pa pAnswers
-		for _, pr := range sc.pairs {
-			res, _, aerr := eng.Alibi(pr[0], pr[1], sc.lo, sc.hi, sc.vmax)
-			if aerr != nil {
-				return "", skipped, fmt.Errorf("alibi P=%d %v: %w", p, pr, aerr)
+		for _, broad := range []bool{true, false} {
+			eng, err := FromDB(db.Snapshot(), Config{Shards: p, Workers: p})
+			if err != nil {
+				return "", skipped, err
 			}
-			pa.alibi = append(pa.alibi, res)
+			eng.SetBeadBroadPhase(broad)
+			pa := pAnswers{label: fmt.Sprintf("P=%d/broad=%v", p, broad)}
+			for _, pr := range sc.pairs {
+				res, _, aerr := eng.Alibi(pr[0], pr[1], sc.lo, sc.hi, sc.vmax)
+				if aerr != nil {
+					return "", skipped, fmt.Errorf("alibi %s %v: %w", pa.label, pr, aerr)
+				}
+				pa.alibi = append(pa.alibi, res)
+			}
+			pw, _, err := eng.PossiblyWithin(sc.point, sc.rad, sc.lo, sc.hi, sc.vmax)
+			if err != nil {
+				return "", skipped, fmt.Errorf("possibly-within %s: %w", pa.label, err)
+			}
+			pa.pw = pw
+			answers = append(answers, pa)
 		}
-		pw, _, err := eng.PossiblyWithin(sc.point, sc.rad, sc.lo, sc.hi, sc.vmax)
-		if err != nil {
-			return "", skipped, fmt.Errorf("possibly-within P=%d: %w", p, err)
-		}
-		pa.pw = pw
-		answers = append(answers, pa)
 	}
 
-	// Cross-P agreement must be exact: same decision, same earliest
-	// instant, same membership. The two runs share code but not
-	// partitioning, snapshots, or goroutine interleaving.
+	// Cross-run agreement must be exact: same decision, same earliest
+	// instant, same membership. The runs share the kernel but not
+	// partitioning, snapshots, goroutine interleaving, or the broad
+	// phase's candidate collection.
 	for i := 1; i < len(answers); i++ {
 		for j, pr := range sc.pairs {
 			a0, ai := answers[0].alibi[j], answers[i].alibi[j]
 			if a0.Possible != ai.Possible ||
 				(a0.Possible && math.Float64bits(a0.At) != math.Float64bits(ai.At)) {
-				return fmt.Sprintf("alibi %v: P=%d says %+v, P=%d says %+v",
-					pr, ps[0], a0, ps[i], ai), skipped, nil
+				return fmt.Sprintf("alibi %v: %s says %+v, %s says %+v",
+					pr, answers[0].label, a0, answers[i].label, ai), skipped, nil
 			}
 		}
 		o0 := answers[0].pw.Objects()
 		oi := answers[i].pw.Objects()
 		if fmt.Sprint(o0) != fmt.Sprint(oi) {
-			return fmt.Sprintf("possibly-within members: P=%d says %v, P=%d says %v",
-				ps[0], o0, ps[i], oi), skipped, nil
+			return fmt.Sprintf("possibly-within members: %s says %v, %s says %v",
+				answers[0].label, o0, answers[i].label, oi), skipped, nil
 		}
 		for _, o := range o0 {
 			if fmt.Sprint(answers[0].pw.Intervals(o)) != fmt.Sprint(answers[i].pw.Intervals(o)) {
-				return fmt.Sprintf("possibly-within o%d intervals: P=%d says %v, P=%d says %v",
-					o, ps[0], answers[0].pw.Intervals(o), ps[i], answers[i].pw.Intervals(o)), skipped, nil
+				return fmt.Sprintf("possibly-within o%d intervals: %s says %v, %s says %v",
+					o, answers[0].label, answers[0].pw.Intervals(o), answers[i].label, answers[i].pw.Intervals(o)), skipped, nil
 			}
 		}
 	}
@@ -274,7 +284,7 @@ func TestDifferentialAlibiVsOracle(t *testing.T) {
 		}
 	}
 	if failures == 0 {
-		t.Logf("%d scenarios x P in {1,4}: zero divergences (%d oracle-unresolved checks skipped of ~%d)",
+		t.Logf("%d scenarios x P in {1,4} x broad phase on/off: zero divergences (%d oracle-unresolved checks skipped of ~%d)",
 			scenarios, skipped, checks)
 	}
 }

@@ -1,0 +1,78 @@
+package shard
+
+// Uncertainty broad-phase wiring: each shard owns one query.BeadIndex
+// (track cache + space-time box R-tree over its own objects), created
+// lazily on the first uncertainty query so engines that never ask one
+// pay nothing. The indexes are registered as update listeners at
+// creation and synchronize themselves against each query's snapshot, so
+// no engine mutation path needs to know they exist.
+//
+// The toggle exists for differential testing: the scan path is the
+// straightforward per-chain evaluation the broad phase must agree with
+// bit-for-bit, so CI runs the alibi/possibly-within harnesses under
+// both settings. MOD_BEAD_BROADPHASE=0/off/false/no disables the index
+// at process level; SetBeadBroadPhase overrides per engine.
+
+import (
+	"os"
+	"strings"
+
+	"repro/internal/query"
+)
+
+// beadMode values cached in Engine.beadMode.
+const (
+	beadModeUnset = iota
+	beadModeOn
+	beadModeOff
+)
+
+// SetBeadBroadPhase forces the uncertainty broad phase on or off for
+// this engine, overriding the MOD_BEAD_BROADPHASE environment toggle.
+// Safe to call at any time; queries pick the mode up atomically.
+func (e *Engine) SetBeadBroadPhase(on bool) {
+	if on {
+		e.beadMode.Store(beadModeOn)
+	} else {
+		e.beadMode.Store(beadModeOff)
+	}
+}
+
+// beadEnabled reports whether uncertainty queries should run through
+// the broad phase. Defaults to on; the environment variable
+// MOD_BEAD_BROADPHASE set to 0/off/false/no selects the scan path. The
+// first read caches the decision.
+func (e *Engine) beadEnabled() bool {
+	switch e.beadMode.Load() {
+	case beadModeOn:
+		return true
+	case beadModeOff:
+		return false
+	}
+	on := true
+	switch strings.ToLower(os.Getenv("MOD_BEAD_BROADPHASE")) {
+	case "0", "off", "false", "no":
+		on = false
+	}
+	if on {
+		e.beadMode.Store(beadModeOn)
+	} else {
+		e.beadMode.Store(beadModeOff)
+	}
+	return on
+}
+
+// beadIndexes returns the per-shard broad-phase indexes, creating and
+// registering them on first use.
+func (e *Engine) beadIndexes() []*query.BeadIndex {
+	e.beadMu.Lock()
+	defer e.beadMu.Unlock()
+	if e.beadIx == nil {
+		ixs := make([]*query.BeadIndex, len(e.shards))
+		for i, db := range e.shards {
+			ixs[i] = query.NewBeadIndex(db)
+		}
+		e.beadIx = ixs
+	}
+	return e.beadIx
+}

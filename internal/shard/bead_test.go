@@ -1,0 +1,168 @@
+package shard
+
+// Broad-phase wiring tests: the env/flag toggle, the coordinator's
+// speed-bound pre-validation (one error naming every undeclared object,
+// independent of the partition count), and the bead_* metric families
+// an instrumented engine must emit for both uncertainty query kinds.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mod"
+	"repro/internal/obs"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// TestBeadEnvToggle: MOD_BEAD_BROADPHASE selects the default path per
+// engine (cached on first read), and SetBeadBroadPhase overrides it.
+func TestBeadEnvToggle(t *testing.T) {
+	cases := []struct {
+		env  string
+		want bool
+	}{
+		{"", true}, {"1", true}, {"on", true}, {"yes", true},
+		{"0", false}, {"off", false}, {"FALSE", false}, {"No", false},
+	}
+	db, err := workload.RandomMovers(workload.Config{Seed: 3, N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		t.Setenv("MOD_BEAD_BROADPHASE", c.env)
+		eng, err := FromDB(db, Config{Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := eng.beadEnabled(); got != c.want {
+			t.Errorf("MOD_BEAD_BROADPHASE=%q: beadEnabled() = %v, want %v", c.env, got, c.want)
+		}
+		// The decision is cached — a later env change must not flip it.
+		t.Setenv("MOD_BEAD_BROADPHASE", map[bool]string{true: "0", false: "1"}[c.want])
+		if got := eng.beadEnabled(); got != c.want {
+			t.Errorf("MOD_BEAD_BROADPHASE=%q: cached decision flipped to %v", c.env, got)
+		}
+		eng.SetBeadBroadPhase(!c.want)
+		if got := eng.beadEnabled(); got == c.want {
+			t.Errorf("MOD_BEAD_BROADPHASE=%q: SetBeadBroadPhase did not override", c.env)
+		}
+	}
+}
+
+// TestValidateSpeedBoundsAcrossShards: with declarations required, the
+// pre-pass must name EVERY undeclared object in ascending order no
+// matter how the population is partitioned, and a usable default or a
+// full set of declarations must clear it.
+func TestValidateSpeedBoundsAcrossShards(t *testing.T) {
+	db, err := workload.RandomMovers(workload.Config{Seed: 9, N: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Declare bounds for the even OIDs only.
+	tau := db.Tau()
+	for _, o := range db.Objects() {
+		if o%2 == 0 {
+			tau++
+			if err := db.Apply(mod.Bound(o, tau, 3)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var want []mod.OID
+	for _, o := range db.Objects() {
+		if o%2 == 1 {
+			want = append(want, o)
+		}
+	}
+	for _, p := range []int{1, 4} {
+		eng, err := FromDB(db.Snapshot(), Config{Shards: p, Workers: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, err = eng.PossiblyWithin(geom.Of(0, 0), 5, 0, tau, -1)
+		var nsb *query.NoSpeedBoundError
+		if !errors.As(err, &nsb) {
+			t.Fatalf("P=%d: error %v, want NoSpeedBoundError", p, err)
+		}
+		if fmt.Sprint(nsb.Objects) != fmt.Sprint(want) {
+			t.Errorf("P=%d: named objects %v, want %v", p, nsb.Objects, want)
+		}
+		if !errors.Is(err, query.ErrNoSpeedBound) {
+			t.Errorf("P=%d: error does not unwrap to ErrNoSpeedBound", p)
+		}
+		// A usable default clears the pre-pass entirely.
+		if _, _, err := eng.PossiblyWithin(geom.Of(0, 0), 5, 0, tau, 2); err != nil {
+			t.Errorf("P=%d: with default vmax: %v", p, err)
+		}
+	}
+}
+
+// TestBeadMetricsRecorded: an instrumented engine answering both
+// uncertainty query kinds through the broad phase must emit every
+// bead_* family — including an object-stage prune count for a query
+// ball far from the whole population.
+func TestBeadMetricsRecorded(t *testing.T) {
+	db, err := workload.RandomMovers(workload.Config{Seed: 7, N: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := FromDB(db, Config{Shards: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetBeadBroadPhase(true)
+	reg := obs.NewRegistry()
+	eng.Instrument(reg)
+
+	// Far outside the population's extent with a small radius: the
+	// broad phase must discard everyone at the object stage.
+	if _, _, err := eng.PossiblyWithin(geom.Of(5000, 5000), 1, 0, 50, 2); err != nil {
+		t.Fatal(err)
+	}
+	objs := eng.Objects()
+	if _, _, err := eng.Alibi(objs[0], objs[1], 0, 50, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{
+		`bead_queries_total{kind="possibly-within"} 1`,
+		`bead_queries_total{kind="alibi"} 1`,
+		"bead_broadphase_candidates_count 1",
+		`bead_broadphase_pruned_total{stage="objects"}`,
+		"bead_kernel_invocations_total",
+		`bead_query_seconds_count{kind="possibly-within"} 1`,
+		`bead_query_seconds_count{kind="alibi"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+	// The scan path must not touch the bead instruments.
+	eng2, err := FromDB(db, Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2.SetBeadBroadPhase(false)
+	reg2 := obs.NewRegistry()
+	eng2.Instrument(reg2)
+	if _, _, err := eng2.PossiblyWithin(geom.Of(0, 0), 5, 0, 50, 2); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := reg2.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `bead_queries_total{`) {
+		t.Error("scan path recorded broad-phase series")
+	}
+}

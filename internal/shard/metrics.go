@@ -16,8 +16,10 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/bead"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/query"
 )
 
 // metrics is the engine's instrument set.
@@ -33,6 +35,14 @@ type metrics struct {
 	fanout       *obs.Histogram    // shards swept per query
 	candidates   *obs.Histogram    // merged k-NN candidate-pool size
 	batchSize    *obs.Histogram    // updates per ApplyBatch call
+
+	// Uncertainty (bead) query series: how much work the broad phase
+	// did and, more importantly, avoided (see internal/query.BeadIndex).
+	beadQueries    *obs.CounterVec   // uncertainty queries, by kind
+	beadCandidates *obs.Histogram    // broad-phase candidates per possibly-within
+	beadPruned     *obs.CounterVec   // work rejected before the kernel, by stage
+	beadKernel     *obs.Counter      // closed-form kernel invocations
+	beadSecs       *obs.HistogramVec // uncertainty query duration, by kind
 }
 
 // coordLabel tags the coordinator's final k-NN sweep in per-shard
@@ -68,6 +78,19 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 			"merged candidate-pool size of sharded k-NN queries", obs.DefSizeBuckets),
 		batchSize: reg.NewHistogram("mod_update_batch_size",
 			"updates per ApplyBatch call", obs.DefSizeBuckets),
+		beadQueries: reg.NewCounterVec("bead_queries_total",
+			"uncertainty queries answered, by kind", "kind"),
+		beadCandidates: reg.NewHistogram("bead_broadphase_candidates",
+			"objects the broad phase passed to the kernel path per possibly-within query",
+			obs.DefSizeBuckets),
+		beadPruned: reg.NewCounterVec("bead_broadphase_pruned_total",
+			"work rejected before the exact kernel: whole objects by box/cap miss, bead windows by the bounding-ball distance test",
+			"stage"),
+		beadKernel: reg.NewCounter("bead_kernel_invocations_total",
+			"closed-form feasibility kernel invocations by uncertainty queries"),
+		beadSecs: reg.NewHistogramVec("bead_query_seconds",
+			"uncertainty query duration including broad phase and kernel, by kind",
+			obs.DefLatencyBuckets, "kind"),
 	}
 	e.metrics.Store(m)
 
@@ -151,6 +174,43 @@ func (e *Engine) recordQuery(kind string, width int, dur time.Duration) {
 	}
 	m.querySecs.With(kind).Observe(dur.Seconds())
 	m.fanout.Observe(float64(width))
+}
+
+// recordBeadPW folds one broad-phase possibly-within query's work
+// statistics into the bead series.
+func (e *Engine) recordBeadPW(st query.BeadStats, dur time.Duration) {
+	m := e.metrics.Load()
+	if m == nil {
+		return
+	}
+	m.beadQueries.With("possibly-within").Inc()
+	m.beadCandidates.Observe(float64(st.Candidates))
+	if n := st.Population - st.Candidates; n > 0 {
+		m.beadPruned.With("objects").Add(uint64(n))
+	}
+	if st.Pruned > 0 {
+		m.beadPruned.With("windows").Add(uint64(st.Pruned))
+	}
+	m.beadKernel.Add(uint64(st.Kernel))
+	m.beadSecs.With("possibly-within").Observe(dur.Seconds())
+}
+
+// recordBeadAlibi folds one alibi decision's work into the bead series.
+// Result.Checked counts examined windows; of those, Pruned never
+// reached the kernel.
+func (e *Engine) recordBeadAlibi(res bead.Result, dur time.Duration) {
+	m := e.metrics.Load()
+	if m == nil {
+		return
+	}
+	m.beadQueries.With("alibi").Inc()
+	if res.Pruned > 0 {
+		m.beadPruned.With("windows").Add(uint64(res.Pruned))
+	}
+	if k := res.Checked - res.Pruned; k > 0 {
+		m.beadKernel.Add(uint64(k))
+	}
+	m.beadSecs.With("alibi").Observe(dur.Seconds())
 }
 
 // recordCandidates observes a sharded k-NN's merged pool size.

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/mod"
 	"repro/internal/obs"
+	"repro/internal/query"
 	"repro/internal/sub"
 	"repro/internal/trajectory"
 )
@@ -69,6 +70,12 @@ type Engine struct {
 	subMu  sync.Mutex
 	subReg *sub.Registry
 	subObs *obs.Registry
+
+	// beadMu guards the lazily created per-shard uncertainty broad-phase
+	// indexes; beadMode caches the broad-phase toggle (see bead.go).
+	beadMu   sync.Mutex
+	beadIx   []*query.BeadIndex
+	beadMode atomic.Int32
 }
 
 func (c Config) normalized() Config {

@@ -187,17 +187,20 @@ func (ix *poolIndex) collect(snap *mod.DB, c geom.Vec, r2, lo, hi float64, dst [
 	}
 	base := len(dst)
 	rad := math.Sqrt(inflate(r2))*(1+relEps) + padAbs
-	for _, it := range ix.tree.SearchRadius(c, rad) {
+	// VisitRadius streams matches without materializing a result slice
+	// (SearchRadius would allocate one per Subscribe).
+	ix.tree.VisitRadius(c, rad, func(it rtree.Item) bool {
 		o := mod.OID(it.ID)
 		tr, err := snap.Traj(o)
 		if err != nil {
-			continue
+			return true
 		}
 		// The box-radius search over-approximates; confirm exactly.
 		if trajReaches(tr, c, r2, lo, hi) {
 			dst = append(dst, poolEntry{o: o, tr: tr})
 		}
-	}
+		return true
+	})
 	for _, m := range ix.movers {
 		if trajReaches(m.tr, c, r2, lo, hi) {
 			dst = append(dst, m)
